@@ -1,0 +1,167 @@
+package avm_test
+
+import (
+	"testing"
+
+	avm "repro"
+)
+
+// counterSrc is a tiny accountable service: it counts requests and replies
+// with the running total.
+const counterSrc = `
+	const NET_RX_STATUS = 0x20;
+	const NET_RX_LEN = 0x21;
+	const NET_RX_FROM = 0x22;
+	const NET_RX_BYTE = 0x23;
+	const NET_RX_DONE = 0x24;
+	const NET_TX_BYTE = 0x28;
+	const NET_TX_COMMIT = 0x29;
+	var count = 0;
+	interrupt(1) func on_net() { }
+	func main() {
+		sti();
+		while (1) {
+			while (in(NET_RX_STATUS) == 0) { wfi(); }
+			var n = in(NET_RX_LEN);
+			var from = in(NET_RX_FROM);
+			out(NET_RX_DONE, 0);
+			count = count + 1;
+			out(NET_TX_BYTE, count & 0xFF);
+			out(NET_TX_COMMIT, from);
+		}
+	}
+`
+
+// counterCheatSrc over-reports the count — the "faulty service" variant.
+const counterCheatSrc = `
+	const NET_RX_STATUS = 0x20;
+	const NET_RX_LEN = 0x21;
+	const NET_RX_FROM = 0x22;
+	const NET_RX_BYTE = 0x23;
+	const NET_RX_DONE = 0x24;
+	const NET_TX_BYTE = 0x28;
+	const NET_TX_COMMIT = 0x29;
+	var count = 0;
+	interrupt(1) func on_net() { }
+	func main() {
+		sti();
+		while (1) {
+			while (in(NET_RX_STATUS) == 0) { wfi(); }
+			var n = in(NET_RX_LEN);
+			var from = in(NET_RX_FROM);
+			out(NET_RX_DONE, 0);
+			count = count + 2;
+			out(NET_TX_BYTE, count & 0xFF);
+			out(NET_TX_COMMIT, from);
+		}
+	}
+`
+
+const clientSrc = `
+	const NET_RX_STATUS = 0x20;
+	const NET_RX_LEN = 0x21;
+	const NET_RX_BYTE = 0x23;
+	const NET_RX_DONE = 0x24;
+	const NET_TX_BYTE = 0x28;
+	const NET_TX_COMMIT = 0x29;
+	const DEBUG = 0x60;
+	var replies = 0;
+	interrupt(1) func on_net() { }
+	func main() {
+		sti();
+		var sent = 0;
+		while (sent < 8) {
+			out(NET_TX_BYTE, 'Q');
+			out(NET_TX_COMMIT, 0);
+			sent = sent + 1;
+			while (in(NET_RX_STATUS) == 0) { wfi(); }
+			var n = in(NET_RX_LEN);
+			out(DEBUG, in(NET_RX_BYTE));
+			out(NET_RX_DONE, 0);
+			replies = replies + 1;
+		}
+		halt();
+	}
+`
+
+func buildDeployment(t *testing.T, serverSrc string) (*avm.Deployment, *avm.Image) {
+	t.Helper()
+	serverImg, err := avm.Compile("counter", serverSrc, 64*1024)
+	if err != nil {
+		t.Fatalf("compile server: %v", err)
+	}
+	clientImg, err := avm.Compile("client", clientSrc, 64*1024)
+	if err != nil {
+		t.Fatalf("compile client: %v", err)
+	}
+	d, err := avm.NewDeployment(avm.DeploymentConfig{Mode: avm.ModeAVMMRSA, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddNode("bob", serverImg, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddNode("alice", clientImg, 1); err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := d.Node("alice")
+	if !d.RunUntil(func() bool { return alice.Machine.Halted }, 120*avm.VirtualSecond) {
+		t.Fatal("client did not finish")
+	}
+	refImg, err := avm.Compile("counter", counterSrc, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, refImg
+}
+
+func TestPublicAPIHonestAudit(t *testing.T) {
+	d, ref := buildDeployment(t, counterSrc)
+	res, err := d.Audit("bob", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed {
+		t.Fatalf("honest service failed audit: %v", res.Fault)
+	}
+	alice, _ := d.Node("alice")
+	if got := alice.Devs.Debug; len(got) != 8 || got[7] != 8 {
+		t.Fatalf("client replies = %v, want counts 1..8", got)
+	}
+}
+
+func TestPublicAPIFaultDetectionAndEvidence(t *testing.T) {
+	d, ref := buildDeployment(t, counterCheatSrc)
+	res, err := d.Audit("bob", ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatal("faulty service passed audit against reference image")
+	}
+	ev, err := d.BuildEvidence("bob", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A third party verifies with its own reference image and keys.
+	verdict, err := avm.VerifyEvidence(ev, d.Keys, ref, avm.ModeAVMMRSA)
+	if err != nil {
+		t.Fatalf("third party rejected evidence: %v", err)
+	}
+	if verdict.Passed {
+		t.Fatal("third party verdict disagrees with auditor")
+	}
+}
+
+func TestPublicAPIAccuracy(t *testing.T) {
+	// Accuracy (§4.7): no valid evidence can exist against a correct
+	// machine. Evidence built from an honest run must NOT verify.
+	d, ref := buildDeployment(t, counterSrc)
+	ev, err := d.BuildEvidence("bob", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := avm.VerifyEvidence(ev, d.Keys, ref, avm.ModeAVMMRSA); err == nil {
+		t.Fatal("evidence against an honest machine verified; accuracy violated")
+	}
+}

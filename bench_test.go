@@ -1,0 +1,335 @@
+// Package-level benchmarks regenerating every table and figure of the
+// paper's evaluation (§6). Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkTableN/BenchmarkFigN executes the corresponding experiment
+// driver and reports its headline quantity as custom metrics; the full
+// paper-style table is printed via -v logs. Component micro-benchmarks
+// (interpreter, hash chain, signatures, compression, replay) quantify the
+// real wall cost of this implementation's building blocks.
+package avm_test
+
+import (
+	"testing"
+
+	"repro/internal/avmm"
+	"repro/internal/experiments"
+	"repro/internal/game"
+	"repro/internal/lang"
+	"repro/internal/logcomp"
+	"repro/internal/sig"
+	"repro/internal/snapshot"
+	"repro/internal/tevlog"
+	"repro/internal/vm"
+)
+
+// benchScale keeps each figure bench in single-digit wall seconds.
+var benchScale = experiments.QuickScale
+
+func BenchmarkTable1_CheatDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table().String())
+			b.ReportMetric(float64(res.Detectable), "cheats-detected")
+			b.ReportMetric(float64(res.AnyImpl), "any-impl-class")
+		}
+	}
+}
+
+func BenchmarkFig3_LogGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig3(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table().String())
+			b.ReportMetric(res.AVMMRate, "avmm-MB/min")
+			b.ReportMetric(res.VMwareRate, "vmware-MB/min")
+		}
+	}
+}
+
+func BenchmarkFig4_LogComposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig4(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table().String())
+			b.ReportMetric(res.TotalRate, "raw-MB/min")
+			b.ReportMetric(res.CompressedRate, "compressed-MB/min")
+		}
+	}
+}
+
+func BenchmarkFig5_PingRTT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig5(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table().String())
+			b.ReportMetric(res.Rows[0].MedianUs, "bare-rtt-us")
+			b.ReportMetric(res.Rows[len(res.Rows)-1].MedianUs, "avmm-rtt-us")
+		}
+	}
+}
+
+func BenchmarkFig6_CPUUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig6(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table().String())
+			last := res.Rows[len(res.Rows)-1]
+			b.ReportMetric(last.HT[0]*100, "daemon-HT0-%")
+			b.ReportMetric(last.Avg*100, "avg-util-%")
+		}
+	}
+}
+
+func BenchmarkFig7_FrameRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig7(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table().String())
+			b.ReportMetric(res.Rows[0].Avg, "bare-fps")
+			b.ReportMetric(res.Rows[len(res.Rows)-1].Avg, "avmm-fps")
+			b.ReportMetric(res.DropPct, "drop-%")
+		}
+	}
+}
+
+func BenchmarkFig8_OnlineAuditing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig8(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table().String())
+			b.ReportMetric(res.Rows[0].AvgFPS, "fps-0audits")
+			b.ReportMetric(res.Rows[2].AvgFPS, "fps-2audits")
+		}
+	}
+}
+
+func BenchmarkFig9_SpotChecking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig9(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table().String())
+			b.ReportMetric(res.Rows[0].TimePct, "k1-time-%")
+			b.ReportMetric(res.Rows[0].DataPct, "k1-data-%")
+		}
+	}
+}
+
+func BenchmarkSec65_FrameRateCap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSec65(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table().String())
+			b.ReportMetric(res.BlowupFactor, "cap-blowup-x")
+			b.ReportMetric(res.OptRecovery, "opt-recovery-x")
+		}
+	}
+}
+
+func BenchmarkSec66_AuditPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSec66(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table().String())
+			b.ReportMetric(float64(res.Semantic.Milliseconds()), "semantic-ms")
+			b.ReportMetric(float64(res.Syntactic.Milliseconds()), "syntactic-ms")
+		}
+	}
+}
+
+func BenchmarkSec67_NetworkTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSec67(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table().String())
+			b.ReportMetric(res.Rows[0].ServerKbps, "bare-kbps")
+			b.ReportMetric(res.Rows[1].ServerKbps, "avmm-kbps")
+		}
+	}
+}
+
+func BenchmarkAblation_ChainBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationChain(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table().String())
+		}
+	}
+}
+
+func BenchmarkAblation_Snapshots(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationSnapshots(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table().String())
+			b.ReportMetric(res.SavingsFactor, "incremental-savings-x")
+		}
+	}
+}
+
+func BenchmarkAblation_Landmarks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationLandmarks(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Table().String())
+			b.ReportMetric(res.OverheadFactor, "landmark-overhead-x")
+		}
+	}
+}
+
+// --- component micro-benchmarks ---
+
+func BenchmarkVM_Interpreter(b *testing.B) {
+	img, err := lang.Compile("spin", `
+		func main() {
+			var i = 0;
+			var acc = 1;
+			while (1) { acc = acc * 1103515245 + 12345; i = i + 1; }
+		}
+	`, lang.Options{MemSize: 64 * 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := img.Boot(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	m.Run(uint64(b.N))
+	b.ReportMetric(float64(m.ICount)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+func BenchmarkTevlog_Append(b *testing.B) {
+	l := tevlog.New(sig.NullSigner{Node: "b"})
+	content := make([]byte, 32)
+	b.SetBytes(int64(len(content) + 13))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Append(tevlog.TypeNondet, content)
+	}
+}
+
+func BenchmarkRSA768_Sign(b *testing.B) {
+	s := sig.MustGenerateRSA("b", sig.DefaultKeyBits, "bench")
+	msg := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sign(msg)
+	}
+}
+
+func BenchmarkRSA768_Verify(b *testing.B) {
+	s := sig.MustGenerateRSA("b", sig.DefaultKeyBits, "bench")
+	msg := make([]byte, 64)
+	signature := s.Sign(msg)
+	v := s.Public()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !v.Verify(msg, signature) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkLogcomp_Compress(b *testing.B) {
+	s, err := game.NewScenario(game.ScenarioConfig{
+		Players: 2, Mode: avmm.ModeAVMMNoSig, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Run(5_000_000_000)
+	entries := s.Player(1).Log.All()
+	raw := tevlog.MarshalSegment(entries)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logcomp.CompressEntries(entries)
+	}
+}
+
+func BenchmarkReplay_GameSecond(b *testing.B) {
+	// Wall cost of replaying one virtual second of recorded gameplay — the
+	// quantity that determines whether online auditing keeps up (§6.11).
+	s, err := game.NewScenario(game.ScenarioConfig{
+		Players: 2, Mode: avmm.ModeAVMMNoSig, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Run(5_000_000_000)
+	entries := s.Player(1).Log.All()
+	auths, err := s.CollectAuths("player1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.AuditNode("player1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Passed {
+			b.Fatalf("audit failed: %v", res.Fault)
+		}
+	}
+	_ = entries
+	_ = auths
+}
+
+// rootSink prevents the compiler from eliding the hashing work.
+var rootSink [32]byte
+
+func BenchmarkMerkleSnapshotRoot(b *testing.B) {
+	m := vm.NewMachine(256*1024, nil)
+	blob := m.CaptureStateRegisters()
+	b.SetBytes(int64(len(m.Mem)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rootSink = snapshot.RootOfState(m.Mem, blob, nil)
+	}
+}

@@ -1,0 +1,50 @@
+// Command avm-keygen generates the deterministic RSA keypairs and
+// administrator-signed certificates the AVMM protocol assumes every party
+// holds (§4.1, assumption 3).
+//
+//	avm-keygen -node bob -ca admin -seed deployment-1
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/sig"
+)
+
+func main() {
+	node := flag.String("node", "node0", "principal to generate a keypair for")
+	ca := flag.String("ca", "admin", "certificate authority principal")
+	seed := flag.String("seed", "avm", "deterministic key-generation seed")
+	bits := flag.Int("bits", sig.DefaultKeyBits, "RSA modulus size (the paper uses 768)")
+	flag.Parse()
+
+	caSigner, err := sig.GenerateRSA(sig.NodeID(*ca), *bits, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodeSigner, err := sig.GenerateRSA(sig.NodeID(*node), *bits, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert := sig.Issue(caSigner, nodeSigner.Public())
+
+	fmt.Printf("node:        %s\n", *node)
+	fmt.Printf("key size:    %d bits\n", *bits)
+	fmt.Printf("public key:  %s\n", hex.EncodeToString(nodeSigner.Public().Marshal()))
+	fmt.Printf("issuer:      %s\n", cert.Issuer)
+	fmt.Printf("certificate: %s\n", hex.EncodeToString(cert.Sig))
+
+	// Verify the certificate end to end, as a relying party would.
+	verifier, err := sig.VerifyCertificate(caSigner.Public(), cert)
+	if err != nil {
+		log.Fatalf("certificate does not verify: %v", err)
+	}
+	msg := []byte("probe")
+	if !verifier.Verify(msg, nodeSigner.Sign(msg)) {
+		log.Fatal("round-trip signature check failed")
+	}
+	fmt.Println("verified:    certificate chain and signature round-trip OK")
+}

@@ -1,0 +1,179 @@
+// Command evidence walks through the multi-party accountability story of
+// paper §3.3/§4.6: Alice detects that Bob's machine is faulty, bundles
+// evidence, and Charlie — who trusts neither of them — verifies it
+// independently. It also demonstrates fork detection and non-response
+// evidence.
+//
+//	go run ./examples/evidence
+package main
+
+import (
+	"fmt"
+	"log"
+
+	avm "repro"
+	"repro/internal/audit"
+	"repro/internal/sig"
+	"repro/internal/tevlog"
+)
+
+const serviceSrc = `
+	const NET_RX_STATUS = 0x20;
+	const NET_RX_LEN = 0x21;
+	const NET_RX_FROM = 0x22;
+	const NET_RX_BYTE = 0x23;
+	const NET_RX_DONE = 0x24;
+	const NET_TX_BYTE = 0x28;
+	const NET_TX_COMMIT = 0x29;
+	var total = 0;
+	interrupt(1) func on_net() { }
+	func main() {
+		sti();
+		while (1) {
+			while (in(NET_RX_STATUS) == 0) { wfi(); }
+			var n = in(NET_RX_LEN);
+			var from = in(NET_RX_FROM);
+			var v = in(NET_RX_BYTE);
+			out(NET_RX_DONE, 0);
+			total = total + v;
+			out(NET_TX_BYTE, total & 0xFF);
+			out(NET_TX_COMMIT, from);
+		}
+	}
+`
+
+// cheatSrc skims: it adds only half of every third deposit.
+const cheatSrc = `
+	const NET_RX_STATUS = 0x20;
+	const NET_RX_LEN = 0x21;
+	const NET_RX_FROM = 0x22;
+	const NET_RX_BYTE = 0x23;
+	const NET_RX_DONE = 0x24;
+	const NET_TX_BYTE = 0x28;
+	const NET_TX_COMMIT = 0x29;
+	var total = 0;
+	var nth = 0;
+	interrupt(1) func on_net() { }
+	func main() {
+		sti();
+		while (1) {
+			while (in(NET_RX_STATUS) == 0) { wfi(); }
+			var n = in(NET_RX_LEN);
+			var from = in(NET_RX_FROM);
+			var v = in(NET_RX_BYTE);
+			out(NET_RX_DONE, 0);
+			nth = nth + 1;
+			if (nth % 3 == 0) { total = total + v / 2; }
+			else { total = total + v; }
+			out(NET_TX_BYTE, total & 0xFF);
+			out(NET_TX_COMMIT, from);
+		}
+	}
+`
+
+const depositorSrc = `
+	const NET_RX_STATUS = 0x20;
+	const NET_RX_LEN = 0x21;
+	const NET_RX_BYTE = 0x23;
+	const NET_RX_DONE = 0x24;
+	const NET_TX_BYTE = 0x28;
+	const NET_TX_COMMIT = 0x29;
+	const DEBUG = 0x60;
+	interrupt(1) func on_net() { }
+	func main() {
+		sti();
+		var i = 0;
+		while (i < 9) {
+			out(NET_TX_BYTE, 10);
+			out(NET_TX_COMMIT, 0);
+			while (in(NET_RX_STATUS) == 0) { wfi(); }
+			var n = in(NET_RX_LEN);
+			out(DEBUG, in(NET_RX_BYTE));
+			out(NET_RX_DONE, 0);
+			i = i + 1;
+		}
+		halt();
+	}
+`
+
+func main() {
+	reference, err := avm.Compile("ledger", serviceSrc, 64*1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	skimmer, err := avm.Compile("ledger", cheatSrc, 64*1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := avm.Compile("depositor", depositorSrc, 64*1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob secretly runs the skimming variant.
+	d, err := avm.NewDeployment(avm.DeploymentConfig{Mode: avm.ModeAVMMRSA, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := d.AddNode("bob", skimmer, 0); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := d.AddNode("alice", client, 1); err != nil {
+		log.Fatal(err)
+	}
+	alice, _ := d.Node("alice")
+	fmt.Println("alice deposits 9 × 10 into bob's ledger service ...")
+	if !d.RunUntil(func() bool { return alice.Machine.Halted }, 120*avm.VirtualSecond) {
+		log.Fatal("client did not finish")
+	}
+	fmt.Printf("running totals bob reported: %v (should end at 90)\n\n", alice.Devs.Debug)
+
+	// Alice audits bob against the agreed reference image.
+	res, err := d.Audit("bob", reference)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice's audit: %v\n", res)
+	if res.Passed {
+		log.Fatal("skimming service passed audit!")
+	}
+
+	// She bundles evidence and hands it to Charlie.
+	ev, err := d.BuildEvidence("bob", res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nevidence bundle: %d log entries, %d authenticators, reason: %s\n",
+		len(ev.Entries), len(ev.Auths), ev.Reason)
+
+	// Charlie verifies with his own copy of the reference image and the
+	// public keys — he trusts neither Alice nor Bob.
+	verdict, err := avm.VerifyEvidence(ev, d.Keys, reference, avm.ModeAVMMRSA)
+	if err != nil {
+		log.Fatalf("charlie rejected the evidence: %v", err)
+	}
+	fmt.Printf("charlie's independent verdict: %v\n", verdict)
+
+	// Forked logs: if Bob kept two divergent logs and committed to both,
+	// any pair of conflicting authenticators convicts him (§4.3).
+	fmt.Println("\nfork detection: two authenticators for the same entry, different hashes ...")
+	signer := sig.MustGenerateRSA("bob", sig.DefaultKeyBits, "fork-demo")
+	l1, l2 := tevlog.New(signer), tevlog.New(signer)
+	l1.Append(tevlog.TypeSend, []byte("for alice"))
+	l2.Append(tevlog.TypeSend, []byte("for charlie"))
+	a1, _ := l1.LastAuthenticator()
+	a2, _ := l2.LastAuthenticator()
+	if err := tevlog.CheckFork(a1, a2); err != nil {
+		fmt.Printf("  %v\n", err)
+	}
+
+	// Non-response: if Bob refuses to hand over a log segment, the freshest
+	// authenticator alone proves the entries exist (§4.5).
+	nre := &audit.NonResponseEvidence{Accused: "bob", Auth: a1}
+	keys := sig.NewKeyStore()
+	keys.Add(signer.Public())
+	if err := audit.VerifyNonResponse(nre, keys); err == nil {
+		fmt.Printf("non-response evidence: authenticator for entry %d verifies; bob stays suspected until he answers\n", nre.Auth.Seq)
+	}
+	fmt.Println("\nevidence example complete.")
+}

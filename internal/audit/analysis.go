@@ -1,0 +1,84 @@
+package audit
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// This file implements §7.5's observation: faults are defined as deviations
+// from the reference image, so a bug exercised identically by the recorded
+// machine and the replica — say a buffer overflow that installs code — is
+// NOT a fault and passes the audit. But deterministic replay is a perfect
+// host for expensive runtime analysis that would be too slow in production:
+// the auditor can watch the replayed execution with any instrumentation it
+// likes. CodeModificationReport is one such analysis, the one the paper
+// highlights: detecting unauthorized software modification (writes into the
+// code region) during an otherwise clean audit.
+
+// CodeModification describes a detected write into the image's code region.
+type CodeModification struct {
+	// Page is the memory page written.
+	Page int
+	// Changed reports whether the page's code bytes now differ from the
+	// reference image (false means the write restored identical bytes —
+	// still suspicious, still reported).
+	Changed bool
+	// FirstDiff is the first differing address, when Changed.
+	FirstDiff uint32
+}
+
+func (c CodeModification) String() string {
+	if c.Changed {
+		return fmt.Sprintf("code page %d modified (first difference at 0x%x)", c.Page, c.FirstDiff)
+	}
+	return fmt.Sprintf("code page %d written (contents restored)", c.Page)
+}
+
+// AnalyzeCodeModification inspects a completed replay for writes into the
+// reference image's code region. It relies on the replica's dirty-page
+// tracking, which the image loader clears at boot, so every flagged page
+// was written by the replayed execution itself. Pair it with a passing
+// audit: a clean audit plus a non-empty report means the reference image
+// allows self-modification — the §4.8 limitation made visible.
+func AnalyzeCodeModification(rp *Replay, img *vm.Image) []CodeModification {
+	m := rp.Machine()
+	codeStart := int(vm.CodeBase)
+	text := img.TextSize
+	if text == 0 || text > len(img.Code) {
+		text = len(img.Code)
+	}
+	codeEnd := codeStart + text
+	var out []CodeModification
+	for _, p := range m.DirtyPages() {
+		pageStart := p * vm.PageSize
+		pageEnd := pageStart + vm.PageSize
+		if pageEnd <= codeStart || pageStart >= codeEnd {
+			continue
+		}
+		// Overlap with the code region: compare against the image bytes.
+		lo := pageStart
+		if lo < codeStart {
+			lo = codeStart
+		}
+		hi := pageEnd
+		if hi > codeEnd {
+			hi = codeEnd
+		}
+		mod := CodeModification{Page: p}
+		imgSlice := img.Code[lo-codeStart : hi-codeStart]
+		memSlice := m.Mem[lo:hi]
+		if !bytes.Equal(imgSlice, memSlice) {
+			mod.Changed = true
+			for i := range imgSlice {
+				if imgSlice[i] != memSlice[i] {
+					mod.FirstDiff = uint32(lo + i)
+					break
+				}
+			}
+		}
+		out = append(out, mod)
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package audit
+
+import (
+	"repro/internal/sig"
+	"repro/internal/snapshot"
+	"repro/internal/tevlog"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// Auditor checks machines against a reference image, per §4.5: verify the
+// log against authenticators, syntactically check it, then replay it. An
+// auditor needs the reference image (§4.1 assumption 4), the public keys of
+// the machine and its correspondents, and the reference configuration (RNG
+// seed) — nothing else, and in particular no trust in the audited machine
+// or its monitor (§3.4).
+type Auditor struct {
+	// Keys holds the public keys of the audited machine and of every user
+	// who communicated with it.
+	Keys *sig.KeyStore
+	// RefImage is the trusted reference copy of the VM image.
+	RefImage *vm.Image
+	// RNGSeed is the reference device-RNG seed the machine was expected to
+	// boot with.
+	RNGSeed uint64
+	// TamperEvident selects whether the log is expected to carry the
+	// commitment protocol (authenticators, acks).
+	TamperEvident bool
+	// VerifySignatures enables cryptographic verification (off for
+	// avmm-nosig).
+	VerifySignatures bool
+	// StrictAcks faults unacknowledged sends (quiesced offline audits only).
+	StrictAcks bool
+}
+
+// AuditFull checks an entire execution from boot: log verification against
+// authenticators, syntactic check, and full replay from the reference
+// image.
+func (a *Auditor) AuditFull(node sig.NodeID, nodeIdx uint32, entries []tevlog.Entry, auths []tevlog.Authenticator) *Result {
+	res := &Result{Node: node}
+
+	if a.TamperEvident {
+		seg := make([]tevlog.Entry, len(entries))
+		copy(seg, entries)
+		if err := tevlog.VerifySegment(tevlog.Hash{}, seg, auths, a.Keys); err != nil {
+			res.Fault = &FaultReport{Node: node, Check: CheckLog, Detail: err.Error()}
+			return res
+		}
+	}
+
+	stats, fr := SyntacticCheck(node, entries, SyntacticOptions{
+		NodeIdx: nodeIdx, Keys: a.Keys,
+		VerifySignatures: a.TamperEvident && a.VerifySignatures,
+		StrictAcks:       a.StrictAcks,
+	})
+	res.Syntactic = stats
+	if fr != nil {
+		res.Fault = fr
+		return res
+	}
+
+	rp, err := NewReplayFromImage(node, a.RefImage, a.RNGSeed)
+	if err != nil {
+		res.Fault = &FaultReport{Node: node, Check: CheckSemantic, Detail: err.Error()}
+		return res
+	}
+	rp.Feed(entries)
+	rp.Run()
+	res.Replay = rp.Stats
+	if f := rp.Fault(); f != nil {
+		res.Fault = f
+		return res
+	}
+	res.Passed = true
+	return res
+}
+
+// ChunkRequest describes a spot-check of k consecutive segments starting at
+// a snapshot (§3.5, §6.12).
+type ChunkRequest struct {
+	Node    sig.NodeID
+	NodeIdx uint32
+	// Start is the downloaded machine state at the chunk's first snapshot.
+	Start *snapshot.Restored
+	// StartRoot is the root committed in the log for that snapshot; the
+	// auditor extracts it from the snapshot entry.
+	StartRoot [32]byte
+	// PrevHash is the chain hash of the snapshot entry itself, so the
+	// segment after it can be verified.
+	PrevHash tevlog.Hash
+	// Entries is the log segment immediately following the snapshot entry,
+	// through the end of the chunk.
+	Entries []tevlog.Entry
+	// Auths are authenticators covering the segment.
+	Auths []tevlog.Authenticator
+}
+
+// AuditChunk spot-checks one chunk: authenticate the snapshot, verify the
+// segment's hash chain, syntactic pass, and replay starting from the
+// snapshot. Snapshot entries inside the chunk verify intermediate and final
+// state roots, so an incorrect state transition anywhere in the chunk is
+// detected.
+func (a *Auditor) AuditChunk(req ChunkRequest) *Result {
+	res := &Result{Node: req.Node}
+	if err := snapshot.VerifyRestored(req.Start, req.StartRoot); err != nil {
+		res.Fault = &FaultReport{Node: req.Node, Check: CheckSnapshot, Detail: err.Error()}
+		return res
+	}
+	if a.TamperEvident {
+		seg := make([]tevlog.Entry, len(req.Entries))
+		copy(seg, req.Entries)
+		if err := tevlog.VerifySegment(req.PrevHash, seg, req.Auths, a.Keys); err != nil {
+			res.Fault = &FaultReport{Node: req.Node, Check: CheckLog, Detail: err.Error()}
+			return res
+		}
+	}
+	stats, fr := SyntacticCheck(req.Node, req.Entries, SyntacticOptions{
+		NodeIdx: req.NodeIdx, Keys: a.Keys,
+		VerifySignatures: a.TamperEvident && a.VerifySignatures,
+	})
+	res.Syntactic = stats
+	if fr != nil {
+		res.Fault = fr
+		return res
+	}
+	rp, err := NewReplayFromSnapshot(req.Node, req.Start, a.RNGSeed)
+	if err != nil {
+		res.Fault = &FaultReport{Node: req.Node, Check: CheckSemantic, Detail: err.Error()}
+		return res
+	}
+	rp.Feed(req.Entries)
+	rp.Run()
+	res.Replay = rp.Stats
+	if f := rp.Fault(); f != nil {
+		res.Fault = f
+		return res
+	}
+	res.Passed = true
+	return res
+}
+
+// SnapshotPoints scans a log for snapshot entries, returning for each its
+// position, committed root, and entry hash (the PrevHash for the segment
+// that follows). Used to slice logs into spot-checkable segments.
+type SnapshotPoint struct {
+	EntryIndex int // index into the entries slice
+	Seq        uint64
+	SnapIdx    uint32
+	Root       [32]byte
+	EntryHash  tevlog.Hash
+}
+
+// FindSnapshots locates all snapshot entries in a segment. The entries must
+// carry valid chain hashes (e.g. obtained from the machine and re-chained).
+func FindSnapshots(entries []tevlog.Entry) ([]SnapshotPoint, error) {
+	var out []SnapshotPoint
+	for i := range entries {
+		e := &entries[i]
+		if e.Type != tevlog.TypeSnapshot {
+			continue
+		}
+		ev, err := wire.ParseEvent(e.Content)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SnapshotPoint{
+			EntryIndex: i, Seq: e.Seq, SnapIdx: ev.SnapIdx, Root: ev.Root, EntryHash: e.Hash,
+		})
+	}
+	return out, nil
+}
+
+// OnlineAudit incrementally audits a machine while it executes (§6.11): the
+// auditor periodically pulls newly appended log entries and extends the
+// replay. Lag is the distance between recording and replay, in entries.
+type OnlineAudit struct {
+	rp    *Replay
+	node  sig.NodeID
+	fedTo uint64 // highest log seq fed so far
+}
+
+// NewOnlineAudit starts an online audit from boot.
+func NewOnlineAudit(node sig.NodeID, img *vm.Image, rngSeed uint64) (*OnlineAudit, error) {
+	rp, err := NewReplayFromImage(node, img, rngSeed)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineAudit{rp: rp, node: node}, nil
+}
+
+// FedTo returns the highest log sequence number fed so far.
+func (o *OnlineAudit) FedTo() uint64 { return o.fedTo }
+
+// Feed appends fresh entries (with seq > FedTo) and advances the replay.
+func (o *OnlineAudit) Feed(entries []tevlog.Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	o.fedTo = entries[len(entries)-1].Seq
+	o.rp.Feed(entries)
+	o.rp.Run()
+}
+
+// Fault returns the divergence found so far, if any.
+func (o *OnlineAudit) Fault() *FaultReport { return o.rp.Fault() }
+
+// Stats returns replay effort so far.
+func (o *OnlineAudit) Stats() ReplayStats { return o.rp.Stats }
+
+// LagEntries returns how many fed entries remain unconsumed.
+func (o *OnlineAudit) LagEntries() int { return len(o.rp.entries) - o.rp.Consumed() }

@@ -1,0 +1,454 @@
+package audit
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/sig"
+	"repro/internal/snapshot"
+	"repro/internal/tevlog"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// Replay is the semantic checker: it drives a reference machine through the
+// recorded log, feeding logged nondeterministic inputs back, re-injecting
+// asynchronous events at their exact landmarks, and comparing every output
+// and snapshot root against the log. It supports incremental feeding, which
+// is what online auditing (§6.11) uses.
+type Replay struct {
+	node sig.NodeID
+	mach *vm.Machine
+	devs *vm.DeviceSet
+
+	entries []tevlog.Entry
+	pos     int
+
+	// outQueue buffers outputs the replica produced that have not yet been
+	// matched against SEND entries. Matching happens at safe points (never
+	// mid-instruction), which lets an online audit pause at log exhaustion
+	// and resume cleanly when more entries arrive.
+	outQueue []pendingOut
+	// paused is set when the replay ran out of fed entries mid-execution;
+	// Feed clears it.
+	paused bool
+
+	fault *FaultReport
+	done  bool
+
+	// Stats accumulates replay effort.
+	Stats ReplayStats
+
+	// MaxInstructions bounds replay effort past the last consumed entry; a
+	// divergent execution that never consumes the next logged entry is
+	// reported as a fault instead of spinning forever.
+	MaxInstructions uint64
+
+	// boundPos/bound cache the next async event's position and landmark.
+	boundPos int
+	bound    uint64
+}
+
+// NewReplayFromImage starts a replay of a full execution from boot.
+func NewReplayFromImage(node sig.NodeID, img *vm.Image, rngSeed uint64) (*Replay, error) {
+	r := &Replay{node: node}
+	r.devs = vm.NewDeviceSet(rngSeed)
+	m, err := img.Boot(r.devs)
+	if err != nil {
+		return nil, fmt.Errorf("audit: booting reference image: %w", err)
+	}
+	r.attach(m)
+	return r, nil
+}
+
+// NewReplayFromSnapshot starts a replay from a verified snapshot state.
+func NewReplayFromSnapshot(node sig.NodeID, restored *snapshot.Restored, rngSeed uint64) (*Replay, error) {
+	r := &Replay{node: node}
+	r.devs = vm.NewDeviceSet(rngSeed)
+	if err := r.devs.RestoreSnapshot(restored.Device); err != nil {
+		return nil, fmt.Errorf("audit: restoring device state: %w", err)
+	}
+	m := vm.NewMachine(len(restored.Mem), nil)
+	if err := m.WriteBytes(0, restored.Mem); err != nil {
+		return nil, fmt.Errorf("audit: restoring memory: %w", err)
+	}
+	if err := m.RestoreRegisters(restored.Machine); err != nil {
+		return nil, fmt.Errorf("audit: restoring registers: %w", err)
+	}
+	r.attach(m)
+	return r, nil
+}
+
+func (r *Replay) attach(m *vm.Machine) {
+	r.mach = m
+	m.Bus = r
+	r.devs.SendFunc = r.onGuestSend
+	r.MaxInstructions = 1 << 62 // refined by Feed
+	r.boundPos = -1
+}
+
+type pendingOut struct {
+	dest    uint32
+	payload []byte
+}
+
+// Feed appends log entries to be replayed and refreshes the instruction
+// budget. It resumes a replay paused at log exhaustion.
+func (r *Replay) Feed(entries []tevlog.Entry) {
+	r.entries = append(r.entries, entries...)
+	r.done = false
+	r.boundPos = -1
+	if r.paused {
+		r.paused = false
+		if r.fault == nil {
+			// The pause halted the machine mid-instruction; clearing the
+			// flag re-executes that instruction, now with entries to serve.
+			r.mach.Halted = false
+		}
+	}
+	// Budget: the last async landmark plus a generous margin for trailing
+	// synchronous activity.
+	var maxLm uint64
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.Type == tevlog.TypeIRQ || e.Type == tevlog.TypeSnapshot {
+			if ev, err := wire.ParseEvent(e.Content); err == nil && ev.Landmark.ICount > maxLm {
+				maxLm = ev.Landmark.ICount
+			}
+		}
+	}
+	budget := maxLm + 50_000_000
+	if budget > r.MaxInstructions || r.MaxInstructions == 1<<62 {
+		r.MaxInstructions = budget
+	}
+}
+
+// Fault returns the divergence report, if any.
+func (r *Replay) Fault() *FaultReport { return r.fault }
+
+// Done reports whether every fed entry has been consumed without fault.
+func (r *Replay) Done() bool { return r.done && r.fault == nil }
+
+// Consumed returns the number of log entries consumed so far (including
+// skipped protocol entries).
+func (r *Replay) Consumed() int { return r.pos }
+
+// Machine exposes the replica for final-state inspection by tests.
+func (r *Replay) Machine() *vm.Machine { return r.mach }
+
+// Devices exposes the replica's devices for inspection by tests.
+func (r *Replay) Devices() *vm.DeviceSet { return r.devs }
+
+func (r *Replay) diverge(check Check, seq uint64, format string, args ...interface{}) {
+	if r.fault != nil {
+		return
+	}
+	r.fault = &FaultReport{
+		Node: r.node, Check: check, Detail: fmt.Sprintf(format, args...),
+		EntrySeq: seq, Landmark: r.mach.Landmark(),
+	}
+	r.mach.Halted = true // stop the replica; it is discarded after the audit
+}
+
+// nextReplayable returns the next entry relevant to execution, skipping
+// protocol-stream entries (RECV/ACK/annotations are checked syntactically,
+// not replayed — their payloads re-enter execution via injection events).
+func (r *Replay) nextReplayable() *tevlog.Entry {
+	for r.pos < len(r.entries) {
+		e := &r.entries[r.pos]
+		switch e.Type {
+		case tevlog.TypeRecv, tevlog.TypeAck, tevlog.TypeAnnotation:
+			r.pos++
+			r.Stats.EntriesConsumed++
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+func (r *Replay) consume() {
+	r.pos++
+	r.Stats.EntriesConsumed++
+}
+
+// pause stops the machine because the fed log is exhausted mid-execution.
+// The in-flight instruction is NOT retired (Step aborts before advancing
+// PC), so clearing Halted in Feed re-executes it cleanly.
+func (r *Replay) pause() {
+	r.paused = true
+	r.mach.Halted = true
+}
+
+// drainOutputs matches queued replica outputs against SEND entries at the
+// cursor. It returns false if replay cannot proceed (divergence, or paused
+// awaiting more entries).
+func (r *Replay) drainOutputs() bool {
+	for len(r.outQueue) > 0 {
+		e := r.nextReplayable()
+		if e == nil {
+			return false // starving for the SEND entry; caller decides pause/end
+		}
+		if e.Type != tevlog.TypeSend {
+			r.diverge(CheckSemantic, e.Seq,
+				"execution produced an output but log has %v entry", e.Type)
+			return false
+		}
+		sc, err := wire.ParseSend(e.Content)
+		if err != nil {
+			r.diverge(CheckSyntactic, e.Seq, "unparseable SEND entry: %v", err)
+			return false
+		}
+		out := r.outQueue[0]
+		if sc.Dest != out.dest || !bytes.Equal(sc.Payload, out.payload) {
+			r.diverge(CheckSemantic, e.Seq,
+				"output mismatch: execution sent %d bytes to %d, log has %d bytes to %d",
+				len(out.payload), out.dest, len(sc.Payload), sc.Dest)
+			return false
+		}
+		r.outQueue = r.outQueue[1:]
+		r.consume()
+		r.Stats.SendsMatched++
+	}
+	return true
+}
+
+// In implements vm.IOBus for the replica: clock reads come from the log
+// (they are the recorded synchronous nondeterministic inputs); everything
+// else is deterministic device state. A clock read with no matching NONDET
+// entry — or any mismatch in order — is a divergence: "if it requests the
+// synchronous inputs in a different order, replay terminates and reports a
+// fault" (§4.5).
+func (r *Replay) In(m *vm.Machine, port uint32) uint32 {
+	if port != vm.PortClockLo && port != vm.PortClockHi {
+		return r.devs.In(m, port)
+	}
+	if !r.drainOutputs() {
+		if r.fault == nil {
+			r.pause()
+		}
+		return 0
+	}
+	e := r.nextReplayable()
+	if e == nil {
+		// The log segment ended mid-execution; pause at the boundary.
+		r.pause()
+		return 0
+	}
+	if e.Type != tevlog.TypeNondet {
+		r.diverge(CheckSemantic, e.Seq,
+			"execution read nondeterministic port 0x%x but log has %v entry", port, e.Type)
+		return 0
+	}
+	nd, err := wire.ParseNondet(e.Content)
+	if err != nil {
+		r.diverge(CheckSyntactic, e.Seq, "unparseable NONDET entry: %v", err)
+		return 0
+	}
+	if nd.Port != port {
+		r.diverge(CheckSemantic, e.Seq,
+			"execution read port 0x%x but log recorded a read of port 0x%x", port, nd.Port)
+		return 0
+	}
+	r.consume()
+	r.Stats.NondetsConsumed++
+	return uint32(nd.Value)
+}
+
+// Out implements vm.IOBus.
+func (r *Replay) Out(m *vm.Machine, port uint32, val uint32) {
+	r.devs.Out(m, port, val)
+}
+
+// onGuestSend queues each output of the replica for matching against the
+// log's SEND entries — "checking the outputs against the outputs in L_ij"
+// (§4.5). Matching is deferred to safe points so an instruction is never
+// interrupted with device state half-updated.
+func (r *Replay) onGuestSend(dest uint32, payload []byte) {
+	r.outQueue = append(r.outQueue, pendingOut{dest: dest, payload: payload})
+}
+
+// perform applies an asynchronous event at its landmark.
+func (r *Replay) perform(ev *wire.EventContent, seq uint64) {
+	switch ev.Kind {
+	case wire.EventIRQ:
+		r.mach.RaiseIRQ(int(ev.IRQ))
+		r.Stats.EventsInjected++
+	case wire.EventInjectPacket:
+		r.devs.PushPacket(vm.Packet{From: ev.SrcIdx, Data: ev.Payload})
+		r.mach.RaiseIRQ(vm.IRQNet)
+		r.Stats.EventsInjected++
+	case wire.EventInjectInput:
+		r.devs.PushInput(ev.Input)
+		r.mach.RaiseIRQ(vm.IRQInput)
+		r.Stats.EventsInjected++
+	case wire.EventSnapshot:
+		got := snapshot.RootOfState(r.mach.Mem, r.mach.CaptureStateRegisters(), r.devs.AuthSnapshot())
+		if got != ev.Root {
+			r.diverge(CheckSnapshot, seq,
+				"replayed state root %x does not match committed snapshot root %x",
+				got[:8], ev.Root[:8])
+			return
+		}
+		r.Stats.SnapshotsVerified++
+	default:
+		r.diverge(CheckSyntactic, seq, "unknown event kind %d", ev.Kind)
+	}
+}
+
+func isAsync(t tevlog.EntryType) bool {
+	return t == tevlog.TypeIRQ || t == tevlog.TypeSnapshot
+}
+
+// nextAsyncBound returns the landmark instruction count of the next
+// asynchronous event at or after the cursor, caching the scan.
+func (r *Replay) nextAsyncBound() (uint64, bool) {
+	if r.boundPos >= r.pos && r.boundPos <= len(r.entries) {
+		if r.boundPos == len(r.entries) {
+			return 0, false
+		}
+		return r.bound, true
+	}
+	for i := r.pos; i < len(r.entries); i++ {
+		if !isAsync(r.entries[i].Type) {
+			continue
+		}
+		ev, err := wire.ParseEvent(r.entries[i].Content)
+		if err != nil {
+			// Malformed event: no usable bound; Run will fault on it when
+			// the cursor reaches it.
+			r.boundPos = i
+			r.bound = 0
+			return 0, false
+		}
+		r.boundPos = i
+		r.bound = ev.Landmark.ICount
+		return r.bound, true
+	}
+	r.boundPos = len(r.entries)
+	return 0, false
+}
+
+// Run replays until all fed entries are consumed, a fault is found, or the
+// instruction budget is exhausted. It may be called repeatedly after Feed
+// (online auditing).
+func (r *Replay) Run() {
+	m := r.mach
+	for r.fault == nil {
+		if !r.drainOutputs() {
+			if r.fault == nil {
+				// Outputs await SEND entries that have not been fed yet
+				// (online audit) or fall beyond the audited segment
+				// (offline): stop at the boundary without a verdict on
+				// them.
+				r.paused = true
+			}
+			return
+		}
+		e := r.nextReplayable()
+		if e == nil {
+			r.done = true
+			return
+		}
+		if isAsync(e.Type) {
+			ev, err := wire.ParseEvent(e.Content)
+			if err != nil {
+				r.diverge(CheckSyntactic, e.Seq, "unparseable event entry: %v", err)
+				return
+			}
+			lm := ev.Landmark
+			switch {
+			case lm.ICount < m.ICount:
+				r.diverge(CheckSemantic, e.Seq,
+					"execution passed event landmark (%v) without it firing; now at icount=%d",
+					lm, m.ICount)
+				return
+			case lm.ICount == m.ICount:
+				if m.Branches != lm.Branches || m.PC != lm.PC {
+					r.diverge(CheckSemantic, e.Seq,
+						"landmark mismatch at icount=%d: log has branches=%d pc=0x%x, replica has branches=%d pc=0x%x",
+						lm.ICount, lm.Branches, lm.PC, m.Branches, m.PC)
+					return
+				}
+				// Note: no explicit wake. RaiseIRQ inside perform clears
+				// Waiting for exactly the events that woke the machine
+				// during recording; snapshots leave a waiting machine
+				// waiting, and the Waiting flag is part of the
+				// authenticated state.
+				r.perform(ev, e.Seq)
+				if r.fault == nil {
+					r.consume()
+				}
+				continue
+			default: // landmark ahead: run toward it
+				if m.Halted {
+					r.diverge(CheckSemantic, e.Seq, "log continues past machine halt")
+					return
+				}
+				if m.Waiting {
+					r.diverge(CheckSemantic, e.Seq,
+						"event landmark icount=%d unreachable: machine idle at icount=%d", lm.ICount, m.ICount)
+					return
+				}
+				r.runTo(lm.ICount)
+				continue
+			}
+		}
+		// Next entry is NONDET or SEND: the machine itself must produce it.
+		if m.Halted {
+			r.diverge(CheckSemantic, e.Seq, "log continues past machine halt")
+			return
+		}
+		if m.Waiting {
+			r.diverge(CheckSemantic, e.Seq,
+				"log expects %v activity but machine is idle at icount=%d", e.Type, m.ICount)
+			return
+		}
+		if r.Stats.Instructions >= r.MaxInstructions {
+			r.diverge(CheckSemantic, e.Seq,
+				"instruction budget exhausted (%d) without reproducing log entry", r.MaxInstructions)
+			return
+		}
+		// Bound the chunk by the next async landmark so a single Run cannot
+		// sail past an event that must fire mid-chunk.
+		chunk := uint64(4096)
+		if bound, ok := r.nextAsyncBound(); ok && bound > m.ICount && bound-m.ICount < chunk {
+			chunk = bound - m.ICount
+		}
+		before := m.ICount
+		m.Run(chunk)
+		r.Stats.Instructions += m.ICount - before
+		if m.ICount == before && !m.Halted && !m.Waiting {
+			// No progress and not idle: faulted replica.
+			if m.FaultInfo != nil {
+				r.diverge(CheckSemantic, e.Seq, "replica faulted: %v", m.FaultInfo)
+			} else {
+				r.diverge(CheckSemantic, e.Seq, "replica made no progress")
+			}
+			return
+		}
+	}
+}
+
+// runTo advances the replica to exactly the target instruction count,
+// accounting instructions and honoring the budget.
+func (r *Replay) runTo(target uint64) {
+	m := r.mach
+	for r.fault == nil && m.ICount < target && !m.Halted && !m.Waiting {
+		if r.Stats.Instructions >= r.MaxInstructions {
+			r.diverge(CheckSemantic, 0,
+				"instruction budget exhausted (%d) before reaching landmark icount=%d", r.MaxInstructions, target)
+			return
+		}
+		n := target - m.ICount
+		if n > 4096 {
+			n = 4096
+		}
+		before := m.ICount
+		m.Run(n)
+		r.Stats.Instructions += m.ICount - before
+		if m.ICount == before {
+			return
+		}
+	}
+}

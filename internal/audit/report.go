@@ -1,0 +1,92 @@
+// Package audit implements the auditing side of the AVM design (paper
+// §4.5): verifying a machine's tamper-evident log against collected
+// authenticators, checking it syntactically (formats, signatures,
+// acknowledgments, message/input cross-references), and checking it
+// semantically by deterministically replaying the reference image and
+// comparing every output and snapshot against the log. Any discrepancy
+// yields a fault report and a transferable evidence bundle that a third
+// party can verify without trusting the auditor or the auditee.
+package audit
+
+import (
+	"fmt"
+
+	"repro/internal/sig"
+	"repro/internal/vm"
+)
+
+// Check names the audit phase that produced a fault.
+type Check string
+
+// Audit phases.
+const (
+	// CheckLog is the hash-chain/authenticator verification of §4.3.
+	CheckLog Check = "log"
+	// CheckSyntactic is the well-formedness check of §4.5.
+	CheckSyntactic Check = "syntactic"
+	// CheckSemantic is the deterministic-replay check of §4.5.
+	CheckSemantic Check = "semantic"
+	// CheckSnapshot is the snapshot-root verification of §4.5.
+	CheckSnapshot Check = "snapshot"
+)
+
+// FaultReport describes a detected fault, pinpointing the log entry and
+// execution landmark at which the audited execution diverged from the
+// reference machine.
+type FaultReport struct {
+	Node     sig.NodeID
+	Check    Check
+	Detail   string
+	EntrySeq uint64      // log entry at or near the divergence (0 if n/a)
+	Landmark vm.Landmark // replay position at divergence
+}
+
+// Error lets a FaultReport travel as an error.
+func (f *FaultReport) Error() string {
+	return fmt.Sprintf("audit: fault on %s (%s check): %s [entry %d, %v]",
+		f.Node, f.Check, f.Detail, f.EntrySeq, f.Landmark)
+}
+
+// SyntacticStats summarizes the syntactic pass.
+type SyntacticStats struct {
+	Entries      int
+	Sends        int
+	Recvs        int
+	Acks         int
+	Nondets      int
+	Events       int
+	Snapshots    int
+	UnackedSends int
+	// InFlightRecvs counts messages received but still in the monitor's
+	// injection pipeline when the segment ended.
+	InFlightRecvs int
+	SigsVerified  int
+}
+
+// ReplayStats summarizes the semantic (replay) pass.
+type ReplayStats struct {
+	Instructions      uint64
+	EntriesConsumed   int
+	SendsMatched      int
+	NondetsConsumed   int
+	EventsInjected    int
+	SnapshotsVerified int
+}
+
+// Result is the outcome of an audit.
+type Result struct {
+	Node      sig.NodeID
+	Passed    bool
+	Fault     *FaultReport
+	Syntactic SyntacticStats
+	Replay    ReplayStats
+}
+
+// String renders a one-line verdict.
+func (r *Result) String() string {
+	if r.Passed {
+		return fmt.Sprintf("audit of %s: PASSED (%d entries, %d instructions replayed, %d sends matched)",
+			r.Node, r.Syntactic.Entries, r.Replay.Instructions, r.Replay.SendsMatched)
+	}
+	return fmt.Sprintf("audit of %s: FAULT — %s", r.Node, r.Fault.Detail)
+}

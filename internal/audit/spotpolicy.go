@@ -1,0 +1,181 @@
+package audit
+
+import (
+	"repro/internal/sig"
+	"repro/internal/snapshot"
+	"repro/internal/tevlog"
+)
+
+// Spot-check policies (§3.5). Spot checking trades completeness for
+// efficiency: a fault is detected only if it manifests in an inspected
+// segment. The paper sketches policies — inspect a random sample, always
+// inspect high-leverage segments (initialization), or work backwards from
+// suspicious results; this file provides the machinery and the policies so
+// their detection probability can be measured (see the spot-check
+// experiments).
+
+// SegmentSource lets a policy enumerate and audit a machine's segments
+// without binding to a particular monitor implementation.
+type SegmentSource interface {
+	// Segments returns the snapshot points delimiting segments.
+	Segments() ([]SnapshotPoint, error)
+	// Chunk assembles the audit request for segments [from, from+k).
+	Chunk(from, k int) (ChunkRequest, error)
+}
+
+// MonitorSource adapts the common case: an auditor talking to a machine
+// that exposes its log, snapshots and collected authenticators.
+type MonitorSource struct {
+	Node    sig.NodeID
+	NodeIdx uint32
+	Entries []tevlog.Entry
+	Auths   []tevlog.Authenticator
+	// Materialize returns the machine state at snapshot index k.
+	Materialize func(k int) (*snapshot.Restored, error)
+
+	points []SnapshotPoint
+}
+
+// Segments implements SegmentSource.
+func (m *MonitorSource) Segments() ([]SnapshotPoint, error) {
+	if m.points == nil {
+		pts, err := FindSnapshots(m.Entries)
+		if err != nil {
+			return nil, err
+		}
+		m.points = pts
+	}
+	return m.points, nil
+}
+
+// Chunk implements SegmentSource.
+func (m *MonitorSource) Chunk(from, k int) (ChunkRequest, error) {
+	pts, err := m.Segments()
+	if err != nil {
+		return ChunkRequest{}, err
+	}
+	start := pts[from]
+	end := pts[from+k]
+	restored, err := m.Materialize(int(start.SnapIdx))
+	if err != nil {
+		return ChunkRequest{}, err
+	}
+	return ChunkRequest{
+		Node: m.Node, NodeIdx: m.NodeIdx,
+		Start: restored, StartRoot: start.Root, PrevHash: start.EntryHash,
+		Entries: m.Entries[start.EntryIndex+1 : end.EntryIndex+1],
+		Auths:   m.Auths,
+	}, nil
+}
+
+// SpotPolicy selects which segments to inspect out of n available.
+type SpotPolicy interface {
+	// Pick returns the segment indices to audit, each in [0, n).
+	Pick(n int) []int
+}
+
+// RandomSample inspects Fraction of segments, chosen by a seeded PRNG
+// (deterministic for reproducibility). Fraction is in 1/256 units.
+type RandomSample struct {
+	Fraction256 int
+	Seed        uint64
+}
+
+// Pick implements SpotPolicy.
+func (p RandomSample) Pick(n int) []int {
+	rng := p.Seed
+	if rng == 0 {
+		rng = 0x9E3779B97F4A7C15
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		if int(rng&0xFF) < p.Fraction256 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RecentFirst inspects the last K segments — the "work backwards from
+// suspicious results" policy.
+type RecentFirst struct{ K int }
+
+// Pick implements SpotPolicy.
+func (p RecentFirst) Pick(n int) []int {
+	k := p.K
+	if k > n {
+		k = n
+	}
+	out := make([]int, 0, k)
+	for i := n - k; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// InitializationPlus always inspects the first segment (where faults have
+// the longest-lived effects: initialization, key generation) and samples
+// the rest.
+type InitializationPlus struct{ Rest SpotPolicy }
+
+// Pick implements SpotPolicy.
+func (p InitializationPlus) Pick(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	seen := map[int]bool{0: true}
+	out := []int{0}
+	if p.Rest != nil {
+		for _, i := range p.Rest.Pick(n) {
+			if !seen[i] {
+				seen[i] = true
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// SpotCheckOutcome summarizes a policy run.
+type SpotCheckOutcome struct {
+	SegmentsTotal   int
+	SegmentsChecked int
+	FaultFound      bool
+	FirstFault      *FaultReport
+}
+
+// SpotCheck applies a policy: it audits each selected 1-segment chunk and
+// stops at the first fault. Accuracy is unconditional — an honest machine
+// passes any subset; completeness holds only if a faulty segment is among
+// the inspected ones (§4.7).
+func (a *Auditor) SpotCheck(src SegmentSource, policy SpotPolicy) (*SpotCheckOutcome, error) {
+	pts, err := src.Segments()
+	if err != nil {
+		return nil, err
+	}
+	nSegments := len(pts) - 1
+	if nSegments < 0 {
+		nSegments = 0
+	}
+	out := &SpotCheckOutcome{SegmentsTotal: nSegments}
+	for _, idx := range policy.Pick(nSegments) {
+		if idx < 0 || idx >= nSegments {
+			continue
+		}
+		req, err := src.Chunk(idx, 1)
+		if err != nil {
+			return nil, err
+		}
+		out.SegmentsChecked++
+		res := a.AuditChunk(req)
+		if !res.Passed {
+			out.FaultFound = true
+			out.FirstFault = res.Fault
+			return out, nil
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package audit
+
+import (
+	"bytes"
+
+	"repro/internal/sig"
+	"repro/internal/tevlog"
+	"repro/internal/wire"
+)
+
+// SyntacticOptions configures the syntactic check.
+type SyntacticOptions struct {
+	// NodeIdx is the audited machine's network index (needed to reconstruct
+	// senders' SEND contents for signature verification).
+	NodeIdx uint32
+	// Keys verifies peers' signatures embedded in RECV and ACK entries.
+	Keys *sig.KeyStore
+	// VerifySignatures enables cryptographic checks (off for the
+	// avmm-nosig configuration).
+	VerifySignatures bool
+	// StrictAcks faults any SEND without a matching ACK. Only meaningful
+	// for quiesced logs (offline audits after all traffic drained);
+	// otherwise in-flight tail messages would false-positive.
+	StrictAcks bool
+}
+
+// SyntacticCheck performs the §4.5 well-formedness pass over a log segment:
+// every entry parses, signatures in messages and acknowledgments verify,
+// each message was acknowledged, and the message stream is consistent with
+// the injection stream entering the AVM (the §4.4 cross-reference that
+// catches packets dropped or altered between receipt and injection).
+func SyntacticCheck(node sig.NodeID, entries []tevlog.Entry, opts SyntacticOptions) (SyntacticStats, *FaultReport) {
+	var stats SyntacticStats
+	stats.Entries = len(entries)
+	fault := func(seq uint64, detail string) (SyntacticStats, *FaultReport) {
+		return stats, &FaultReport{Node: node, Check: CheckSyntactic, Detail: detail, EntrySeq: seq}
+	}
+
+	firstSeq := uint64(0)
+	if len(entries) > 0 {
+		firstSeq = entries[0].Seq
+	}
+	inSegment := func(seq uint64) bool { return seq >= firstSeq && seq < firstSeq+uint64(len(entries)) }
+
+	recvs := make(map[uint64]*wire.RecvContent) // entry seq → content
+	recvIndex := make(map[uint64]int)           // RECV entry seq → position
+	injected := make(map[uint64]bool)           // RECV entry seq → injected
+	sendAcked := make(map[uint64]bool)          // SEND entry seq → acked
+	var sendSeqs []uint64
+	lastEventICount := uint64(0)
+	lastInjectIndex := -1
+
+	for i := range entries {
+		e := &entries[i]
+		switch e.Type {
+		case tevlog.TypeSend:
+			sc, err := wire.ParseSend(e.Content)
+			if err != nil {
+				return fault(e.Seq, "malformed SEND entry: "+err.Error())
+			}
+			if sc.MsgID != e.Seq {
+				return fault(e.Seq, "SEND message id does not match entry sequence number")
+			}
+			stats.Sends++
+			sendSeqs = append(sendSeqs, e.Seq)
+			sendAcked[e.Seq] = false
+		case tevlog.TypeRecv:
+			rc, err := wire.ParseRecv(e.Content)
+			if err != nil {
+				return fault(e.Seq, "malformed RECV entry: "+err.Error())
+			}
+			stats.Recvs++
+			recvs[e.Seq] = rc
+			recvIndex[e.Seq] = i
+			if opts.VerifySignatures {
+				// Recompute the sender's chain hash for SEND(m) and verify
+				// the sender's authenticator signature over it, proving the
+				// message is genuine (§4.3: forged incoming messages are
+				// detectable because senders sign their messages).
+				sendContent := (&wire.SendContent{
+					MsgID: rc.MsgID, Dest: opts.NodeIdx, Payload: rc.Payload,
+				}).Marshal()
+				h := tevlog.ChainHash(rc.SenderPrev, rc.SenderSeq, tevlog.TypeSend,
+					tevlog.HashContent(sendContent))
+				a := tevlog.Authenticator{
+					Node: sig.NodeID(rc.SrcNode), Seq: rc.SenderSeq, Hash: h, Sig: rc.SenderSig,
+				}
+				if !a.Verify(opts.Keys) {
+					return fault(e.Seq, "RECV entry carries an invalid sender signature (forged message?)")
+				}
+				stats.SigsVerified++
+			}
+		case tevlog.TypeAck:
+			ac, err := wire.ParseAck(e.Content)
+			if err != nil {
+				return fault(e.Seq, "malformed ACK entry: "+err.Error())
+			}
+			stats.Acks++
+			if inSegment(ac.MsgID) {
+				if _, ok := sendAcked[ac.MsgID]; !ok {
+					return fault(e.Seq, "ACK references a non-SEND entry")
+				}
+				sendAcked[ac.MsgID] = true
+			}
+			if opts.VerifySignatures {
+				a := tevlog.Authenticator{
+					Node: sig.NodeID(ac.PeerNode), Seq: ac.PeerSeq, Hash: ac.PeerHash, Sig: ac.PeerSig,
+				}
+				if !a.Verify(opts.Keys) {
+					return fault(e.Seq, "ACK entry carries an invalid peer signature")
+				}
+				stats.SigsVerified++
+			}
+		case tevlog.TypeNondet:
+			if _, err := wire.ParseNondet(e.Content); err != nil {
+				return fault(e.Seq, "malformed NONDET entry: "+err.Error())
+			}
+			stats.Nondets++
+		case tevlog.TypeIRQ, tevlog.TypeSnapshot:
+			ev, err := wire.ParseEvent(e.Content)
+			if err != nil {
+				return fault(e.Seq, "malformed event entry: "+err.Error())
+			}
+			if ev.Landmark.ICount < lastEventICount {
+				return fault(e.Seq, "event landmarks are not monotonic")
+			}
+			lastEventICount = ev.Landmark.ICount
+			if e.Type == tevlog.TypeSnapshot {
+				stats.Snapshots++
+			} else {
+				stats.Events++
+			}
+			if ev.Kind == wire.EventInjectPacket {
+				lastInjectIndex = i
+				if inSegment(ev.RecvSeq) {
+					rc := recvs[ev.RecvSeq]
+					if rc == nil {
+						return fault(e.Seq, "packet injection references a non-RECV entry (forged injection?)")
+					}
+					if injected[ev.RecvSeq] {
+						return fault(e.Seq, "message injected into the AVM twice")
+					}
+					if !bytes.Equal(rc.Payload, ev.Payload) || rc.SrcIdx != ev.SrcIdx {
+						return fault(e.Seq, "injected payload differs from the received message (altered in the monitor?)")
+					}
+					injected[ev.RecvSeq] = true
+				}
+			}
+		case tevlog.TypeAnnotation:
+			// Free-form; ignored.
+		default:
+			return fault(e.Seq, "unknown entry type")
+		}
+	}
+
+	// Every received message must have entered the AVM (§4.4: dropping a
+	// message between receipt and injection is a fault). Messages still in
+	// the daemon's injection pipeline at the end of the segment are
+	// tolerated: a RECV may be uninjected only if NO later injection exists
+	// — injecting a later message while dropping an earlier one is a fault.
+	for seq := range recvs {
+		if !injected[seq] {
+			if recvIndex[seq] < lastInjectIndex {
+				return fault(seq, "received message was never injected into the AVM (dropped in the monitor?)")
+			}
+			stats.InFlightRecvs++
+		}
+	}
+	for _, seq := range sendSeqs {
+		if !sendAcked[seq] {
+			stats.UnackedSends++
+		}
+	}
+	if opts.StrictAcks && stats.UnackedSends > 0 {
+		return fault(0, "sent messages were never acknowledged")
+	}
+	return stats, nil
+}

@@ -1,0 +1,382 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lang"
+	"repro/internal/sig"
+	"repro/internal/tevlog"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// compileT compiles MiniC or fails the test.
+func compileT(t *testing.T, name, src string) *vm.Image {
+	t.Helper()
+	img, err := lang.Compile(name, src, lang.Options{MemSize: 64 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// synthLog builds a log with the given entries appended under a null
+// signer (chain hashes computed, no signatures needed).
+func synthLog(entries ...tevlog.Entry) []tevlog.Entry {
+	l := tevlog.New(sig.NullSigner{Node: "m"})
+	for _, e := range entries {
+		l.Append(e.Type, e.Content)
+	}
+	return l.All()
+}
+
+func nondetEntry(port uint32, val uint64) tevlog.Entry {
+	return tevlog.Entry{Type: tevlog.TypeNondet,
+		Content: (&wire.NondetContent{Port: port, Value: val}).Marshal()}
+}
+
+func eventEntry(ev *wire.EventContent) tevlog.Entry {
+	typ := tevlog.TypeIRQ
+	if ev.Kind == wire.EventSnapshot {
+		typ = tevlog.TypeSnapshot
+	}
+	return tevlog.Entry{Type: typ, Content: ev.Marshal()}
+}
+
+func TestReplayConsumesCleanLog(t *testing.T) {
+	img := compileT(t, "clock3", `
+		const CLOCK_LO = 0x01;
+		func main() {
+			out(0x60, in(CLOCK_LO));
+			out(0x60, in(CLOCK_LO));
+			out(0x60, in(CLOCK_LO));
+			halt();
+		}
+	`)
+	entries := synthLog(
+		nondetEntry(vm.PortClockLo, 100),
+		nondetEntry(vm.PortClockLo, 200),
+		nondetEntry(vm.PortClockLo, 300),
+	)
+	rp, err := NewReplayFromImage("m", img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.Feed(entries)
+	rp.Run()
+	if f := rp.Fault(); f != nil {
+		t.Fatalf("clean log diverged: %v", f)
+	}
+	if !rp.Done() {
+		t.Fatal("not done")
+	}
+	// The logged values were fed back verbatim.
+	if d := rp.Devices().Debug; len(d) != 3 || d[0] != 100 || d[1] != 200 || d[2] != 300 {
+		t.Fatalf("debug = %v", d)
+	}
+}
+
+func TestReplayDetectsWrongPortOrder(t *testing.T) {
+	img := compileT(t, "clock1", `
+		const CLOCK_LO = 0x01;
+		func main() { out(0x60, in(CLOCK_LO)); halt(); }
+	`)
+	entries := synthLog(nondetEntry(vm.PortClockHi, 0)) // wrong port
+	rp, err := NewReplayFromImage("m", img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.Feed(entries)
+	rp.Run()
+	f := rp.Fault()
+	if f == nil || !strings.Contains(f.Detail, "port") {
+		t.Fatalf("fault = %v", f)
+	}
+}
+
+func TestReplayDetectsLogPastHalt(t *testing.T) {
+	img := compileT(t, "halts", `func main() { halt(); }`)
+	entries := synthLog(nondetEntry(vm.PortClockLo, 1))
+	rp, err := NewReplayFromImage("m", img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.Feed(entries)
+	rp.Run()
+	if f := rp.Fault(); f == nil || !strings.Contains(f.Detail, "halt") {
+		t.Fatalf("fault = %v", f)
+	}
+}
+
+func TestReplayDetectsForgedLandmarkState(t *testing.T) {
+	// The guest runs a known number of instructions then halts. An event
+	// entry claims an interrupt was raised at a reachable icount but with a
+	// wrong branch count — the forged landmark the full triple catches.
+	img := compileT(t, "spin", `
+		func main() {
+			var i = 0;
+			while (i < 100) { i = i + 1; }
+			halt();
+		}
+	`)
+	entries := synthLog(eventEntry(&wire.EventContent{
+		Kind: wire.EventIRQ, IRQ: 0,
+		Landmark: vm.Landmark{ICount: 50, Branches: 9999, PC: 0x1000},
+	}))
+	rp, err := NewReplayFromImage("m", img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.Feed(entries)
+	rp.Run()
+	if f := rp.Fault(); f == nil || !strings.Contains(f.Detail, "landmark mismatch") {
+		t.Fatalf("fault = %v", f)
+	}
+}
+
+func TestReplayBudgetExhaustion(t *testing.T) {
+	// The log claims a clock read that the (divergent) image never
+	// performs; the replayer must not spin forever.
+	img := compileT(t, "noclock", `
+		func main() {
+			var i = 0;
+			while (1) { i = i + 1; }
+		}
+	`)
+	entries := synthLog(nondetEntry(vm.PortClockLo, 5))
+	rp, err := NewReplayFromImage("m", img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.Feed(entries)
+	rp.MaxInstructions = 100_000
+	rp.Run()
+	if f := rp.Fault(); f == nil || !strings.Contains(f.Detail, "budget") {
+		t.Fatalf("fault = %v", f)
+	}
+}
+
+func TestReplayUnexpectedOutput(t *testing.T) {
+	// The image sends, but the log's next replayable entry is a nondet:
+	// "outputs that are not in the log".
+	img := compileT(t, "sender", `
+		const NET_TX_BYTE = 0x28;
+		const NET_TX_COMMIT = 0x29;
+		const CLOCK_LO = 0x01;
+		func main() {
+			out(NET_TX_BYTE, 1);
+			out(NET_TX_COMMIT, 0);
+			out(0x60, in(CLOCK_LO));
+			halt();
+		}
+	`)
+	entries := synthLog(
+		nondetEntry(vm.PortClockLo, 7), // log claims clock read happens first
+		tevlog.Entry{Type: tevlog.TypeSend,
+			Content: (&wire.SendContent{MsgID: 2, Dest: 0, Payload: []byte{1}}).Marshal()},
+	)
+	rp, err := NewReplayFromImage("m", img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.Feed(entries)
+	rp.Run()
+	if f := rp.Fault(); f == nil {
+		t.Fatal("divergent output order not detected")
+	}
+}
+
+func TestReplayPayloadMismatch(t *testing.T) {
+	img := compileT(t, "sender", `
+		const NET_TX_BYTE = 0x28;
+		const NET_TX_COMMIT = 0x29;
+		func main() {
+			out(NET_TX_BYTE, 1);
+			out(NET_TX_COMMIT, 0);
+			halt();
+		}
+	`)
+	entries := synthLog(tevlog.Entry{Type: tevlog.TypeSend,
+		Content: (&wire.SendContent{MsgID: 1, Dest: 0, Payload: []byte{9}}).Marshal()})
+	rp, err := NewReplayFromImage("m", img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.Feed(entries)
+	rp.Run()
+	if f := rp.Fault(); f == nil || !strings.Contains(f.Detail, "mismatch") {
+		t.Fatalf("fault = %v", f)
+	}
+}
+
+func TestIncrementalFeedEqualsOneShot(t *testing.T) {
+	img := compileT(t, "clockN", `
+		const CLOCK_LO = 0x01;
+		func main() {
+			var i = 0;
+			while (i < 6) { out(0x60, in(CLOCK_LO)); i = i + 1; }
+			halt();
+		}
+	`)
+	var entries []tevlog.Entry
+	for i := 0; i < 6; i++ {
+		entries = append(entries, nondetEntry(vm.PortClockLo, uint64(i*10)))
+	}
+	entries = synthLog(entries...)
+
+	oneShot, err := NewReplayFromImage("m", img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot.Feed(entries)
+	oneShot.Run()
+
+	incr, err := NewReplayFromImage("m", img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(entries); i += 2 {
+		incr.Feed(entries[i : i+2])
+		incr.Run()
+	}
+	if oneShot.Fault() != nil || incr.Fault() != nil {
+		t.Fatalf("faults: %v, %v", oneShot.Fault(), incr.Fault())
+	}
+	if oneShot.Stats.NondetsConsumed != incr.Stats.NondetsConsumed {
+		t.Fatal("incremental and one-shot replay disagree")
+	}
+}
+
+func TestSyntacticFaults(t *testing.T) {
+	opts := SyntacticOptions{NodeIdx: 0, Keys: sig.NewKeyStore()}
+	cases := []struct {
+		name string
+		log  []tevlog.Entry
+		want string
+	}{
+		{"malformed send", synthLog(tevlog.Entry{Type: tevlog.TypeSend, Content: []byte{0x80}}), "malformed SEND"},
+		{"send id mismatch", synthLog(tevlog.Entry{Type: tevlog.TypeSend,
+			Content: (&wire.SendContent{MsgID: 99, Dest: 0}).Marshal()}), "does not match entry sequence"},
+		{"ack references non-send", synthLog(
+			tevlog.Entry{Type: tevlog.TypeNondet, Content: (&wire.NondetContent{Port: 1}).Marshal()},
+			tevlog.Entry{Type: tevlog.TypeAck, Content: (&wire.AckContent{MsgID: 1, PeerNode: "x"}).Marshal()},
+		), "non-SEND"},
+		{"non-monotonic landmarks", synthLog(
+			eventEntry(&wire.EventContent{Kind: wire.EventIRQ, Landmark: vm.Landmark{ICount: 100}}),
+			eventEntry(&wire.EventContent{Kind: wire.EventIRQ, Landmark: vm.Landmark{ICount: 50}}),
+		), "not monotonic"},
+		{"injection without recv", synthLog(
+			eventEntry(&wire.EventContent{Kind: wire.EventInjectPacket, RecvSeq: 1, Payload: []byte("x")}),
+		), "non-RECV"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, fr := SyntacticCheck("m", c.log, opts)
+			if fr == nil {
+				t.Fatal("no fault")
+			}
+			if !strings.Contains(fr.Detail, c.want) {
+				t.Fatalf("fault %q does not contain %q", fr.Detail, c.want)
+			}
+		})
+	}
+}
+
+func TestSyntacticDetectsAlteredInjection(t *testing.T) {
+	rc := &wire.RecvContent{MsgID: 1, SrcNode: "peer", SrcIdx: 1, Payload: []byte("genuine")}
+	log := synthLog(
+		tevlog.Entry{Type: tevlog.TypeRecv, Content: rc.Marshal()},
+		eventEntry(&wire.EventContent{
+			Kind: wire.EventInjectPacket, RecvSeq: 1, SrcIdx: 1, Payload: []byte("altered"),
+		}),
+	)
+	_, fr := SyntacticCheck("m", log, SyntacticOptions{Keys: sig.NewKeyStore()})
+	if fr == nil || !strings.Contains(fr.Detail, "differs") {
+		t.Fatalf("fault = %v", fr)
+	}
+}
+
+func TestSyntacticDetectsDroppedInjection(t *testing.T) {
+	rc := &wire.RecvContent{MsgID: 1, SrcNode: "peer", SrcIdx: 1, Payload: []byte("m1")}
+	rc2 := &wire.RecvContent{MsgID: 2, SrcNode: "peer", SrcIdx: 1, Payload: []byte("m2")}
+	log := synthLog(
+		tevlog.Entry{Type: tevlog.TypeRecv, Content: rc.Marshal()},
+		tevlog.Entry{Type: tevlog.TypeRecv, Content: rc2.Marshal()},
+		// Only the second message is injected: the first was dropped.
+		eventEntry(&wire.EventContent{
+			Kind: wire.EventInjectPacket, RecvSeq: 2, SrcIdx: 1, Payload: []byte("m2"),
+		}),
+	)
+	_, fr := SyntacticCheck("m", log, SyntacticOptions{Keys: sig.NewKeyStore()})
+	if fr == nil || !strings.Contains(fr.Detail, "never injected") {
+		t.Fatalf("fault = %v", fr)
+	}
+}
+
+func TestSyntacticToleratesInFlightTail(t *testing.T) {
+	rc := &wire.RecvContent{MsgID: 1, SrcNode: "peer", SrcIdx: 1, Payload: []byte("m1")}
+	log := synthLog(tevlog.Entry{Type: tevlog.TypeRecv, Content: rc.Marshal()})
+	stats, fr := SyntacticCheck("m", log, SyntacticOptions{Keys: sig.NewKeyStore()})
+	if fr != nil {
+		t.Fatalf("in-flight tail message faulted: %v", fr)
+	}
+	if stats.InFlightRecvs != 1 {
+		t.Fatalf("InFlightRecvs = %d", stats.InFlightRecvs)
+	}
+}
+
+func TestSyntacticDoubleInjection(t *testing.T) {
+	rc := &wire.RecvContent{MsgID: 1, SrcNode: "peer", SrcIdx: 1, Payload: []byte("m")}
+	inj := eventEntry(&wire.EventContent{
+		Kind: wire.EventInjectPacket, RecvSeq: 1, SrcIdx: 1, Payload: []byte("m"),
+	})
+	log := synthLog(tevlog.Entry{Type: tevlog.TypeRecv, Content: rc.Marshal()}, inj, inj)
+	_, fr := SyntacticCheck("m", log, SyntacticOptions{Keys: sig.NewKeyStore()})
+	if fr == nil || !strings.Contains(fr.Detail, "twice") {
+		t.Fatalf("fault = %v", fr)
+	}
+}
+
+func TestNonResponseEvidence(t *testing.T) {
+	signer := sig.MustGenerateRSA("m", sig.DefaultKeyBits, "nr")
+	keys := sig.NewKeyStore()
+	keys.Add(signer.Public())
+	l := tevlog.New(signer)
+	l.Append(tevlog.TypeSend, []byte("x"))
+	auth, err := l.LastAuthenticator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyNonResponse(&NonResponseEvidence{Accused: "m", Auth: auth}, keys); err != nil {
+		t.Fatalf("genuine non-response evidence rejected: %v", err)
+	}
+	if err := VerifyNonResponse(&NonResponseEvidence{Accused: "other", Auth: auth}, keys); err == nil {
+		t.Fatal("mismatched accusation accepted")
+	}
+	bad := auth
+	bad.Sig = append([]byte(nil), auth.Sig...)
+	bad.Sig[0] ^= 1
+	if err := VerifyNonResponse(&NonResponseEvidence{Accused: "m", Auth: bad}, keys); err == nil {
+		t.Fatal("forged non-response evidence accepted")
+	}
+}
+
+func TestFindSnapshots(t *testing.T) {
+	log := synthLog(
+		nondetEntry(vm.PortClockLo, 1),
+		eventEntry(&wire.EventContent{Kind: wire.EventSnapshot, SnapIdx: 0, Landmark: vm.Landmark{ICount: 5}}),
+		nondetEntry(vm.PortClockLo, 2),
+		eventEntry(&wire.EventContent{Kind: wire.EventSnapshot, SnapIdx: 1, Landmark: vm.Landmark{ICount: 10}}),
+	)
+	points, err := FindSnapshots(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].SnapIdx != 0 || points[1].SnapIdx != 1 {
+		t.Fatalf("points = %+v", points)
+	}
+	if points[0].EntryIndex != 1 || points[1].EntryIndex != 3 {
+		t.Fatalf("entry indices = %d, %d", points[0].EntryIndex, points[1].EntryIndex)
+	}
+}

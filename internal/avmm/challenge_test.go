@@ -1,0 +1,95 @@
+package avmm
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+func TestChallengeResponsiveMachineIsUnsuspended(t *testing.T) {
+	w, a, b := buildPair(t, ModeAVMMRSA, 3, netsim.Config{BaseLatencyNs: 10_000})
+	w.Run(200_000_000)
+	if b.Log.Len() == 0 {
+		t.Fatal("no traffic before challenge")
+	}
+	// Alice suspects bob (index 1) of ignoring her audit request.
+	if err := w.BroadcastChallenge(1, "produce log segment [1,10]"); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Suspended(1) {
+		t.Fatal("challenger did not suspend the accused")
+	}
+	// Bob is honest: his monitor answers, the suspension lifts.
+	w.Run(w.Now() + 500_000_000)
+	if a.Suspended(1) {
+		t.Fatal("suspension not lifted after a valid response")
+	}
+	if w.SuspendedCount(1) != 0 {
+		t.Fatal("some node still suspends the responsive machine")
+	}
+}
+
+func TestChallengeUnresponsiveMachineStaysSuspended(t *testing.T) {
+	w, a, b := buildPair(t, ModeAVMMRSA, 50, netsim.Config{BaseLatencyNs: 10_000})
+	w.Run(300_000_000)
+	b.SetUnresponsive(true)
+	if err := w.BroadcastChallenge(1, "produce log segment"); err != nil {
+		t.Fatal(err)
+	}
+	sentBefore := w.Net.NodeStats(0).FramesSent
+	w.Run(w.Now() + 2_000_000_000)
+	if !a.Suspended(1) {
+		t.Fatal("unresponsive machine was unsuspended")
+	}
+	// Traffic to the accused stops (only held in the outbox): nothing but
+	// the challenge itself should have left node 0.
+	sent := w.Net.NodeStats(0).FramesSent - sentBefore
+	if sent > 2 {
+		t.Fatalf("%d frames sent to a suspended peer", sent)
+	}
+	// Once bob relents, a fresh challenge round resumes the world.
+	b.SetUnresponsive(false)
+	if err := w.BroadcastChallenge(1, "retry"); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(w.Now() + 2_000_000_000)
+	if a.Suspended(1) {
+		t.Fatal("suspension not lifted after the machine relented")
+	}
+	// Held outbox messages flow again via retransmission.
+	w.RunUntil(func() bool { return len(a.outbox) == 0 }, w.Now()+30_000_000_000)
+	if len(a.outbox) != 0 {
+		t.Fatal("held messages never delivered after unsuspension")
+	}
+}
+
+func TestChallengeResponseSignatureChecked(t *testing.T) {
+	w, a, _ := buildPair(t, ModeAVMMRSA, 3, netsim.Config{BaseLatencyNs: 10_000})
+	w.Run(200_000_000)
+	if err := w.BroadcastChallenge(1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a response from an unknown principal: must NOT lift suspension.
+	a.handleChallengeResp(1, forgedResp())
+	if !a.Suspended(1) {
+		t.Fatal("forged challenge response lifted the suspension")
+	}
+}
+
+func TestSelfChallengeIgnored(t *testing.T) {
+	w, a, _ := buildPair(t, ModeAVMMRSA, 1, netsim.Config{BaseLatencyNs: 10_000})
+	_ = w
+	a.Challenge(0, "self")
+	if a.Suspended(0) {
+		t.Fatal("node suspended itself")
+	}
+}
+
+// forgedResp builds a challenge response with a bogus signature.
+func forgedResp() *wire.Frame {
+	return &wire.Frame{
+		Kind: wire.FrameChallengeResp, FromNode: "mallory",
+		AuthSeq: 3, AuthSig: []byte("garbage"),
+	}
+}

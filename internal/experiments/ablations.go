@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/avmm"
+	"repro/internal/dbapp"
+	"repro/internal/metrics"
+	"repro/internal/tevlog"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// AblationChainResult quantifies the hash-chain granularity choice (§4.3):
+// hashing every entry individually (tamper evidence at entry granularity)
+// versus folding batches of entries into one chain link. Batching saves
+// hashing time but coarsens the evidence an auditor can pinpoint.
+type AblationChainResult struct {
+	Entries  int
+	PerEntry time.Duration // batch size 1 (the design used)
+	Batch8   time.Duration
+	Batch64  time.Duration
+}
+
+// RunAblationChain measures chain computation over a real recorded log.
+func RunAblationChain(scale Scale) (*AblationChainResult, error) {
+	s, err := runGame(avmm.ModeAVMMRSA, scale, nil)
+	if err != nil {
+		return nil, err
+	}
+	entries := s.Player(1).Log.All()
+	res := &AblationChainResult{Entries: len(entries)}
+	chainBatched := func(batch int) {
+		var prev tevlog.Hash
+		buf := make([]byte, 0, 4096)
+		for i := 0; i < len(entries); i += batch {
+			buf = buf[:0]
+			for j := i; j < i+batch && j < len(entries); j++ {
+				buf = entries[j].Marshal(buf)
+			}
+			prev = tevlog.ChainHash(prev, entries[i].Seq, entries[i].Type, tevlog.HashContent(buf))
+		}
+	}
+	res.PerEntry = stopwatch(func() { chainBatched(1) })
+	res.Batch8 = stopwatch(func() { chainBatched(8) })
+	res.Batch64 = stopwatch(func() { chainBatched(64) })
+	return res, nil
+}
+
+// Table renders the chain ablation.
+func (r *AblationChainResult) Table() *metrics.Table {
+	t := metrics.NewTable("Ablation: hash-chain granularity", "batch size", "chain time", "evidence granularity")
+	t.Row(1, r.PerEntry.String(), "single entry (design)")
+	t.Row(8, r.Batch8.String(), "8 entries")
+	t.Row(64, r.Batch64.String(), "64 entries")
+	return t
+}
+
+// AblationSnapshotResult quantifies incremental (dirty-page) snapshots
+// against full dumps (§4.4 cites Remus-style incremental snapshots; the
+// paper's prototype still dumped full memory, §6.12).
+type AblationSnapshotResult struct {
+	Snapshots        int
+	IncrementalBytes int
+	FullDumpBytes    int
+	SavingsFactor    float64
+}
+
+// RunAblationSnapshots measures both policies on the minisql run.
+func RunAblationSnapshots(scale Scale) (*AblationSnapshotResult, error) {
+	s, err := dbapp.NewScenario(dbapp.ScenarioConfig{
+		Mode: avmm.ModeAVMMNoSig, Cost: avmm.DefaultCostModel(), Seed: 23,
+		SnapshotEveryNs: scale.DBSnapshotNs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Run(scale.DBNs / 2)
+	res := &AblationSnapshotResult{Snapshots: s.Server.Snaps.Count()}
+	for i := 0; i < s.Server.Snaps.Count(); i++ {
+		snap, err := s.Server.Snaps.Snapshot(i)
+		if err != nil {
+			return nil, err
+		}
+		res.IncrementalBytes += snap.IncrementBytes
+		full, err := s.Server.Snaps.TransferBytes(i)
+		if err != nil {
+			return nil, err
+		}
+		res.FullDumpBytes += full
+	}
+	if res.IncrementalBytes > 0 {
+		res.SavingsFactor = float64(res.FullDumpBytes) / float64(res.IncrementalBytes)
+	}
+	return res, nil
+}
+
+// Table renders the snapshot ablation.
+func (r *AblationSnapshotResult) Table() *metrics.Table {
+	t := metrics.NewTable("Ablation: incremental vs full snapshots", "policy", "total bytes", "")
+	t.Row("incremental (dirty pages)", r.IncrementalBytes, "")
+	t.Row("full dumps", r.FullDumpBytes, "")
+	t.Row("savings factor", r.SavingsFactor, "")
+	return t
+}
+
+// AblationLandmarkResult quantifies the landmark representation (§4.4):
+// instruction counter alone versus the full (instruction counter, branch
+// counter, PC) triple the design records. The triple costs extra bytes per
+// asynchronous event but lets an auditor reject logs whose landmarks are
+// internally consistent in instruction count yet name a different machine
+// state — exactly the check exercised by the tamper tests.
+type AblationLandmarkResult struct {
+	Events         int
+	FullBytes      int
+	ICountOnly     int
+	OverheadFactor float64
+}
+
+// RunAblationLandmarks measures both encodings over a recorded log.
+func RunAblationLandmarks(scale Scale) (*AblationLandmarkResult, error) {
+	s, err := runGame(avmm.ModeAVMMRSA, scale, nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationLandmarkResult{}
+	var buf []byte
+	for _, e := range s.Player(1).Log.All() {
+		if e.Type != tevlog.TypeIRQ && e.Type != tevlog.TypeSnapshot {
+			continue
+		}
+		ev, err := wire.ParseEvent(e.Content)
+		if err != nil {
+			return nil, err
+		}
+		res.Events++
+		buf = buf[:0]
+		buf = binary.AppendUvarint(buf, ev.Landmark.ICount)
+		buf = binary.AppendUvarint(buf, ev.Landmark.Branches)
+		buf = binary.AppendUvarint(buf, uint64(ev.Landmark.PC))
+		res.FullBytes += len(buf)
+		buf = buf[:0]
+		buf = binary.AppendUvarint(buf, ev.Landmark.ICount)
+		res.ICountOnly += len(buf)
+	}
+	if res.ICountOnly > 0 {
+		res.OverheadFactor = float64(res.FullBytes) / float64(res.ICountOnly)
+	}
+	return res, nil
+}
+
+// Table renders the landmark ablation.
+func (r *AblationLandmarkResult) Table() *metrics.Table {
+	t := metrics.NewTable("Ablation: landmark representation", "encoding", "bytes", "notes")
+	t.Row("icount+branches+pc (design)", r.FullBytes, "detects landmark-state forgery")
+	t.Row("icount only", r.ICountOnly, "accepts forged branch/pc landmarks")
+	t.Row("overhead factor", r.OverheadFactor, "")
+	return t
+}
+
+// AblationPartialResult quantifies partial-state audits (§4.4) and evidence
+// minimization (§7.3): how many pages a chunk replay actually touches, and
+// the resulting transfer saving against a full snapshot download.
+type AblationPartialResult struct {
+	TotalPages    int
+	AccessedPages int
+	FullBytes     int
+	PartialBytes  int
+	SavingsFactor float64
+}
+
+// RunAblationPartial replays one minisql chunk with access tracking and
+// builds the equivalent partial state.
+func RunAblationPartial(scale Scale) (*AblationPartialResult, error) {
+	s, err := dbapp.NewScenario(dbapp.ScenarioConfig{
+		Mode: avmm.ModeAVMMNoSig, Cost: avmm.DefaultCostModel(), Seed: 41,
+		SnapshotEveryNs: scale.DBSnapshotNs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Run(scale.DBNs / 2)
+	entries := s.Server.Log.All()
+	points, err := audit.FindSnapshots(entries)
+	if err != nil {
+		return nil, err
+	}
+	if len(points) < 3 {
+		return nil, fmt.Errorf("ablation-partial: only %d snapshots", len(points))
+	}
+	start, end := points[1], points[2]
+	restored, err := s.Server.Snaps.Materialize(int(start.SnapIdx))
+	if err != nil {
+		return nil, err
+	}
+	chunk := entries[start.EntryIndex+1 : end.EntryIndex+1]
+	a := s.Auditor()
+	ev := &audit.Evidence{
+		Accused: "db-server", AccusedIdx: 0, Entries: chunk,
+		Start: restored, StartRoot: start.Root, PrevHash: start.EntryHash,
+		RNGSeed: 41 + 500,
+	}
+	min, err := a.MinimizeEvidence(ev)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationPartialResult{
+		TotalPages:    len(restored.Mem) / vm.PageSize,
+		AccessedPages: len(min.Partial.Pages),
+		FullBytes:     len(restored.Mem) + len(restored.Machine) + len(restored.Device),
+		PartialBytes:  min.Partial.Bytes(),
+	}
+	if res.PartialBytes > 0 {
+		res.SavingsFactor = float64(res.FullBytes) / float64(res.PartialBytes)
+	}
+	return res, nil
+}
+
+// Table renders the partial-state ablation.
+func (r *AblationPartialResult) Table() *metrics.Table {
+	t := metrics.NewTable("Ablation: partial-state audit / evidence minimization", "quantity", "value", "")
+	t.Row("pages in snapshot", r.TotalPages, "")
+	t.Row("pages touched by replay", r.AccessedPages, "")
+	t.Row("full-state transfer (bytes)", r.FullBytes, "")
+	t.Row("partial transfer incl. proofs (bytes)", r.PartialBytes, "")
+	t.Row("savings factor", r.SavingsFactor, "")
+	return t
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"repro/internal/avmm"
+	"repro/internal/game"
+	"repro/internal/logcomp"
+	"repro/internal/metrics"
+	"repro/internal/tevlog"
+)
+
+// Fig3Point is one sample of log growth over time.
+type Fig3Point struct {
+	MinuteNs   uint64
+	AVMMBytes  int
+	VMwareEqiv int
+}
+
+// Fig3Result reproduces Figure 3: AVMM log growth during a match versus an
+// equivalent plain replay (VMware-style) log.
+type Fig3Result struct {
+	Points     []Fig3Point // player 1's machine, sampled periodically
+	AVMMRate   float64     // MB/minute steady state
+	VMwareRate float64
+}
+
+// RunFig3 plays a match in the full configuration, sampling log sizes.
+func RunFig3(scale Scale) (*Fig3Result, error) {
+	cfg := game.ScenarioConfig{
+		Players: 3, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
+		Seed: 77, FakeSignatures: true,
+	}
+	s, err := game.NewScenario(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{}
+	sampleEvery := scale.GameNs / 12
+	if sampleEvery == 0 {
+		sampleEvery = 1
+	}
+	var now uint64
+	for now < scale.GameNs {
+		now += sampleEvery
+		s.Run(now)
+		p := s.Player(1)
+		res.Points = append(res.Points, Fig3Point{
+			MinuteNs: now, AVMMBytes: p.TotalLogBytes(), VMwareEqiv: p.VMwareEquivalentBytes(),
+		})
+	}
+	steady := scale.GameNs - scale.WarmupNs
+	p := s.Player(1)
+	warmIdx := 0
+	for i, pt := range res.Points {
+		if pt.MinuteNs >= scale.WarmupNs {
+			warmIdx = i
+			break
+		}
+	}
+	base := res.Points[warmIdx]
+	res.AVMMRate = metrics.MBPerMinute(p.TotalLogBytes()-base.AVMMBytes, steady)
+	res.VMwareRate = metrics.MBPerMinute(p.VMwareEquivalentBytes()-base.VMwareEqiv, steady)
+	return res, nil
+}
+
+// Table renders the growth series.
+func (r *Fig3Result) Table() *metrics.Table {
+	t := metrics.NewTable("Figure 3: log growth during the match", "t (virtual s)", "AVMM log (KB)", "equivalent VMware log (KB)")
+	for _, pt := range r.Points {
+		t.Row(pt.MinuteNs/1e9, pt.AVMMBytes/1024, pt.VMwareEqiv/1024)
+	}
+	t.Row("steady rate", r.AVMMRate, r.VMwareRate)
+	return t
+}
+
+// Fig4Result reproduces Figure 4: average log growth by content class,
+// before and after compression.
+type Fig4Result struct {
+	DurationNs uint64
+	// Class byte totals for the AVMM log (player 1).
+	TimeTracker, MAC, Other, Tamper int
+	// Compressed sizes: general-purpose (flate) alone, and the two-stage
+	// VMM-specific + flate compressor.
+	RawBytes       int
+	FlateBytes     int
+	ColumnarBytes  int
+	RatePerClass   map[string]float64 // MB/min
+	TotalRate      float64
+	CompressedRate float64
+}
+
+// RunFig4 measures log composition and compression on the full
+// configuration.
+func RunFig4(scale Scale) (*Fig4Result, error) {
+	s, err := runGame(avmm.ModeAVMMRSA, scale, nil)
+	if err != nil {
+		return nil, err
+	}
+	p := s.Player(1)
+	res := &Fig4Result{
+		DurationNs:  scale.GameNs,
+		TimeTracker: p.ClassBytes(avmm.ClassTimeTracker),
+		MAC:         p.ClassBytes(avmm.ClassMAC),
+		Other:       p.ClassBytes(avmm.ClassOther),
+		Tamper:      p.ClassBytes(avmm.ClassTamper),
+	}
+	entries := p.Log.All()
+	raw := tevlog.MarshalSegment(entries)
+	res.RawBytes = len(raw)
+	res.FlateBytes = len(logcomp.Flate(raw))
+	res.ColumnarBytes = len(logcomp.CompressEntries(entries))
+	res.RatePerClass = map[string]float64{
+		"TimeTracker":   metrics.MBPerMinute(res.TimeTracker, scale.GameNs),
+		"MAC":           metrics.MBPerMinute(res.MAC, scale.GameNs),
+		"Other":         metrics.MBPerMinute(res.Other, scale.GameNs),
+		"TamperEvident": metrics.MBPerMinute(res.Tamper, scale.GameNs),
+	}
+	res.TotalRate = metrics.MBPerMinute(res.RawBytes, scale.GameNs)
+	res.CompressedRate = metrics.MBPerMinute(res.ColumnarBytes, scale.GameNs)
+	return res, nil
+}
+
+// Table renders the composition bars.
+func (r *Fig4Result) Table() *metrics.Table {
+	total := r.TimeTracker + r.MAC + r.Other + r.Tamper
+	pct := func(v int) float64 {
+		if total == 0 {
+			return 0
+		}
+		return float64(v) * 100 / float64(total)
+	}
+	t := metrics.NewTable("Figure 4: average log growth by content", "class", "bytes", "% of log", "MB/min")
+	t.Row("TimeTracker (replay timing)", r.TimeTracker, pct(r.TimeTracker), r.RatePerClass["TimeTracker"])
+	t.Row("MAC layer (packets)", r.MAC, pct(r.MAC), r.RatePerClass["MAC"])
+	t.Row("Other (inputs, snapshots)", r.Other, pct(r.Other), r.RatePerClass["Other"])
+	t.Row("Tamper-evident logging", r.Tamper, pct(r.Tamper), r.RatePerClass["TamperEvident"])
+	t.Row("Total (raw)", r.RawBytes, 100.0, r.TotalRate)
+	t.Row("After flate alone", r.FlateBytes, pct(r.FlateBytes), metrics.MBPerMinute(r.FlateBytes, r.DurationNs))
+	t.Row("After VMM-specific + flate", r.ColumnarBytes, pct(r.ColumnarBytes), r.CompressedRate)
+	return t
+}

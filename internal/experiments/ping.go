@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/avmm"
+	"repro/internal/lang"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sig"
+)
+
+// pingPorts is the minimal port prelude for the ping guests.
+const pingPorts = `
+const CLOCK_LO = 0x01;
+const NET_RX_STATUS = 0x20;
+const NET_RX_LEN = 0x21;
+const NET_RX_FROM = 0x22;
+const NET_RX_BYTE = 0x23;
+const NET_RX_DONE = 0x24;
+const NET_TX_BYTE = 0x28;
+const NET_TX_COMMIT = 0x29;
+const DEBUG = 0x60;
+`
+
+// pingClientTemplate sends {{PINGS}} 56-byte echo requests and reports each
+// round-trip time (µs) on the debug port — the guest-level equivalent of
+// the paper's 100 ICMP Echo Requests (§6.8).
+const pingClientTemplate = pingPorts + `
+const N = {{PINGS}};
+interrupt(1) func on_net() { }
+func main() {
+	sti();
+	var i = 0;
+	while (i < N) {
+		var t0 = in(CLOCK_LO);
+		out(NET_TX_BYTE, 'P');
+		out(NET_TX_BYTE, i & 0xFF);
+		var p = 0;
+		while (p < 54) { out(NET_TX_BYTE, 0); p = p + 1; }
+		out(NET_TX_COMMIT, 1);
+		while (in(NET_RX_STATUS) == 0) { wfi(); }
+		var n = in(NET_RX_LEN);
+		out(NET_RX_DONE, 0);
+		var t1 = in(CLOCK_LO);
+		out(DEBUG, t1 - t0);
+		i = i + 1;
+	}
+	halt();
+}
+`
+
+// pingEchoSource answers echo requests forever.
+const pingEchoSource = pingPorts + `
+interrupt(1) func on_net() { }
+func main() {
+	sti();
+	while (1) {
+		while (in(NET_RX_STATUS) == 0) { wfi(); }
+		var n = in(NET_RX_LEN);
+		var from = in(NET_RX_FROM);
+		out(NET_TX_BYTE, 'E');
+		out(NET_TX_BYTE, in(NET_RX_BYTE));
+		var p = 0;
+		while (p < 54) { out(NET_TX_BYTE, 0); p = p + 1; }
+		out(NET_RX_DONE, 0);
+		out(NET_TX_COMMIT, from);
+	}
+}
+`
+
+// pingNsPerInstr runs ping guests at 20 MIPS so guest processing stays in
+// the tens of microseconds, as on real hardware.
+const pingNsPerInstr = 50
+
+// Fig5Row is one configuration's RTT distribution in microseconds.
+type Fig5Row struct {
+	Mode        avmm.Mode
+	MedianUs    float64
+	P5Us, P95Us float64
+	Samples     int
+}
+
+// Fig5Result reproduces Figure 5: ping round-trip times across the five
+// configurations.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// RunFig5 measures RTTs per configuration.
+func RunFig5(scale Scale) (*Fig5Result, error) {
+	res := &Fig5Result{}
+	for _, mode := range AllModes {
+		samples, err := runPing(mode, scale.Pings)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %v: %w", mode, err)
+		}
+		res.Rows = append(res.Rows, Fig5Row{
+			Mode:     mode,
+			MedianUs: metrics.Median(samples),
+			P5Us:     metrics.Percentile(samples, 5),
+			P95Us:    metrics.Percentile(samples, 95),
+			Samples:  len(samples),
+		})
+	}
+	return res, nil
+}
+
+func runPing(mode avmm.Mode, pings int) ([]float64, error) {
+	clientSrc := strings.ReplaceAll(pingClientTemplate, "{{PINGS}}", fmt.Sprint(pings))
+	clientImg, err := lang.Compile("ping-client", clientSrc, lang.Options{MemSize: 64 * 1024})
+	if err != nil {
+		return nil, err
+	}
+	echoImg, err := lang.Compile("ping-echo", pingEchoSource, lang.Options{MemSize: 64 * 1024})
+	if err != nil {
+		return nil, err
+	}
+	net := netsim.New(netsim.Config{BaseLatencyNs: 96_000, JitterNs: 25_000, Seed: 31})
+	keys := sig.NewKeyStore()
+	w := avmm.NewWorld(net, keys)
+	w.SliceNs = 50_000 // fine-grained delivery so RTTs are not quantized
+	signer := func(id sig.NodeID) sig.Signer {
+		if mode.Signs() {
+			return sig.SizedSigner{Node: id, Size: sig.DefaultKeyBits / 8}
+		}
+		return sig.NullSigner{Node: id}
+	}
+	cost := avmm.DefaultCostModel()
+	client, err := avmm.NewMonitor(avmm.Config{
+		Node: "pinger", Index: 0, Mode: mode, Cost: cost, Signer: signer("pinger"),
+		Keys: keys, Image: clientImg, Net: net, NsPerInstr: pingNsPerInstr, RNGSeed: 5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	echo, err := avmm.NewMonitor(avmm.Config{
+		Node: "target", Index: 1, Mode: mode, Cost: cost, Signer: signer("target"),
+		Keys: keys, Image: echoImg, Net: net, NsPerInstr: pingNsPerInstr, RNGSeed: 6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Add(client); err != nil {
+		return nil, err
+	}
+	if err := w.Add(echo); err != nil {
+		return nil, err
+	}
+	deadline := uint64(pings+20) * 50_000_000 // generous: 50 virtual ms per ping
+	w.RunUntil(func() bool { return client.Machine.Halted }, deadline)
+	if client.Machine.FaultInfo != nil {
+		return nil, fmt.Errorf("ping guest faulted: %v", client.Machine.FaultInfo)
+	}
+	samples := make([]float64, 0, len(client.Devs.Debug))
+	for _, rtt := range client.Devs.Debug {
+		samples = append(samples, float64(rtt))
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("ping in mode %v produced no samples (halted=%v)", mode, client.Machine.Halted)
+	}
+	return samples, nil
+}
+
+// Table renders Figure 5.
+func (r *Fig5Result) Table() *metrics.Table {
+	t := metrics.NewTable("Figure 5: ping round-trip times", "config", "median (µs)", "p5 (µs)", "p95 (µs)", "samples")
+	for _, row := range r.Rows {
+		t.Row(row.Mode.String(), row.MedianUs, row.P5Us, row.P95Us, row.Samples)
+	}
+	return t
+}

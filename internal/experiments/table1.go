@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/avmm"
+	"repro/internal/game"
+	"repro/internal/metrics"
+)
+
+// Table1Row is one cheat's outcome.
+type Table1Row struct {
+	Cheat    *game.Cheat
+	Detected bool
+	// DetectedBy names the failing check (semantic divergence, snapshot
+	// root, ...).
+	DetectedBy string
+	// HonestOK reports that the non-cheating player still passed.
+	HonestOK bool
+}
+
+// Table1Result reproduces Table 1: detectability of the 26-cheat catalog.
+type Table1Result struct {
+	Rows []Table1Row
+	// Counts in the paper's table layout.
+	Total, Detectable, ImplSpecific, AnyImpl, NotDetectable int
+	// ExternalAimbotEvades records the §5.4 control: the input-level
+	// aimbot, which does not modify the image, must NOT be detected.
+	ExternalAimbotEvades bool
+}
+
+// RunTable1 plays one short match per cheat (cheater = player 1) and audits
+// both players, then runs the external-aimbot control.
+func RunTable1(scale Scale) (*Table1Result, error) {
+	res := &Table1Result{}
+	for _, cheat := range game.Catalog() {
+		s, err := game.NewScenario(game.ScenarioConfig{
+			Players: 2, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
+			Seed: 2024, CheatPlayer: 1, Cheat: cheat,
+			SnapshotEveryNs: scale.CheatMatchNs / 3, FakeSignatures: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", cheat.Name, err)
+		}
+		s.Run(scale.CheatMatchNs)
+		cheaterRes, err := s.AuditNode("player1")
+		if err != nil {
+			return nil, err
+		}
+		honestRes, err := s.AuditNode("player2")
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{Cheat: cheat, Detected: !cheaterRes.Passed, HonestOK: honestRes.Passed}
+		if row.Detected {
+			row.DetectedBy = string(cheaterRes.Fault.Check)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	res.Total = len(res.Rows)
+	for _, r := range res.Rows {
+		if r.Detected {
+			res.Detectable++
+			if r.Cheat.Class2 {
+				res.AnyImpl++
+			} else {
+				res.ImplSpecific++
+			}
+		} else {
+			res.NotDetectable++
+		}
+	}
+
+	// Control: external (input-level) aimbot with an unmodified image.
+	s, err := game.NewScenario(game.ScenarioConfig{
+		Players: 2, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
+		Seed: 2024, ExternalAimbot: 1,
+		SnapshotEveryNs: scale.CheatMatchNs / 3, FakeSignatures: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Run(scale.CheatMatchNs)
+	ext, err := s.AuditNode("player1")
+	if err != nil {
+		return nil, err
+	}
+	res.ExternalAimbotEvades = ext.Passed
+	return res, nil
+}
+
+// Table renders the paper's Table 1 rows.
+func (r *Table1Result) Table() *metrics.Table {
+	t := metrics.NewTable("Table 1: Detectability of fragfest cheats", "", "count")
+	t.Row("Total number of cheats examined", r.Total)
+	t.Row("Cheats detectable with AVMs", r.Detectable)
+	t.Row("... in this specific implementation of the cheat", r.ImplSpecific)
+	t.Row("... no matter how the cheat is implemented", r.AnyImpl)
+	t.Row("Cheats not detectable with AVMs", r.NotDetectable)
+	return t
+}
+
+// DetailTable lists per-cheat outcomes.
+func (r *Table1Result) DetailTable() *metrics.Table {
+	t := metrics.NewTable("Table 1 detail", "id", "cheat", "class2", "detected", "by", "honest ok")
+	for _, row := range r.Rows {
+		t.Row(row.Cheat.ID, row.Cheat.Name, row.Cheat.Class2, row.Detected, row.DetectedBy, row.HonestOK)
+	}
+	return t
+}

@@ -1,0 +1,171 @@
+package game
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cheat is one entry of the catalog modeled on the paper's 26 downloaded
+// Counterstrike cheats (Table 1). Each cheat is a real behavioural
+// modification of the client image — source-level patches standing in for
+// the binary patches, loadable modules and companion programs real cheats
+// use (all of which end up as a modified image inside the AVM, which is
+// what replay detects).
+type Cheat struct {
+	// ID is the catalog index (1-26).
+	ID int
+	// Name is the conventional cheat name.
+	Name string
+	// Desc says what the cheat does for the cheater.
+	Desc string
+	// Class2 marks cheats whose effect is inconsistent with ANY correct
+	// execution (unlimited ammo, unlimited health, teleport, speedhack):
+	// they are detectable no matter how they are implemented, even by
+	// hardware outside the AVM (§5.4). The paper found 4 of 26 in this
+	// class.
+	Class2 bool
+	// Replace lists source rewrites: each pair is (anchor, replacement).
+	// Every anchor must occur in the client source exactly as written.
+	Replace [][2]string
+	// Append is extra source (helper functions) added to the program.
+	Append string
+}
+
+// Apply performs the cheat's source transformation.
+func (c *Cheat) Apply(src string) (string, error) {
+	for _, r := range c.Replace {
+		if !strings.Contains(src, r[0]) {
+			return "", fmt.Errorf("anchor %q not found in client source", r[0])
+		}
+		src = strings.Replace(src, r[0], r[1], 1)
+	}
+	return src + c.Append, nil
+}
+
+// Source anchors. Keeping them as named constants documents exactly which
+// code sites the catalog attacks and keeps the patches in sync with the
+// client template.
+const (
+	anchorAim    = "aim = (aim + ((ev >> 4) & 0xFF) + 128) & 0xFF;"
+	anchorFire   = "if (firing && cooldown == 0 && ammo > 0) {"
+	anchorAmmo   = "ammo = ammo - 1;"
+	anchorDamage = "health = health - dmg;"
+	anchorVis    = "if (en_vis[i] && i != MY_ID) {"
+	anchorMove   = "x = x + dx * SPEED;"
+	anchorSpeed  = "const SPEED = 3;"
+	anchorCool   = "const COOLDOWN_TICKS = 3;"
+	anchorRecoil = "aim = (aim + 7) & 0xFF;"
+	anchorSpread = "spread = in(RNG) & 7;"
+	anchorReload = "if (reload_req && ammo == 0) { ammo = 30; reload_req = 0; cooldown = COOLDOWN_TICKS + 4; }"
+	anchorJump   = "if (jump_req && (tick & 7) == 0) { y = y + 4; }"
+	anchorFOV    = "const FOV = 90;"
+	anchorBright = "acc = acc * 1103515245 + 12345;"
+	anchorBlind  = "blind = 12;"
+	anchorSmoke  = "const SMOKE_DENSITY = 4;"
+	anchorChams  = "acc = acc + en_x[i] * 31 + en_y[i] + en_hp[i] * FOV;"
+	anchorSwitch = "const SWITCH_DELAY = 5;"
+	anchorFlags  = "out(NET_TX_BYTE, fire | (duck << 1) | (jump_req << 3));"
+	anchorName   = "out(NET_TX_BYTE, MY_ID + 0x40);"
+	anchorTick   = "out(NET_TX_BYTE, tick & 0xFF);"
+	anchorFrame  = "out(FRAME_PORT, acc);"
+)
+
+// Catalog returns the 26-cheat catalog. The counts mirror Table 1: all 26
+// are detectable; the 4 Class2 entries are detectable in any
+// implementation.
+func Catalog() []*Cheat {
+	helperNearest := `
+func cheat_nearest() {
+	var best = 0;
+	var bestd = 100000;
+	var i = 0;
+	while (i < MAXP) {
+		if (i != MY_ID && en_hp[i] > 0) {
+			var ddx = en_x[i] - x;
+			if (ddx < 0) { ddx = 0 - ddx; }
+			var ddy = en_y[i] - y;
+			if (ddy < 0) { ddy = 0 - ddy; }
+			if (ddx + ddy < bestd) { bestd = ddx + ddy; best = i; }
+		}
+		i = i + 1;
+	}
+	return best;
+}
+`
+	return []*Cheat{
+		{ID: 1, Name: "aimbot", Desc: "aims exactly at the nearest enemy instead of following player input",
+			Replace: [][2]string{{anchorAim, "aim = (en_x[cheat_nearest()] + en_y[cheat_nearest()]) & 0xFF;"}},
+			Append:  helperNearest},
+		{ID: 2, Name: "triggerbot", Desc: "fires automatically whenever an enemy is close",
+			Replace: [][2]string{{anchorFire, "if ((firing || cheat_close()) && cooldown == 0 && ammo > 0) {"}},
+			Append: helperNearest + `
+func cheat_close() {
+	var b = cheat_nearest();
+	var ddx = en_x[b] - x;
+	if (ddx < 0) { ddx = 0 - ddx; }
+	var ddy = en_y[b] - y;
+	if (ddy < 0) { ddy = 0 - ddy; }
+	if (ddx + ddy < 500) { return 1; }
+	return 0;
+}
+`},
+		{ID: 3, Name: "wallhack", Desc: "renders enemies through opaque walls (ignores server visibility)",
+			Replace: [][2]string{{anchorVis, "if (i != MY_ID) {"}}},
+		{ID: 4, Name: "esp-overlay", Desc: "overlays enemy health and position on the HUD",
+			Replace: [][2]string{{anchorFrame, "var e = 0;\n\twhile (e < MAXP) { acc = acc + en_hp[e] * 13 + en_x[e]; e = e + 1; }\n\tout(FRAME_PORT, acc);"}}},
+		{ID: 5, Name: "radar", Desc: "draws a minimap of all player positions",
+			Replace: [][2]string{{anchorFrame, "var rr = 0;\n\twhile (rr < MAXP) { acc = acc ^ (en_x[rr] << 4) ^ en_y[rr]; rr = rr + 1; }\n\tout(FRAME_PORT, acc);"}}},
+		{ID: 6, Name: "unlimited-ammo", Desc: "never decrements ammunition", Class2: true,
+			Replace: [][2]string{{anchorAmmo, "ammo = ammo + 0;"}}},
+		{ID: 7, Name: "unlimited-health", Desc: "ignores damage notifications from the server", Class2: true,
+			Replace: [][2]string{{anchorDamage, "health = health - (dmg & 0);"}}},
+		{ID: 8, Name: "teleport", Desc: "jumps across the map while firing", Class2: true,
+			Replace: [][2]string{{anchorMove, "x = x + dx * SPEED;\n\tif (firing) { x = x + 80; }"}}},
+		{ID: 9, Name: "speedhack", Desc: "moves at triple speed", Class2: true,
+			Replace: [][2]string{{anchorSpeed, "const SPEED = 9;"}}},
+		{ID: 10, Name: "rapid-fire", Desc: "removes the fire-rate cooldown",
+			Replace: [][2]string{{anchorCool, "const COOLDOWN_TICKS = 0;"}}},
+		{ID: 11, Name: "norecoil", Desc: "suppresses recoil after each shot",
+			Replace: [][2]string{{anchorRecoil, "aim = aim & 0xFF;"}}},
+		{ID: 12, Name: "nospread", Desc: "removes random bullet spread",
+			Replace: [][2]string{{anchorSpread, "spread = 0;"}}},
+		{ID: 13, Name: "autoreload", Desc: "reloads instantly without the reload key",
+			Replace: [][2]string{{anchorReload, "if (ammo == 0) { ammo = 30; reload_req = 0; }"}}},
+		{ID: 14, Name: "bunnyhop", Desc: "perfectly timed automatic jumping",
+			Replace: [][2]string{{anchorJump, "if ((tick & 1) == 0) { y = y + 4; }"}}},
+		{ID: 15, Name: "spinbot", Desc: "spins the view to dodge headshots",
+			Replace: [][2]string{{anchorAim, "aim = (aim + 64) & 0xFF;"}}},
+		{ID: 16, Name: "fov-hack", Desc: "widens the field of view beyond the allowed maximum",
+			Replace: [][2]string{{anchorFOV, "const FOV = 180;"}}},
+		{ID: 17, Name: "fullbright", Desc: "disables darkness in the renderer",
+			Replace: [][2]string{{anchorBright, "acc = acc * 1103515245 + 99999;"}}},
+		{ID: 18, Name: "noflash", Desc: "ignores blinding after being hit",
+			Replace: [][2]string{{anchorBlind, "blind = 0;"}}},
+		{ID: 19, Name: "nosmoke", Desc: "sees through smoke effects",
+			Replace: [][2]string{{anchorSmoke, "const SMOKE_DENSITY = 0;"}}},
+		{ID: 20, Name: "chams", Desc: "renders enemies in bright solid colors",
+			Replace: [][2]string{{anchorChams, "acc = acc + en_x[i] * 37 + en_y[i] * 5 + en_hp[i] * FOV;"}}},
+		{ID: 21, Name: "knife-range", Desc: "claims extended melee range in update packets",
+			Replace: [][2]string{{anchorFlags, "out(NET_TX_BYTE, fire | (duck << 1) | 4 | (jump_req << 3));"}}},
+		{ID: 22, Name: "fastswitch", Desc: "removes the weapon-switch delay",
+			Replace: [][2]string{{anchorSwitch, "const SWITCH_DELAY = 0;"}}},
+		{ID: 23, Name: "ghost", Desc: "renders from other players' viewpoints",
+			Replace: [][2]string{{anchorFrame, "acc = acc + en_x[(tick & 7)] + en_y[(tick & 7)];\n\tout(FRAME_PORT, acc);"}}},
+		{ID: 24, Name: "autoduck", Desc: "automatically crouches while firing",
+			Replace: [][2]string{{anchorFlags, "out(NET_TX_BYTE, fire | ((duck | fire) << 1) | (jump_req << 3));"}}},
+		{ID: 25, Name: "namestealer", Desc: "impersonates another player's name on join",
+			Replace: [][2]string{{anchorName, "out(NET_TX_BYTE, MY_ID + 0x41);"}}},
+		{ID: 26, Name: "lag-exploit", Desc: "backdates timestamps in update packets",
+			Replace: [][2]string{{anchorTick, "out(NET_TX_BYTE, (tick - 5) & 0xFF);"}}},
+	}
+}
+
+// CatalogByName returns the named cheat.
+func CatalogByName(name string) (*Cheat, error) {
+	for _, c := range Catalog() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("game: no cheat named %q", name)
+}

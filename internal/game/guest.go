@@ -1,0 +1,458 @@
+// Package game implements "fragfest", the multiplayer shooter that plays
+// the role of Counterstrike in the paper's evaluation (§5, §6): a server
+// and up to seven clients compiled from MiniC into VM images, driven by bot
+// players, with a catalog of 26 cheats implemented as real modifications of
+// the client image. The workload reproduces the shape that matters for the
+// AVMM: a frame-rendering loop that reads the clock (optionally busy-
+// waiting under a frame cap, §6.5), small frequent packets (~25/s of 50-60
+// bytes), and per-player state (ammo, health, position) that cheats
+// manipulate.
+package game
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/vm"
+)
+
+// MaxPlayers is the protocol-wide player table size; node index equals
+// player id (node 0 is the server).
+const MaxPlayers = 8
+
+// ports is the prelude mapping device ports into MiniC constants.
+const ports = `
+const CLOCK_LO = 0x01;
+const RNG = 0x03;
+const INPUT_STATUS = 0x10;
+const INPUT_DATA = 0x11;
+const NET_RX_STATUS = 0x20;
+const NET_RX_LEN = 0x21;
+const NET_RX_FROM = 0x22;
+const NET_RX_BYTE = 0x23;
+const NET_RX_DONE = 0x24;
+const NET_TX_BYTE = 0x28;
+const NET_TX_COMMIT = 0x29;
+const TIMER_PERIOD = 0x40;
+const FRAME_PORT = 0x50;
+const DEBUG = 0x60;
+`
+
+// clientTemplate is the fragfest client. Template parameters are
+// substituted by BuildClient. The marker lines (movement, aim, ammo,
+// health, visibility, ...) are the anchors the cheat catalog patches —
+// exactly how real cheats patch well-known code sites in a game binary.
+const clientTemplate = ports + `
+const MY_ID = {{MY_ID}};
+const SERVER = 0;
+const MAXP = 8;
+const SPEED = 3;
+const COOLDOWN_TICKS = 3;
+const SWITCH_DELAY = 5;
+const FOV = 90;
+const SMOKE_DENSITY = 4;
+const RENDER_WORK = {{RENDER_WORK}};
+const FRAME_CAP = {{FRAME_CAP}};
+const FRAME_BUDGET = {{FRAME_BUDGET}};
+
+var run = 1;
+var tick = 0;
+var last_tick = 0;
+var x = 0;
+var y = 100;
+var ammo = 30;
+var health = 100;
+var score = 0;
+var deaths = 0;
+var cooldown = 0;
+var aim = 0;
+var dx = 0;
+var dy = 0;
+var firing = 0;
+var reload_req = 0;
+var jump_req = 0;
+var duck = 0;
+var weapon = 0;
+var blind = 0;
+var seq = 0;
+var acc = 1;
+var shots_fired = 0;
+
+var en_x[8];
+var en_y[8];
+var en_hp[8];
+var en_vis[8];
+
+interrupt(0) func on_tick() { tick = tick + 1; }
+interrupt(1) func on_net() { }
+interrupt(2) func on_key() { }
+
+func send_join() {
+	out(NET_TX_BYTE, 'J');
+	out(NET_TX_BYTE, MY_ID);
+	out(NET_TX_BYTE, MY_ID + 0x40);
+	out(NET_TX_COMMIT, SERVER);
+}
+
+func send_update(fire, spread) {
+	out(NET_TX_BYTE, 'U');
+	out(NET_TX_BYTE, MY_ID);
+	out(NET_TX_BYTE, seq & 0xFF);
+	out(NET_TX_BYTE, x & 0xFF);
+	out(NET_TX_BYTE, (x >> 8) & 0xFF);
+	out(NET_TX_BYTE, y & 0xFF);
+	out(NET_TX_BYTE, (y >> 8) & 0xFF);
+	out(NET_TX_BYTE, aim & 0xFF);
+	out(NET_TX_BYTE, fire | (duck << 1) | (jump_req << 3));
+	out(NET_TX_BYTE, ammo & 0xFF);
+	out(NET_TX_BYTE, health & 0xFF);
+	out(NET_TX_BYTE, spread & 0xFF);
+	out(NET_TX_BYTE, weapon & 0xFF);
+	out(NET_TX_BYTE, tick & 0xFF);
+	var p = 0;
+	while (p < 36) { out(NET_TX_BYTE, 0); p = p + 1; }
+	out(NET_TX_COMMIT, SERVER);
+	seq = seq + 1;
+}
+
+func handle_input(ev) {
+	dx = (ev & 3) - 1;
+	dy = ((ev >> 2) & 3) - 1;
+	aim = (aim + ((ev >> 4) & 0xFF) + 128) & 0xFF;
+	firing = (ev >> 12) & 1;
+	reload_req = reload_req | ((ev >> 13) & 1);
+	jump_req = (ev >> 14) & 1;
+	duck = (ev >> 15) & 1;
+	var w = (ev >> 16) & 3;
+	if (w != weapon) { weapon = w; cooldown = SWITCH_DELAY; }
+}
+
+func handle_packet() {
+	var n = in(NET_RX_LEN);
+	var t = in(NET_RX_BYTE);
+	if (t == 'S') {
+		var cnt = in(NET_RX_BYTE);
+		var i = 0;
+		while (i < cnt) {
+			var id = in(NET_RX_BYTE);
+			var pxl = in(NET_RX_BYTE);
+			var pxh = in(NET_RX_BYTE);
+			var pyl = in(NET_RX_BYTE);
+			var pyh = in(NET_RX_BYTE);
+			var hp = in(NET_RX_BYTE);
+			var vis = in(NET_RX_BYTE);
+			if (id < MAXP) {
+				en_x[id] = pxl + (pxh << 8);
+				en_y[id] = pyl + (pyh << 8);
+				en_hp[id] = hp;
+				en_vis[id] = vis;
+			}
+			i = i + 1;
+		}
+	}
+	if (t == 'H') {
+		var dmg = in(NET_RX_BYTE);
+		health = health - dmg;
+		blind = 12;
+		if (health < 1) {
+			deaths = deaths + 1;
+			health = 100;
+			x = MY_ID * 120;
+			y = 100;
+			ammo = 30;
+		}
+	}
+	if (t == 'K') {
+		var killer = in(NET_RX_BYTE);
+		var victim = in(NET_RX_BYTE);
+		if (killer == MY_ID) { score = score + 1; }
+	}
+	if (t == 'R') { run = 0; }
+	out(NET_RX_DONE, 0);
+}
+
+func do_tick() {
+	x = x + dx * SPEED;
+	y = y + dy * SPEED;
+	if (x < 0) { x = 0; }
+	if (x > 1023) { x = 1023; }
+	if (y < 0) { y = 0; }
+	if (y > 1023) { y = 1023; }
+	if (jump_req && (tick & 7) == 0) { y = y + 4; }
+	var fire = 0;
+	var spread = 0;
+	if (firing && cooldown == 0 && ammo > 0) {
+		ammo = ammo - 1;
+		spread = in(RNG) & 7;
+		aim = (aim + 7) & 0xFF;
+		cooldown = COOLDOWN_TICKS;
+		shots_fired = shots_fired + 1;
+		fire = 1;
+	}
+	if (cooldown > 0) { cooldown = cooldown - 1; }
+	if (reload_req && ammo == 0) { ammo = 30; reload_req = 0; cooldown = COOLDOWN_TICKS + 4; }
+	send_update(fire, spread);
+}
+
+func render() {
+	var t0 = in(CLOCK_LO);
+	var i = 0;
+	while (i < RENDER_WORK) { acc = acc * 1103515245 + 12345; i = i + 1; }
+	if (blind > 0) {
+		blind = blind - 1;
+		acc = acc + 255;
+	} else {
+		i = 0;
+		while (i < MAXP) {
+			if (en_vis[i] && i != MY_ID) {
+				acc = acc + en_x[i] * 31 + en_y[i] + en_hp[i] * FOV;
+			}
+			i = i + 1;
+		}
+		i = 0;
+		while (i < SMOKE_DENSITY) { acc = acc * 69069 + 1; i = i + 1; }
+	}
+	var t1 = in(CLOCK_LO);
+	acc = acc + (t1 - t0);
+	out(FRAME_PORT, acc);
+	if (FRAME_CAP) {
+		while (in(CLOCK_LO) - t0 < FRAME_BUDGET) { }
+	}
+}
+
+func main() {
+	out(TIMER_PERIOD, 40000);
+	sti();
+	send_join();
+	while (run) {
+		while (in(INPUT_STATUS) > 0) { handle_input(in(INPUT_DATA)); }
+		while (in(NET_RX_STATUS) > 0) { handle_packet(); }
+		if (tick != last_tick) { last_tick = tick; do_tick(); }
+		render();
+	}
+	halt();
+}
+`
+
+// serverSource is the authoritative game server: it tracks joins, applies
+// client updates, resolves hits against the player a shooter is aiming at,
+// and broadcasts per-recipient state (with visibility computed server-side,
+// which is what makes wallhacks cheating rather than information every
+// client legitimately has).
+const serverSource = ports + `
+const MAXP = 8;
+const HIT_RANGE = 600;
+const DMG = 34;
+
+var px[8];
+var py[8];
+var php[8];
+var pammo[8];
+var pscore[8];
+var joined[8];
+var tick = 0;
+var last_tick = 0;
+var shots_seen = 0;
+var kills = 0;
+
+interrupt(0) func on_tick() { tick = tick + 1; }
+interrupt(1) func on_net() { }
+
+func iabs(v) {
+	if (v < 0) { return 0 - v; }
+	return v;
+}
+
+func do_hit(shooter) {
+	var best = 255;
+	var bestd = 100000;
+	var i = 0;
+	while (i < MAXP) {
+		if (i != shooter && joined[i]) {
+			var d = iabs(px[i] - px[shooter]) + iabs(py[i] - py[shooter]);
+			if (d < bestd) { bestd = d; best = i; }
+		}
+		i = i + 1;
+	}
+	if (best < MAXP && bestd < HIT_RANGE) {
+		out(NET_TX_BYTE, 'H');
+		out(NET_TX_BYTE, DMG);
+		out(NET_TX_COMMIT, best);
+		php[best] = php[best] - DMG;
+		if (php[best] < 1) {
+			php[best] = 100;
+			px[best] = best * 120;
+			py[best] = 100;
+			pscore[shooter] = pscore[shooter] + 1;
+			kills = kills + 1;
+			var j = 1;
+			while (j < MAXP) {
+				if (joined[j]) {
+					out(NET_TX_BYTE, 'K');
+					out(NET_TX_BYTE, shooter);
+					out(NET_TX_BYTE, best);
+					out(NET_TX_COMMIT, j);
+				}
+				j = j + 1;
+			}
+		}
+	}
+}
+
+func handle_packet() {
+	var n = in(NET_RX_LEN);
+	var from = in(NET_RX_FROM);
+	var t = in(NET_RX_BYTE);
+	if (t == 'J') {
+		var id = in(NET_RX_BYTE);
+		var name = in(NET_RX_BYTE);
+		if (id < MAXP && id == from && joined[id] == 0) {
+			joined[id] = 1;
+			px[id] = id * 120;
+			py[id] = 100;
+			php[id] = 100;
+			pammo[id] = 30;
+		}
+	}
+	if (t == 'U') {
+		var uid = in(NET_RX_BYTE);
+		var sq = in(NET_RX_BYTE);
+		var ux = in(NET_RX_BYTE) + (in(NET_RX_BYTE) << 8);
+		var uy = in(NET_RX_BYTE) + (in(NET_RX_BYTE) << 8);
+		var uaim = in(NET_RX_BYTE);
+		var flags = in(NET_RX_BYTE);
+		var uammo = in(NET_RX_BYTE);
+		var uhp = in(NET_RX_BYTE);
+		var uspread = in(NET_RX_BYTE);
+		var uweap = in(NET_RX_BYTE);
+		var utick = in(NET_RX_BYTE);
+		if (uid < MAXP && uid == from && joined[uid]) {
+			px[uid] = ux;
+			py[uid] = uy;
+			php[uid] = uhp;
+			if (flags & 1) {
+				shots_seen = shots_seen + 1;
+				do_hit(uid);
+			}
+		}
+	}
+	out(NET_RX_DONE, 0);
+}
+
+func cnt_joined() {
+	var c = 0;
+	var i = 0;
+	while (i < MAXP) { if (joined[i]) { c = c + 1; } i = i + 1; }
+	return c;
+}
+
+func bcast_state() {
+	var i = 1;
+	while (i < MAXP) {
+		if (joined[i]) {
+			out(NET_TX_BYTE, 'S');
+			out(NET_TX_BYTE, cnt_joined());
+			var j = 0;
+			while (j < MAXP) {
+				if (joined[j]) {
+					out(NET_TX_BYTE, j);
+					out(NET_TX_BYTE, px[j] & 0xFF);
+					out(NET_TX_BYTE, (px[j] >> 8) & 0xFF);
+					out(NET_TX_BYTE, py[j] & 0xFF);
+					out(NET_TX_BYTE, (py[j] >> 8) & 0xFF);
+					out(NET_TX_BYTE, php[j] & 0xFF);
+					var vis = 0;
+					if (iabs(px[j] - px[i]) + iabs(py[j] - py[i]) < 400) { vis = 1; }
+					if (j == i) { vis = 1; }
+					out(NET_TX_BYTE, vis);
+				}
+				j = j + 1;
+			}
+			out(NET_TX_COMMIT, i);
+		}
+		i = i + 1;
+	}
+}
+
+func main() {
+	out(TIMER_PERIOD, 40000);
+	sti();
+	while (1) {
+		while (in(NET_RX_STATUS) > 0) { handle_packet(); }
+		if (tick != last_tick) { last_tick = tick; bcast_state(); }
+		wfi();
+	}
+}
+`
+
+// BuildOptions tunes the client build.
+type BuildOptions struct {
+	// RenderWork is the per-frame rendering loop count; the default is
+	// calibrated so a bare-hardware machine renders ~158 fps.
+	RenderWork int
+	// FrameCap enables the frame-rate cap (busy-wait on the clock, §6.5).
+	FrameCap bool
+	// FrameBudgetUs is the capped per-frame time (default 13888 µs = 72 fps,
+	// the Counterstrike default cap).
+	FrameBudgetUs int
+	// Cheat, if non-nil, applies a cheat's source transformation.
+	Cheat *Cheat
+}
+
+// DefaultRenderWork yields ~158 fps on the default game machine speed.
+const DefaultRenderWork = 88
+
+// DefaultFrameBudgetUs is the 72 fps default cap.
+const DefaultFrameBudgetUs = 13888
+
+// GameNsPerInstr is the virtual CPU speed used for game machines: 2 µs per
+// instruction (500 kIPS), which puts realistic frame budgets near the
+// paper's frame rates.
+const GameNsPerInstr = 2000
+
+// BuildClient compiles the client image for the given player id (== node
+// index).
+func BuildClient(id int, opts BuildOptions) (*vm.Image, error) {
+	if id <= 0 || id >= MaxPlayers {
+		return nil, fmt.Errorf("game: player id %d out of range [1,%d)", id, MaxPlayers)
+	}
+	if opts.RenderWork == 0 {
+		opts.RenderWork = DefaultRenderWork
+	}
+	if opts.FrameBudgetUs == 0 {
+		opts.FrameBudgetUs = DefaultFrameBudgetUs
+	}
+	src := clientTemplate
+	src = strings.ReplaceAll(src, "{{MY_ID}}", fmt.Sprint(id))
+	src = strings.ReplaceAll(src, "{{RENDER_WORK}}", fmt.Sprint(opts.RenderWork))
+	cap := 0
+	if opts.FrameCap {
+		cap = 1
+	}
+	src = strings.ReplaceAll(src, "{{FRAME_CAP}}", fmt.Sprint(cap))
+	src = strings.ReplaceAll(src, "{{FRAME_BUDGET}}", fmt.Sprint(opts.FrameBudgetUs))
+	name := fmt.Sprintf("fragfest-client-%d", id)
+	if opts.Cheat != nil {
+		var err error
+		src, err = opts.Cheat.Apply(src)
+		if err != nil {
+			return nil, fmt.Errorf("game: applying cheat %q: %w", opts.Cheat.Name, err)
+		}
+		name += "+" + opts.Cheat.Name
+	}
+	img, err := lang.Compile(name, src, lang.Options{MemSize: 128 * 1024})
+	if err != nil {
+		return nil, fmt.Errorf("game: compiling client %d: %w", id, err)
+	}
+	return img, nil
+}
+
+// BuildServer compiles the server image.
+func BuildServer() (*vm.Image, error) {
+	img, err := lang.Compile("fragfest-server", serverSource, lang.Options{MemSize: 128 * 1024})
+	if err != nil {
+		return nil, fmt.Errorf("game: compiling server: %w", err)
+	}
+	return img, nil
+}

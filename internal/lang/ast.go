@@ -1,0 +1,150 @@
+package lang
+
+// The AST. All values are 32-bit words; there is no type structure beyond
+// scalar vs array.
+
+type program struct {
+	consts  []*constDecl
+	globals []*varDecl
+	funcs   []*funcDecl
+}
+
+type constDecl struct {
+	name string
+	expr expr
+	line int
+}
+
+type varDecl struct {
+	name     string
+	arrayLen expr // nil for scalars; const expression for arrays
+	init     expr // nil or const expression (globals) / any expression (locals)
+	line     int
+}
+
+type funcDecl struct {
+	name   string
+	params []string
+	body   []stmt
+	irq    int // -1 for ordinary functions; IRQ number for interrupt handlers
+	line   int
+}
+
+// Statements.
+type stmt interface{ stmtNode() }
+
+type assignStmt struct {
+	name  string
+	index expr // nil for scalar assignment
+	value expr
+	line  int
+}
+
+type localDecl struct {
+	decl *varDecl
+}
+
+type ifStmt struct {
+	cond        expr
+	then, else_ []stmt
+	line        int
+}
+
+type whileStmt struct {
+	cond expr
+	body []stmt
+	line int
+}
+
+type returnStmt struct {
+	value expr // may be nil
+	line  int
+}
+
+type breakStmt struct{ line int }
+
+type continueStmt struct{ line int }
+
+type exprStmt struct {
+	e    expr
+	line int
+}
+
+func (*assignStmt) stmtNode()   {}
+func (*localDecl) stmtNode()    {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*returnStmt) stmtNode()   {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+func (*exprStmt) stmtNode()     {}
+
+// Expressions.
+type expr interface{ exprNode() }
+
+type numExpr struct {
+	val  uint32
+	line int
+}
+
+type identExpr struct {
+	name string
+	line int
+}
+
+type indexExpr struct {
+	name  string
+	index expr
+	line  int
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+type strExpr struct {
+	val  string
+	line int
+}
+
+type unaryExpr struct {
+	op   string // "-", "!", "~"
+	x    expr
+	line int
+}
+
+type binExpr struct {
+	op   string
+	x, y expr
+	line int
+}
+
+func (*numExpr) exprNode()   {}
+func (*identExpr) exprNode() {}
+func (*indexExpr) exprNode() {}
+func (*callExpr) exprNode()  {}
+func (*strExpr) exprNode()   {}
+func (*unaryExpr) exprNode() {}
+func (*binExpr) exprNode()   {}
+
+func exprLine(e expr) int {
+	switch v := e.(type) {
+	case *numExpr:
+		return v.line
+	case *identExpr:
+		return v.line
+	case *indexExpr:
+		return v.line
+	case *callExpr:
+		return v.line
+	case *strExpr:
+		return v.line
+	case *unaryExpr:
+		return v.line
+	case *binExpr:
+		return v.line
+	}
+	return 0
+}

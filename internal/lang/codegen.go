@@ -1,0 +1,922 @@
+package lang
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// Register allocation contract: expression results land in R0; R1-R3 are
+// scratch; R11 is kept zero for absolute addressing of globals; R14 is the
+// frame pointer and R15 the stack pointer. Interrupt handlers save R0-R5
+// and FP, so R11 survives interrupts by construction.
+const (
+	r0  = 0
+	r1  = 1
+	r2  = 2
+	r3  = 3
+	r4  = 4
+	rz  = 11 // always zero
+	rfp = vm.RegFP
+	rsp = vm.RegSP
+)
+
+type immKind uint8
+
+const (
+	immConst immKind = iota
+	immLabel         // code label → absolute address
+	immData          // data-section offset → absolute address
+)
+
+type asmIns struct {
+	op         vm.Opcode
+	ra, rb, rc uint8
+	imm        uint32
+	kind       immKind
+	label      string
+}
+
+type symKind uint8
+
+const (
+	symConst symKind = iota
+	symGlobal
+	symArray
+	symFunc
+)
+
+type symbol struct {
+	kind     symKind
+	value    uint32 // const value, or data-section offset for globals/arrays
+	arrayLen uint32
+	fn       *funcDecl
+}
+
+type codegen struct {
+	name    string
+	prog    *program
+	syms    map[string]*symbol
+	ins     []asmIns
+	labels  map[string]int // label → instruction index
+	data    []byte
+	dataIni map[uint32]uint32 // data offset → initial word value
+	strOffs map[string]uint32
+
+	// per-function state
+	fn            *funcDecl
+	locals        map[string]int32 // name → FP-relative offset
+	params        map[string]int32
+	breakLbls     []string
+	contLbls      []string
+	epilogue      string
+	labelSeq      int
+	nextLocalSlot int32
+
+	needPrints   bool
+	needPrintnum bool
+}
+
+// Options configures compilation.
+type Options struct {
+	// MemSize is the machine memory size for the image (default 256 KiB).
+	MemSize int
+	// Disk is the initial virtual disk contents.
+	Disk []byte
+}
+
+// Compile translates MiniC source into a bootable image.
+func Compile(name, src string, opts Options) (*vm.Image, error) {
+	prog, err := parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	g := &codegen{
+		name:    name,
+		prog:    prog,
+		syms:    make(map[string]*symbol),
+		labels:  make(map[string]int),
+		dataIni: make(map[uint32]uint32),
+		strOffs: make(map[string]uint32),
+	}
+	img, err := g.run(opts)
+	if err != nil {
+		return nil, err
+	}
+	img.Name = name
+	return img, nil
+}
+
+func (g *codegen) errf(line int, format string, args ...interface{}) error {
+	return &CompileError{Name: g.name, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (g *codegen) run(opts Options) (*vm.Image, error) {
+	// Pass 1: constants.
+	for _, c := range g.prog.consts {
+		if _, dup := g.syms[c.name]; dup {
+			return nil, g.errf(c.line, "duplicate declaration of %q", c.name)
+		}
+		v, err := g.evalConst(c.expr)
+		if err != nil {
+			return nil, err
+		}
+		g.syms[c.name] = &symbol{kind: symConst, value: v}
+	}
+	// Pass 2: global layout.
+	var dataOff uint32
+	for _, v := range g.prog.globals {
+		if _, dup := g.syms[v.name]; dup {
+			return nil, g.errf(v.line, "duplicate declaration of %q", v.name)
+		}
+		s := &symbol{value: dataOff}
+		if v.arrayLen != nil {
+			n, err := g.evalConst(v.arrayLen)
+			if err != nil {
+				return nil, err
+			}
+			if n == 0 || n > 1<<20 {
+				return nil, g.errf(v.line, "array %q has unreasonable length %d", v.name, n)
+			}
+			s.kind = symArray
+			s.arrayLen = n
+			dataOff += 4 * n
+		} else {
+			s.kind = symGlobal
+			dataOff += 4
+			if v.init != nil {
+				val, err := g.evalConst(v.init)
+				if err != nil {
+					return nil, err
+				}
+				g.dataIni[s.value] = val
+			}
+		}
+		g.syms[v.name] = s
+	}
+	g.data = make([]byte, dataOff)
+	for off, val := range g.dataIni {
+		putWord(g.data, off, val)
+	}
+	// Pass 3: function symbols.
+	var mainFn *funcDecl
+	for _, f := range g.prog.funcs {
+		if _, dup := g.syms[f.name]; dup {
+			return nil, g.errf(f.line, "duplicate declaration of %q", f.name)
+		}
+		g.syms[f.name] = &symbol{kind: symFunc, fn: f}
+		if f.name == "main" {
+			mainFn = f
+		}
+		if f.irq >= vm.NumIRQs {
+			return nil, g.errf(f.line, "IRQ %d out of range [0,%d)", f.irq, vm.NumIRQs)
+		}
+	}
+	if mainFn == nil {
+		return nil, &CompileError{Name: g.name, Line: 1, Msg: "no main function"}
+	}
+	if len(mainFn.params) != 0 {
+		return nil, g.errf(mainFn.line, "main takes no parameters")
+	}
+
+	// Entry stub: zero R11, call main, halt.
+	g.emit(vm.OpMovi, rz, 0, 0, 0)
+	g.emitLabelRef(vm.OpCall, 0, "f_main")
+	g.emit(vm.OpHlt, 0, 0, 0, 0)
+
+	// Function bodies.
+	for _, f := range g.prog.funcs {
+		if err := g.genFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	if g.needPrints {
+		g.genPrintsRuntime()
+	}
+	if g.needPrintnum {
+		g.genPrintnumRuntime()
+	}
+
+	// Resolve labels and data references, encode. The data section is
+	// aligned to the next page boundary so that text and data never share a
+	// page — the separation replay-time write analysis (W^X) relies on.
+	codeSize := uint32(len(g.ins) * vm.InstrSize)
+	pad := (vm.PageSize - int(vm.CodeBase+codeSize)%vm.PageSize) % vm.PageSize
+	dataBase := vm.CodeBase + codeSize + uint32(pad)
+	code := make([]byte, 0, int(codeSize)+pad+len(g.data))
+	for i := range g.ins {
+		a := &g.ins[i]
+		imm := a.imm
+		switch a.kind {
+		case immLabel:
+			idx, ok := g.labels[a.label]
+			if !ok {
+				return nil, fmt.Errorf("lang: internal error: undefined label %q", a.label)
+			}
+			imm = vm.CodeBase + uint32(idx)*vm.InstrSize
+		case immData:
+			imm = dataBase + a.imm
+		}
+		code = vm.Instr{Op: a.op, Ra: a.ra, Rb: a.rb, Rc: a.rc, Imm: imm}.Encode(code)
+	}
+	code = append(code, make([]byte, pad)...)
+	code = append(code, g.data...)
+
+	img := &vm.Image{
+		Code:     code,
+		TextSize: int(codeSize),
+		Entry:    vm.CodeBase,
+		MemSize:  opts.MemSize,
+		Disk:     opts.Disk,
+	}
+	for _, f := range g.prog.funcs {
+		if f.irq >= 0 {
+			idx := g.labels["f_"+f.name]
+			img.Vectors[f.irq] = vm.CodeBase + uint32(idx)*vm.InstrSize
+		}
+	}
+	return img, nil
+}
+
+func putWord(b []byte, off uint32, v uint32) {
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}
+
+// --- emission helpers ---
+
+func (g *codegen) emit(op vm.Opcode, ra, rb, rc uint8, imm uint32) {
+	g.ins = append(g.ins, asmIns{op: op, ra: ra, rb: rb, rc: rc, imm: imm})
+}
+
+func (g *codegen) emitLabelRef(op vm.Opcode, ra uint8, label string) {
+	g.ins = append(g.ins, asmIns{op: op, ra: ra, kind: immLabel, label: label})
+}
+
+func (g *codegen) emitDataRef(op vm.Opcode, ra, rb uint8, off uint32) {
+	g.ins = append(g.ins, asmIns{op: op, ra: ra, rb: rb, kind: immData, imm: off})
+}
+
+func (g *codegen) placeLabel(label string) { g.labels[label] = len(g.ins) }
+
+func (g *codegen) newLabel(hint string) string {
+	g.labelSeq++
+	return fmt.Sprintf("L%d_%s", g.labelSeq, hint)
+}
+
+// --- constant evaluation ---
+
+func (g *codegen) evalConst(e expr) (uint32, error) {
+	switch v := e.(type) {
+	case *numExpr:
+		return v.val, nil
+	case *identExpr:
+		s, ok := g.syms[v.name]
+		if !ok || s.kind != symConst {
+			return 0, g.errf(v.line, "%q is not a constant", v.name)
+		}
+		return s.value, nil
+	case *unaryExpr:
+		x, err := g.evalConst(v.x)
+		if err != nil {
+			return 0, err
+		}
+		switch v.op {
+		case "-":
+			return -x, nil
+		case "!":
+			if x == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		case "~":
+			return ^x, nil
+		}
+	case *binExpr:
+		x, err := g.evalConst(v.x)
+		if err != nil {
+			return 0, err
+		}
+		y, err := g.evalConst(v.y)
+		if err != nil {
+			return 0, err
+		}
+		switch v.op {
+		case "+":
+			return x + y, nil
+		case "-":
+			return x - y, nil
+		case "*":
+			return x * y, nil
+		case "/":
+			if y == 0 {
+				return 0, g.errf(v.line, "constant division by zero")
+			}
+			return x / y, nil
+		case "%":
+			if y == 0 {
+				return 0, g.errf(v.line, "constant modulo by zero")
+			}
+			return x % y, nil
+		case "&":
+			return x & y, nil
+		case "|":
+			return x | y, nil
+		case "^":
+			return x ^ y, nil
+		case "<<":
+			return x << (y & 31), nil
+		case ">>":
+			return x >> (y & 31), nil
+		case "==":
+			return b2w(x == y), nil
+		case "!=":
+			return b2w(x != y), nil
+		case "<":
+			return b2w(int32(x) < int32(y)), nil
+		case "<=":
+			return b2w(int32(x) <= int32(y)), nil
+		case ">":
+			return b2w(int32(x) > int32(y)), nil
+		case ">=":
+			return b2w(int32(x) >= int32(y)), nil
+		case "&&":
+			return b2w(x != 0 && y != 0), nil
+		case "||":
+			return b2w(x != 0 || y != 0), nil
+		}
+	}
+	return 0, g.errf(exprLine(e), "expression is not constant")
+}
+
+func b2w(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- function generation ---
+
+func countLocals(stmts []stmt) int {
+	n := 0
+	for _, s := range stmts {
+		switch v := s.(type) {
+		case *localDecl:
+			n++
+		case *ifStmt:
+			n += countLocals(v.then) + countLocals(v.else_)
+		case *whileStmt:
+			n += countLocals(v.body)
+		}
+	}
+	return n
+}
+
+func (g *codegen) genFunc(f *funcDecl) error {
+	g.fn = f
+	g.locals = make(map[string]int32)
+	g.params = make(map[string]int32)
+	g.epilogue = g.newLabel("epi_" + f.name)
+	nargs := len(f.params)
+	for i, p := range f.params {
+		if _, dup := g.params[p]; dup {
+			return g.errf(f.line, "duplicate parameter %q", p)
+		}
+		g.params[p] = int32(8 + 4*(nargs-1-i))
+	}
+
+	g.placeLabel("f_" + f.name)
+	isIRQ := f.irq >= 0
+	if isIRQ {
+		// Interrupt prologue: save the scratch set the compiler may clobber.
+		for r := uint8(0); r <= r4+1; r++ {
+			g.emit(vm.OpPush, r, 0, 0, 0)
+		}
+	}
+	g.emit(vm.OpPush, rfp, 0, 0, 0)
+	g.emit(vm.OpMov, rfp, rsp, 0, 0)
+	nlocals := countLocals(f.body)
+	if nlocals > 0 {
+		g.emit(vm.OpAddi, rsp, rsp, 0, uint32(-(4 * int32(nlocals))))
+	}
+
+	g.nextLocalSlot = 0
+	if err := g.genBlock(f.body); err != nil {
+		return err
+	}
+
+	// Fall-through return with R0 = 0.
+	g.emit(vm.OpMovi, r0, 0, 0, 0)
+	g.placeLabel(g.epilogue)
+	g.emit(vm.OpMov, rsp, rfp, 0, 0)
+	g.emit(vm.OpPop, rfp, 0, 0, 0)
+	if isIRQ {
+		for r := int(r4 + 1); r >= 0; r-- {
+			g.emit(vm.OpPop, uint8(r), 0, 0, 0)
+		}
+		g.emit(vm.OpIret, 0, 0, 0, 0)
+	} else {
+		g.emit(vm.OpRet, 0, 0, 0, 0)
+	}
+	return nil
+}
+
+func (g *codegen) genBlock(stmts []stmt) error {
+	for _, s := range stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) genStmt(s stmt) error {
+	switch v := s.(type) {
+	case *localDecl:
+		d := v.decl
+		if _, dup := g.locals[d.name]; dup {
+			return g.errf(d.line, "duplicate local %q", d.name)
+		}
+		if _, dup := g.params[d.name]; dup {
+			return g.errf(d.line, "local %q shadows parameter", d.name)
+		}
+		g.nextLocalSlot++
+		off := int32(-4 * g.nextLocalSlot)
+		g.locals[d.name] = off
+		if d.init != nil {
+			if err := g.genExpr(d.init); err != nil {
+				return err
+			}
+		} else {
+			g.emit(vm.OpMovi, r0, 0, 0, 0)
+		}
+		g.emit(vm.OpStore, rfp, r0, 0, uint32(off))
+		return nil
+	case *assignStmt:
+		return g.genAssign(v)
+	case *ifStmt:
+		elseLbl := g.newLabel("else")
+		endLbl := g.newLabel("endif")
+		if err := g.genExpr(v.cond); err != nil {
+			return err
+		}
+		g.emitLabelRef(vm.OpJz, r0, elseLbl)
+		if err := g.genBlock(v.then); err != nil {
+			return err
+		}
+		g.emitLabelRef(vm.OpJmp, 0, endLbl)
+		g.placeLabel(elseLbl)
+		if err := g.genBlock(v.else_); err != nil {
+			return err
+		}
+		g.placeLabel(endLbl)
+		return nil
+	case *whileStmt:
+		topLbl := g.newLabel("while")
+		endLbl := g.newLabel("endwhile")
+		g.breakLbls = append(g.breakLbls, endLbl)
+		g.contLbls = append(g.contLbls, topLbl)
+		g.placeLabel(topLbl)
+		if err := g.genExpr(v.cond); err != nil {
+			return err
+		}
+		g.emitLabelRef(vm.OpJz, r0, endLbl)
+		if err := g.genBlock(v.body); err != nil {
+			return err
+		}
+		g.emitLabelRef(vm.OpJmp, 0, topLbl)
+		g.placeLabel(endLbl)
+		g.breakLbls = g.breakLbls[:len(g.breakLbls)-1]
+		g.contLbls = g.contLbls[:len(g.contLbls)-1]
+		return nil
+	case *returnStmt:
+		if v.value != nil {
+			if err := g.genExpr(v.value); err != nil {
+				return err
+			}
+		} else {
+			g.emit(vm.OpMovi, r0, 0, 0, 0)
+		}
+		g.emitLabelRef(vm.OpJmp, 0, g.epilogue)
+		return nil
+	case *breakStmt:
+		if len(g.breakLbls) == 0 {
+			return g.errf(v.line, "break outside loop")
+		}
+		g.emitLabelRef(vm.OpJmp, 0, g.breakLbls[len(g.breakLbls)-1])
+		return nil
+	case *continueStmt:
+		if len(g.contLbls) == 0 {
+			return g.errf(v.line, "continue outside loop")
+		}
+		g.emitLabelRef(vm.OpJmp, 0, g.contLbls[len(g.contLbls)-1])
+		return nil
+	case *exprStmt:
+		return g.genExpr(v.e)
+	}
+	return fmt.Errorf("lang: internal error: unknown statement %T", s)
+}
+
+func (g *codegen) genAssign(a *assignStmt) error {
+	if a.index == nil {
+		if off, ok := g.locals[a.name]; ok {
+			if err := g.genExpr(a.value); err != nil {
+				return err
+			}
+			g.emit(vm.OpStore, rfp, r0, 0, uint32(off))
+			return nil
+		}
+		if off, ok := g.params[a.name]; ok {
+			if err := g.genExpr(a.value); err != nil {
+				return err
+			}
+			g.emit(vm.OpStore, rfp, r0, 0, uint32(off))
+			return nil
+		}
+		s, ok := g.syms[a.name]
+		if !ok || s.kind != symGlobal {
+			return g.errf(a.line, "cannot assign to %q", a.name)
+		}
+		if err := g.genExpr(a.value); err != nil {
+			return err
+		}
+		g.emitDataRef(vm.OpStore, rz, r0, s.value)
+		return nil
+	}
+	s, ok := g.syms[a.name]
+	if !ok || s.kind != symArray {
+		return g.errf(a.line, "%q is not an array", a.name)
+	}
+	if err := g.genExpr(a.index); err != nil {
+		return err
+	}
+	g.emit(vm.OpPush, r0, 0, 0, 0)
+	if err := g.genExpr(a.value); err != nil {
+		return err
+	}
+	g.emit(vm.OpPop, r1, 0, 0, 0)
+	g.emit(vm.OpMovi, r2, 0, 0, 2)
+	g.emit(vm.OpShl, r1, r1, r2, 0)
+	g.emitDataRef(vm.OpStore, r1, r0, s.value)
+	return nil
+}
+
+func (g *codegen) genExpr(e expr) error {
+	switch v := e.(type) {
+	case *numExpr:
+		g.emit(vm.OpMovi, r0, 0, 0, v.val)
+		return nil
+	case *strExpr:
+		return g.errf(v.line, "string literals are only allowed as the argument of print")
+	case *identExpr:
+		if off, ok := g.locals[v.name]; ok {
+			g.emit(vm.OpLoad, r0, rfp, 0, uint32(off))
+			return nil
+		}
+		if off, ok := g.params[v.name]; ok {
+			g.emit(vm.OpLoad, r0, rfp, 0, uint32(off))
+			return nil
+		}
+		s, ok := g.syms[v.name]
+		if !ok {
+			return g.errf(v.line, "undefined identifier %q", v.name)
+		}
+		switch s.kind {
+		case symConst:
+			g.emit(vm.OpMovi, r0, 0, 0, s.value)
+		case symGlobal:
+			g.emitDataRef(vm.OpLoad, r0, rz, s.value)
+		default:
+			return g.errf(v.line, "%q cannot be used as a value", v.name)
+		}
+		return nil
+	case *indexExpr:
+		s, ok := g.syms[v.name]
+		if !ok || s.kind != symArray {
+			return g.errf(v.line, "%q is not an array", v.name)
+		}
+		if err := g.genExpr(v.index); err != nil {
+			return err
+		}
+		g.emit(vm.OpMovi, r1, 0, 0, 2)
+		g.emit(vm.OpShl, r0, r0, r1, 0)
+		g.emitDataRef(vm.OpLoad, r0, r0, s.value)
+		return nil
+	case *unaryExpr:
+		if err := g.genExpr(v.x); err != nil {
+			return err
+		}
+		switch v.op {
+		case "-":
+			g.emit(vm.OpMovi, r1, 0, 0, 0)
+			g.emit(vm.OpSub, r0, r1, r0, 0)
+		case "!":
+			g.emit(vm.OpNot, r0, r0, 0, 0)
+		case "~":
+			g.emit(vm.OpMovi, r1, 0, 0, 0xFFFFFFFF)
+			g.emit(vm.OpXor, r0, r0, r1, 0)
+		}
+		return nil
+	case *binExpr:
+		return g.genBinExpr(v)
+	case *callExpr:
+		return g.genCall(v)
+	}
+	return fmt.Errorf("lang: internal error: unknown expression %T", e)
+}
+
+func (g *codegen) genBinExpr(v *binExpr) error {
+	// Short-circuit logical operators.
+	if v.op == "&&" || v.op == "||" {
+		shortLbl := g.newLabel("short")
+		endLbl := g.newLabel("endlogic")
+		if err := g.genExpr(v.x); err != nil {
+			return err
+		}
+		if v.op == "&&" {
+			g.emitLabelRef(vm.OpJz, r0, shortLbl)
+		} else {
+			g.emitLabelRef(vm.OpJnz, r0, shortLbl)
+		}
+		if err := g.genExpr(v.y); err != nil {
+			return err
+		}
+		g.emit(vm.OpNot, r0, r0, 0, 0)
+		g.emit(vm.OpNot, r0, r0, 0, 0)
+		g.emitLabelRef(vm.OpJmp, 0, endLbl)
+		g.placeLabel(shortLbl)
+		if v.op == "&&" {
+			g.emit(vm.OpMovi, r0, 0, 0, 0)
+		} else {
+			g.emit(vm.OpMovi, r0, 0, 0, 1)
+		}
+		g.placeLabel(endLbl)
+		return nil
+	}
+
+	if err := g.genExpr(v.x); err != nil {
+		return err
+	}
+	g.emit(vm.OpPush, r0, 0, 0, 0)
+	if err := g.genExpr(v.y); err != nil {
+		return err
+	}
+	g.emit(vm.OpMov, r1, r0, 0, 0)
+	g.emit(vm.OpPop, r0, 0, 0, 0)
+	switch v.op {
+	case "+":
+		g.emit(vm.OpAdd, r0, r0, r1, 0)
+	case "-":
+		g.emit(vm.OpSub, r0, r0, r1, 0)
+	case "*":
+		g.emit(vm.OpMul, r0, r0, r1, 0)
+	case "/":
+		g.emit(vm.OpDivu, r0, r0, r1, 0)
+	case "%":
+		g.emit(vm.OpModu, r0, r0, r1, 0)
+	case "&":
+		g.emit(vm.OpAnd, r0, r0, r1, 0)
+	case "|":
+		g.emit(vm.OpOr, r0, r0, r1, 0)
+	case "^":
+		g.emit(vm.OpXor, r0, r0, r1, 0)
+	case "<<":
+		g.emit(vm.OpShl, r0, r0, r1, 0)
+	case ">>":
+		g.emit(vm.OpShr, r0, r0, r1, 0)
+	case "==":
+		g.emit(vm.OpEq, r0, r0, r1, 0)
+	case "!=":
+		g.emit(vm.OpEq, r0, r0, r1, 0)
+		g.emit(vm.OpNot, r0, r0, 0, 0)
+	case "<":
+		g.emit(vm.OpLts, r0, r0, r1, 0)
+	case ">":
+		g.emit(vm.OpLts, r0, r1, r0, 0)
+	case "<=":
+		g.emit(vm.OpLts, r0, r1, r0, 0)
+		g.emit(vm.OpNot, r0, r0, 0, 0)
+	case ">=":
+		g.emit(vm.OpLts, r0, r0, r1, 0)
+		g.emit(vm.OpNot, r0, r0, 0, 0)
+	default:
+		return g.errf(v.line, "unsupported operator %q", v.op)
+	}
+	return nil
+}
+
+func (g *codegen) genCall(c *callExpr) error {
+	switch c.name {
+	case "in":
+		port, err := g.constArg(c, 0, 1)
+		if err != nil {
+			return err
+		}
+		g.emit(vm.OpIn, r0, 0, 0, port)
+		return nil
+	case "out":
+		if len(c.args) != 2 {
+			return g.errf(c.line, "out takes (port, value)")
+		}
+		port, err := g.evalConst(c.args[0])
+		if err != nil {
+			return err
+		}
+		if err := g.genExpr(c.args[1]); err != nil {
+			return err
+		}
+		g.emit(vm.OpOut, r0, 0, 0, port)
+		return nil
+	case "halt":
+		if err := g.checkArity(c, 0); err != nil {
+			return err
+		}
+		g.emit(vm.OpHlt, 0, 0, 0, 0)
+		return nil
+	case "cli":
+		if err := g.checkArity(c, 0); err != nil {
+			return err
+		}
+		g.emit(vm.OpCli, 0, 0, 0, 0)
+		return nil
+	case "sti":
+		if err := g.checkArity(c, 0); err != nil {
+			return err
+		}
+		g.emit(vm.OpSti, 0, 0, 0, 0)
+		return nil
+	case "wfi":
+		if err := g.checkArity(c, 0); err != nil {
+			return err
+		}
+		g.emit(vm.OpWfi, 0, 0, 0, 0)
+		return nil
+	case "memrd":
+		if err := g.checkArity(c, 1); err != nil {
+			return err
+		}
+		if err := g.genExpr(c.args[0]); err != nil {
+			return err
+		}
+		g.emit(vm.OpLoad, r0, r0, 0, 0)
+		return nil
+	case "memwr":
+		if err := g.checkArity(c, 2); err != nil {
+			return err
+		}
+		if err := g.genExpr(c.args[0]); err != nil {
+			return err
+		}
+		g.emit(vm.OpPush, r0, 0, 0, 0)
+		if err := g.genExpr(c.args[1]); err != nil {
+			return err
+		}
+		g.emit(vm.OpPop, r1, 0, 0, 0)
+		g.emit(vm.OpStore, r1, r0, 0, 0)
+		return nil
+	case "addrof":
+		// addrof(arrayName) returns the absolute address of a global array,
+		// allowing guests to build message buffers.
+		if len(c.args) != 1 {
+			return g.errf(c.line, "addrof takes one array name")
+		}
+		id, ok := c.args[0].(*identExpr)
+		if !ok {
+			return g.errf(c.line, "addrof takes an array name")
+		}
+		s, ok := g.syms[id.name]
+		if !ok || (s.kind != symArray && s.kind != symGlobal) {
+			return g.errf(c.line, "%q is not a global or array", id.name)
+		}
+		g.emitDataRef(vm.OpMovi, r0, 0, s.value)
+		return nil
+	case "print":
+		if len(c.args) != 1 {
+			return g.errf(c.line, "print takes one string literal")
+		}
+		s, ok := c.args[0].(*strExpr)
+		if !ok {
+			return g.errf(c.line, "print takes a string literal; use printnum for values")
+		}
+		off, ok := g.strOffs[s.val]
+		if !ok {
+			off = uint32(len(g.data))
+			g.data = append(g.data, s.val...)
+			g.strOffs[s.val] = off
+		}
+		g.needPrints = true
+		g.emitDataRef(vm.OpMovi, r0, 0, off)
+		g.emit(vm.OpPush, r0, 0, 0, 0)
+		g.emit(vm.OpMovi, r0, 0, 0, uint32(len(s.val)))
+		g.emit(vm.OpPush, r0, 0, 0, 0)
+		g.emitLabelRef(vm.OpCall, 0, "f___prints")
+		g.emit(vm.OpAddi, rsp, rsp, 0, 8)
+		return nil
+	case "printnum":
+		if err := g.checkArity(c, 1); err != nil {
+			return err
+		}
+		if err := g.genExpr(c.args[0]); err != nil {
+			return err
+		}
+		g.needPrintnum = true
+		g.emit(vm.OpPush, r0, 0, 0, 0)
+		g.emitLabelRef(vm.OpCall, 0, "f___printnum")
+		g.emit(vm.OpAddi, rsp, rsp, 0, 4)
+		return nil
+	}
+
+	s, ok := g.syms[c.name]
+	if !ok || s.kind != symFunc {
+		return g.errf(c.line, "call to undefined function %q", c.name)
+	}
+	if s.fn.irq >= 0 {
+		return g.errf(c.line, "interrupt handler %q cannot be called directly", c.name)
+	}
+	if len(c.args) != len(s.fn.params) {
+		return g.errf(c.line, "%q takes %d arguments, got %d", c.name, len(s.fn.params), len(c.args))
+	}
+	for _, arg := range c.args {
+		if err := g.genExpr(arg); err != nil {
+			return err
+		}
+		g.emit(vm.OpPush, r0, 0, 0, 0)
+	}
+	g.emitLabelRef(vm.OpCall, 0, "f_"+c.name)
+	if n := len(c.args); n > 0 {
+		g.emit(vm.OpAddi, rsp, rsp, 0, uint32(4*n))
+	}
+	return nil
+}
+
+func (g *codegen) checkArity(c *callExpr, n int) error {
+	if len(c.args) != n {
+		return g.errf(c.line, "%s takes %d arguments, got %d", c.name, n, len(c.args))
+	}
+	return nil
+}
+
+// constArg evaluates argument i of c as a constant, checking total arity.
+func (g *codegen) constArg(c *callExpr, i, arity int) (uint32, error) {
+	if len(c.args) != arity {
+		return 0, g.errf(c.line, "%s takes %d arguments, got %d", c.name, arity, len(c.args))
+	}
+	return g.evalConst(c.args[i])
+}
+
+// --- runtime helpers emitted on demand ---
+
+// genPrintsRuntime emits __prints(addr, len): writes len bytes starting at
+// addr to the console port.
+func (g *codegen) genPrintsRuntime() {
+	g.placeLabel("f___prints")
+	g.emit(vm.OpPush, rfp, 0, 0, 0)
+	g.emit(vm.OpMov, rfp, rsp, 0, 0)
+	// addr at FP+12, len at FP+8 (pushed left to right).
+	g.emit(vm.OpLoad, r2, rfp, 0, 12)
+	g.emit(vm.OpLoad, r3, rfp, 0, 8)
+	loop := g.newLabel("prints_loop")
+	end := g.newLabel("prints_end")
+	g.placeLabel(loop)
+	g.emitLabelRef(vm.OpJz, r3, end)
+	g.emit(vm.OpLoadb, r0, r2, 0, 0)
+	g.emit(vm.OpOut, r0, 0, 0, vm.PortConsole)
+	g.emit(vm.OpAddi, r2, r2, 0, 1)
+	g.emit(vm.OpAddi, r3, r3, 0, 0xFFFFFFFF)
+	g.emitLabelRef(vm.OpJmp, 0, loop)
+	g.placeLabel(end)
+	g.emit(vm.OpMov, rsp, rfp, 0, 0)
+	g.emit(vm.OpPop, rfp, 0, 0, 0)
+	g.emit(vm.OpRet, 0, 0, 0, 0)
+}
+
+// genPrintnumRuntime emits __printnum(v): writes v in decimal to the
+// console port.
+func (g *codegen) genPrintnumRuntime() {
+	g.placeLabel("f___printnum")
+	g.emit(vm.OpPush, rfp, 0, 0, 0)
+	g.emit(vm.OpMov, rfp, rsp, 0, 0)
+	g.emit(vm.OpLoad, r2, rfp, 0, 8) // v
+	g.emit(vm.OpMovi, r3, 0, 0, 10)
+	g.emit(vm.OpMovi, r4, 0, 0, 0) // digit count
+	push := g.newLabel("pn_push")
+	popp := g.newLabel("pn_pop")
+	g.placeLabel(push)
+	g.emit(vm.OpModu, r0, r2, r3, 0)
+	g.emit(vm.OpAddi, r0, r0, 0, '0')
+	g.emit(vm.OpPush, r0, 0, 0, 0)
+	g.emit(vm.OpAddi, r4, r4, 0, 1)
+	g.emit(vm.OpDivu, r2, r2, r3, 0)
+	g.emitLabelRef(vm.OpJnz, r2, push)
+	g.placeLabel(popp)
+	g.emit(vm.OpPop, r0, 0, 0, 0)
+	g.emit(vm.OpOut, r0, 0, 0, vm.PortConsole)
+	g.emit(vm.OpAddi, r4, r4, 0, 0xFFFFFFFF)
+	g.emitLabelRef(vm.OpJnz, r4, popp)
+	g.emit(vm.OpMov, rsp, rfp, 0, 0)
+	g.emit(vm.OpPop, rfp, 0, 0, 0)
+	g.emit(vm.OpRet, 0, 0, 0, 0)
+}

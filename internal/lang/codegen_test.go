@@ -1,0 +1,219 @@
+package lang
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestDataSectionIsPageAligned(t *testing.T) {
+	img, err := Compile("align", `
+		var g = 7;
+		func main() { g = g + 1; }
+	`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.TextSize == 0 || img.TextSize >= len(img.Code) {
+		t.Fatalf("TextSize = %d of %d", img.TextSize, len(img.Code))
+	}
+	dataBase := int(vm.CodeBase) + len(img.Code) - 4 // g's address (single word)
+	if dataBase%vm.PageSize != 0 {
+		t.Fatalf("data section base 0x%x not page aligned", dataBase)
+	}
+}
+
+func TestNestedControlFlow(t *testing.T) {
+	_, devs := runGuest(t, `
+		func main() {
+			var total = 0;
+			var i = 0;
+			while (i < 4) {
+				var j = 0;
+				while (j < 4) {
+					if (i == j) {
+						if (i % 2 == 0) { total = total + 100; }
+						else { total = total + 10; }
+					} else {
+						total = total + 1;
+					}
+					j = j + 1;
+				}
+				i = i + 1;
+			}
+			out(0x60, total);  // 2*100 + 2*10 + 12*1 = 232
+		}
+	`, 1e6)
+	if len(devs.Debug) != 1 || devs.Debug[0] != 232 {
+		t.Fatalf("debug = %v, want [232]", devs.Debug)
+	}
+}
+
+func TestDeepRecursionUsesStackCorrectly(t *testing.T) {
+	_, devs := runGuest(t, `
+		func sum(n) {
+			if (n == 0) { return 0; }
+			return n + sum(n - 1);
+		}
+		func main() { out(0x60, sum(200)); }
+	`, 1e6)
+	if len(devs.Debug) != 1 || devs.Debug[0] != 20100 {
+		t.Fatalf("sum(200) = %v, want 20100", devs.Debug)
+	}
+}
+
+func TestMultipleParametersEvaluationOrder(t *testing.T) {
+	_, devs := runGuest(t, `
+		var trace = 0;
+		func mark(v) { trace = trace * 10 + v; return v; }
+		func three(a, b, c) { return a * 100 + b * 10 + c; }
+		func main() {
+			out(0x60, three(mark(1), mark(2), mark(3)));
+			out(0x60, trace);
+		}
+	`, 1e6)
+	if len(devs.Debug) != 2 || devs.Debug[0] != 123 || devs.Debug[1] != 123 {
+		t.Fatalf("debug = %v, want [123 123] (left-to-right evaluation)", devs.Debug)
+	}
+}
+
+func TestInterruptHandlerPreservesScratchRegisters(t *testing.T) {
+	// A handler that does heavy register work must not corrupt the
+	// interrupted computation.
+	src := `
+		var ticks = 0;
+		interrupt(0) func noisy() {
+			var a = 111;
+			var b = 222;
+			var c = a * b + 333;
+			ticks = ticks + (c & 1);
+		}
+		func main() {
+			sti();
+			var total = 0;
+			var i = 0;
+			while (i < 2000) {
+				total = total + i * 3 + 1;
+				i = i + 1;
+			}
+			out(0x60, total);
+		}
+	`
+	img, err := Compile("scratch", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run once without interrupts for the reference answer.
+	devs1 := vm.NewDeviceSet(1)
+	m1, err := img.Boot(devs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Run(1e6)
+	want := devs1.Debug[0]
+
+	// Run again with the timer hammering every 150 instructions.
+	devs2 := vm.NewDeviceSet(1)
+	m2, err := img.Boot(devs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000 && !m2.Halted; i++ {
+		m2.Run(150)
+		m2.RaiseIRQ(0)
+	}
+	m2.Run(1e6)
+	if m2.FaultInfo != nil {
+		t.Fatalf("fault under interrupt load: %v", m2.FaultInfo)
+	}
+	if got := devs2.Debug[0]; got != want {
+		t.Fatalf("interrupts corrupted computation: %d != %d", got, want)
+	}
+}
+
+func TestShadowingParamRejected(t *testing.T) {
+	_, err := Compile("t", `func f(a) { var a = 1; } func main() { f(0); }`, Options{})
+	if err == nil {
+		t.Fatal("parameter shadowing accepted")
+	}
+}
+
+func TestCallInterruptHandlerRejected(t *testing.T) {
+	_, err := Compile("t", `
+		interrupt(0) func h() { }
+		func main() { h(); }
+	`, Options{})
+	if err == nil {
+		t.Fatal("direct call of interrupt handler accepted")
+	}
+}
+
+func TestCharLiteralsAndEscapes(t *testing.T) {
+	_, devs := runGuest(t, `
+		func main() {
+			out(0x60, 'A');
+			out(0x60, '\n');
+			out(0x60, '\\');
+			out(0x60, '\'');
+			out(0x60, '\0');
+		}
+	`, 1e5)
+	want := []uint32{65, 10, 92, 39, 0}
+	for i, w := range want {
+		if devs.Debug[i] != w {
+			t.Errorf("char %d = %d, want %d", i, devs.Debug[i], w)
+		}
+	}
+}
+
+func TestHexLiteralsAndOperatorPrecedence(t *testing.T) {
+	_, devs := runGuest(t, `
+		func main() {
+			out(0x60, 0xFF + 1);
+			out(0x60, 2 + 3 * 4 - 1);        // 13
+			out(0x60, 1 << 2 + 1);           // shift binds tighter than? precedence: + tighter than <<: 1<<3 = 8
+			out(0x60, (7 & 3) | (4 ^ 1));    // 3 | 5 = 7
+			out(0x60, 10 > 3 == 1);          // (10>3)==1 = 1
+		}
+	`, 1e5)
+	want := []uint32{256, 13, 8, 7, 1}
+	for i, w := range want {
+		if devs.Debug[i] != w {
+			t.Errorf("expr %d = %d, want %d", i, devs.Debug[i], w)
+		}
+	}
+}
+
+func TestEmptyFunctionAndVoidReturn(t *testing.T) {
+	_, devs := runGuest(t, `
+		func nothing() { }
+		func early(v) {
+			if (v > 5) { return 1; }
+			return;
+		}
+		func main() {
+			nothing();
+			out(0x60, early(10));
+			out(0x60, early(1));
+		}
+	`, 1e5)
+	if devs.Debug[0] != 1 || devs.Debug[1] != 0 {
+		t.Fatalf("debug = %v", devs.Debug)
+	}
+}
+
+func TestWhileOverUnsignedBoundary(t *testing.T) {
+	// Signed comparison semantics: a loop counting down past zero must
+	// terminate via the signed < test.
+	_, devs := runGuest(t, `
+		func main() {
+			var i = 3;
+			var n = 0;
+			while (i >= 0) { n = n + 1; i = i - 1; }
+			out(0x60, n);
+		}
+	`, 1e5)
+	if devs.Debug[0] != 4 {
+		t.Fatalf("iterations = %d, want 4", devs.Debug[0])
+	}
+}

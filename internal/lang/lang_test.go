@@ -1,0 +1,269 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// runGuest compiles src, boots it with a fresh device set, runs up to
+// maxInstr instructions, and returns the machine and devices.
+func runGuest(t *testing.T, src string, maxInstr uint64) (*vm.Machine, *vm.DeviceSet) {
+	t.Helper()
+	img, err := Compile("test", src, Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	devs := vm.NewDeviceSet(1)
+	m, err := img.Boot(devs)
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	m.Run(maxInstr)
+	if m.FaultInfo != nil {
+		t.Fatalf("guest faulted: %v", m.FaultInfo)
+	}
+	return m, devs
+}
+
+func TestArithmetic(t *testing.T) {
+	_, devs := runGuest(t, `
+		func main() {
+			debugout(2 + 3 * 4);          // 14
+			debugout(10 - 3);             // 7
+			debugout(100 / 7);            // 14
+			debugout(100 % 7);            // 2
+			debugout(1 << 10);            // 1024
+			debugout(0xFF00 >> 8);        // 0xFF
+			debugout(0xF0 & 0x3C);        // 0x30
+			debugout(0xF0 | 0x0F);        // 0xFF
+			debugout(0xFF ^ 0x0F);        // 0xF0
+			debugout(-5 + 6);             // 1
+			debugout(~0);                 // 0xFFFFFFFF
+		}
+		func debugout(v) { out(0x60, v); }
+	`, 1e6)
+	want := []uint32{14, 7, 14, 2, 1024, 0xFF, 0x30, 0xFF, 0xF0, 1, 0xFFFFFFFF}
+	if len(devs.Debug) != len(want) {
+		t.Fatalf("debug trace = %v, want %v", devs.Debug, want)
+	}
+	for i, w := range want {
+		if devs.Debug[i] != w {
+			t.Errorf("debug[%d] = %d, want %d", i, devs.Debug[i], w)
+		}
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	_, devs := runGuest(t, `
+		func main() {
+			out(0x60, 3 < 5);
+			out(0x60, 5 < 3);
+			out(0x60, -1 < 1);      // signed comparison
+			out(0x60, 3 <= 3);
+			out(0x60, 4 > 3);
+			out(0x60, 3 >= 4);
+			out(0x60, 3 == 3);
+			out(0x60, 3 != 3);
+			out(0x60, 1 && 2);
+			out(0x60, 0 && crash());
+			out(0x60, 1 || crash());
+			out(0x60, 0 || 0);
+			out(0x60, !5);
+			out(0x60, !0);
+		}
+		func crash() { out(0x60, 999); return 1; }
+	`, 1e6)
+	want := []uint32{1, 0, 1, 1, 1, 0, 1, 0, 1, 0, 1, 0, 0, 1}
+	if len(devs.Debug) != len(want) {
+		t.Fatalf("debug trace = %v, want %v", devs.Debug, want)
+	}
+	for i, w := range want {
+		if devs.Debug[i] != w {
+			t.Errorf("debug[%d] = %d, want %d", i, devs.Debug[i], w)
+		}
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	_, devs := runGuest(t, `
+		func fib(n) {
+			if (n < 2) { return n; }
+			return fib(n - 1) + fib(n - 2);
+		}
+		func main() {
+			out(0x60, fib(15));
+		}
+	`, 1e7)
+	if len(devs.Debug) != 1 || devs.Debug[0] != 610 {
+		t.Fatalf("fib(15) via debug port = %v, want [610]", devs.Debug)
+	}
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	_, devs := runGuest(t, `
+		var counter = 7;
+		var table[10];
+		func main() {
+			var i = 0;
+			while (i < 10) {
+				table[i] = i * i;
+				i = i + 1;
+			}
+			counter = counter + table[9];
+			out(0x60, counter);   // 7 + 81
+			out(0x60, table[3]);  // 9
+		}
+	`, 1e6)
+	if len(devs.Debug) != 2 || devs.Debug[0] != 88 || devs.Debug[1] != 9 {
+		t.Fatalf("debug trace = %v, want [88 9]", devs.Debug)
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	_, devs := runGuest(t, `
+		func main() {
+			var i = 0;
+			var sum = 0;
+			while (1) {
+				i = i + 1;
+				if (i > 10) { break; }
+				if (i % 2 == 0) { continue; }
+				sum = sum + i;   // 1+3+5+7+9
+			}
+			out(0x60, sum);
+		}
+	`, 1e6)
+	if len(devs.Debug) != 1 || devs.Debug[0] != 25 {
+		t.Fatalf("debug trace = %v, want [25]", devs.Debug)
+	}
+}
+
+func TestPrintAndPrintnum(t *testing.T) {
+	_, devs := runGuest(t, `
+		func main() {
+			print("value=");
+			printnum(1234);
+			print("\n");
+			printnum(0);
+		}
+	`, 1e6)
+	got := devs.Console.String()
+	if got != "value=1234\n0" {
+		t.Fatalf("console = %q, want %q", got, "value=1234\n0")
+	}
+}
+
+func TestConstFolding(t *testing.T) {
+	_, devs := runGuest(t, `
+		const A = 10;
+		const B = A * 4 + 2;
+		var g = B;
+		func main() { out(0x60, g + A); }
+	`, 1e6)
+	if len(devs.Debug) != 1 || devs.Debug[0] != 52 {
+		t.Fatalf("debug trace = %v, want [52]", devs.Debug)
+	}
+}
+
+func TestInterruptHandler(t *testing.T) {
+	src := `
+		var ticks;
+		interrupt(0) func on_timer() {
+			ticks = ticks + 1;
+		}
+		func main() {
+			sti();
+			while (ticks < 3) { }
+			out(0x60, ticks);
+		}
+	`
+	img, err := Compile("irqtest", src, Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	devs := vm.NewDeviceSet(1)
+	m, err := img.Boot(devs)
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	// Drive the machine manually, raising the timer IRQ every 200
+	// instructions.
+	for i := 0; i < 100; i++ {
+		m.Run(200)
+		if m.Halted {
+			break
+		}
+		m.RaiseIRQ(vm.IRQTimer)
+	}
+	if m.FaultInfo != nil {
+		t.Fatalf("guest faulted: %v", m.FaultInfo)
+	}
+	if len(devs.Debug) != 1 || devs.Debug[0] != 3 {
+		t.Fatalf("debug trace = %v, want [3]", devs.Debug)
+	}
+}
+
+func TestMemrdMemwrAddrof(t *testing.T) {
+	_, devs := runGuest(t, `
+		var buf[4];
+		func main() {
+			var p = addrof(buf);
+			memwr(p, 0xAABBCCDD);
+			buf[1] = 7;
+			out(0x60, buf[0]);
+			out(0x60, memrd(p + 4));
+		}
+	`, 1e6)
+	if len(devs.Debug) != 2 || devs.Debug[0] != 0xAABBCCDD || devs.Debug[1] != 7 {
+		t.Fatalf("debug trace = %v", devs.Debug)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no main", `func f() {}`, "no main"},
+		{"undefined", `func main() { x = 1; }`, "cannot assign"},
+		{"undefined call", `func main() { f(); }`, "undefined function"},
+		{"arity", `func f(a) {} func main() { f(); }`, "takes 1 arguments"},
+		{"dup global", `var a; var a; func main() {}`, "duplicate"},
+		{"break outside", `func main() { break; }`, "break outside loop"},
+		{"bad string", `func main() { var s = "x"; }`, "string literals"},
+		{"array init", `var a[3] = 5; func main() {}`, "initializer"},
+		{"local array", `func main() { var a[3]; }`, "file scope"},
+		{"irq range", `interrupt(99) func h() {} func main() {}`, "out of range"},
+		{"nonconst port", `func main() { var p = 1; in(p); }`, "not a constant"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile("t", c.src, Options{})
+			if err == nil {
+				t.Fatalf("compile succeeded, want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %v, want it to contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestDeterministicCompilation(t *testing.T) {
+	src := `
+		var a[10];
+		func main() { var i = 0; while (i < 10) { a[i] = i; i = i + 1; } print("done"); }
+	`
+	img1, err := Compile("d", src, Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	img2, err := Compile("d", src, Options{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if img1.Hash() != img2.Hash() {
+		t.Fatal("same source compiled to different images")
+	}
+}

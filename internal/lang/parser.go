@@ -1,0 +1,453 @@
+package lang
+
+import "fmt"
+
+type parser struct {
+	name string
+	toks []token
+	pos  int
+}
+
+func parse(name, src string) (*program, error) {
+	toks, err := lex(name, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{name: name, toks: toks}
+	prog := &program{}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokIdent, "const"):
+			d, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.consts = append(prog.consts, d)
+		case p.at(tokIdent, "var"):
+			d, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.globals = append(prog.globals, d)
+		case p.at(tokIdent, "func") || p.at(tokIdent, "interrupt"):
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, f)
+		default:
+			return nil, p.errorf("expected declaration, found %v", p.peek())
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) line() int   { return p.peek().line }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = map[tokKind]string{tokIdent: "identifier", tokNumber: "number", tokString: "string"}[kind]
+	}
+	return token{}, p.errorf("expected %s, found %v", want, p.peek())
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return &CompileError{Name: p.name, Line: p.line(), Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) constDecl() (*constDecl, error) {
+	line := p.line()
+	p.next() // const
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &constDecl{name: name.text, expr: e, line: line}, nil
+}
+
+func (p *parser) varDecl() (*varDecl, error) {
+	line := p.line()
+	p.next() // var
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	d := &varDecl{name: name.text, line: line}
+	if p.accept(tokPunct, "[") {
+		d.arrayLen, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokPunct, "=") {
+		d.init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if d.arrayLen != nil && d.init != nil {
+		return nil, &CompileError{Name: p.name, Line: line, Msg: "array declarations cannot have initializers"}
+	}
+	return d, nil
+}
+
+func (p *parser) funcDecl() (*funcDecl, error) {
+	line := p.line()
+	irq := -1
+	if p.accept(tokIdent, "interrupt") {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		num, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		irq = int(num.num)
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokIdent, "func"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	f := &funcDecl{name: name.text, irq: irq, line: line}
+	if !p.at(tokPunct, ")") {
+		for {
+			param, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			f.params = append(f.params, param.text)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if irq >= 0 && len(f.params) > 0 {
+		return nil, &CompileError{Name: p.name, Line: line, Msg: "interrupt handlers take no parameters"}
+	}
+	f.body, err = p.block()
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (p *parser) block() ([]stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []stmt
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errorf("unexpected end of input in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // }
+	return stmts, nil
+}
+
+func (p *parser) stmt() (stmt, error) {
+	line := p.line()
+	switch {
+	case p.at(tokIdent, "var"):
+		d, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		if d.arrayLen != nil {
+			return nil, &CompileError{Name: p.name, Line: d.line, Msg: "local arrays are not supported; declare arrays at file scope"}
+		}
+		return &localDecl{decl: d}, nil
+	case p.at(tokIdent, "if"):
+		return p.ifStmt()
+	case p.at(tokIdent, "while"):
+		p.next()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{cond: cond, body: body, line: line}, nil
+	case p.at(tokIdent, "return"):
+		p.next()
+		s := &returnStmt{line: line}
+		if !p.at(tokPunct, ";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.value = e
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case p.at(tokIdent, "break"):
+		p.next()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &breakStmt{line: line}, nil
+	case p.at(tokIdent, "continue"):
+		p.next()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &continueStmt{line: line}, nil
+	}
+
+	// Assignment or expression statement. Disambiguate by looking ahead:
+	// IDENT "=" ... or IDENT "[" ... "]" "=" ... are assignments.
+	if p.at(tokIdent, "") {
+		save := p.pos
+		name := p.next()
+		if p.accept(tokPunct, "=") {
+			value, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return &assignStmt{name: name.text, value: value, line: line}, nil
+		}
+		if p.accept(tokPunct, "[") {
+			index, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			if p.accept(tokPunct, "=") {
+				value, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokPunct, ";"); err != nil {
+					return nil, err
+				}
+				return &assignStmt{name: name.text, index: index, value: value, line: line}, nil
+			}
+		}
+		p.pos = save
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &exprStmt{e: e, line: line}, nil
+}
+
+func (p *parser) ifStmt() (stmt, error) {
+	line := p.line()
+	p.next() // if
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &ifStmt{cond: cond, then: then, line: line}
+	if p.accept(tokIdent, "else") {
+		if p.at(tokIdent, "if") {
+			elif, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.else_ = []stmt{elif}
+		} else {
+			s.else_, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// Operator precedence, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) expr() (expr, error) { return p.binExpr(0) }
+
+func (p *parser) binExpr(level int) (expr, error) {
+	if level >= len(precLevels) {
+		return p.unaryExpr()
+	}
+	x, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.at(tokPunct, op) {
+				line := p.line()
+				p.next()
+				y, err := p.binExpr(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				x = &binExpr{op: op, x: x, y: y, line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (expr, error) {
+	line := p.line()
+	for _, op := range []string{"-", "!", "~"} {
+		if p.at(tokPunct, op) {
+			p.next()
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &unaryExpr{op: op, x: x, line: line}, nil
+		}
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return &numExpr{val: t.num, line: t.line}, nil
+	case t.kind == tokString:
+		p.next()
+		return &strExpr{val: t.text, line: t.line}, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.accept(tokPunct, "(") {
+			call := &callExpr{name: t.text, line: t.line}
+			if !p.at(tokPunct, ")") {
+				for {
+					arg, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.args = append(call.args, arg)
+					if !p.accept(tokPunct, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		if p.accept(tokPunct, "[") {
+			index, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return &indexExpr{name: t.text, index: index, line: t.line}, nil
+		}
+		return &identExpr{name: t.text, line: t.line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errorf("expected expression, found %v", t)
+}

@@ -1,0 +1,139 @@
+package logcomp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tevlog"
+)
+
+func randomEntries(rng *rand.Rand, n int) []tevlog.Entry {
+	entries := make([]tevlog.Entry, n)
+	for i := range entries {
+		content := make([]byte, rng.Intn(60))
+		rng.Read(content)
+		entries[i] = tevlog.Entry{
+			Seq:     uint64(i + 1),
+			Type:    tevlog.EntryType(rng.Intn(7) + 1),
+			Content: content,
+		}
+	}
+	return entries
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	entries := randomEntries(rng, 200)
+	comp := CompressEntries(entries)
+	back, err := DecompressEntries(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("got %d entries, want %d", len(back), len(entries))
+	}
+	for i := range entries {
+		if back[i].Seq != entries[i].Seq || back[i].Type != entries[i].Type ||
+			!bytes.Equal(back[i].Content, entries[i].Content) {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestCompressEmpty(t *testing.T) {
+	comp := CompressEntries(nil)
+	back, err := DecompressEntries(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Fatalf("got %d entries from empty log", len(back))
+	}
+}
+
+// TestPropertyRoundTripLossless: the compressor is lossless for arbitrary
+// entry streams — the "lossless, VMM-specific" requirement of §6.4.
+func TestPropertyRoundTripLossless(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		entries := randomEntries(rng, int(nRaw%100)+1)
+		back, err := DecompressEntries(CompressEntries(entries))
+		if err != nil || len(back) != len(entries) {
+			return false
+		}
+		for i := range entries {
+			if back[i].Seq != entries[i].Seq || back[i].Type != entries[i].Type ||
+				!bytes.Equal(back[i].Content, entries[i].Content) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStructuredLogsCompressWell(t *testing.T) {
+	// A log shaped like real AVMM traffic: repeated types, consecutive
+	// sequence numbers, near-monotonic contents.
+	entries := make([]tevlog.Entry, 2000)
+	clock := uint64(1000)
+	for i := range entries {
+		clock += 37
+		entries[i] = tevlog.Entry{
+			Seq:     uint64(i + 1),
+			Type:    tevlog.TypeNondet,
+			Content: []byte{1, byte(clock), byte(clock >> 8), byte(clock >> 16)},
+		}
+	}
+	raw := tevlog.MarshalSegment(entries)
+	comp := CompressEntries(entries)
+	if len(comp) >= len(raw)/3 {
+		t.Fatalf("structured log compressed to %d of %d bytes; want at least 3x", len(comp), len(raw))
+	}
+	flateOnly := Flate(raw)
+	if len(comp) >= len(flateOnly) {
+		t.Fatalf("columnar (%d) did not beat flate alone (%d)", len(comp), len(flateOnly))
+	}
+}
+
+func TestFlateRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte("accountable virtual machines "), 100)
+	comp := Flate(data)
+	if len(comp) >= len(data) {
+		t.Fatalf("flate did not compress: %d >= %d", len(comp), len(data))
+	}
+	back, err := Unflate(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("flate round trip failed")
+	}
+	if _, err := Unflate([]byte("not flate data")); err == nil {
+		t.Fatal("garbage decompressed")
+	}
+}
+
+func TestDecompressRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	comp := CompressEntries(randomEntries(rng, 50))
+	if _, err := DecompressEntries([]byte("XXXX")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := DecompressEntries(comp[:len(comp)/2]); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(100, 25) != 0.25 {
+		t.Fatal("ratio wrong")
+	}
+	if Ratio(0, 10) != 1 {
+		t.Fatal("zero original should yield 1")
+	}
+}

@@ -1,0 +1,165 @@
+// Package merkle implements the hash tree the AVMM maintains over the AVM's
+// state (paper §4.4, "Snapshots"). After each snapshot the monitor records
+// the top-level hash in the tamper-evident log; an auditor who downloads a
+// snapshot — or only the parts of the state accessed during replay — can
+// authenticate what it received against that root.
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HashSize is the size in bytes of all hashes used by the tree.
+const HashSize = sha256.Size
+
+// Hash is a node or leaf digest.
+type Hash [HashSize]byte
+
+// leafPrefix and innerPrefix domain-separate leaf hashes from interior
+// hashes so that an interior node can never be presented as a leaf.
+const (
+	leafPrefix  = 0x00
+	innerPrefix = 0x01
+)
+
+// HashLeaf digests one leaf (a page of machine state) together with its
+// index, so that identical pages at different indices hash differently.
+func HashLeaf(index int, data []byte) Hash {
+	h := sha256.New()
+	var hdr [9]byte
+	hdr[0] = leafPrefix
+	binary.BigEndian.PutUint64(hdr[1:], uint64(index))
+	h.Write(hdr[:])
+	h.Write(data)
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func hashInner(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{innerPrefix})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Tree is a fixed-shape binary hash tree over a constant number of leaves.
+// The AVMM builds one tree per state region (memory pages, disk blocks) and
+// updates leaves incrementally as pages are dirtied.
+type Tree struct {
+	leaves int
+	// nodes stores the complete binary tree in heap order: nodes[1] is the
+	// root, nodes[2i] and nodes[2i+1] are children of nodes[i]. Leaf i lives
+	// at nodes[base+i] where base is the number of internal slots.
+	nodes []Hash
+	base  int
+}
+
+// New builds a tree over nLeaves leaves, all initialized to the hash of an
+// empty page. nLeaves is rounded up to a power of two internally.
+func New(nLeaves int) *Tree {
+	if nLeaves < 1 {
+		nLeaves = 1
+	}
+	base := 1
+	for base < nLeaves {
+		base *= 2
+	}
+	t := &Tree{leaves: nLeaves, base: base, nodes: make([]Hash, 2*base)}
+	empty := HashLeaf(0, nil)
+	for i := 0; i < base; i++ {
+		if i < nLeaves {
+			t.nodes[base+i] = HashLeaf(i, nil)
+		} else {
+			t.nodes[base+i] = empty
+		}
+	}
+	for i := base - 1; i >= 1; i-- {
+		t.nodes[i] = hashInner(t.nodes[2*i], t.nodes[2*i+1])
+	}
+	return t
+}
+
+// Leaves returns the number of addressable leaves.
+func (t *Tree) Leaves() int { return t.leaves }
+
+// Update recomputes the path from leaf index to the root after the leaf's
+// data changed. It is O(log n), which is what makes incremental snapshots
+// cheap (§4.4).
+func (t *Tree) Update(index int, data []byte) error {
+	if index < 0 || index >= t.leaves {
+		return fmt.Errorf("merkle: leaf index %d out of range [0,%d)", index, t.leaves)
+	}
+	i := t.base + index
+	t.nodes[i] = HashLeaf(index, data)
+	for i > 1 {
+		i /= 2
+		t.nodes[i] = hashInner(t.nodes[2*i], t.nodes[2*i+1])
+	}
+	return nil
+}
+
+// Root returns the current top-level hash.
+func (t *Tree) Root() Hash { return t.nodes[1] }
+
+// Proof is an inclusion proof: the sibling hashes on the path from a leaf
+// to the root. An auditor uses proofs to authenticate partial state
+// downloads ("incrementally request the parts of the state that are
+// accessed during replay", §4.4).
+type Proof struct {
+	Index    int
+	Siblings []Hash
+}
+
+// Prove returns the inclusion proof for leaf index.
+func (t *Tree) Prove(index int) (Proof, error) {
+	if index < 0 || index >= t.leaves {
+		return Proof{}, fmt.Errorf("merkle: leaf index %d out of range [0,%d)", index, t.leaves)
+	}
+	p := Proof{Index: index}
+	for i := t.base + index; i > 1; i /= 2 {
+		p.Siblings = append(p.Siblings, t.nodes[i^1])
+	}
+	return p, nil
+}
+
+// ErrProofMismatch reports that a proof does not connect the claimed leaf
+// data to the given root.
+var ErrProofMismatch = errors.New("merkle: proof does not match root")
+
+// VerifyProof checks that data is the content of leaf proof.Index in a tree
+// whose root is root.
+func VerifyProof(root Hash, proof Proof, data []byte) error {
+	h := HashLeaf(proof.Index, data)
+	pos := proof.Index
+	for _, sib := range proof.Siblings {
+		if pos%2 == 0 {
+			h = hashInner(h, sib)
+		} else {
+			h = hashInner(sib, h)
+		}
+		pos /= 2
+	}
+	if h != root {
+		return ErrProofMismatch
+	}
+	return nil
+}
+
+// RootOf computes the root over a full set of leaves without building a
+// persistent tree. Used by auditors to check a downloaded snapshot against
+// the root recorded in the log (§4.5, "Verifying the snapshot").
+func RootOf(leaves [][]byte) Hash {
+	t := New(len(leaves))
+	for i, leaf := range leaves {
+		// Update cannot fail: i is always in range.
+		_ = t.Update(i, leaf)
+	}
+	return t.Root()
+}

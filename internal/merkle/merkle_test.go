@@ -1,0 +1,159 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRootChangesWithAnyLeaf(t *testing.T) {
+	tr := New(16)
+	r0 := tr.Root()
+	if err := tr.Update(3, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	r1 := tr.Root()
+	if r0 == r1 {
+		t.Fatal("root unchanged after update")
+	}
+	if err := tr.Update(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root() != r0 {
+		t.Fatal("root did not return after undo")
+	}
+}
+
+func TestProveVerify(t *testing.T) {
+	tr := New(10)
+	leaves := make([][]byte, 10)
+	for i := range leaves {
+		leaves[i] = []byte{byte(i), byte(i * 3)}
+		if err := tr.Update(i, leaves[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := tr.Root()
+	for i := range leaves {
+		p, err := tr.Prove(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyProof(root, p, leaves[i]); err != nil {
+			t.Fatalf("leaf %d proof rejected: %v", i, err)
+		}
+		// Wrong data must fail.
+		if VerifyProof(root, p, []byte("bogus")) == nil {
+			t.Fatalf("leaf %d accepted wrong data", i)
+		}
+	}
+}
+
+func TestProofDoesNotTransferBetweenLeaves(t *testing.T) {
+	tr := New(8)
+	same := []byte("identical")
+	for i := 0; i < 8; i++ {
+		if err := tr.Update(i, same); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p0, err := tr.Prove(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := tr.Prove(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indexed leaf hashing: a proof for leaf 0 must not verify with leaf
+	// 1's index even though contents are identical.
+	p0.Index = 1
+	if VerifyProof(tr.Root(), p0, same) == nil {
+		t.Fatal("proof transferred to another index")
+	}
+	p0.Index = 0
+	if err := VerifyProof(tr.Root(), p0, same); err != nil {
+		t.Fatal(err)
+	}
+	_ = p1
+}
+
+func TestBoundsChecking(t *testing.T) {
+	tr := New(4)
+	if err := tr.Update(-1, nil); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := tr.Update(4, nil); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := tr.Prove(9); err == nil {
+		t.Error("out-of-range proof accepted")
+	}
+	if New(0).Leaves() != 1 {
+		t.Error("zero-leaf tree not clamped")
+	}
+}
+
+func TestRootOfMatchesIncremental(t *testing.T) {
+	leaves := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc"), nil, []byte("e")}
+	tr := New(len(leaves))
+	for i, l := range leaves {
+		if err := tr.Update(i, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Root() != RootOf(leaves) {
+		t.Fatal("RootOf disagrees with incremental tree")
+	}
+}
+
+// TestPropertyProofSoundness: random trees, random tampering — a proof
+// verifies iff leaf data and index match what the tree committed to.
+func TestPropertyProofSoundness(t *testing.T) {
+	f := func(seed int64, nRaw uint8, idxRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%60) + 2
+		tr := New(n)
+		leaves := make([][]byte, n)
+		for i := range leaves {
+			leaves[i] = make([]byte, rng.Intn(50))
+			rng.Read(leaves[i])
+			if err := tr.Update(i, leaves[i]); err != nil {
+				return false
+			}
+		}
+		idx := int(idxRaw) % n
+		p, err := tr.Prove(idx)
+		if err != nil {
+			return false
+		}
+		if VerifyProof(tr.Root(), p, leaves[idx]) != nil {
+			return false
+		}
+		tampered := append([]byte(nil), leaves[idx]...)
+		tampered = append(tampered, 0xFF)
+		return VerifyProof(tr.Root(), p, tampered) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonPowerOfTwoLeafCounts(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 7, 9, 100, 127} {
+		tr := New(n)
+		if tr.Leaves() != n {
+			t.Fatalf("Leaves() = %d, want %d", tr.Leaves(), n)
+		}
+		if err := tr.Update(n-1, []byte("last")); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		p, err := tr.Prove(n - 1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := VerifyProof(tr.Root(), p, []byte("last")); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package metrics provides the small statistical and formatting helpers the
+// experiment harness uses: percentiles, rates, and aligned table rendering
+// in the style of the paper's figures.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0-100) of samples using
+// nearest-rank on a sorted copy.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(p/100*float64(len(s))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// Median returns the 50th percentile.
+func Median(samples []float64) float64 { return Percentile(samples, 50) }
+
+// Mean returns the arithmetic mean.
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// MBPerMinute converts (bytes, duration ns) to MB/minute.
+func MBPerMinute(bytes int, durationNs uint64) float64 {
+	if durationNs == 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 * 60e9 / float64(durationNs)
+}
+
+// Kbps converts (bytes, duration ns) to kilobits per second.
+func Kbps(bytes int, durationNs uint64) float64 {
+	if durationNs == 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / 1e3 * 1e9 / float64(durationNs)
+}
+
+// Table renders rows with aligned columns; the first row is the header.
+type Table struct {
+	Title string
+	rows  [][]string
+}
+
+// NewTable creates a table with the given header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, rows: [][]string{header}}
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, 0)
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	for r, row := range t.rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if r == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

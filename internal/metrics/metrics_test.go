@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	samples := []float64{5, 1, 4, 2, 3}
+	if Median(samples) != 3 {
+		t.Fatalf("median = %v", Median(samples))
+	}
+	if Percentile(samples, 0) != 1 || Percentile(samples, 100) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty should be 0")
+	}
+	// Input must not be reordered.
+	if samples[0] != 5 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+}
+
+func TestRates(t *testing.T) {
+	// 60 MB over one minute = 60 MB/min.
+	if got := MBPerMinute(60_000_000, 60_000_000_000); got != 60 {
+		t.Fatalf("MBPerMinute = %v", got)
+	}
+	// 1000 bytes over 1 second = 8 kbps.
+	if got := Kbps(1000, 1_000_000_000); got != 8 {
+		t.Fatalf("Kbps = %v", got)
+	}
+	if MBPerMinute(1, 0) != 0 || Kbps(1, 0) != 0 {
+		t.Fatal("zero duration should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.Row("alpha", 1)
+	tab.Row("b", 12.345)
+	out := tab.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "12.35") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every data line at least as wide as the header.
+	if len(lines[3]) < len("name") {
+		t.Fatal("row narrower than header")
+	}
+}

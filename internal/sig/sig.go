@@ -1,0 +1,350 @@
+// Package sig provides the signing and identity primitives the AVMM relies
+// on (paper §4.1, assumption 3): each party holds a certified keypair, and
+// neither signatures nor certificates can be forged.
+//
+// The paper's prototype uses 768-bit RSA keys; that is the default here as
+// well. A NullSigner implements the avmm-nosig evaluation configuration, in
+// which the tamper-evident machinery runs but no cryptographic signatures
+// are produced.
+//
+// Key generation draws from a seeded stream for reproducibility of the
+// surrounding experiments; the protocols never rely on regenerating a key —
+// verifiers travel through the KeyStore and certificates.
+package sig
+
+import (
+	"crypto"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultKeyBits is the RSA modulus size used throughout the evaluation,
+// matching the paper's 768-bit keys (§6.2).
+const DefaultKeyBits = 768
+
+// NodeID names a principal: a machine or a user.
+type NodeID string
+
+// Signer produces signatures under a principal's private key.
+type Signer interface {
+	// ID returns the principal this signer signs for.
+	ID() NodeID
+	// Sign returns a signature over msg.
+	Sign(msg []byte) []byte
+	// SigLen returns the length in bytes of signatures produced by Sign.
+	// It is used for network-overhead accounting.
+	SigLen() int
+	// Public returns the verifier for this signer's public key.
+	Public() Verifier
+}
+
+// Verifier checks signatures produced by a principal.
+type Verifier interface {
+	// ID returns the principal whose signatures this verifier checks.
+	ID() NodeID
+	// Verify reports whether signature is a valid signature over msg.
+	Verify(msg, signature []byte) bool
+	// Marshal returns a serialized form of the public key.
+	Marshal() []byte
+}
+
+// detReader is a deterministic stream of pseudo-random bytes derived from a
+// seed with SHA-256 in counter mode. It lets key generation be reproducible.
+type detReader struct {
+	seed    [32]byte
+	counter uint64
+	buf     []byte
+}
+
+func newDetReader(seed string) *detReader {
+	return &detReader{seed: sha256.Sum256([]byte(seed))}
+}
+
+func (r *detReader) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if len(r.buf) == 0 {
+			var block [40]byte
+			copy(block[:32], r.seed[:])
+			binary.BigEndian.PutUint64(block[32:], r.counter)
+			r.counter++
+			sum := sha256.Sum256(block[:])
+			r.buf = sum[:]
+		}
+		c := copy(p[n:], r.buf)
+		r.buf = r.buf[c:]
+		n += c
+	}
+	return n, nil
+}
+
+// RSASigner signs with an RSA private key using PKCS#1 v1.5 over SHA-256.
+type RSASigner struct {
+	id   NodeID
+	key  *rsa.PrivateKey
+	bits int
+}
+
+// GenerateRSA generates an RSA keypair for id from a seeded random stream.
+// Note that crypto/rsa deliberately injects extra randomness during key
+// generation, so the same seed is NOT guaranteed to reproduce the same key;
+// the protocols in this repository never rely on regenerating a key — all
+// verifiers are distributed explicitly through the KeyStore or via
+// certificates.
+func GenerateRSA(id NodeID, bits int, seed string) (*RSASigner, error) {
+	if bits < 512 {
+		return nil, fmt.Errorf("sig: key size %d too small (min 512)", bits)
+	}
+	key, err := rsa.GenerateKey(newDetReader(seed+"/"+string(id)), bits)
+	if err != nil {
+		return nil, fmt.Errorf("sig: generating %d-bit key for %q: %w", bits, id, err)
+	}
+	return &RSASigner{id: id, key: key, bits: bits}, nil
+}
+
+// MustGenerateRSA is GenerateRSA but panics on error; key generation with
+// valid parameters cannot fail.
+func MustGenerateRSA(id NodeID, bits int, seed string) *RSASigner {
+	s, err := GenerateRSA(id, bits, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ID returns the principal this signer signs for.
+func (s *RSASigner) ID() NodeID { return s.id }
+
+// Sign returns an RSA PKCS#1 v1.5 signature over the SHA-256 digest of msg.
+func (s *RSASigner) Sign(msg []byte) []byte {
+	digest := sha256.Sum256(msg)
+	signature, err := rsa.SignPKCS1v15(nil, s.key, crypto.SHA256, digest[:])
+	if err != nil {
+		// Signing with a valid key and digest cannot fail.
+		panic(fmt.Sprintf("sig: RSA signing failed: %v", err))
+	}
+	return signature
+}
+
+// SigLen returns the modulus size in bytes.
+func (s *RSASigner) SigLen() int { return (s.bits + 7) / 8 }
+
+// Public returns the verifier for this signer's public key.
+func (s *RSASigner) Public() Verifier {
+	return &RSAVerifier{id: s.id, key: &s.key.PublicKey}
+}
+
+// RSAVerifier verifies RSA PKCS#1 v1.5 / SHA-256 signatures.
+type RSAVerifier struct {
+	id  NodeID
+	key *rsa.PublicKey
+}
+
+// ID returns the principal whose signatures this verifier checks.
+func (v *RSAVerifier) ID() NodeID { return v.id }
+
+// Verify reports whether signature is valid over msg.
+func (v *RSAVerifier) Verify(msg, signature []byte) bool {
+	digest := sha256.Sum256(msg)
+	return rsa.VerifyPKCS1v15(v.key, crypto.SHA256, digest[:], signature) == nil
+}
+
+// Marshal returns the PKCS#1 DER encoding of the public key.
+func (v *RSAVerifier) Marshal() []byte {
+	return x509.MarshalPKCS1PublicKey(v.key)
+}
+
+// ParseRSAVerifier reconstructs a verifier from Marshal output.
+func ParseRSAVerifier(id NodeID, der []byte) (*RSAVerifier, error) {
+	key, err := x509.ParsePKCS1PublicKey(der)
+	if err != nil {
+		return nil, fmt.Errorf("sig: parsing public key for %q: %w", id, err)
+	}
+	return &RSAVerifier{id: id, key: key}, nil
+}
+
+// NullSigner implements the avmm-nosig configuration: it emits empty
+// signatures that always verify. It provides no security and exists only to
+// isolate the cost of cryptography in the evaluation (§6.2).
+type NullSigner struct{ Node NodeID }
+
+// ID returns the principal this signer signs for.
+func (n NullSigner) ID() NodeID { return n.Node }
+
+// Sign returns an empty signature.
+func (n NullSigner) Sign([]byte) []byte { return nil }
+
+// SigLen returns 0: null signatures occupy no space.
+func (n NullSigner) SigLen() int { return 0 }
+
+// Public returns a verifier that accepts any signature.
+func (n NullSigner) Public() Verifier { return nullVerifier{node: n.Node} }
+
+type nullVerifier struct{ node NodeID }
+
+func (v nullVerifier) ID() NodeID            { return v.node }
+func (nullVerifier) Verify(_, _ []byte) bool { return true }
+func (nullVerifier) Marshal() []byte         { return nil }
+
+// SizedSigner produces deterministic keyed-digest "signatures" of a fixed
+// size. It exists for performance experiments: it occupies exactly as many
+// bytes on the wire and in the log as a real signature of the configured
+// size (RSA-768 = 96 bytes), while its generation cost is negligible — the
+// crypto cost enters those experiments through the virtual-time cost model
+// instead. It provides integrity but NO unforgeability and must never be
+// used where the adversary model matters; security-sensitive tests use
+// RSASigner.
+type SizedSigner struct {
+	Node NodeID
+	Size int
+}
+
+// ID returns the principal this signer signs for.
+func (s SizedSigner) ID() NodeID { return s.Node }
+
+// Sign returns a Size-byte keyed digest of msg.
+func (s SizedSigner) Sign(msg []byte) []byte {
+	out := make([]byte, 0, s.Size)
+	var counter [8]byte
+	for len(out) < s.Size {
+		h := sha256.New()
+		h.Write([]byte("sized-sig/"))
+		h.Write([]byte(s.Node))
+		h.Write(counter[:])
+		h.Write(msg)
+		out = h.Sum(out)
+		counter[7]++
+	}
+	return out[:s.Size]
+}
+
+// SigLen returns the configured signature size.
+func (s SizedSigner) SigLen() int { return s.Size }
+
+// Public returns the verifier, which recomputes the digest.
+func (s SizedSigner) Public() Verifier { return sizedVerifier{s} }
+
+type sizedVerifier struct{ s SizedSigner }
+
+func (v sizedVerifier) ID() NodeID { return v.s.Node }
+func (v sizedVerifier) Verify(msg, signature []byte) bool {
+	want := v.s.Sign(msg)
+	if len(signature) != len(want) {
+		return false
+	}
+	for i := range want {
+		if want[i] != signature[i] {
+			return false
+		}
+	}
+	return true
+}
+func (v sizedVerifier) Marshal() []byte { return []byte("sized:" + string(v.s.Node)) }
+
+// KeyStore maps principals to their verifiers. An auditor needs the public
+// keys of the audited machine and of every user who communicated with it
+// (§4.5, "Verifying the execution").
+type KeyStore struct {
+	mu   sync.RWMutex
+	keys map[NodeID]Verifier
+}
+
+// NewKeyStore returns an empty key store.
+func NewKeyStore() *KeyStore {
+	return &KeyStore{keys: make(map[NodeID]Verifier)}
+}
+
+// Add registers a verifier, replacing any previous entry for the same ID.
+func (ks *KeyStore) Add(v Verifier) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.keys[v.ID()] = v
+}
+
+// Lookup returns the verifier for id.
+func (ks *KeyStore) Lookup(id NodeID) (Verifier, bool) {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	v, ok := ks.keys[id]
+	return v, ok
+}
+
+// Verify checks a signature attributed to id. Unknown principals never
+// verify: a faulty machine must not be able to introduce fake identities
+// (§4.1, assumption 3).
+func (ks *KeyStore) Verify(id NodeID, msg, signature []byte) bool {
+	v, ok := ks.Lookup(id)
+	return ok && v.Verify(msg, signature)
+}
+
+// IDs returns all registered principals in sorted order.
+func (ks *KeyStore) IDs() []NodeID {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	ids := make([]NodeID, 0, len(ks.keys))
+	for id := range ks.keys {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Certificate binds a principal to a public key under an authority's
+// signature, satisfying assumption 3 of §4.1 ("a keypair that is signed by
+// the administrator").
+type Certificate struct {
+	Subject NodeID
+	Key     []byte // marshaled public key
+	Issuer  NodeID
+	Sig     []byte
+}
+
+// certBody returns the byte string a certificate signature covers.
+func certBody(subject NodeID, key []byte) []byte {
+	body := make([]byte, 0, 8+len(subject)+len(key))
+	body = append(body, "avmcert:"...)
+	body = appendLenPrefixed(body, []byte(subject))
+	body = appendLenPrefixed(body, key)
+	return body
+}
+
+func appendLenPrefixed(dst, b []byte) []byte {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(b)))
+	dst = append(dst, lenBuf[:]...)
+	return append(dst, b...)
+}
+
+// Issue creates a certificate for subject's public key signed by the
+// authority ca.
+func Issue(ca Signer, subject Verifier) Certificate {
+	key := subject.Marshal()
+	return Certificate{
+		Subject: subject.ID(),
+		Key:     key,
+		Issuer:  ca.ID(),
+		Sig:     ca.Sign(certBody(subject.ID(), key)),
+	}
+}
+
+// ErrBadCertificate reports a certificate whose signature does not verify
+// under the given authority.
+var ErrBadCertificate = errors.New("sig: certificate signature invalid")
+
+// VerifyCertificate checks cert under the authority's verifier and, on
+// success, returns the subject's verifier.
+func VerifyCertificate(ca Verifier, cert Certificate) (*RSAVerifier, error) {
+	if cert.Issuer != ca.ID() {
+		return nil, fmt.Errorf("sig: certificate issuer %q is not authority %q", cert.Issuer, ca.ID())
+	}
+	if !ca.Verify(certBody(cert.Subject, cert.Key), cert.Sig) {
+		return nil, ErrBadCertificate
+	}
+	return ParseRSAVerifier(cert.Subject, cert.Key)
+}

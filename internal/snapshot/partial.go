@@ -1,0 +1,145 @@
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/merkle"
+	"repro/internal/vm"
+)
+
+// PartialState is a subset of a snapshot: only selected memory pages, each
+// with a Merkle inclusion proof against the snapshot's committed memory
+// root. It implements two ideas from the paper:
+//
+//   - §4.4: an auditor can "incrementally request the parts of the state
+//     that are accessed during replay" instead of a full snapshot, and
+//     authenticate them with the hash tree;
+//   - §7.3: when handing evidence to a third party, the auditor "can use
+//     the hash tree to remove any part of the snapshot that is not
+//     necessary to replay the relevant segment", limiting how much of the
+//     machine's state the evidence discloses.
+type PartialState struct {
+	// Index is the snapshot index this partial state was cut from.
+	Index int
+	// Root is the combined authenticated digest committed in the log.
+	Root [32]byte
+	// MemRoot is the Merkle root over memory pages.
+	MemRoot merkle.Hash
+	// Machine and AuthDevice are the (small) non-memory state blobs; Device
+	// is the full device blob needed to resume execution.
+	Machine    []byte
+	Device     []byte
+	AuthDevice []byte
+	// MemSize is the machine memory size the pages belong to.
+	MemSize int
+	// Pages maps page index to contents; Proofs carries one inclusion proof
+	// per page.
+	Pages  map[int][]byte
+	Proofs map[int]merkle.Proof
+}
+
+// PartialFromRestored cuts the given pages (plus proofs) out of a full
+// restored state.
+func PartialFromRestored(r *Restored, pages []int) (*PartialState, error) {
+	nPages := len(r.Mem) / vm.PageSize
+	tree := merkle.New(nPages)
+	for p := 0; p < nPages; p++ {
+		if err := tree.Update(p, r.Mem[p*vm.PageSize:(p+1)*vm.PageSize]); err != nil {
+			return nil, err
+		}
+	}
+	ps := &PartialState{
+		Index: r.Index, Root: r.Root, MemRoot: tree.Root(),
+		Machine:    append([]byte(nil), r.Machine...),
+		Device:     append([]byte(nil), r.Device...),
+		AuthDevice: append([]byte(nil), r.AuthDevice...),
+		MemSize:    len(r.Mem),
+		Pages:      make(map[int][]byte, len(pages)),
+		Proofs:     make(map[int]merkle.Proof, len(pages)),
+	}
+	for _, p := range pages {
+		if p < 0 || p >= nPages {
+			return nil, fmt.Errorf("snapshot: page %d out of range [0,%d)", p, nPages)
+		}
+		if _, dup := ps.Pages[p]; dup {
+			continue
+		}
+		ps.Pages[p] = append([]byte(nil), r.Mem[p*vm.PageSize:(p+1)*vm.PageSize]...)
+		proof, err := tree.Prove(p)
+		if err != nil {
+			return nil, err
+		}
+		ps.Proofs[p] = proof
+	}
+	return ps, nil
+}
+
+// Verify checks the partial state against the committed root: the combined
+// root must reproduce from (MemRoot, Machine, AuthDevice), and every page
+// must prove inclusion under MemRoot. A verifier that accepts Verify knows
+// each provided page is exactly what the machine committed to — without
+// seeing any other page.
+func (ps *PartialState) Verify(wantRoot [32]byte) error {
+	if ps.Root != wantRoot {
+		return fmt.Errorf("snapshot: partial state root %x does not match committed root %x",
+			ps.Root[:8], wantRoot[:8])
+	}
+	if got := CombineRoot(ps.MemRoot, ps.Machine, ps.AuthDevice); got != wantRoot {
+		return fmt.Errorf("snapshot: memory root and state blobs do not combine to the committed root")
+	}
+	for p, page := range ps.Pages {
+		proof, ok := ps.Proofs[p]
+		if !ok {
+			return fmt.Errorf("snapshot: page %d has no inclusion proof", p)
+		}
+		if proof.Index != p {
+			return fmt.Errorf("snapshot: page %d carries a proof for page %d", p, proof.Index)
+		}
+		if err := merkle.VerifyProof(ps.MemRoot, proof, page); err != nil {
+			return fmt.Errorf("snapshot: page %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// Materialize builds a memory image with the provided pages in place and
+// zeroes elsewhere, for feeding a replay. Callers must confirm (via access
+// tracking) that the replay never touched a missing page before drawing
+// conclusions.
+func (ps *PartialState) Materialize() *Restored {
+	mem := make([]byte, ps.MemSize)
+	for p, page := range ps.Pages {
+		copy(mem[p*vm.PageSize:], page)
+	}
+	return &Restored{
+		Index: ps.Index, Mem: mem,
+		Machine:    append([]byte(nil), ps.Machine...),
+		Device:     append([]byte(nil), ps.Device...),
+		AuthDevice: append([]byte(nil), ps.AuthDevice...),
+		Root:       ps.Root,
+	}
+}
+
+// PageIndices returns the provided pages in ascending order.
+func (ps *PartialState) PageIndices() []int {
+	out := make([]int, 0, len(ps.Pages))
+	for p := range ps.Pages {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Bytes returns the transfer size of the partial state: pages, proofs and
+// state blobs — the quantity that shrinks when evidence is minimized.
+func (ps *PartialState) Bytes() int {
+	n := len(ps.Machine) + len(ps.Device) + len(ps.AuthDevice) + len(ps.Root) + len(ps.MemRoot)
+	for _, page := range ps.Pages {
+		n += len(page) + 4
+	}
+	for _, proof := range ps.Proofs {
+		n += len(proof.Siblings)*merkle.HashSize + 8
+	}
+	return n
+}

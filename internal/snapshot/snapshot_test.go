@@ -1,0 +1,211 @@
+package snapshot
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func newTestMachine(t *testing.T) *vm.Machine {
+	t.Helper()
+	return vm.NewMachine(8*vm.PageSize, nil)
+}
+
+func TestFirstSnapshotIsFull(t *testing.T) {
+	m := newTestMachine(t)
+	st := NewStore(len(m.Mem))
+	s, err := st.Take(m, []byte("dev"), []byte("authdev"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.MemPages) != m.NumPages() {
+		t.Fatalf("first snapshot captured %d pages, want %d", len(s.MemPages), m.NumPages())
+	}
+	if s.Index != 0 {
+		t.Fatalf("index = %d", s.Index)
+	}
+}
+
+func TestIncrementalCapturesOnlyDirty(t *testing.T) {
+	m := newTestMachine(t)
+	st := NewStore(len(m.Mem))
+	if _, err := st.Take(m, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store32(3*vm.PageSize+8, 0xAA); err != nil {
+		t.Fatal(err)
+	}
+	s, err := st.Take(m, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.MemPages) != 1 {
+		t.Fatalf("second snapshot captured %d pages, want 1", len(s.MemPages))
+	}
+	if _, ok := s.MemPages[3]; !ok {
+		t.Fatal("dirty page 3 not captured")
+	}
+	if s.IncrementBytes >= st.memSizeForTest() {
+		t.Fatal("increment not smaller than a full dump")
+	}
+}
+
+// memSizeForTest exposes the store's memory size for assertions.
+func (st *Store) memSizeForTest() int { return st.memSize }
+
+func TestMaterializeFoldsIncrements(t *testing.T) {
+	m := newTestMachine(t)
+	st := NewStore(len(m.Mem))
+	if err := m.Store32(0, 111); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Take(m, []byte("d0"), []byte("a0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store32(2*vm.PageSize, 222); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Take(m, []byte("d1"), []byte("a1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store32(0, 333); err != nil { // overwrite page 0
+		t.Fatal(err)
+	}
+	if _, err := st.Take(m, []byte("d2"), []byte("a2")); err != nil {
+		t.Fatal(err)
+	}
+
+	r1, err := st.Materialize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := vm.NewMachine(len(r1.Mem), nil), false; got != nil && false {
+		_ = got
+	}
+	if v := le32(r1.Mem, 0); v != 111 {
+		t.Fatalf("snapshot 1 word0 = %d, want 111", v)
+	}
+	if v := le32(r1.Mem, 2*vm.PageSize); v != 222 {
+		t.Fatalf("snapshot 1 page2 = %d, want 222", v)
+	}
+	r2, err := st.Materialize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := le32(r2.Mem, 0); v != 333 {
+		t.Fatalf("snapshot 2 word0 = %d, want 333", v)
+	}
+	if string(r1.Device) != "d1" || string(r2.Device) != "d2" {
+		t.Fatal("device blobs not per-snapshot")
+	}
+}
+
+func le32(b []byte, off int) uint32 {
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+}
+
+func TestVerifyRestored(t *testing.T) {
+	m := newTestMachine(t)
+	st := NewStore(len(m.Mem))
+	if err := m.Store32(100, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	s, err := st.Take(m, []byte("dev"), []byte("authdev"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := st.Materialize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRestored(r, s.Root); err != nil {
+		t.Fatalf("genuine snapshot rejected: %v", err)
+	}
+	r.Mem[100] ^= 1
+	if VerifyRestored(r, s.Root) == nil {
+		t.Fatal("tampered memory accepted")
+	}
+	r.Mem[100] ^= 1
+	r.AuthDevice = []byte("tampered")
+	if VerifyRestored(r, s.Root) == nil {
+		t.Fatal("tampered device state accepted")
+	}
+	r.AuthDevice = []byte("authdev")
+	r.Machine = append([]byte(nil), r.Machine...)
+	if len(r.Machine) > 0 {
+		r.Machine[0] ^= 1
+		if VerifyRestored(r, s.Root) == nil {
+			t.Fatal("tampered registers accepted")
+		}
+	}
+}
+
+func TestRootMatchesRootOfState(t *testing.T) {
+	m := newTestMachine(t)
+	st := NewStore(len(m.Mem))
+	if err := m.Store32(4096, 42); err != nil {
+		t.Fatal(err)
+	}
+	s, err := st.Take(m, []byte("d"), []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RootOfState(m.Mem, m.CaptureStateRegisters(), []byte("a")); got != s.Root {
+		t.Fatal("RootOfState disagrees with Store.Take")
+	}
+}
+
+func TestRootChainsAcrossIncrements(t *testing.T) {
+	// The root after an incremental snapshot must equal the root of the
+	// fully materialized state — the property the auditor depends on.
+	m := newTestMachine(t)
+	st := NewStore(len(m.Mem))
+	for i := 0; i < 5; i++ {
+		if err := m.Store32(uint32(i)*vm.PageSize, uint32(i+1)*1000); err != nil {
+			t.Fatal(err)
+		}
+		s, err := st.Take(m, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := st.Materialize(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyRestored(r, s.Root); err != nil {
+			t.Fatalf("increment %d: %v", i, err)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	st := NewStore(4 * vm.PageSize)
+	if _, err := st.Materialize(0); err == nil {
+		t.Fatal("materialize on empty store")
+	}
+	if _, err := st.Snapshot(0); err == nil {
+		t.Fatal("snapshot 0 on empty store")
+	}
+	if _, err := st.TransferBytes(2); err == nil {
+		t.Fatal("transfer bytes out of range")
+	}
+	m := vm.NewMachine(8*vm.PageSize, nil) // mismatched size
+	if _, err := st.Take(m, nil, nil); err == nil {
+		t.Fatal("mismatched machine accepted")
+	}
+}
+
+func TestTransferBytes(t *testing.T) {
+	m := newTestMachine(t)
+	st := NewStore(len(m.Mem))
+	if _, err := st.Take(m, []byte("0123456789"), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.TransferBytes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < len(m.Mem) {
+		t.Fatalf("transfer bytes %d below memory size %d", b, len(m.Mem))
+	}
+}

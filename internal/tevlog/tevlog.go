@@ -1,0 +1,372 @@
+// Package tevlog implements the tamper-evident log at the heart of the AVMM
+// (paper §4.3). The log is a hash chain: each entry e_i = (s_i, t_i, c_i,
+// h_i) carries a monotonically increasing sequence number, a type, content,
+// and a hash h_i = H(h_{i-1} || s_i || t_i || H(c_i)) linking it to every
+// previous entry. Authenticators — signed (s_i, h_i) pairs — commit a
+// machine to its log: once issued, the machine cannot forge, omit, modify
+// or reorder entries, or fork its log, without the chain failing to match.
+//
+// The technique is adapted from PeerReview (Haeberlen et al., SOSP 2007),
+// extended to also carry the VMM's execution trace (nondeterministic inputs
+// and interrupt landmarks) alongside message exchanges.
+package tevlog
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/sig"
+)
+
+// EntryType tags a log entry. Message entries (Send/Recv/Ack) and execution
+// entries (Nondet/IRQ/Snapshot) form the two parallel streams §4.4
+// describes; the auditor cross-references them.
+type EntryType uint8
+
+// Log entry types.
+const (
+	// TypeSend records an outgoing network message.
+	TypeSend EntryType = 1 + iota
+	// TypeRecv records an incoming network message, together with the
+	// sender's signature so it can be verified during an audit.
+	TypeRecv
+	// TypeAck records an acknowledgment received for a sent message.
+	TypeAck
+	// TypeNondet records a synchronous nondeterministic input, e.g. the
+	// value returned by a clock read. The timing of synchronous inputs need
+	// not be recorded because the guest re-requests them during replay.
+	TypeNondet
+	// TypeIRQ records an asynchronous event (a hardware interrupt) together
+	// with the precise execution landmark at which it was delivered, so it
+	// can be re-injected at the exact same point during replay. These play
+	// the role of the paper's TimeTracker entries.
+	TypeIRQ
+	// TypeSnapshot records the top-level hash of a state snapshot.
+	TypeSnapshot
+	// TypeAnnotation records non-semantic metadata (epoch markers, etc.).
+	// Annotations are hashed like any other entry but ignored by replay.
+	TypeAnnotation
+)
+
+// String returns the conventional name of the entry type.
+func (t EntryType) String() string {
+	switch t {
+	case TypeSend:
+		return "SEND"
+	case TypeRecv:
+		return "RECV"
+	case TypeAck:
+		return "ACK"
+	case TypeNondet:
+		return "NONDET"
+	case TypeIRQ:
+		return "IRQ"
+	case TypeSnapshot:
+		return "SNAPSHOT"
+	case TypeAnnotation:
+		return "ANNOTATION"
+	default:
+		return fmt.Sprintf("EntryType(%d)", uint8(t))
+	}
+}
+
+// HashSize is the size of chain hashes.
+const HashSize = sha256.Size
+
+// Hash is a chain or content hash.
+type Hash [HashSize]byte
+
+// HashContent returns H(c), the content digest folded into the chain.
+func HashContent(c []byte) Hash { return sha256.Sum256(c) }
+
+// ChainHash computes h_i = H(h_{i-1} || s_i || t_i || H(c_i)).
+func ChainHash(prev Hash, seq uint64, typ EntryType, contentHash Hash) Hash {
+	var buf [HashSize + 8 + 1 + HashSize]byte
+	copy(buf[:HashSize], prev[:])
+	binary.BigEndian.PutUint64(buf[HashSize:], seq)
+	buf[HashSize+8] = byte(typ)
+	copy(buf[HashSize+9:], contentHash[:])
+	return sha256.Sum256(buf[:])
+}
+
+// Entry is one element e_i of the log.
+type Entry struct {
+	Seq     uint64
+	Type    EntryType
+	Content []byte
+	Hash    Hash // h_i, the chain hash including this entry
+}
+
+// WireSize returns the serialized size of the entry in bytes. Chain hashes
+// are recomputable and therefore not stored, but each entry pays a small
+// framing overhead; this is what log-growth measurements count.
+func (e *Entry) WireSize() int { return 8 + 1 + 4 + len(e.Content) }
+
+// Marshal appends the serialized entry to dst and returns the result.
+func (e *Entry) Marshal(dst []byte) []byte {
+	var hdr [13]byte
+	binary.BigEndian.PutUint64(hdr[0:], e.Seq)
+	hdr[8] = byte(e.Type)
+	binary.BigEndian.PutUint32(hdr[9:], uint32(len(e.Content)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, e.Content...)
+}
+
+// UnmarshalEntry decodes one entry from b, returning it and the remaining
+// bytes. The chain hash is left zero; callers recompute it via Rechain.
+func UnmarshalEntry(b []byte) (Entry, []byte, error) {
+	if len(b) < 13 {
+		return Entry{}, nil, errors.New("tevlog: truncated entry header")
+	}
+	e := Entry{
+		Seq:  binary.BigEndian.Uint64(b[0:]),
+		Type: EntryType(b[8]),
+	}
+	n := binary.BigEndian.Uint32(b[9:])
+	b = b[13:]
+	if uint32(len(b)) < n {
+		return Entry{}, nil, fmt.Errorf("tevlog: truncated entry content: want %d bytes, have %d", n, len(b))
+	}
+	e.Content = append([]byte(nil), b[:n]...)
+	return e, b[n:], nil
+}
+
+// Authenticator is a_i = (node, s_i, h_i, σ(s_i || h_i)): a signed
+// commitment to the log prefix ending at entry s_i. Attached to every
+// outgoing message, collected by recipients, and checked during audits.
+type Authenticator struct {
+	Node sig.NodeID
+	Seq  uint64
+	Hash Hash
+	Sig  []byte
+}
+
+// authBody returns the byte string an authenticator signature covers.
+func authBody(seq uint64, h Hash) []byte {
+	var buf [8 + HashSize]byte
+	binary.BigEndian.PutUint64(buf[:8], seq)
+	copy(buf[8:], h[:])
+	return buf[:]
+}
+
+// Verify checks the authenticator's signature against the key store.
+func (a Authenticator) Verify(ks *sig.KeyStore) bool {
+	return ks.Verify(a.Node, authBody(a.Seq, a.Hash), a.Sig)
+}
+
+// WireSize returns the transmitted size of the authenticator in bytes.
+func (a Authenticator) WireSize() int {
+	return len(a.Node) + 8 + HashSize + len(a.Sig)
+}
+
+// ErrForkDetected reports two valid authenticators from the same node with
+// the same sequence number but different hashes — proof that the node
+// forked its log.
+var ErrForkDetected = errors.New("tevlog: fork detected: conflicting authenticators for same sequence number")
+
+// CheckFork examines two authenticators from the same node. If they commit
+// to different hashes for the same sequence number, the pair is evidence of
+// a forked log and ErrForkDetected is returned.
+func CheckFork(a, b Authenticator) error {
+	if a.Node == b.Node && a.Seq == b.Seq && a.Hash != b.Hash {
+		return ErrForkDetected
+	}
+	return nil
+}
+
+// Log is the append-only tamper-evident log a machine maintains.
+type Log struct {
+	node    sig.NodeID
+	signer  sig.Signer
+	entries []Entry
+	// baseSeq is the sequence number of entries[0]; a log always starts at 1.
+	wireBytes int
+}
+
+// New returns an empty log for node, signing authenticators with signer.
+func New(signer sig.Signer) *Log {
+	return &Log{node: signer.ID(), signer: signer}
+}
+
+// Node returns the machine the log belongs to.
+func (l *Log) Node() sig.NodeID { return l.node }
+
+// Len returns the number of entries.
+func (l *Log) Len() int { return len(l.entries) }
+
+// WireBytes returns the total serialized size of the log so far. This is
+// the quantity Figures 3 and 4 measure.
+func (l *Log) WireBytes() int { return l.wireBytes }
+
+// LastHash returns the chain hash of the most recent entry, or the zero
+// hash for an empty log (h_0 := 0, §4.3).
+func (l *Log) LastHash() Hash {
+	if len(l.entries) == 0 {
+		return Hash{}
+	}
+	return l.entries[len(l.entries)-1].Hash
+}
+
+// NextSeq returns the sequence number the next appended entry will get.
+func (l *Log) NextSeq() uint64 { return uint64(len(l.entries)) + 1 }
+
+// Append adds an entry of the given type and returns it. Sequence numbers
+// start at 1 and increase by one per entry.
+func (l *Log) Append(typ EntryType, content []byte) Entry {
+	e := Entry{
+		Seq:     uint64(len(l.entries)) + 1,
+		Type:    typ,
+		Content: content,
+	}
+	e.Hash = ChainHash(l.LastHash(), e.Seq, e.Type, HashContent(content))
+	l.entries = append(l.entries, e)
+	l.wireBytes += e.WireSize()
+	return e
+}
+
+// Entry returns the entry with sequence number seq.
+func (l *Log) Entry(seq uint64) (Entry, error) {
+	if seq < 1 || seq > uint64(len(l.entries)) {
+		return Entry{}, fmt.Errorf("tevlog: sequence number %d out of range [1,%d]", seq, len(l.entries))
+	}
+	return l.entries[seq-1], nil
+}
+
+// Authenticator produces the signed commitment a_i for entry seq.
+func (l *Log) Authenticator(seq uint64) (Authenticator, error) {
+	e, err := l.Entry(seq)
+	if err != nil {
+		return Authenticator{}, err
+	}
+	return Authenticator{
+		Node: l.node,
+		Seq:  e.Seq,
+		Hash: e.Hash,
+		Sig:  l.signer.Sign(authBody(e.Seq, e.Hash)),
+	}, nil
+}
+
+// LastAuthenticator signs the current head of the log.
+func (l *Log) LastAuthenticator() (Authenticator, error) {
+	if len(l.entries) == 0 {
+		return Authenticator{}, errors.New("tevlog: empty log has no authenticator")
+	}
+	return l.Authenticator(uint64(len(l.entries)))
+}
+
+// Segment returns entries with sequence numbers in [lo, hi], inclusive —
+// the L_ij an auditor downloads (§4.5).
+func (l *Log) Segment(lo, hi uint64) ([]Entry, error) {
+	if lo < 1 || hi > uint64(len(l.entries)) || lo > hi {
+		return nil, fmt.Errorf("tevlog: segment [%d,%d] out of range [1,%d]", lo, hi, len(l.entries))
+	}
+	out := make([]Entry, hi-lo+1)
+	copy(out, l.entries[lo-1:hi])
+	return out, nil
+}
+
+// All returns a copy of the whole log.
+func (l *Log) All() []Entry {
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Tampering errors returned by segment verification.
+var (
+	// ErrChainBroken reports a segment whose recomputed hash chain does not
+	// match its stored hashes (an entry was modified, inserted or removed).
+	ErrChainBroken = errors.New("tevlog: hash chain broken")
+	// ErrAuthenticatorMismatch reports a segment inconsistent with a
+	// previously issued authenticator.
+	ErrAuthenticatorMismatch = errors.New("tevlog: segment does not match issued authenticator")
+	// ErrBadSignature reports an authenticator whose signature is invalid.
+	ErrBadSignature = errors.New("tevlog: authenticator signature invalid")
+)
+
+// Rechain recomputes the chain hashes of a segment given the hash of the
+// entry immediately preceding it (the zero hash if the segment starts at
+// sequence number 1). It returns ErrChainBroken if sequence numbers are not
+// consecutive. The input slice is modified in place.
+func Rechain(prev Hash, entries []Entry) error {
+	for i := range entries {
+		if i > 0 && entries[i].Seq != entries[i-1].Seq+1 {
+			return fmt.Errorf("%w: non-consecutive sequence numbers %d, %d",
+				ErrChainBroken, entries[i-1].Seq, entries[i].Seq)
+		}
+		entries[i].Hash = ChainHash(prev, entries[i].Seq, entries[i].Type, HashContent(entries[i].Content))
+		prev = entries[i].Hash
+	}
+	return nil
+}
+
+// VerifySegment checks a downloaded segment against a set of authenticators
+// previously collected from the machine (§4.3: "she verifies that the hash
+// chain is intact"). prev is the chain hash immediately before the segment.
+// Every authenticator whose sequence number falls inside the segment must
+// match the recomputed chain; at least one must cover the segment's last
+// entry, otherwise the tail of the segment is uncommitted and skipping it
+// would go unnoticed. Signatures are checked against ks.
+func VerifySegment(prev Hash, entries []Entry, auths []Authenticator, ks *sig.KeyStore) error {
+	if len(entries) == 0 {
+		return errors.New("tevlog: empty segment")
+	}
+	if err := Rechain(prev, entries); err != nil {
+		return err
+	}
+	lo, hi := entries[0].Seq, entries[len(entries)-1].Seq
+	node := ""
+	covered := false
+	for _, a := range auths {
+		if node == "" {
+			node = string(a.Node)
+		}
+		if a.Seq < lo || a.Seq > hi {
+			continue
+		}
+		if !a.Verify(ks) {
+			return ErrBadSignature
+		}
+		if got := entries[a.Seq-lo].Hash; got != a.Hash {
+			return fmt.Errorf("%w: entry %d has chain hash %x, authenticator commits to %x",
+				ErrAuthenticatorMismatch, a.Seq, got[:8], a.Hash[:8])
+		}
+		if a.Seq == hi {
+			covered = true
+		}
+	}
+	if !covered {
+		return fmt.Errorf("%w: no authenticator covers segment end %d", ErrAuthenticatorMismatch, hi)
+	}
+	return nil
+}
+
+// MarshalSegment serializes a segment for transfer or storage.
+func MarshalSegment(entries []Entry) []byte {
+	size := 0
+	for i := range entries {
+		size += entries[i].WireSize()
+	}
+	out := make([]byte, 0, size)
+	for i := range entries {
+		out = entries[i].Marshal(out)
+	}
+	return out
+}
+
+// UnmarshalSegment decodes a serialized segment. Chain hashes are not
+// restored; use Rechain.
+func UnmarshalSegment(b []byte) ([]Entry, error) {
+	var out []Entry
+	for len(b) > 0 {
+		e, rest, err := UnmarshalEntry(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		b = rest
+	}
+	return out, nil
+}

@@ -1,0 +1,310 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genProgram builds a random but safe program: arithmetic over registers,
+// bounded stores into a scratch page, bounded loops, and a final HLT. All
+// control flow targets are valid instruction boundaries, so the only
+// possible fault is a memory access, which itself is deterministic.
+func genProgram(rng *rand.Rand, n int) []byte {
+	var ins []Instr
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			ins = append(ins, Instr{Op: OpMovi, Ra: uint8(rng.Intn(8)), Imm: rng.Uint32() % 1024})
+		case 1:
+			ins = append(ins, Instr{Op: OpAdd, Ra: uint8(rng.Intn(8)), Rb: uint8(rng.Intn(8)), Rc: uint8(rng.Intn(8))})
+		case 2:
+			ins = append(ins, Instr{Op: OpMul, Ra: uint8(rng.Intn(8)), Rb: uint8(rng.Intn(8)), Rc: uint8(rng.Intn(8))})
+		case 3:
+			ins = append(ins, Instr{Op: OpXor, Ra: uint8(rng.Intn(8)), Rb: uint8(rng.Intn(8)), Rc: uint8(rng.Intn(8))})
+		case 4:
+			// Bounded store into the scratch page at 0x8000.
+			ins = append(ins,
+				Instr{Op: OpMovi, Ra: 9, Imm: 0x8000 + (rng.Uint32()%1000)*4},
+				Instr{Op: OpStore, Ra: 9, Rb: uint8(rng.Intn(8))})
+		case 5:
+			ins = append(ins,
+				Instr{Op: OpMovi, Ra: 9, Imm: 0x8000 + (rng.Uint32()%1000)*4},
+				Instr{Op: OpLoad, Ra: uint8(rng.Intn(8)), Rb: 9})
+		case 6:
+			// Short forward skip.
+			target := uint32(CodeBase) + uint32(len(ins)+2)*InstrSize
+			ins = append(ins, Instr{Op: OpJz, Ra: uint8(rng.Intn(8)), Imm: target})
+		case 7:
+			ins = append(ins, Instr{Op: OpLtu, Ra: uint8(rng.Intn(8)), Rb: uint8(rng.Intn(8)), Rc: uint8(rng.Intn(8))})
+		}
+	}
+	ins = append(ins, Instr{Op: OpHlt})
+	var code []byte
+	for _, i := range ins {
+		code = i.Encode(code)
+	}
+	return code
+}
+
+// TestPropertyExecutionDeterminism: the core invariant the whole paper
+// stands on — running the same image twice yields bit-identical machines.
+func TestPropertyExecutionDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		code := genProgram(rng, 60)
+		img := &Image{Name: "p", Code: code, Entry: CodeBase, MemSize: 64 * 1024}
+		run := func() *Machine {
+			m, err := img.Boot(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Run(10_000)
+			return m
+		}
+		m1, m2 := run(), run()
+		if m1.ICount != m2.ICount || m1.Branches != m2.Branches ||
+			m1.PC != m2.PC || m1.Regs != m2.Regs || m1.Halted != m2.Halted {
+			return false
+		}
+		for i := range m1.Mem {
+			if m1.Mem[i] != m2.Mem[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyInterruptLandmarkReplay: raising an interrupt at a recorded
+// instruction-count landmark reproduces the identical final state —
+// the mechanism replay relies on for asynchronous events (§4.4).
+func TestPropertyInterruptLandmarkReplay(t *testing.T) {
+	f := func(seed int64, raiseAtRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		code := genProgram(rng, 40)
+		handler := uint32(CodeBase) + uint32(len(code))
+		// Handler: bump r7, IRET.
+		code = Instr{Op: OpAddi, Ra: 7, Rb: 7, Imm: 1}.Encode(code)
+		code = Instr{Op: OpIret}.Encode(code)
+		// Prepend STI by patching entry? Instead enable interrupts via the
+		// machine after boot.
+		img := &Image{Name: "p", Code: code, Entry: CodeBase, MemSize: 64 * 1024}
+		img.Vectors[1] = handler
+
+		run := func(raiseAt uint64) (*Machine, Landmark) {
+			m, err := img.Boot(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.IntEnabled = true
+			var lm Landmark
+			m.OnIRQDelivered = func(_ int, l Landmark) { lm = l }
+			for !m.Halted && m.ICount < raiseAt {
+				m.Step()
+			}
+			if !m.Halted {
+				m.RaiseIRQ(1)
+			}
+			m.Run(10_000)
+			return m, lm
+		}
+		raiseAt := uint64(raiseAtRaw % 200)
+		m1, lm1 := run(raiseAt)
+		m2, lm2 := run(raiseAt)
+		if lm1 != lm2 {
+			return false
+		}
+		if m1.ICount != m2.ICount || m1.Regs != m2.Regs || m1.Branches != m2.Branches {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyStateRestoreResumesIdentically: snapshot/restore mid-run and
+// continue — final state must match an uninterrupted run (the basis of
+// spot checking, §3.5).
+func TestPropertyStateRestoreResumesIdentically(t *testing.T) {
+	f := func(seed int64, cutRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		code := genProgram(rng, 50)
+		img := &Image{Name: "p", Code: code, Entry: CodeBase, MemSize: 64 * 1024}
+		cut := uint64(cutRaw % 150)
+
+		// Uninterrupted run.
+		m1, err := img.Boot(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1.Run(10_000)
+
+		// Run to the cut, capture, restore into a fresh machine, resume.
+		m2, err := img.Boot(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2.Run(cut)
+		st := m2.CaptureState()
+		m3 := NewMachine(len(m2.Mem), nil)
+		if err := m3.RestoreState(st); err != nil {
+			t.Fatal(err)
+		}
+		m3.Run(10_000)
+
+		if m1.ICount != m3.ICount || m1.Regs != m3.Regs || m1.PC != m3.PC {
+			return false
+		}
+		for i := range m1.Mem {
+			if m1.Mem[i] != m3.Mem[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceSnapshotRoundTrip(t *testing.T) {
+	d := NewDeviceSet(3)
+	d.PushInput(7)
+	d.PushInput(9)
+	d.PushPacket(Packet{From: 2, Data: []byte("hello")})
+	d.Disk = []byte{1, 2, 3, 4}
+	d.TimerPeriodUs = 1000
+	d.Frames = 42
+	m := NewMachine(PageSize, d)
+	d.Out(m, PortNetTxByte, 'x') // pending tx buffer
+	d.Out(m, PortDiskSeek, 2)
+	blob := d.Snapshot()
+
+	d2 := NewDeviceSet(0)
+	if err := d2.RestoreSnapshot(blob); err != nil {
+		t.Fatal(err)
+	}
+	if d2.InputPending() != 2 || d2.RxPending() != 1 || d2.TimerPeriodUs != 1000 || d2.Frames != 42 {
+		t.Fatalf("restored device state differs: %+v", d2)
+	}
+	if string(d2.Disk) != string(d.Disk) {
+		t.Fatal("disk differs")
+	}
+	// Both must produce identical reads afterwards.
+	for _, port := range []uint32{PortRng, PortInputData, PortNetRxLen, PortNetRxByte, PortDiskRead} {
+		if a, b := d.In(m, port), d2.In(m, port); a != b {
+			t.Fatalf("port 0x%x differs after restore: %d vs %d", port, a, b)
+		}
+	}
+	if err := d2.RestoreSnapshot(blob[:3]); err == nil {
+		t.Fatal("truncated device snapshot accepted")
+	}
+}
+
+func TestAuthSnapshotExcludesHostTiming(t *testing.T) {
+	d := NewDeviceSet(3)
+	m := NewMachine(PageSize, d)
+	d.Out(m, PortTimerPeriod, 500)
+	d.In(m, PortClockLo)
+	a1 := d.AuthSnapshot()
+	d.NextTimerNs = 999_999
+	d.In(m, PortClockLo) // bump clockReads
+	a2 := d.AuthSnapshot()
+	if string(a1) != string(a2) {
+		t.Fatal("AuthSnapshot depends on host-timing fields")
+	}
+	if string(d.Snapshot()) == string(a2) {
+		t.Fatal("full snapshot should include host-timing fields")
+	}
+}
+
+func TestDeviceNetRxFlow(t *testing.T) {
+	d := NewDeviceSet(1)
+	m := NewMachine(PageSize, d)
+	d.PushPacket(Packet{From: 3, Data: []byte{10, 20, 30}})
+	d.PushPacket(Packet{From: 4, Data: []byte{40}})
+	if got := d.In(m, PortNetRxStatus); got != 2 {
+		t.Fatalf("status = %d", got)
+	}
+	if got := d.In(m, PortNetRxLen); got != 3 {
+		t.Fatalf("len = %d", got)
+	}
+	if got := d.In(m, PortNetRxFrom); got != 3 {
+		t.Fatalf("from = %d", got)
+	}
+	if a, b, c := d.In(m, PortNetRxByte), d.In(m, PortNetRxByte), d.In(m, PortNetRxByte); a != 10 || b != 20 || c != 30 {
+		t.Fatalf("bytes = %d %d %d", a, b, c)
+	}
+	if got := d.In(m, PortNetRxByte); got != 0 {
+		t.Fatalf("read past end = %d, want 0", got)
+	}
+	d.Out(m, PortNetRxDone, 0)
+	if got := d.In(m, PortNetRxLen); got != 1 {
+		t.Fatalf("second packet len = %d", got)
+	}
+}
+
+func TestDeviceTxCommit(t *testing.T) {
+	d := NewDeviceSet(1)
+	m := NewMachine(PageSize, d)
+	var sentTo uint32
+	var sent []byte
+	d.SendFunc = func(dest uint32, payload []byte) {
+		sentTo = dest
+		sent = payload
+	}
+	d.Out(m, PortNetTxByte, 'h')
+	d.Out(m, PortNetTxByte, 'i')
+	d.Out(m, PortNetTxCommit, 5)
+	if sentTo != 5 || string(sent) != "hi" {
+		t.Fatalf("sent %q to %d", sent, sentTo)
+	}
+	// Buffer resets after commit.
+	d.Out(m, PortNetTxByte, '!')
+	d.Out(m, PortNetTxCommit, 6)
+	if string(sent) != "!" {
+		t.Fatalf("second send = %q", sent)
+	}
+}
+
+func TestDiskReadWrite(t *testing.T) {
+	d := NewDeviceSet(1)
+	d.Disk = make([]byte, 16)
+	m := NewMachine(PageSize, d)
+	d.Out(m, PortDiskSeek, 4)
+	d.Out(m, PortDiskWrite, 0xAA)
+	d.Out(m, PortDiskWrite, 0xBB)
+	d.Out(m, PortDiskSeek, 4)
+	if a, b := d.In(m, PortDiskRead), d.In(m, PortDiskRead); a != 0xAA || b != 0xBB {
+		t.Fatalf("disk read %x %x", a, b)
+	}
+	// Reads past the end return zero, writes are dropped.
+	d.Out(m, PortDiskSeek, 100)
+	d.Out(m, PortDiskWrite, 1)
+	if got := d.In(m, PortDiskRead); got != 0 {
+		t.Fatalf("oob read = %d", got)
+	}
+}
+
+func TestNondetPortClassification(t *testing.T) {
+	nondet := []uint32{PortClockLo, PortClockHi, PortRng, PortInputStatus,
+		PortInputData, PortNetRxStatus, PortNetRxLen, PortNetRxFrom, PortNetRxByte}
+	det := []uint32{PortConsole, PortNetRxDone, PortNetTxByte, PortNetTxCommit,
+		PortDiskSeek, PortDiskRead, PortDiskWrite, PortTimerPeriod, PortFrame, PortDebug}
+	for _, p := range nondet {
+		if !IsNondetPort(p) {
+			t.Errorf("port 0x%x should be nondeterministic", p)
+		}
+	}
+	for _, p := range det {
+		if IsNondetPort(p) {
+			t.Errorf("port 0x%x should be deterministic", p)
+		}
+	}
+}

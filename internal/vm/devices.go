@@ -1,0 +1,371 @@
+package vm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Port assignments for the standard device set. Ports marked nondet return
+// values that are not a function of the machine's own state and must be
+// logged by a recording monitor; all other ports are deterministic and —
+// like the paper's virtual hard-disk reads (§4.4) — need not be recorded
+// because replay reconstructs them.
+const (
+	// PortConsole (out) writes one byte to the console.
+	PortConsole uint32 = 0x00
+	// PortClockLo / PortClockHi (in, nondet) read the 64-bit virtual clock
+	// in microseconds. Reading Lo latches Hi.
+	PortClockLo uint32 = 0x01
+	PortClockHi uint32 = 0x02
+	// PortRng (in, nondet) returns a pseudo-random word.
+	PortRng uint32 = 0x03
+
+	// PortInputStatus (in, nondet) returns the number of queued input
+	// events; PortInputData (in, nondet) pops and returns the next one.
+	PortInputStatus uint32 = 0x10
+	PortInputData   uint32 = 0x11
+
+	// Network receive ports (in, nondet). Status returns the number of
+	// queued packets; Len returns the head packet's length and resets the
+	// read cursor; From returns the head packet's source; Byte returns
+	// successive payload bytes; Done (out) pops the head packet.
+	PortNetRxStatus uint32 = 0x20
+	PortNetRxLen    uint32 = 0x21
+	PortNetRxFrom   uint32 = 0x22
+	PortNetRxByte   uint32 = 0x23
+	PortNetRxDone   uint32 = 0x24
+	// Network transmit ports (out). Byte appends to the outgoing buffer;
+	// Commit sends the buffer to the given destination.
+	PortNetTxByte   uint32 = 0x28
+	PortNetTxCommit uint32 = 0x29
+
+	// Disk ports. Seek (out) positions the head at a byte offset; Read (in,
+	// deterministic) returns successive bytes; Write (out) stores
+	// successive bytes.
+	PortDiskSeek  uint32 = 0x30
+	PortDiskRead  uint32 = 0x31
+	PortDiskWrite uint32 = 0x32
+
+	// PortTimerPeriod (out) sets the periodic timer interval in virtual
+	// microseconds; 0 disables the timer.
+	PortTimerPeriod uint32 = 0x40
+
+	// PortFrame (out) signals that the guest finished rendering a frame;
+	// the value is ignored. Used as the performance metric (§6.10).
+	PortFrame uint32 = 0x50
+	// PortDebug (out) appends a word to a host-visible trace, for tests.
+	PortDebug uint32 = 0x60
+)
+
+// IRQ line assignments.
+const (
+	IRQTimer = 0
+	IRQNet   = 1
+	IRQInput = 2
+)
+
+// IsNondetPort reports whether IN reads from the port are nondeterministic
+// inputs that a recording monitor must log.
+func IsNondetPort(port uint32) bool {
+	switch port {
+	case PortClockLo, PortClockHi, PortRng,
+		PortInputStatus, PortInputData,
+		PortNetRxStatus, PortNetRxLen, PortNetRxFrom, PortNetRxByte:
+		return true
+	}
+	return false
+}
+
+// Packet is a network packet as seen by the guest NIC. Only the source and
+// payload are guest-visible (PortNetRxFrom / PortNetRxByte); the
+// destination is implicit — it is this machine — and deliberately not part
+// of device state, so that recorded and replayed state hash identically.
+type Packet struct {
+	From uint32 // source node index
+	Data []byte
+}
+
+// DeviceSet implements the standard device complement behind the I/O bus:
+// console, clock, RNG, input queue, NIC, disk, timer, display. It is a
+// plain IOBus and can drive a machine directly (the bare-hardware
+// configuration); the recording monitor wraps it to interpose on
+// nondeterministic ports.
+type DeviceSet struct {
+	// Console accumulates console output.
+	Console bytes.Buffer
+
+	// rng is a deterministic xorshift64 state. The guest still cannot
+	// predict it, so reads are classified nondeterministic and logged.
+	rng uint64
+
+	// input is the pending input-event queue (keyboard/mouse words pushed
+	// by the host driver).
+	input []uint32
+
+	// rxQueue holds received packets; rxCursor indexes into the head
+	// packet's payload.
+	rxQueue  []Packet
+	rxCursor int
+
+	// txBuf accumulates outgoing bytes until commit.
+	txBuf []byte
+	// SendFunc, if set, is invoked on NET_TX_COMMIT with the destination
+	// and payload. The scenario host wires this to the network.
+	SendFunc func(dest uint32, payload []byte)
+
+	// Disk is the virtual disk contents; diskPos the current head offset.
+	// Reads are deterministic (the disk image is part of the reference
+	// state), so they are never logged.
+	Disk    []byte
+	diskPos uint32
+
+	// TimerPeriodUs is the timer interval; 0 disables it. NextTimerNs is
+	// the virtual deadline of the next tick, maintained by the host loop.
+	TimerPeriodUs uint32
+	NextTimerNs   uint64
+
+	// Frames counts PortFrame writes.
+	Frames uint64
+	// Debug accumulates PortDebug writes for tests.
+	Debug []uint32
+
+	// clockReads counts clock-port reads, for the §6.5 experiments.
+	clockReads uint64
+}
+
+// NewDeviceSet returns a device set with the RNG seeded from seed.
+func NewDeviceSet(seed uint64) *DeviceSet {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &DeviceSet{rng: seed}
+}
+
+// PushInput queues an input event for the guest.
+func (d *DeviceSet) PushInput(event uint32) { d.input = append(d.input, event) }
+
+// InputPending returns the number of queued input events.
+func (d *DeviceSet) InputPending() int { return len(d.input) }
+
+// PushPacket queues an incoming network packet.
+func (d *DeviceSet) PushPacket(p Packet) { d.rxQueue = append(d.rxQueue, p) }
+
+// RxPending returns the number of queued packets.
+func (d *DeviceSet) RxPending() int { return len(d.rxQueue) }
+
+// ClockReads returns the number of clock-port reads so far.
+func (d *DeviceSet) ClockReads() uint64 { return d.clockReads }
+
+// In implements IOBus.
+func (d *DeviceSet) In(m *Machine, port uint32) uint32 {
+	switch port {
+	case PortClockLo:
+		d.clockReads++
+		return uint32(m.VTimeNs() / 1000)
+	case PortClockHi:
+		return uint32((m.VTimeNs() / 1000) >> 32)
+	case PortRng:
+		d.rng ^= d.rng << 13
+		d.rng ^= d.rng >> 7
+		d.rng ^= d.rng << 17
+		return uint32(d.rng)
+	case PortInputStatus:
+		return uint32(len(d.input))
+	case PortInputData:
+		if len(d.input) == 0 {
+			return 0
+		}
+		v := d.input[0]
+		d.input = d.input[1:]
+		return v
+	case PortNetRxStatus:
+		return uint32(len(d.rxQueue))
+	case PortNetRxLen:
+		if len(d.rxQueue) == 0 {
+			return 0
+		}
+		d.rxCursor = 0
+		return uint32(len(d.rxQueue[0].Data))
+	case PortNetRxFrom:
+		if len(d.rxQueue) == 0 {
+			return 0
+		}
+		return d.rxQueue[0].From
+	case PortNetRxByte:
+		if len(d.rxQueue) == 0 || d.rxCursor >= len(d.rxQueue[0].Data) {
+			return 0
+		}
+		v := uint32(d.rxQueue[0].Data[d.rxCursor])
+		d.rxCursor++
+		return v
+	case PortDiskRead:
+		if int(d.diskPos) >= len(d.Disk) {
+			return 0
+		}
+		v := uint32(d.Disk[d.diskPos])
+		d.diskPos++
+		return v
+	default:
+		return 0
+	}
+}
+
+// Out implements IOBus.
+func (d *DeviceSet) Out(m *Machine, port uint32, val uint32) {
+	switch port {
+	case PortConsole:
+		d.Console.WriteByte(byte(val))
+	case PortNetRxDone:
+		if len(d.rxQueue) > 0 {
+			d.rxQueue = d.rxQueue[1:]
+			d.rxCursor = 0
+		}
+	case PortNetTxByte:
+		d.txBuf = append(d.txBuf, byte(val))
+	case PortNetTxCommit:
+		payload := make([]byte, len(d.txBuf))
+		copy(payload, d.txBuf)
+		d.txBuf = d.txBuf[:0]
+		if d.SendFunc != nil {
+			d.SendFunc(val, payload)
+		}
+	case PortDiskSeek:
+		d.diskPos = val
+	case PortDiskWrite:
+		if int(d.diskPos) < len(d.Disk) {
+			d.Disk[d.diskPos] = byte(val)
+			d.diskPos++
+		}
+	case PortTimerPeriod:
+		d.TimerPeriodUs = val
+		if val != 0 {
+			d.NextTimerNs = m.VTimeNs() + uint64(val)*1000
+		}
+	case PortFrame:
+		d.Frames++
+	case PortDebug:
+		d.Debug = append(d.Debug, val)
+	}
+}
+
+// TickTimer raises the timer IRQ if the virtual clock passed the deadline.
+// The recording host calls it after every slice; during replay, interrupts
+// come from the log instead.
+func (d *DeviceSet) TickTimer(m *Machine) {
+	if d.TimerPeriodUs == 0 {
+		return
+	}
+	if m.VTimeNs() >= d.NextTimerNs {
+		d.NextTimerNs += uint64(d.TimerPeriodUs) * 1000
+		m.RaiseIRQ(IRQTimer)
+	}
+}
+
+// Snapshot serializes the full device state (queues, cursors, disk, timer,
+// counters) so that a machine snapshot fully determines future behaviour.
+func (d *DeviceSet) Snapshot() []byte { return d.snapshot(true) }
+
+// AuthSnapshot serializes the guest-visible, replay-deterministic portion
+// of the device state: host-timing fields (the next timer deadline, the
+// clock-read counter) are zeroed because they depend on the virtual-time
+// cost model and legitimately differ between recording and replay.
+// Authenticated snapshot roots are computed over this form.
+func (d *DeviceSet) AuthSnapshot() []byte { return d.snapshot(false) }
+
+func (d *DeviceSet) snapshot(includeHost bool) []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, d.rng)
+	b = binary.AppendUvarint(b, uint64(len(d.input)))
+	for _, v := range d.input {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	b = binary.AppendUvarint(b, uint64(len(d.rxQueue)))
+	for _, p := range d.rxQueue {
+		b = binary.AppendUvarint(b, uint64(p.From))
+		b = binary.AppendUvarint(b, uint64(len(p.Data)))
+		b = append(b, p.Data...)
+	}
+	b = binary.AppendUvarint(b, uint64(d.rxCursor))
+	b = binary.AppendUvarint(b, uint64(len(d.txBuf)))
+	b = append(b, d.txBuf...)
+	b = binary.AppendUvarint(b, uint64(len(d.Disk)))
+	b = append(b, d.Disk...)
+	b = binary.AppendUvarint(b, uint64(d.diskPos))
+	b = binary.AppendUvarint(b, uint64(d.TimerPeriodUs))
+	if includeHost {
+		b = binary.AppendUvarint(b, d.NextTimerNs)
+	} else {
+		b = binary.AppendUvarint(b, 0)
+	}
+	b = binary.AppendUvarint(b, d.Frames)
+	if includeHost {
+		b = binary.AppendUvarint(b, d.clockReads)
+	} else {
+		b = binary.AppendUvarint(b, 0)
+	}
+	return b
+}
+
+// RestoreSnapshot reverses Snapshot. Console, Debug and SendFunc are
+// host-side observers and are not part of guest-visible state.
+func (d *DeviceSet) RestoreSnapshot(b []byte) error {
+	r := snapReader{b: b}
+	d.rng = r.uvarint()
+	n := r.uvarint()
+	d.input = make([]uint32, 0, n)
+	for i := uint64(0); i < n; i++ {
+		d.input = append(d.input, uint32(r.uvarint()))
+	}
+	n = r.uvarint()
+	d.rxQueue = make([]Packet, 0, n)
+	for i := uint64(0); i < n; i++ {
+		p := Packet{From: uint32(r.uvarint())}
+		p.Data = r.bytes(r.uvarint())
+		d.rxQueue = append(d.rxQueue, p)
+	}
+	d.rxCursor = int(r.uvarint())
+	d.txBuf = r.bytes(r.uvarint())
+	d.Disk = r.bytes(r.uvarint())
+	d.diskPos = uint32(r.uvarint())
+	d.TimerPeriodUs = uint32(r.uvarint())
+	d.NextTimerNs = r.uvarint()
+	d.Frames = r.uvarint()
+	d.clockReads = r.uvarint()
+	if r.err != nil {
+		return fmt.Errorf("vm: restoring device snapshot: %w", r.err)
+	}
+	return nil
+}
+
+type snapReader struct {
+	b   []byte
+	err error
+}
+
+func (r *snapReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.err = fmt.Errorf("truncated varint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *snapReader) bytes(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)) < n {
+		r.err = fmt.Errorf("truncated bytes: want %d, have %d", n, len(r.b))
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[:n])
+	r.b = r.b[n:]
+	return out
+}

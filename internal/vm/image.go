@@ -1,0 +1,226 @@
+package vm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Image is a bootable machine image: code, entry point, interrupt vectors,
+// memory size and initial disk contents. Auditing requires that the auditor
+// hold a reference copy of the image the machine is expected to run (§4.1,
+// assumption 4); comparing Image hashes is how "same software" is defined.
+type Image struct {
+	// Name identifies the image for humans.
+	Name string
+	// Code is loaded at CodeBase. It includes both instructions and
+	// initialized data emitted by the compiler.
+	Code []byte
+	// TextSize is the length of the instruction portion of Code; the data
+	// section follows. Zero means unknown (treat all of Code as text).
+	// Metadata only — not part of the image hash, since it is derivable.
+	TextSize int
+	// Entry is the initial program counter.
+	Entry uint32
+	// Vectors maps IRQ numbers to handler addresses; zero means unset.
+	Vectors [NumIRQs]uint32
+	// MemSize is the machine memory size in bytes.
+	MemSize int
+	// Disk is the initial virtual disk contents.
+	Disk []byte
+}
+
+// Hash returns the image's identity digest. Two machines run "the same
+// software" iff their image hashes match.
+func (img *Image) Hash() [sha256.Size]byte {
+	h := sha256.New()
+	var lenBuf [8]byte
+	writeBlob := func(b []byte) {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(b)))
+		h.Write(lenBuf[:])
+		h.Write(b)
+	}
+	writeBlob([]byte(img.Name))
+	writeBlob(img.Code)
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(img.Entry))
+	h.Write(lenBuf[:])
+	for _, v := range img.Vectors {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(v))
+		h.Write(lenBuf[:])
+	}
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(img.MemSize))
+	h.Write(lenBuf[:])
+	writeBlob(img.Disk)
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Clone returns a deep copy, used when deriving cheat images by patching.
+func (img *Image) Clone() *Image {
+	out := *img
+	out.Code = append([]byte(nil), img.Code...)
+	out.Disk = append([]byte(nil), img.Disk...)
+	return &out
+}
+
+// Boot creates a machine, loads the image, installs the interrupt vectors,
+// and points PC at the entry. The device set's disk is initialized from the
+// image.
+func (img *Image) Boot(devs *DeviceSet) (*Machine, error) {
+	memSize := img.MemSize
+	if memSize == 0 {
+		memSize = 256 * 1024
+	}
+	if int(CodeBase)+len(img.Code) > memSize {
+		return nil, fmt.Errorf("vm: image %q code (%d bytes) does not fit in %d bytes of memory",
+			img.Name, len(img.Code), memSize)
+	}
+	m := NewMachine(memSize, devs)
+	if err := m.WriteBytes(CodeBase, img.Code); err != nil {
+		return nil, fmt.Errorf("vm: loading image %q: %w", img.Name, err)
+	}
+	for irq, addr := range img.Vectors {
+		if addr != 0 {
+			if err := m.Store32(VectorBase+uint32(irq)*4, addr); err != nil {
+				return nil, fmt.Errorf("vm: installing vector %d: %w", irq, err)
+			}
+		}
+	}
+	m.PC = img.Entry
+	if devs != nil {
+		devs.Disk = append([]byte(nil), img.Disk...)
+	}
+	m.ClearDirty()
+	return m, nil
+}
+
+// State is a complete capture of the machine core, sufficient (together
+// with a DeviceSet snapshot) to resume execution with identical behaviour.
+type State struct {
+	Regs       [NumRegs]uint32
+	PC         uint32
+	ICount     uint64
+	Branches   uint64
+	IntEnabled bool
+	Waiting    bool
+	Halted     bool
+	ExtraNs    uint64
+	Pending    uint32
+	Mem        []byte
+}
+
+// CaptureState copies the machine core state.
+func (m *Machine) CaptureState() *State {
+	s := &State{
+		Regs: m.Regs, PC: m.PC, ICount: m.ICount, Branches: m.Branches,
+		IntEnabled: m.IntEnabled, Waiting: m.Waiting, Halted: m.Halted,
+		ExtraNs: m.ExtraNs, Pending: m.pending,
+		Mem: make([]byte, len(m.Mem)),
+	}
+	copy(s.Mem, m.Mem)
+	return s
+}
+
+// CaptureStateRegisters serializes the non-memory core state without
+// copying memory; used by snapshotting, where memory travels page-wise.
+func (m *Machine) CaptureStateRegisters() []byte {
+	s := &State{
+		Regs: m.Regs, PC: m.PC, ICount: m.ICount, Branches: m.Branches,
+		IntEnabled: m.IntEnabled, Waiting: m.Waiting, Halted: m.Halted,
+		ExtraNs: m.ExtraNs, Pending: m.pending,
+	}
+	return s.MarshalRegisters()
+}
+
+// RestoreRegisters applies a register blob (from CaptureStateRegisters)
+// without touching memory.
+func (m *Machine) RestoreRegisters(blob []byte) error {
+	var s State
+	if err := s.UnmarshalRegisters(blob); err != nil {
+		return err
+	}
+	m.Regs = s.Regs
+	m.PC = s.PC
+	m.ICount = s.ICount
+	m.Branches = s.Branches
+	m.IntEnabled = s.IntEnabled
+	m.Waiting = s.Waiting
+	m.Halted = s.Halted
+	m.ExtraNs = s.ExtraNs
+	m.pending = s.Pending
+	m.FaultInfo = nil
+	return nil
+}
+
+// RestoreState overwrites the machine core with s. All pages are marked
+// dirty since their contents may have changed wholesale.
+func (m *Machine) RestoreState(s *State) error {
+	if len(s.Mem) != len(m.Mem) {
+		return fmt.Errorf("vm: state memory size %d does not match machine %d", len(s.Mem), len(m.Mem))
+	}
+	m.Regs = s.Regs
+	m.PC = s.PC
+	m.ICount = s.ICount
+	m.Branches = s.Branches
+	m.IntEnabled = s.IntEnabled
+	m.Waiting = s.Waiting
+	m.Halted = s.Halted
+	m.ExtraNs = s.ExtraNs
+	m.pending = s.Pending
+	copy(m.Mem, s.Mem)
+	m.FaultInfo = nil
+	m.MarkAllDirty()
+	return nil
+}
+
+// MarshalRegisters serializes the non-memory machine core state.
+//
+// ExtraNs is deliberately excluded: it is host bookkeeping (monitor
+// overhead charged to the virtual clock), not guest-visible state, and it
+// differs between recording and replay. Including it would make honest
+// replays fail snapshot-root comparison.
+func (s *State) MarshalRegisters() []byte {
+	var b []byte
+	for _, r := range s.Regs {
+		b = binary.BigEndian.AppendUint32(b, r)
+	}
+	b = binary.BigEndian.AppendUint32(b, s.PC)
+	b = binary.BigEndian.AppendUint64(b, s.ICount)
+	b = binary.BigEndian.AppendUint64(b, s.Branches)
+	var flags byte
+	if s.IntEnabled {
+		flags |= 1
+	}
+	if s.Waiting {
+		flags |= 2
+	}
+	if s.Halted {
+		flags |= 4
+	}
+	b = append(b, flags)
+	b = binary.BigEndian.AppendUint32(b, s.Pending)
+	return b
+}
+
+// UnmarshalRegisters reverses MarshalRegisters, leaving Mem and ExtraNs
+// untouched.
+func (s *State) UnmarshalRegisters(b []byte) error {
+	const want = NumRegs*4 + 4 + 8 + 8 + 1 + 4
+	if len(b) != want {
+		return fmt.Errorf("vm: register blob is %d bytes, want %d", len(b), want)
+	}
+	for i := range s.Regs {
+		s.Regs[i] = binary.BigEndian.Uint32(b[i*4:])
+	}
+	off := NumRegs * 4
+	s.PC = binary.BigEndian.Uint32(b[off:])
+	s.ICount = binary.BigEndian.Uint64(b[off+4:])
+	s.Branches = binary.BigEndian.Uint64(b[off+12:])
+	flags := b[off+20]
+	s.IntEnabled = flags&1 != 0
+	s.Waiting = flags&2 != 0
+	s.Halted = flags&4 != 0
+	s.Pending = binary.BigEndian.Uint32(b[off+21:])
+	return nil
+}

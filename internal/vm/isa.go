@@ -1,0 +1,145 @@
+// Package vm implements the deterministic virtual machine that plays the
+// role of the paper's virtualized commodity PC (§4.4). The machine's
+// execution is a pure function of its initial state and the values returned
+// by nondeterministic device ports; asynchronous events (interrupts) are
+// pinned to exact execution landmarks — a retired-instruction counter,
+// branch counter, and instruction pointer — mirroring how the paper's AVMM
+// records the precise timing of asynchronous inputs so they can be
+// re-injected at the exact same point during replay.
+package vm
+
+import "fmt"
+
+// Opcode identifies an instruction. Instructions are fixed-width: one
+// opcode byte, three register operand bytes, and a 32-bit little-endian
+// immediate — 8 bytes total.
+type Opcode uint8
+
+// The instruction set. A small RISC-style ISA: enough to compile real guest
+// programs (game clients, database servers) while keeping the interpreter —
+// and therefore replay — exactly deterministic.
+const (
+	OpNop    Opcode = iota
+	OpHlt           // halt the machine
+	OpMovi          // ra = imm
+	OpMov           // ra = rb
+	OpAdd           // ra = rb + rc
+	OpSub           // ra = rb - rc
+	OpMul           // ra = rb * rc
+	OpDivu          // ra = rb / rc (unsigned; rc==0 faults)
+	OpModu          // ra = rb % rc (unsigned; rc==0 faults)
+	OpAnd           // ra = rb & rc
+	OpOr            // ra = rb | rc
+	OpXor           // ra = rb ^ rc
+	OpShl           // ra = rb << (rc & 31)
+	OpShr           // ra = rb >> (rc & 31) (logical)
+	OpAddi          // ra = rb + imm
+	OpEq            // ra = (rb == rc) ? 1 : 0
+	OpLtu           // ra = (rb < rc) ? 1 : 0, unsigned
+	OpLts           // ra = (rb < rc) ? 1 : 0, signed
+	OpNot           // ra = (rb == 0) ? 1 : 0
+	OpLoad          // ra = mem32[rb + imm]
+	OpStore         // mem32[ra + imm] = rb
+	OpLoadb         // ra = mem8[rb + imm]
+	OpStoreb        // mem8[ra + imm] = rb (low byte)
+	OpJmp           // pc = imm
+	OpJz            // if ra == 0: pc = imm
+	OpJnz           // if ra != 0: pc = imm
+	OpCall          // push pc+8; pc = imm
+	OpRet           // pc = pop
+	OpPush          // sp -= 4; mem32[sp] = ra
+	OpPop           // ra = mem32[sp]; sp += 4
+	OpIn            // ra = bus.In(imm)
+	OpOut           // bus.Out(imm, ra)
+	OpCli           // disable interrupts
+	OpSti           // enable interrupts
+	OpIret          // pc = pop; enable interrupts
+	OpWfi           // wait for interrupt (idle until an IRQ is raised)
+	opCount
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpHlt: "hlt", OpMovi: "movi", OpMov: "mov",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDivu: "divu", OpModu: "modu",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpShr: "shr",
+	OpAddi: "addi", OpEq: "eq", OpLtu: "ltu", OpLts: "lts", OpNot: "not",
+	OpLoad: "load", OpStore: "store", OpLoadb: "loadb", OpStoreb: "storeb",
+	OpJmp: "jmp", OpJz: "jz", OpJnz: "jnz", OpCall: "call", OpRet: "ret",
+	OpPush: "push", OpPop: "pop", OpIn: "in", OpOut: "out",
+	OpCli: "cli", OpSti: "sti", OpIret: "iret", OpWfi: "wfi",
+}
+
+// String returns the mnemonic for the opcode.
+func (op Opcode) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op%d", uint8(op))
+}
+
+// InstrSize is the fixed encoding size of every instruction.
+const InstrSize = 4 + 4
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op         Opcode
+	Ra, Rb, Rc uint8
+	Imm        uint32
+}
+
+// Encode appends the 8-byte encoding of the instruction to dst.
+func (i Instr) Encode(dst []byte) []byte {
+	return append(dst,
+		byte(i.Op), i.Ra, i.Rb, i.Rc,
+		byte(i.Imm), byte(i.Imm>>8), byte(i.Imm>>16), byte(i.Imm>>24))
+}
+
+// Decode reads an instruction from b, which must hold at least InstrSize
+// bytes.
+func Decode(b []byte) Instr {
+	return Instr{
+		Op: Opcode(b[0]), Ra: b[1], Rb: b[2], Rc: b[3],
+		Imm: uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24,
+	}
+}
+
+// String disassembles the instruction.
+func (i Instr) String() string {
+	switch i.Op {
+	case OpNop, OpHlt, OpRet, OpCli, OpSti, OpIret, OpWfi:
+		return i.Op.String()
+	case OpMovi:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.Ra, int32(i.Imm))
+	case OpMov, OpNot:
+		return fmt.Sprintf("%s r%d, r%d", i.Op, i.Ra, i.Rb)
+	case OpAddi:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Ra, i.Rb, int32(i.Imm))
+	case OpLoad, OpLoadb:
+		return fmt.Sprintf("%s r%d, [r%d+%d]", i.Op, i.Ra, i.Rb, int32(i.Imm))
+	case OpStore, OpStoreb:
+		return fmt.Sprintf("%s [r%d+%d], r%d", i.Op, i.Ra, int32(i.Imm), i.Rb)
+	case OpJmp, OpCall:
+		return fmt.Sprintf("%s 0x%x", i.Op, i.Imm)
+	case OpJz, OpJnz:
+		return fmt.Sprintf("%s r%d, 0x%x", i.Op, i.Ra, i.Imm)
+	case OpPush, OpPop:
+		return fmt.Sprintf("%s r%d", i.Op, i.Ra)
+	case OpIn:
+		return fmt.Sprintf("in r%d, port 0x%x", i.Ra, i.Imm)
+	case OpOut:
+		return fmt.Sprintf("out port 0x%x, r%d", i.Imm, i.Ra)
+	default:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Ra, i.Rb, i.Rc)
+	}
+}
+
+// Register conventions used by the compiler in internal/lang. The machine
+// itself treats all 16 registers uniformly except that PUSH/POP/CALL/RET
+// use SP.
+const (
+	NumRegs = 16
+	// RegFP is the frame pointer by convention.
+	RegFP = 14
+	// RegSP is the stack pointer used by push/pop/call/ret.
+	RegSP = 15
+)

@@ -1,0 +1,461 @@
+package vm
+
+import (
+	"testing"
+)
+
+// asm assembles instructions into a code blob.
+func asm(ins ...Instr) []byte {
+	var code []byte
+	for _, i := range ins {
+		code = i.Encode(code)
+	}
+	return code
+}
+
+// bootCode loads code at CodeBase on a fresh machine.
+func bootCode(t *testing.T, code []byte, bus IOBus) *Machine {
+	t.Helper()
+	img := &Image{Name: "t", Code: code, Entry: CodeBase, MemSize: 64 * 1024}
+	var devs *DeviceSet
+	if ds, ok := bus.(*DeviceSet); ok {
+		devs = ds
+	}
+	m, err := img.Boot(devs)
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	if devs == nil {
+		m.Bus = bus
+	}
+	return m
+}
+
+func TestArithmeticOpcodes(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		a, b uint32
+		want uint32
+	}{
+		{OpAdd, 7, 5, 12},
+		{OpSub, 7, 5, 2},
+		{OpSub, 5, 7, 0xFFFFFFFE},
+		{OpMul, 6, 7, 42},
+		{OpDivu, 42, 5, 8},
+		{OpModu, 42, 5, 2},
+		{OpAnd, 0xF0F0, 0xFF00, 0xF000},
+		{OpOr, 0xF0F0, 0x0F0F, 0xFFFF},
+		{OpXor, 0xFF, 0x0F, 0xF0},
+		{OpShl, 1, 10, 1024},
+		{OpShl, 1, 42, 1024}, // shift counts mask to 5 bits
+		{OpShr, 1024, 10, 1},
+		{OpEq, 5, 5, 1},
+		{OpEq, 5, 6, 0},
+		{OpLtu, 5, 6, 1},
+		{OpLtu, 0xFFFFFFFF, 1, 0}, // unsigned
+		{OpLts, 0xFFFFFFFF, 1, 1}, // signed: -1 < 1
+		{OpLts, 1, 0xFFFFFFFF, 0},
+	}
+	for _, c := range cases {
+		m := bootCode(t, asm(
+			Instr{Op: OpMovi, Ra: 1, Imm: c.a},
+			Instr{Op: OpMovi, Ra: 2, Imm: c.b},
+			Instr{Op: c.op, Ra: 0, Rb: 1, Rc: 2},
+			Instr{Op: OpHlt},
+		), nil)
+		m.Run(100)
+		if m.FaultInfo != nil {
+			t.Fatalf("%v(%d,%d): fault %v", c.op, c.a, c.b, m.FaultInfo)
+		}
+		if m.Regs[0] != c.want {
+			t.Errorf("%v(%d,%d) = %d, want %d", c.op, c.a, c.b, m.Regs[0], c.want)
+		}
+	}
+}
+
+func TestNotAndMovAndAddi(t *testing.T) {
+	m := bootCode(t, asm(
+		Instr{Op: OpMovi, Ra: 1, Imm: 7},
+		Instr{Op: OpMov, Ra: 2, Rb: 1},
+		Instr{Op: OpAddi, Ra: 3, Rb: 2, Imm: 0xFFFFFFFF}, // -1
+		Instr{Op: OpNot, Ra: 4, Rb: 3},
+		Instr{Op: OpMovi, Ra: 5, Imm: 0},
+		Instr{Op: OpNot, Ra: 5, Rb: 5},
+		Instr{Op: OpHlt},
+	), nil)
+	m.Run(100)
+	if m.Regs[2] != 7 || m.Regs[3] != 6 || m.Regs[4] != 0 || m.Regs[5] != 1 {
+		t.Fatalf("regs = %v", m.Regs[:6])
+	}
+}
+
+func TestLoadStoreAndBytes(t *testing.T) {
+	m := bootCode(t, asm(
+		Instr{Op: OpMovi, Ra: 1, Imm: 0x8000},
+		Instr{Op: OpMovi, Ra: 2, Imm: 0xDEADBEEF},
+		Instr{Op: OpStore, Ra: 1, Rb: 2, Imm: 4},
+		Instr{Op: OpLoad, Ra: 3, Rb: 1, Imm: 4},
+		Instr{Op: OpLoadb, Ra: 4, Rb: 1, Imm: 4}, // low byte, little endian
+		Instr{Op: OpMovi, Ra: 5, Imm: 0x41},
+		Instr{Op: OpStoreb, Ra: 1, Rb: 5, Imm: 100},
+		Instr{Op: OpLoadb, Ra: 6, Rb: 1, Imm: 100},
+		Instr{Op: OpHlt},
+	), nil)
+	m.Run(100)
+	if m.Regs[3] != 0xDEADBEEF || m.Regs[4] != 0xEF || m.Regs[6] != 0x41 {
+		t.Fatalf("regs = %x", m.Regs[:8])
+	}
+}
+
+func TestBranchesAndBranchCounter(t *testing.T) {
+	// Loop 5 times; count taken branches.
+	loop := uint32(CodeBase + 2*InstrSize)
+	m := bootCode(t, asm(
+		Instr{Op: OpMovi, Ra: 0, Imm: 0},        // counter
+		Instr{Op: OpMovi, Ra: 1, Imm: 5},        // limit
+		Instr{Op: OpAddi, Ra: 0, Rb: 0, Imm: 1}, // loop:
+		Instr{Op: OpLtu, Ra: 2, Rb: 0, Rc: 1},
+		Instr{Op: OpJnz, Ra: 2, Imm: loop},
+		Instr{Op: OpHlt},
+	), nil)
+	m.Run(1000)
+	if m.Regs[0] != 5 {
+		t.Fatalf("counter = %d, want 5", m.Regs[0])
+	}
+	if m.Branches != 4 { // taken 4 times, falls through the 5th
+		t.Fatalf("branches = %d, want 4", m.Branches)
+	}
+}
+
+func TestCallRetPushPop(t *testing.T) {
+	// main: push 11, call f, halt. f: pop into r1 via stack discipline.
+	fAddr := uint32(CodeBase + 4*InstrSize)
+	m := bootCode(t, asm(
+		Instr{Op: OpMovi, Ra: 1, Imm: 11},
+		Instr{Op: OpPush, Ra: 1},
+		Instr{Op: OpCall, Imm: fAddr},
+		Instr{Op: OpHlt},
+		// f:
+		Instr{Op: OpLoad, Ra: 2, Rb: RegSP, Imm: 4}, // arg above return address
+		Instr{Op: OpAddi, Ra: 2, Rb: 2, Imm: 100},
+		Instr{Op: OpRet},
+	), nil)
+	m.Run(100)
+	if m.Regs[2] != 111 {
+		t.Fatalf("r2 = %d, want 111", m.Regs[2])
+	}
+	if !m.Halted {
+		t.Fatal("machine did not halt")
+	}
+}
+
+func TestFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		code []byte
+		want FaultCode
+	}{
+		{"div by zero", asm(
+			Instr{Op: OpMovi, Ra: 1, Imm: 5},
+			Instr{Op: OpMovi, Ra: 2, Imm: 0},
+			Instr{Op: OpDivu, Ra: 0, Rb: 1, Rc: 2},
+		), FaultDivByZero},
+		{"mod by zero", asm(
+			Instr{Op: OpMovi, Ra: 1, Imm: 5},
+			Instr{Op: OpMovi, Ra: 2, Imm: 0},
+			Instr{Op: OpModu, Ra: 0, Rb: 1, Rc: 2},
+		), FaultDivByZero},
+		{"load out of range", asm(
+			Instr{Op: OpMovi, Ra: 1, Imm: 0xFFFFFF0},
+			Instr{Op: OpLoad, Ra: 0, Rb: 1},
+		), FaultMemOutOfRange},
+		{"store out of range", asm(
+			Instr{Op: OpMovi, Ra: 1, Imm: 0xFFFFFF0},
+			Instr{Op: OpStore, Ra: 1, Rb: 0},
+		), FaultMemOutOfRange},
+		{"bad opcode", asm(Instr{Op: Opcode(200)}), FaultBadOpcode},
+		{"jump out of range", asm(Instr{Op: OpJmp, Imm: 0xFFFFFFF0}), FaultMemOutOfRange},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := bootCode(t, c.code, nil)
+			m.Run(100)
+			if m.FaultInfo == nil {
+				t.Fatal("no fault")
+			}
+			if m.FaultInfo.Code != c.want {
+				t.Fatalf("fault = %v, want %v", m.FaultInfo.Code, c.want)
+			}
+			if !m.Halted {
+				t.Fatal("faulted machine not halted")
+			}
+		})
+	}
+}
+
+func TestInterruptDeliveryAndIret(t *testing.T) {
+	handler := uint32(CodeBase + 6*InstrSize)
+	img := &Image{
+		Name: "irq", Entry: CodeBase, MemSize: 64 * 1024,
+		Code: asm(
+			Instr{Op: OpSti},
+			Instr{Op: OpMovi, Ra: 1, Imm: 1}, // loop body
+			Instr{Op: OpJnz, Ra: 1, Imm: CodeBase + 1*InstrSize},
+			Instr{Op: OpHlt},
+			Instr{Op: OpNop},
+			Instr{Op: OpNop},
+			// handler: set r5 and halt
+			Instr{Op: OpMovi, Ra: 5, Imm: 42},
+			Instr{Op: OpHlt},
+		),
+	}
+	img.Vectors[3] = handler
+	m, err := img.Boot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deliveredAt Landmark
+	m.OnIRQDelivered = func(irq int, lm Landmark) {
+		if irq != 3 {
+			t.Errorf("delivered irq %d, want 3", irq)
+		}
+		deliveredAt = lm
+	}
+	m.Run(10)
+	m.RaiseIRQ(3)
+	m.Run(100)
+	if m.Regs[5] != 42 {
+		t.Fatal("handler did not run")
+	}
+	if deliveredAt.ICount == 0 {
+		t.Fatal("no delivery landmark")
+	}
+	// The resume PC was pushed on the stack.
+	resume, err := m.Load32(m.Regs[RegSP])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resume < CodeBase || resume > CodeBase+4*InstrSize {
+		t.Fatalf("pushed resume pc 0x%x outside loop", resume)
+	}
+}
+
+func TestInterruptMaskedUntilSti(t *testing.T) {
+	handler := uint32(CodeBase + 8*InstrSize)
+	img := &Image{
+		Name: "masked", Entry: CodeBase, MemSize: 64 * 1024,
+		Code: asm(
+			Instr{Op: OpMovi, Ra: 1, Imm: 1},
+			Instr{Op: OpMovi, Ra: 2, Imm: 2},
+			Instr{Op: OpMovi, Ra: 3, Imm: 3},
+			Instr{Op: OpSti},
+			Instr{Op: OpNop},
+			Instr{Op: OpHlt},
+			Instr{Op: OpNop},
+			Instr{Op: OpNop},
+			// handler:
+			Instr{Op: OpMovi, Ra: 5, Imm: 99},
+			Instr{Op: OpIret},
+		),
+	}
+	img.Vectors[0] = handler
+	m, err := img.Boot(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RaiseIRQ(0) // raised before STI: must stay pending
+	m.Step()
+	m.Step()
+	if m.Regs[5] == 99 {
+		t.Fatal("interrupt delivered while masked")
+	}
+	m.Run(100)
+	if m.Regs[5] != 99 {
+		t.Fatal("interrupt never delivered after STI")
+	}
+	if !m.IntEnabled {
+		t.Fatal("IRET did not re-enable interrupts")
+	}
+	if !m.Halted {
+		t.Fatal("did not resume and halt")
+	}
+}
+
+func TestWfiWakeSemantics(t *testing.T) {
+	m := bootCode(t, asm(
+		Instr{Op: OpWfi},
+		Instr{Op: OpMovi, Ra: 1, Imm: 7},
+		Instr{Op: OpHlt},
+	), nil)
+	m.Run(10)
+	if !m.Waiting {
+		t.Fatal("not waiting after WFI")
+	}
+	icount := m.ICount
+	m.Run(10)
+	if m.ICount != icount {
+		t.Fatal("instructions retired while waiting")
+	}
+	m.RaiseIRQ(2) // masked IRQ still wakes WFI
+	if m.Waiting {
+		t.Fatal("RaiseIRQ did not clear Waiting")
+	}
+	m.Run(10)
+	if m.Regs[1] != 7 || !m.Halted {
+		t.Fatal("did not resume after wake")
+	}
+}
+
+func TestWfiWithPendingIsNoop(t *testing.T) {
+	m := bootCode(t, asm(
+		Instr{Op: OpWfi},
+		Instr{Op: OpHlt},
+	), nil)
+	m.RaiseIRQ(1)
+	m.Run(10)
+	if m.Waiting {
+		t.Fatal("WFI slept despite pending IRQ; wakeup lost")
+	}
+	if !m.Halted {
+		t.Fatal("did not continue past WFI")
+	}
+}
+
+func TestDirtyPageTracking(t *testing.T) {
+	m := bootCode(t, asm(
+		Instr{Op: OpMovi, Ra: 1, Imm: 3 * PageSize},
+		Instr{Op: OpMovi, Ra: 2, Imm: 9},
+		Instr{Op: OpStore, Ra: 1, Rb: 2},
+		Instr{Op: OpHlt},
+	), nil)
+	m.ClearDirty()
+	m.Run(100)
+	dirty := m.DirtyPages()
+	// Page 3 (the store) and the stack page are candidates; the store page
+	// must be present.
+	found := false
+	for _, p := range dirty {
+		if p == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("page 3 not dirty after store; dirty=%v", dirty)
+	}
+	m.ClearDirty()
+	if len(m.DirtyPages()) != 0 {
+		t.Fatal("ClearDirty left pages dirty")
+	}
+}
+
+func TestStoreStraddlingPageBoundaryDirtiesBoth(t *testing.T) {
+	m := NewMachine(4*PageSize, nil)
+	m.ClearDirty()
+	if err := m.Store32(uint32(PageSize-2), 0xAABBCCDD); err != nil {
+		t.Fatal(err)
+	}
+	dirty := m.DirtyPages()
+	if len(dirty) != 2 || dirty[0] != 0 || dirty[1] != 1 {
+		t.Fatalf("dirty = %v, want [0 1]", dirty)
+	}
+}
+
+func TestStateCaptureRestoreRoundTrip(t *testing.T) {
+	devs := NewDeviceSet(7)
+	m := bootCode(t, asm(
+		Instr{Op: OpMovi, Ra: 1, Imm: 0x1234},
+		Instr{Op: OpPush, Ra: 1},
+		Instr{Op: OpSti},
+		Instr{Op: OpHlt},
+	), devs)
+	m.Run(10)
+	st := m.CaptureState()
+	m2 := NewMachine(len(m.Mem), devs)
+	if err := m2.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Regs != m.Regs || m2.PC != m.PC || m2.ICount != m.ICount ||
+		m2.Branches != m.Branches || m2.IntEnabled != m.IntEnabled {
+		t.Fatal("restored core state differs")
+	}
+	for i := range m.Mem {
+		if m.Mem[i] != m2.Mem[i] {
+			t.Fatalf("memory differs at %d", i)
+		}
+	}
+}
+
+func TestRegisterBlobRoundTrip(t *testing.T) {
+	m := NewMachine(PageSize, nil)
+	m.Regs[3] = 77
+	m.PC = 0x1234
+	m.ICount = 999
+	m.Branches = 55
+	m.IntEnabled = true
+	m.RaiseIRQ(4)
+	blob := m.CaptureStateRegisters()
+	m2 := NewMachine(PageSize, nil)
+	if err := m2.RestoreRegisters(blob); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Regs[3] != 77 || m2.PC != 0x1234 || m2.ICount != 999 ||
+		m2.Branches != 55 || !m2.IntEnabled || m2.PendingIRQs() != 1<<4 {
+		t.Fatal("register blob round trip failed")
+	}
+	if err := m2.RestoreRegisters(blob[:10]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+}
+
+func TestImageHashSensitivity(t *testing.T) {
+	base := &Image{Name: "x", Code: asm(Instr{Op: OpHlt}), Entry: CodeBase, MemSize: 4096}
+	h := base.Hash()
+	mutants := []*Image{
+		{Name: "y", Code: base.Code, Entry: CodeBase, MemSize: 4096},
+		{Name: "x", Code: asm(Instr{Op: OpNop}), Entry: CodeBase, MemSize: 4096},
+		{Name: "x", Code: base.Code, Entry: CodeBase + 8, MemSize: 4096},
+		{Name: "x", Code: base.Code, Entry: CodeBase, MemSize: 8192},
+		{Name: "x", Code: base.Code, Entry: CodeBase, MemSize: 4096, Disk: []byte{1}},
+	}
+	for i, mu := range mutants {
+		if mu.Hash() == h {
+			t.Errorf("mutant %d has same hash as base", i)
+		}
+	}
+	v := base.Clone()
+	v.Vectors[2] = 0x2000
+	if v.Hash() == h {
+		t.Error("vector change not reflected in hash")
+	}
+}
+
+func TestImageCodeTooLarge(t *testing.T) {
+	img := &Image{Name: "big", Code: make([]byte, 8192), Entry: CodeBase, MemSize: 8192}
+	if _, err := img.Boot(nil); err == nil {
+		t.Fatal("oversized image booted")
+	}
+}
+
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	ins := Instr{Op: OpAddi, Ra: 3, Rb: 14, Rc: 9, Imm: 0xDEADBEEF}
+	got := Decode(ins.Encode(nil))
+	if got != ins {
+		t.Fatalf("round trip: %+v != %+v", got, ins)
+	}
+}
+
+func TestDisassembler(t *testing.T) {
+	cases := map[string]Instr{
+		"movi r1, 5":       {Op: OpMovi, Ra: 1, Imm: 5},
+		"add r0, r1, r2":   {Op: OpAdd, Ra: 0, Rb: 1, Rc: 2},
+		"load r3, [r4+8]":  {Op: OpLoad, Ra: 3, Rb: 4, Imm: 8},
+		"jmp 0x1000":       {Op: OpJmp, Imm: 0x1000},
+		"in r2, port 0x20": {Op: OpIn, Ra: 2, Imm: 0x20},
+		"hlt":              {Op: OpHlt},
+	}
+	for want, ins := range cases {
+		if got := ins.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
