@@ -11,6 +11,7 @@
 package avm_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/avmm"
@@ -253,7 +254,7 @@ func BenchmarkTevlog_Append(b *testing.B) {
 	}
 }
 
-func BenchmarkRSA768_Sign(b *testing.B) {
+func BenchmarkRSA_Sign(b *testing.B) {
 	s := sig.MustGenerateRSA("b", sig.DefaultKeyBits, "bench")
 	msg := make([]byte, 64)
 	b.ResetTimer()
@@ -262,7 +263,7 @@ func BenchmarkRSA768_Sign(b *testing.B) {
 	}
 }
 
-func BenchmarkRSA768_Verify(b *testing.B) {
+func BenchmarkRSA_Verify(b *testing.B) {
 	s := sig.MustGenerateRSA("b", sig.DefaultKeyBits, "bench")
 	msg := make([]byte, 64)
 	signature := s.Sign(msg)
@@ -295,30 +296,50 @@ func BenchmarkLogcomp_Compress(b *testing.B) {
 func BenchmarkReplay_GameSecond(b *testing.B) {
 	// Wall cost of replaying one virtual second of recorded gameplay — the
 	// quantity that determines whether online auditing keeps up (§6.11).
+	// The match takes periodic snapshots so the parallel sub-benchmarks can
+	// partition the log into epochs; "serial" is the plain single replay.
 	s, err := game.NewScenario(game.ScenarioConfig{
 		Players: 2, Mode: avmm.ModeAVMMNoSig, Seed: 1,
+		SnapshotEveryNs: 600_000_000,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
 	s.Run(5_000_000_000)
-	entries := s.Player(1).Log.All()
-	auths, err := s.CollectAuths("player1")
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := s.AuditNode("player1")
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !res.Passed {
-			b.Fatalf("audit failed: %v", res.Fault)
+	audit := func(b *testing.B, run func() error) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			if err := run(); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
-	_ = entries
-	_ = auths
+	b.Run("serial", func(b *testing.B) {
+		audit(b, func() error {
+			res, err := s.AuditNode("player1")
+			if err != nil {
+				return err
+			}
+			if !res.Passed {
+				return res.Fault
+			}
+			return nil
+		})
+	})
+	for _, workers := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			audit(b, func() error {
+				res, err := s.AuditNodeParallel("player1", workers)
+				if err != nil {
+					return err
+				}
+				if !res.Passed {
+					return res.Fault
+				}
+				return nil
+			})
+		})
+	}
 }
 
 // rootSink prevents the compiler from eliding the hashing work.
@@ -327,9 +348,18 @@ var rootSink [32]byte
 func BenchmarkMerkleSnapshotRoot(b *testing.B) {
 	m := vm.NewMachine(256*1024, nil)
 	blob := m.CaptureStateRegisters()
-	b.SetBytes(int64(len(m.Mem)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		rootSink = snapshot.RootOfState(m.Mem, blob, nil)
-	}
+	b.Run("serial", func(b *testing.B) {
+		sh := snapshot.StateHasher{Workers: 1}
+		b.SetBytes(int64(len(m.Mem)))
+		for i := 0; i < b.N; i++ {
+			rootSink = sh.RootOfState(m.Mem, blob, nil)
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		var sh snapshot.StateHasher // default fan-out
+		b.SetBytes(int64(len(m.Mem)))
+		for i := 0; i < b.N; i++ {
+			rootSink = sh.RootOfState(m.Mem, blob, nil)
+		}
+	})
 }

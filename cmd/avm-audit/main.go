@@ -66,7 +66,7 @@ func referenceImage(meta *Meta, node string) (*vm.Image, error) {
 func rebuildKeys(meta *Meta) *sig.KeyStore {
 	keys := sig.NewKeyStore()
 	for node := range meta.Nodes {
-		signer := sig.SizedSigner{Node: sig.NodeID(node), Size: sig.DefaultKeyBits / 8}
+		signer := sig.SizedSigner{Node: sig.NodeID(node), Size: sig.PaperSigBytes}
 		keys.Add(signer.Public())
 	}
 	return keys

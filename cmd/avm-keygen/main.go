@@ -18,7 +18,7 @@ func main() {
 	node := flag.String("node", "node0", "principal to generate a keypair for")
 	ca := flag.String("ca", "admin", "certificate authority principal")
 	seed := flag.String("seed", "avm", "deterministic key-generation seed")
-	bits := flag.Int("bits", sig.DefaultKeyBits, "RSA modulus size (the paper uses 768)")
+	bits := flag.Int("bits", sig.DefaultKeyBits, "RSA modulus size (min 1024; the paper's 768-bit keys are below crypto/rsa's modern minimum)")
 	flag.Parse()
 
 	caSigner, err := sig.GenerateRSA(sig.NodeID(*ca), *bits, *seed)

@@ -40,9 +40,7 @@ func (a *Auditor) AuditFull(node sig.NodeID, nodeIdx uint32, entries []tevlog.En
 	res := &Result{Node: node}
 
 	if a.TamperEvident {
-		seg := make([]tevlog.Entry, len(entries))
-		copy(seg, entries)
-		if err := tevlog.VerifySegment(tevlog.Hash{}, seg, auths, a.Keys); err != nil {
+		if err := tevlog.VerifySegment(tevlog.Hash{}, entries, auths, a.Keys); err != nil {
 			res.Fault = &FaultReport{Node: node, Check: CheckLog, Detail: err.Error()}
 			return res
 		}
@@ -59,20 +57,7 @@ func (a *Auditor) AuditFull(node sig.NodeID, nodeIdx uint32, entries []tevlog.En
 		return res
 	}
 
-	rp, err := NewReplayFromImage(node, a.RefImage, a.RNGSeed)
-	if err != nil {
-		res.Fault = &FaultReport{Node: node, Check: CheckSemantic, Detail: err.Error()}
-		return res
-	}
-	rp.Feed(entries)
-	rp.Run()
-	res.Replay = rp.Stats
-	if f := rp.Fault(); f != nil {
-		res.Fault = f
-		return res
-	}
-	res.Passed = true
-	return res
+	return a.replayFull(res, node, entries)
 }
 
 // ChunkRequest describes a spot-check of k consecutive segments starting at
@@ -107,9 +92,7 @@ func (a *Auditor) AuditChunk(req ChunkRequest) *Result {
 		return res
 	}
 	if a.TamperEvident {
-		seg := make([]tevlog.Entry, len(req.Entries))
-		copy(seg, req.Entries)
-		if err := tevlog.VerifySegment(req.PrevHash, seg, req.Auths, a.Keys); err != nil {
+		if err := tevlog.VerifySegment(req.PrevHash, req.Entries, req.Auths, a.Keys); err != nil {
 			res.Fault = &FaultReport{Node: req.Node, Check: CheckLog, Detail: err.Error()}
 			return res
 		}

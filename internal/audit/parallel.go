@@ -1,0 +1,281 @@
+package audit
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sig"
+	"repro/internal/snapshot"
+	"repro/internal/tevlog"
+)
+
+// This file implements the epoch-parallel audit engine. A tamper-evident
+// log is naturally partitioned by its snapshot entries (§4.4): each
+// snapshot commits a state root, so the segment between two snapshots is
+// independently verifiable — replay it from the earlier snapshot's state
+// and check the later root (§3.5 uses exactly this structure for spot
+// checking). A full audit is therefore a fan-out: verify the chain and
+// syntax once, then replay every inter-snapshot epoch concurrently.
+//
+// Soundness matches the serial audit's: epoch i starts from a state the
+// engine verifies against the root committed at snapshot i (so the machine
+// cannot hand the auditor a state it never committed to), and epoch i's
+// replay re-derives the root committed at snapshot i+1. If every epoch
+// passes, the serial replay would have passed; if the machine's execution
+// diverged anywhere, the earliest affected epoch faults, and the engine
+// reports that epoch's fault — the same check, entry, and landmark the
+// serial replay reports.
+
+// ParallelOptions configures the epoch-parallel full audit.
+type ParallelOptions struct {
+	// Workers bounds the number of epochs replayed concurrently. <= 0
+	// selects runtime.NumCPU(); 1 forces the serial path.
+	Workers int
+	// Materialize returns the audited machine's full state at snapshot
+	// index snapIdx, e.g. snapshot.Store.Materialize on the machine's
+	// snapshot sequence. The state is not trusted: each epoch verifies it
+	// against the root committed in the log before replaying from it.
+	// When nil, the audit falls back to the serial single-replay path.
+	Materialize func(snapIdx uint32) (*snapshot.Restored, error)
+}
+
+// epoch is one independently replayable log slice.
+type epoch struct {
+	// boot marks the first epoch, replayed from the reference image.
+	boot bool
+	// startSnap/startRoot identify and authenticate the starting state of
+	// a non-boot epoch.
+	startSnap uint32
+	startRoot [32]byte
+	// startSeq is the log seq of the starting snapshot entry (diagnostics).
+	startSeq uint64
+	// entries is the slice to replay. Epochs that end at a snapshot include
+	// that snapshot entry, so the boundary root is verified by the epoch
+	// that derives it.
+	entries []tevlog.Entry
+}
+
+// epochResult carries one epoch's outcome back to the merge step.
+type epochResult struct {
+	stats ReplayStats
+	fault *FaultReport
+}
+
+// AuditFullParallel checks an entire execution from boot like AuditFull —
+// log verification, syntactic check, semantic replay — but partitions the
+// replay at snapshot boundaries and runs the epochs concurrently on a
+// bounded worker pool. The merged Result carries the serial audit's
+// verdict: the same pass/fail, and on failure the fault of the earliest
+// faulting epoch (identical check and entry seq to the serial replay's).
+// Replay stats are the deterministic sum over the epochs the serial audit
+// would have executed.
+func (a *Auditor) AuditFullParallel(node sig.NodeID, nodeIdx uint32, entries []tevlog.Entry, auths []tevlog.Authenticator, opts ParallelOptions) *Result {
+	res := &Result{Node: node}
+
+	if a.TamperEvident {
+		if err := tevlog.VerifySegment(tevlog.Hash{}, entries, auths, a.Keys); err != nil {
+			res.Fault = &FaultReport{Node: node, Check: CheckLog, Detail: err.Error()}
+			return res
+		}
+	}
+
+	stats, fr := SyntacticCheck(node, entries, SyntacticOptions{
+		NodeIdx: nodeIdx, Keys: a.Keys,
+		VerifySignatures: a.TamperEvident && a.VerifySignatures,
+		StrictAcks:       a.StrictAcks,
+	})
+	res.Syntactic = stats
+	if fr != nil {
+		res.Fault = fr
+		return res
+	}
+
+	replay, fault := a.SemanticCheckParallel(node, entries, opts)
+	res.Replay = replay
+	if fault != nil {
+		res.Fault = fault
+		return res
+	}
+	res.Passed = true
+	return res
+}
+
+// SemanticCheckParallel runs only the semantic (replay) stage of a full
+// audit on the epoch-parallel engine, returning the merged replay stats
+// and the earliest fault (nil if the execution replays cleanly). It is the
+// stage AuditFullParallel runs after log verification and the syntactic
+// check; experiments time it directly against the serial replay.
+func (a *Auditor) SemanticCheckParallel(node sig.NodeID, entries []tevlog.Entry, opts ParallelOptions) (ReplayStats, *FaultReport) {
+	epochs := a.partition(entries, opts)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(epochs) {
+		workers = len(epochs)
+	}
+	if len(epochs) < 2 || workers == 1 {
+		r := a.runEpoch(node, &epochs[0], opts)
+		if len(epochs) >= 2 {
+			// Serial fan-in over the same epochs (workers == 1).
+			for i := 1; i < len(epochs) && r.fault == nil; i++ {
+				next := a.runEpoch(node, &epochs[i], opts)
+				addStats(&r.stats, next.stats)
+				r.fault = next.fault
+			}
+		}
+		return r.stats, r.fault
+	}
+
+	results := make([]epochResult, len(epochs))
+	cutoff := runPool(len(epochs), workers, func(i int) bool {
+		results[i] = a.runEpoch(node, &epochs[i], opts)
+		return results[i].fault != nil
+	})
+
+	var merged ReplayStats
+	if cutoff < len(epochs) {
+		// Earliest faulting epoch: epochs below it all ran and passed, so
+		// this is the fault the serial replay reports. Its stats sum covers
+		// exactly the work the serial replay performed before stopping.
+		for i := 0; i <= cutoff; i++ {
+			addStats(&merged, results[i].stats)
+		}
+		return merged, results[cutoff].fault
+	}
+	for i := range results {
+		addStats(&merged, results[i].stats)
+	}
+	return merged, nil
+}
+
+// partition slices the log into epochs at snapshot entries. It returns a
+// single boot epoch (the serial layout) when the log has no snapshots, the
+// snapshot scan fails (replay will fault on the malformed entry), or no
+// Materialize source is available.
+func (a *Auditor) partition(entries []tevlog.Entry, opts ParallelOptions) []epoch {
+	whole := []epoch{{boot: true, entries: entries}}
+	if opts.Materialize == nil || len(entries) == 0 {
+		return whole
+	}
+	points, err := FindSnapshots(entries)
+	if err != nil || len(points) == 0 {
+		return whole
+	}
+	epochs := make([]epoch, 0, len(points)+1)
+	epochs = append(epochs, epoch{boot: true, entries: entries[:points[0].EntryIndex+1]})
+	for i := 1; i < len(points); i++ {
+		epochs = append(epochs, epoch{
+			startSnap: points[i-1].SnapIdx,
+			startRoot: points[i-1].Root,
+			startSeq:  points[i-1].Seq,
+			entries:   entries[points[i-1].EntryIndex+1 : points[i].EntryIndex+1],
+		})
+	}
+	last := points[len(points)-1]
+	if tail := entries[last.EntryIndex+1:]; len(tail) > 0 {
+		epochs = append(epochs, epoch{
+			startSnap: last.SnapIdx, startRoot: last.Root, startSeq: last.Seq,
+			entries: tail,
+		})
+	}
+	return epochs
+}
+
+// runEpoch materializes an epoch's starting state, verifies it against the
+// committed root, and replays the epoch's entries.
+func (a *Auditor) runEpoch(node sig.NodeID, ep *epoch, opts ParallelOptions) epochResult {
+	var rp *Replay
+	var err error
+	if ep.boot {
+		rp, err = NewReplayFromImage(node, a.RefImage, a.RNGSeed)
+		if err != nil {
+			return epochResult{fault: &FaultReport{Node: node, Check: CheckSemantic, Detail: err.Error()}}
+		}
+	} else {
+		restored, merr := opts.Materialize(ep.startSnap)
+		if merr != nil {
+			return epochResult{fault: &FaultReport{
+				Node: node, Check: CheckSnapshot, EntrySeq: ep.startSeq,
+				Detail: fmt.Sprintf("materializing snapshot %d: %v", ep.startSnap, merr),
+			}}
+		}
+		// The machine's state is untrusted: replaying from a state it never
+		// committed to would let it steer the verdict. Check it against the
+		// root the log committed at this epoch's starting snapshot.
+		if verr := snapshot.VerifyRestored(restored, ep.startRoot); verr != nil {
+			return epochResult{fault: &FaultReport{
+				Node: node, Check: CheckSnapshot, EntrySeq: ep.startSeq, Detail: verr.Error(),
+			}}
+		}
+		rp, err = NewReplayFromSnapshot(node, restored, a.RNGSeed)
+		if err != nil {
+			return epochResult{fault: &FaultReport{Node: node, Check: CheckSemantic, Detail: err.Error()}}
+		}
+	}
+	rp.Feed(ep.entries)
+	rp.Run()
+	return epochResult{stats: rp.Stats, fault: rp.Fault()}
+}
+
+// replayFull is the shared serial semantic check: one replay of the whole
+// log from the reference image, i.e. a single boot epoch.
+func (a *Auditor) replayFull(res *Result, node sig.NodeID, entries []tevlog.Entry) *Result {
+	r := a.runEpoch(node, &epoch{boot: true, entries: entries}, ParallelOptions{})
+	res.Replay = r.stats
+	if r.fault != nil {
+		res.Fault = r.fault
+		return res
+	}
+	res.Passed = true
+	return res
+}
+
+func addStats(dst *ReplayStats, s ReplayStats) {
+	dst.Instructions += s.Instructions
+	dst.EntriesConsumed += s.EntriesConsumed
+	dst.SendsMatched += s.SendsMatched
+	dst.NondetsConsumed += s.NondetsConsumed
+	dst.EventsInjected += s.EventsInjected
+	dst.SnapshotsVerified += s.SnapshotsVerified
+}
+
+// runPool runs jobs 0..n-1 on up to workers goroutines, handing out
+// indices in order. A job returning true requests a cutoff at its index:
+// jobs with higher indices not yet started are skipped (their work cannot
+// affect the merged verdict), while every job below the final cutoff is
+// guaranteed to have run to completion. Returns the lowest cutoff index,
+// or n if no job requested one.
+func runPool(n, workers int, fn func(i int) bool) int {
+	var cutoff atomic.Int64
+	cutoff.Store(int64(n))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				if i > cutoff.Load() {
+					continue
+				}
+				if fn(int(i)) {
+					for {
+						cur := cutoff.Load()
+						if i >= cur || cutoff.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return int(cutoff.Load())
+}

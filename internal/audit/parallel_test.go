@@ -1,0 +1,107 @@
+package audit_test
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/avmm"
+	"repro/internal/game"
+	"repro/internal/sig"
+)
+
+// Equivalence harness for the epoch-parallel audit engine: whatever the
+// serial auditor concludes — pass, or a fault with a specific check and
+// entry seq — the parallel engine must conclude at every worker count.
+
+const (
+	eqMatchNs = 6_000_000_000
+	eqSnapNs  = 2_000_000_000
+)
+
+var eqWorkerCounts = []int{1, 2, 8}
+
+// auditBothWays runs the serial and parallel audits of node and fails the
+// test on any verdict divergence. It returns the serial result.
+func auditBothWays(t *testing.T, s *game.Scenario, node string, label string) *audit.Result {
+	t.Helper()
+	serial, err := s.AuditNode(sig.NodeID(node))
+	if err != nil {
+		t.Fatalf("%s: serial audit: %v", label, err)
+	}
+	for _, workers := range eqWorkerCounts {
+		par, err := s.AuditNodeParallel(sig.NodeID(node), workers)
+		if err != nil {
+			t.Fatalf("%s: parallel audit (%d workers): %v", label, workers, err)
+		}
+		if par.Passed != serial.Passed {
+			t.Errorf("%s: %d workers: passed=%v, serial passed=%v",
+				label, workers, par.Passed, serial.Passed)
+			continue
+		}
+		if serial.Fault != nil {
+			if par.Fault == nil {
+				t.Errorf("%s: %d workers: no fault, serial faulted: %v", label, workers, serial.Fault)
+				continue
+			}
+			if par.Fault.Check != serial.Fault.Check || par.Fault.EntrySeq != serial.Fault.EntrySeq {
+				t.Errorf("%s: %d workers: fault (%s, seq %d), serial fault (%s, seq %d)",
+					label, workers, par.Fault.Check, par.Fault.EntrySeq,
+					serial.Fault.Check, serial.Fault.EntrySeq)
+			}
+		}
+		if serial.Passed && par.Replay != serial.Replay {
+			t.Errorf("%s: %d workers: replay stats %+v, serial %+v",
+				label, workers, par.Replay, serial.Replay)
+		}
+		if par.Syntactic != serial.Syntactic {
+			t.Errorf("%s: %d workers: syntactic stats %+v, serial %+v",
+				label, workers, par.Syntactic, serial.Syntactic)
+		}
+	}
+	return serial
+}
+
+func TestParallelAuditEquivalenceClean(t *testing.T) {
+	s, err := game.NewScenario(game.ScenarioConfig{
+		Players: 2, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
+		Seed: 7, SnapshotEveryNs: eqSnapNs, FakeSignatures: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2 * eqMatchNs)
+	for _, node := range []string{"player1", "player2"} {
+		res := auditBothWays(t, s, node, "clean/"+node)
+		if !res.Passed {
+			t.Fatalf("clean run: serial audit of %s failed: %v", node, res.Fault)
+		}
+		if res.Replay.SnapshotsVerified == 0 {
+			t.Fatalf("clean run of %s verified no snapshots; epochs were not exercised", node)
+		}
+	}
+}
+
+func TestParallelAuditEquivalenceCheats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("26 matches; skipped in -short")
+	}
+	for _, cheat := range game.Catalog() {
+		cheat := cheat
+		t.Run(cheat.Name, func(t *testing.T) {
+			s, err := game.NewScenario(game.ScenarioConfig{
+				Players: 2, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
+				Seed: 2024, CheatPlayer: 1, Cheat: cheat,
+				SnapshotEveryNs: eqMatchNs / 3, FakeSignatures: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Run(eqMatchNs)
+			auditBothWays(t, s, "player1", "cheater/"+cheat.Name)
+			honest := auditBothWays(t, s, "player2", "honest/"+cheat.Name)
+			if !honest.Passed {
+				t.Errorf("honest player failed audit during %q match: %v", cheat.Name, honest.Fault)
+			}
+		})
+	}
+}

@@ -60,9 +60,7 @@ func (a *Auditor) auditPartialChunk(ev *Evidence) (*Result, error) {
 		return nil, fmt.Errorf("audit: partial state does not authenticate: %w", err)
 	}
 	if a.TamperEvident {
-		seg := make([]tevlog.Entry, len(ev.Entries))
-		copy(seg, ev.Entries)
-		if err := tevlog.VerifySegment(ev.PrevHash, seg, ev.Auths, a.Keys); err != nil {
+		if err := tevlog.VerifySegment(ev.PrevHash, ev.Entries, ev.Auths, a.Keys); err != nil {
 			res.Fault = &FaultReport{Node: ev.Accused, Check: CheckLog, Detail: err.Error()}
 			return res, nil
 		}

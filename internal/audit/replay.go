@@ -39,6 +39,10 @@ type Replay struct {
 	// Stats accumulates replay effort.
 	Stats ReplayStats
 
+	// stateHasher is reused across snapshot-root verifications so each
+	// snapshot entry does not reallocate the page hash tree.
+	stateHasher snapshot.StateHasher
+
 	// MaxInstructions bounds replay effort past the last consumed entry; a
 	// divergent execution that never consumes the next logged entry is
 	// reported as a fault instead of spinning forever.
@@ -283,7 +287,7 @@ func (r *Replay) perform(ev *wire.EventContent, seq uint64) {
 		r.mach.RaiseIRQ(vm.IRQInput)
 		r.Stats.EventsInjected++
 	case wire.EventSnapshot:
-		got := snapshot.RootOfState(r.mach.Mem, r.mach.CaptureStateRegisters(), r.devs.AuthSnapshot())
+		got := r.stateHasher.RootOfState(r.mach.Mem, r.mach.CaptureStateRegisters(), r.devs.AuthSnapshot())
 		if got != ev.Root {
 			r.diverge(CheckSnapshot, seq,
 				"replayed state root %x does not match committed snapshot root %x",

@@ -1,6 +1,8 @@
 package audit
 
 import (
+	"runtime"
+
 	"repro/internal/sig"
 	"repro/internal/snapshot"
 	"repro/internal/tevlog"
@@ -152,6 +154,18 @@ type SpotCheckOutcome struct {
 // passes any subset; completeness holds only if a faulty segment is among
 // the inspected ones (§4.7).
 func (a *Auditor) SpotCheck(src SegmentSource, policy SpotPolicy) (*SpotCheckOutcome, error) {
+	return a.SpotCheckParallel(src, policy, 1)
+}
+
+// SpotCheckParallel is SpotCheck with the selected chunks audited
+// concurrently on up to workers goroutines (<= 0 selects runtime.NumCPU()).
+// Chunks are independent — each starts from its own verified snapshot — so
+// the outcome is deterministic and identical to the serial pass: the first
+// fault in policy order is reported, and SegmentsChecked counts the chunks
+// the serial pass would have inspected before stopping there. The segment
+// source must tolerate concurrent Chunk calls (MonitorSource does: audits
+// run against a quiesced log and snapshot store).
+func (a *Auditor) SpotCheckParallel(src SegmentSource, policy SpotPolicy, workers int) (*SpotCheckOutcome, error) {
 	pts, err := src.Segments()
 	if err != nil {
 		return nil, err
@@ -161,21 +175,38 @@ func (a *Auditor) SpotCheck(src SegmentSource, policy SpotPolicy) (*SpotCheckOut
 		nSegments = 0
 	}
 	out := &SpotCheckOutcome{SegmentsTotal: nSegments}
+	var picks []int
 	for _, idx := range policy.Pick(nSegments) {
-		if idx < 0 || idx >= nSegments {
-			continue
-		}
-		req, err := src.Chunk(idx, 1)
-		if err != nil {
-			return nil, err
-		}
-		out.SegmentsChecked++
-		res := a.AuditChunk(req)
-		if !res.Passed {
-			out.FaultFound = true
-			out.FirstFault = res.Fault
-			return out, nil
+		if idx >= 0 && idx < nSegments {
+			picks = append(picks, idx)
 		}
 	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(picks) {
+		workers = len(picks)
+	}
+	results := make([]*Result, len(picks))
+	errs := make([]error, len(picks))
+	cutoff := runPool(len(picks), workers, func(i int) bool {
+		req, cerr := src.Chunk(picks[i], 1)
+		if cerr != nil {
+			errs[i] = cerr
+			return true
+		}
+		results[i] = a.AuditChunk(req)
+		return !results[i].Passed
+	})
+	if cutoff == len(picks) {
+		out.SegmentsChecked = len(picks)
+		return out, nil
+	}
+	if errs[cutoff] != nil {
+		return nil, errs[cutoff]
+	}
+	out.SegmentsChecked = cutoff + 1
+	out.FaultFound = true
+	out.FirstFault = results[cutoff].Fault
 	return out, nil
 }

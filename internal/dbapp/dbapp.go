@@ -229,7 +229,7 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 	signer := func(id sig.NodeID) sig.Signer {
 		if cfg.Mode.Signs() {
 			if cfg.FakeSignatures {
-				return sig.SizedSigner{Node: id, Size: sig.DefaultKeyBits / 8}
+				return sig.SizedSigner{Node: id, Size: sig.PaperSigBytes}
 			}
 			return sig.MustGenerateRSA(id, sig.DefaultKeyBits, cfg.KeySeed)
 		}

@@ -31,7 +31,7 @@ func RunAblationChain(scale Scale) (*AblationChainResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	entries := s.Player(1).Log.All()
+	entries := s.Player(1).Log.Entries()
 	res := &AblationChainResult{Entries: len(entries)}
 	chainBatched := func(batch int) {
 		var prev tevlog.Hash
@@ -128,7 +128,7 @@ func RunAblationLandmarks(scale Scale) (*AblationLandmarkResult, error) {
 	}
 	res := &AblationLandmarkResult{}
 	var buf []byte
-	for _, e := range s.Player(1).Log.All() {
+	for _, e := range s.Player(1).Log.Entries() {
 		if e.Type != tevlog.TypeIRQ && e.Type != tevlog.TypeSnapshot {
 			continue
 		}
@@ -183,7 +183,7 @@ func RunAblationPartial(scale Scale) (*AblationPartialResult, error) {
 		return nil, err
 	}
 	s.Run(scale.DBNs / 2)
-	entries := s.Server.Log.All()
+	entries := s.Server.Log.Entries()
 	points, err := audit.FindSnapshots(entries)
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/audit"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/game"
 	"repro/internal/logcomp"
 	"repro/internal/metrics"
+	"repro/internal/snapshot"
 	"repro/internal/tevlog"
 )
 
@@ -27,17 +29,28 @@ type Sec66Result struct {
 	Semantic       time.Duration
 	ReplayedInstr  uint64
 	Passed         bool
+	// SemanticParallel is the semantic stage on the epoch-parallel engine
+	// with ParallelWorkers workers; ParallelSpeedup is Semantic divided by
+	// SemanticParallel.
+	SemanticParallel time.Duration
+	ParallelWorkers  int
+	ParallelSpeedup  float64
+	Snapshots        int
 }
 
 // RunSec66 records a match, then times the audit pipeline on the server's
-// log (the paper audits the machine hosting the game).
+// log (the paper audits the machine hosting the game). The machine takes
+// periodic snapshots, so the semantic stage can also run on the
+// epoch-parallel engine for comparison.
 func RunSec66(scale Scale) (*Sec66Result, error) {
-	s, err := runGame(avmm.ModeAVMMRSA, scale, nil)
+	s, err := runGame(avmm.ModeAVMMRSA, scale, func(cfg *game.ScenarioConfig) {
+		cfg.SnapshotEveryNs = scale.GameNs / 8
+	})
 	if err != nil {
 		return nil, err
 	}
 	target := s.Player(1)
-	entries := target.Log.All()
+	entries := target.Log.Entries()
 	auths, err := s.CollectAuths(target.Node())
 	if err != nil {
 		return nil, err
@@ -70,9 +83,7 @@ func RunSec66(scale Scale) (*Sec66Result, error) {
 	}
 	var synFault *audit.FaultReport
 	res.Syntactic = stopwatch(func() {
-		seg := make([]tevlog.Entry, len(decompressed))
-		copy(seg, decompressed)
-		if err := tevlog.VerifySegment(tevlog.Hash{}, seg, auths, s.Keys); err != nil {
+		if err := tevlog.VerifySegment(tevlog.Hash{}, decompressed, auths, s.Keys); err != nil {
 			synFault = &audit.FaultReport{Detail: err.Error()}
 			return
 		}
@@ -99,6 +110,30 @@ func RunSec66(scale Scale) (*Sec66Result, error) {
 		return nil, fmt.Errorf("sec66 semantic check failed: %s", f.Detail)
 	}
 	res.ReplayedInstr = rep.Stats.Instructions
+	res.Snapshots = rep.Stats.SnapshotsVerified
+
+	// The same semantic stage on the epoch-parallel engine, pulling epoch
+	// start states from the machine's snapshot store. Report the fan-out
+	// actually used: the engine caps workers at the epoch count, which is
+	// bounded by the number of snapshots in the log.
+	res.ParallelWorkers = runtime.NumCPU()
+	if res.ParallelWorkers > res.Snapshots && res.Snapshots > 0 {
+		res.ParallelWorkers = res.Snapshots
+	}
+	popts := audit.ParallelOptions{
+		Workers:     res.ParallelWorkers,
+		Materialize: func(snapIdx uint32) (*snapshot.Restored, error) { return target.Snaps.Materialize(int(snapIdx)) },
+	}
+	var pfault *audit.FaultReport
+	res.SemanticParallel = stopwatch(func() {
+		_, pfault = a.SemanticCheckParallel(target.Node(), decompressed, popts)
+	})
+	if pfault != nil {
+		return nil, fmt.Errorf("sec66 parallel semantic check failed: %s", pfault.Detail)
+	}
+	if res.SemanticParallel > 0 {
+		res.ParallelSpeedup = float64(res.Semantic) / float64(res.SemanticParallel)
+	}
 	res.Passed = true
 	return res, nil
 }
@@ -110,7 +145,9 @@ func (r *Sec66Result) Table() *metrics.Table {
 	t.Row("compress", r.Compress.String(), fmt.Sprintf("%d → %d bytes", r.LogBytes, r.CompressedSize))
 	t.Row("decompress", r.Decompress.String(), "")
 	t.Row("syntactic check", r.Syntactic.String(), fmt.Sprintf("%d entries", r.LogEntries))
-	t.Row("semantic check (replay)", r.Semantic.String(), fmt.Sprintf("%d instructions", r.ReplayedInstr))
+	t.Row("semantic check (replay)", r.Semantic.String(), fmt.Sprintf("%d instructions, %d snapshots", r.ReplayedInstr, r.Snapshots))
+	t.Row("semantic check (parallel)", r.SemanticParallel.String(),
+		fmt.Sprintf("%d workers, %.2fx", r.ParallelWorkers, r.ParallelSpeedup))
 	t.Row("recorded play (virtual)", time.Duration(r.RecordedNs).String(), "")
 	return t
 }
@@ -154,7 +191,7 @@ func (d *onlineAuditDriver) Tick(_ *avmm.World, nowNs uint64) {
 	if hi <= d.oa.FedTo() {
 		return
 	}
-	entries, err := d.target.Log.Segment(d.oa.FedTo()+1, hi)
+	entries, err := d.target.Log.SegmentView(d.oa.FedTo()+1, hi)
 	if err != nil {
 		return
 	}
@@ -269,7 +306,7 @@ func RunFig9(scale Scale) (*Fig9Result, error) {
 		return nil, err
 	}
 	s.Run(scale.DBNs)
-	entries := s.Server.Log.All()
+	entries := s.Server.Log.Entries()
 	points, err := audit.FindSnapshots(entries)
 	if err != nil {
 		return nil, err

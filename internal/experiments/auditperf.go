@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/avmm"
+	"repro/internal/dbapp"
+	"repro/internal/game"
+	"repro/internal/metrics"
+	"repro/internal/sig"
+	"repro/internal/snapshot"
+)
+
+// This file is the audit-throughput experiment behind BENCH_audit.json: a
+// worker-count ablation of the epoch-parallel audit engine plus the
+// primitive rates (Merkle state hashing, signature verification) that
+// bound it. Future PRs regress against the emitted numbers.
+
+// AuditWorkerRow is one worker count of the replay ablation.
+type AuditWorkerRow struct {
+	Workers      int     `json:"workers"`
+	WallNs       int64   `json:"wall_ns"`
+	Speedup      float64 `json:"speedup_vs_serial"`
+	VerdictMatch bool    `json:"verdict_match"`
+}
+
+// AuditBenchResult aggregates audit-engine throughput: serial vs parallel
+// full-log replay, parallel spot checking, Merkle root hashing, and
+// authenticator signature verification.
+type AuditBenchResult struct {
+	CPUs int `json:"cpus"`
+
+	// Full-audit replay over a recorded match with periodic snapshots.
+	LogEntries          int              `json:"log_entries"`
+	LogBytes            int              `json:"log_bytes"`
+	ReplayedInstr       uint64           `json:"replayed_instructions"`
+	SerialWallNs        int64            `json:"serial_wall_ns"`
+	SerialEntriesPerSec float64          `json:"serial_entries_per_sec"`
+	SerialMInstrPerSec  float64          `json:"serial_minstr_per_sec"`
+	Workers             []AuditWorkerRow `json:"workers_ablation"`
+
+	// Spot-checking every segment of the minisql log, serial vs parallel.
+	SpotSegments       int   `json:"spot_segments"`
+	SpotSerialWallNs   int64 `json:"spot_serial_wall_ns"`
+	SpotParallelWallNs int64 `json:"spot_parallel_wall_ns"`
+	SpotWorkers        int   `json:"spot_workers"`
+
+	// Merkle snapshot-root hashing throughput.
+	MerkleBytes        int     `json:"merkle_bytes"`
+	MerkleSerialGBps   float64 `json:"merkle_serial_gb_per_sec"`
+	MerkleParallelGBps float64 `json:"merkle_parallel_gb_per_sec"`
+	MerkleWorkers      int     `json:"merkle_workers"`
+
+	// RSA authenticator verification rate (DefaultKeyBits keys).
+	VerifyOpsPerSec float64 `json:"rsa_verify_ops_per_sec"`
+	VerifyKeyBits   int     `json:"rsa_key_bits"`
+}
+
+// auditWorkerCounts is the ablation grid.
+var auditWorkerCounts = []int{1, 2, 4, 8}
+
+// RunAuditBench measures the audit engine end to end at every worker count
+// and the primitive rates underneath it.
+func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
+	res := &AuditBenchResult{CPUs: runtime.NumCPU()}
+
+	// --- full-audit replay ablation on a recorded match ---
+	s, err := game.NewScenario(game.ScenarioConfig{
+		Players: 2, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
+		Seed: 1234, SnapshotEveryNs: scale.GameNs / 8, FakeSignatures: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Run(scale.GameNs)
+	target := s.Player(1)
+	res.LogEntries = target.Log.Len()
+	res.LogBytes = target.TotalLogBytes()
+
+	var serial *audit.Result
+	serialWall := stopwatch(func() {
+		serial, err = s.AuditNode(target.Node())
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !serial.Passed {
+		return nil, fmt.Errorf("auditbench: serial audit failed: %v", serial.Fault)
+	}
+	res.SerialWallNs = serialWall.Nanoseconds()
+	res.ReplayedInstr = serial.Replay.Instructions
+	if sec := serialWall.Seconds(); sec > 0 {
+		res.SerialEntriesPerSec = float64(res.LogEntries) / sec
+		res.SerialMInstrPerSec = float64(res.ReplayedInstr) / sec / 1e6
+	}
+
+	for _, w := range auditWorkerCounts {
+		var par *audit.Result
+		wall := stopwatch(func() {
+			par, err = s.AuditNodeParallel(target.Node(), w)
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := AuditWorkerRow{
+			Workers:      w,
+			WallNs:       wall.Nanoseconds(),
+			VerdictMatch: par.Passed == serial.Passed && par.Replay == serial.Replay,
+		}
+		if wall > 0 {
+			row.Speedup = float64(serialWall) / float64(wall)
+		}
+		res.Workers = append(res.Workers, row)
+	}
+
+	// --- spot-checking every segment, serial vs parallel ---
+	db, err := dbapp.NewScenario(dbapp.ScenarioConfig{
+		Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(), Seed: 17,
+		SnapshotEveryNs: scale.DBSnapshotNs, FakeSignatures: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.Run(scale.DBNs)
+	auths, err := db.ServerAuths()
+	if err != nil {
+		return nil, err
+	}
+	src := &audit.MonitorSource{
+		Node: "db-server", NodeIdx: 0,
+		Entries: db.Server.Log.Entries(), Auths: auths,
+		Materialize: func(k int) (*snapshot.Restored, error) { return db.Server.Snaps.Materialize(k) },
+	}
+	da := db.Auditor()
+	pts, err := src.Segments()
+	if err != nil {
+		return nil, err
+	}
+	res.SpotSegments = len(pts) - 1
+	// Record the fan-out actually used (SpotCheckParallel caps at the
+	// number of selected chunks), so the JSON names true conditions.
+	res.SpotWorkers = runtime.NumCPU()
+	if res.SpotWorkers > res.SpotSegments {
+		res.SpotWorkers = res.SpotSegments
+	}
+	all := audit.RecentFirst{K: res.SpotSegments}
+	var spot *audit.SpotCheckOutcome
+	wall := stopwatch(func() {
+		spot, err = da.SpotCheckParallel(src, all, 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if spot.FaultFound {
+		return nil, fmt.Errorf("auditbench: honest spot check faulted: %v", spot.FirstFault)
+	}
+	res.SpotSerialWallNs = wall.Nanoseconds()
+	wall = stopwatch(func() {
+		spot, err = da.SpotCheckParallel(src, all, res.SpotWorkers)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if spot.FaultFound {
+		return nil, fmt.Errorf("auditbench: honest parallel spot check faulted: %v", spot.FirstFault)
+	}
+	res.SpotParallelWallNs = wall.Nanoseconds()
+
+	// --- Merkle snapshot-root throughput ---
+	res.MerkleBytes = 4 << 20
+	mem := make([]byte, res.MerkleBytes)
+	for i := range mem {
+		mem[i] = byte(uint32(i) * 2654435761)
+	}
+	res.MerkleWorkers = runtime.NumCPU()
+	res.MerkleSerialGBps = merkleGBps(mem, 1)
+	res.MerkleParallelGBps = merkleGBps(mem, res.MerkleWorkers)
+
+	// --- RSA verification rate ---
+	res.VerifyKeyBits = sig.DefaultKeyBits
+	signer, err := sig.GenerateRSA("auditbench", sig.DefaultKeyBits, "auditbench")
+	if err != nil {
+		return nil, err
+	}
+	msg := make([]byte, 64)
+	signature := signer.Sign(msg)
+	verifier := signer.Public()
+	const verifyReps = 400
+	vwall := stopwatch(func() {
+		for i := 0; i < verifyReps; i++ {
+			if !verifier.Verify(msg, signature) {
+				panic("auditbench: verification failed")
+			}
+		}
+	})
+	if sec := vwall.Seconds(); sec > 0 {
+		res.VerifyOpsPerSec = verifyReps / sec
+	}
+	return res, nil
+}
+
+// merkleGBps times StateHasher.RootOfState over mem at the given fan-out,
+// taking the best of a few repetitions.
+func merkleGBps(mem []byte, workers int) float64 {
+	sh := snapshot.StateHasher{Workers: workers}
+	best := time.Duration(1<<63 - 1)
+	for rep := 0; rep < 3; rep++ {
+		d := stopwatch(func() {
+			sh.RootOfState(mem, nil, nil)
+		})
+		if d < best {
+			best = d
+		}
+	}
+	if best <= 0 {
+		return 0
+	}
+	return float64(len(mem)) / best.Seconds() / 1e9
+}
+
+// Table renders the audit-throughput experiment.
+func (r *AuditBenchResult) Table() *metrics.Table {
+	t := metrics.NewTable("Audit engine throughput (serial vs parallel)",
+		"metric", "value", "notes")
+	t.Row("cpus", r.CPUs, "")
+	t.Row("serial replay", time.Duration(r.SerialWallNs).String(),
+		fmt.Sprintf("%d entries, %.1f entries/s, %.1f Minstr/s", r.LogEntries, r.SerialEntriesPerSec, r.SerialMInstrPerSec))
+	for _, row := range r.Workers {
+		t.Row(fmt.Sprintf("parallel replay (%d workers)", row.Workers),
+			time.Duration(row.WallNs).String(),
+			fmt.Sprintf("%.2fx, verdict match %v", row.Speedup, row.VerdictMatch))
+	}
+	t.Row("spot check serial", time.Duration(r.SpotSerialWallNs).String(),
+		fmt.Sprintf("%d segments", r.SpotSegments))
+	t.Row("spot check parallel", time.Duration(r.SpotParallelWallNs).String(),
+		fmt.Sprintf("%d workers", r.SpotWorkers))
+	t.Row("merkle root serial", fmt.Sprintf("%.2f GB/s", r.MerkleSerialGBps),
+		fmt.Sprintf("%d MiB state", r.MerkleBytes>>20))
+	t.Row("merkle root parallel", fmt.Sprintf("%.2f GB/s", r.MerkleParallelGBps),
+		fmt.Sprintf("%d workers", r.MerkleWorkers))
+	t.Row("rsa verify", fmt.Sprintf("%.0f ops/s", r.VerifyOpsPerSec),
+		fmt.Sprintf("%d-bit keys", r.VerifyKeyBits))
+	return t
+}

@@ -103,7 +103,7 @@ func RunFig4(scale Scale) (*Fig4Result, error) {
 		Other:       p.ClassBytes(avmm.ClassOther),
 		Tamper:      p.ClassBytes(avmm.ClassTamper),
 	}
-	entries := p.Log.All()
+	entries := p.Log.Entries()
 	raw := tevlog.MarshalSegment(entries)
 	res.RawBytes = len(raw)
 	res.FlateBytes = len(logcomp.Flate(raw))

@@ -123,7 +123,7 @@ func runPing(mode avmm.Mode, pings int) ([]float64, error) {
 	w.SliceNs = 50_000 // fine-grained delivery so RTTs are not quantized
 	signer := func(id sig.NodeID) sig.Signer {
 		if mode.Signs() {
-			return sig.SizedSigner{Node: id, Size: sig.DefaultKeyBits / 8}
+			return sig.SizedSigner{Node: id, Size: sig.PaperSigBytes}
 		}
 		return sig.NullSigner{Node: id}
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/avmm"
 	"repro/internal/netsim"
 	"repro/internal/sig"
+	"repro/internal/snapshot"
 	"repro/internal/tevlog"
 	"repro/internal/vm"
 )
@@ -101,7 +102,7 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 	signer := func(id sig.NodeID) sig.Signer {
 		if cfg.Mode.Signs() {
 			if cfg.FakeSignatures {
-				return sig.SizedSigner{Node: id, Size: sig.DefaultKeyBits / 8}
+				return sig.SizedSigner{Node: id, Size: sig.PaperSigBytes}
 			}
 			return sig.MustGenerateRSA(id, sig.DefaultKeyBits, cfg.KeySeed)
 		}
@@ -209,9 +210,9 @@ func (s *Scenario) CollectAuths(node sig.NodeID) ([]tevlog.Authenticator, error)
 	return auths, nil
 }
 
-// AuditNode runs a full audit of the given node against its reference
-// image.
-func (s *Scenario) AuditNode(node sig.NodeID) (*audit.Result, error) {
+// auditorFor locates the node's monitor and assembles the auditor and
+// authenticator set shared by the serial and parallel audit entry points.
+func (s *Scenario) auditorFor(node sig.NodeID) (*avmm.Monitor, []tevlog.Authenticator, *audit.Auditor, error) {
 	all := append([]*avmm.Monitor{s.Server}, s.Players...)
 	var target *avmm.Monitor
 	for _, mon := range all {
@@ -220,17 +221,43 @@ func (s *Scenario) AuditNode(node sig.NodeID) (*audit.Result, error) {
 		}
 	}
 	if target == nil {
-		return nil, fmt.Errorf("game: unknown node %q", node)
+		return nil, nil, nil, fmt.Errorf("game: unknown node %q", node)
 	}
 	auths, err := s.CollectAuths(node)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	a := &audit.Auditor{
 		Keys: s.Keys, RefImage: s.RefImgs[node], RNGSeed: s.RNGSeedOf(target.Index()),
 		TamperEvident: s.Cfg.Mode.TamperEvident(), VerifySignatures: s.Cfg.Mode.Signs(),
 	}
-	return a.AuditFull(node, uint32(target.Index()), target.Log.All(), auths), nil
+	return target, auths, a, nil
+}
+
+// AuditNode runs a full audit of the given node against its reference
+// image.
+func (s *Scenario) AuditNode(node sig.NodeID) (*audit.Result, error) {
+	target, auths, a, err := s.auditorFor(node)
+	if err != nil {
+		return nil, err
+	}
+	return a.AuditFull(node, uint32(target.Index()), target.Log.Entries(), auths), nil
+}
+
+// AuditNodeParallel is AuditNode on the epoch-parallel engine: the node's
+// log is partitioned at its snapshot entries and the epochs are replayed
+// concurrently on up to workers goroutines, with each epoch's starting
+// state pulled from the node's snapshot store and verified against the
+// root committed in the log. The verdict is identical to AuditNode's.
+func (s *Scenario) AuditNodeParallel(node sig.NodeID, workers int) (*audit.Result, error) {
+	target, auths, a, err := s.auditorFor(node)
+	if err != nil {
+		return nil, err
+	}
+	return a.AuditFullParallel(node, uint32(target.Index()), target.Log.Entries(), auths, audit.ParallelOptions{
+		Workers:     workers,
+		Materialize: func(snapIdx uint32) (*snapshot.Restored, error) { return target.Snaps.Materialize(int(snapIdx)) },
+	}), nil
 }
 
 // botDriver synthesizes player input: a seeded random walk with aim

@@ -105,11 +105,20 @@ func (st *Store) Take(m *vm.Machine, devBlob, authDevBlob []byte) (*Snapshot, er
 		Device:     append([]byte(nil), devBlob...),
 		AuthDevice: append([]byte(nil), authDevBlob...),
 	}
-	for _, p := range pages {
-		page := append([]byte(nil), m.Page(p)...)
-		s.MemPages[p] = page
-		if err := st.tree.Update(p, page); err != nil {
-			return nil, err
+	if len(st.snaps) == 0 {
+		// Full capture: every page is dirty, so bulk-hash the leaves
+		// concurrently instead of paying an O(log n) path per page.
+		for _, p := range pages {
+			s.MemPages[p] = append([]byte(nil), m.Page(p)...)
+		}
+		st.tree.Fill(func(p int) []byte { return s.MemPages[p] }, 0)
+	} else {
+		for _, p := range pages {
+			page := append([]byte(nil), m.Page(p)...)
+			s.MemPages[p] = page
+			if err := st.tree.Update(p, page); err != nil {
+				return nil, err
+			}
 		}
 	}
 	s.MemRoot = st.tree.Root()
@@ -178,13 +187,40 @@ func VerifyRestored(r *Restored, wantRoot [32]byte) error {
 	return nil
 }
 
+// StateHasher computes authenticated state digests, reusing one hash tree
+// across calls so replays that verify many snapshot entries do not rebuild
+// (or reallocate) the tree each time. Page hashing — a pure fan-out over
+// 4 KiB pages — runs on up to Workers goroutines. A StateHasher is not
+// safe for concurrent use; parallel audit epochs each hold their own.
+type StateHasher struct {
+	// Workers bounds the page-hashing fan-out; <= 0 selects
+	// merkle.DefaultWorkers().
+	Workers int
+	tree    *merkle.Tree
+	pages   int
+}
+
 // RootOfState computes the authenticated digest of a full state.
-func RootOfState(mem []byte, machineBlob, devBlob []byte) [32]byte {
+func (sh *StateHasher) RootOfState(mem []byte, machineBlob, devBlob []byte) [32]byte {
 	pages := len(mem) / vm.PageSize
-	t := merkle.New(pages)
-	for p := 0; p < pages; p++ {
-		// Update cannot fail for in-range pages.
-		_ = t.Update(p, mem[p*vm.PageSize:(p+1)*vm.PageSize])
+	if sh.tree == nil || sh.pages != pages {
+		sh.tree = merkle.New(pages)
+		sh.pages = pages
 	}
-	return CombineRoot(t.Root(), machineBlob, devBlob)
+	sh.tree.Fill(func(p int) []byte {
+		if p >= pages {
+			// merkle.New rounds zero pages up to one empty leaf.
+			return nil
+		}
+		return mem[p*vm.PageSize : (p+1)*vm.PageSize]
+	}, sh.Workers)
+	return CombineRoot(sh.tree.Root(), machineBlob, devBlob)
+}
+
+// RootOfState computes the authenticated digest of a full state, hashing
+// pages concurrently. Callers that verify many snapshots should hold a
+// StateHasher instead to reuse the tree.
+func RootOfState(mem []byte, machineBlob, devBlob []byte) [32]byte {
+	var sh StateHasher
+	return sh.RootOfState(mem, machineBlob, devBlob)
 }

@@ -16,6 +16,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/sig"
 )
@@ -176,6 +180,39 @@ func CheckFork(a, b Authenticator) error {
 	return nil
 }
 
+// chainer streams the two hashes of one chain link — H(c_i) and
+// h_i = H(h_{i-1} || s_i || t_i || H(c_i)) — through a single reusable
+// SHA-256 state, producing bytes identical to HashContent+ChainHash while
+// avoiding the intermediate buffer assembly and per-entry digest
+// allocations on the append and rechain hot paths.
+type chainer struct {
+	h   hash.Hash
+	sum Hash // scratch for the content digest
+}
+
+func (c *chainer) init() {
+	if c.h == nil {
+		c.h = sha256.New()
+	}
+}
+
+// link writes h_i into *out given the previous chain hash and the entry
+// fields.
+func (c *chainer) link(prev Hash, seq uint64, typ EntryType, content []byte, out *Hash) {
+	c.init()
+	c.h.Reset()
+	c.h.Write(content)
+	c.h.Sum(c.sum[:0])
+	var hdr [9]byte
+	binary.BigEndian.PutUint64(hdr[0:8], seq)
+	hdr[8] = byte(typ)
+	c.h.Reset()
+	c.h.Write(prev[:])
+	c.h.Write(hdr[:])
+	c.h.Write(c.sum[:])
+	c.h.Sum(out[:0])
+}
+
 // Log is the append-only tamper-evident log a machine maintains.
 type Log struct {
 	node    sig.NodeID
@@ -183,6 +220,8 @@ type Log struct {
 	entries []Entry
 	// baseSeq is the sequence number of entries[0]; a log always starts at 1.
 	wireBytes int
+	// ch is the reusable hash state for the append hot path.
+	ch chainer
 }
 
 // New returns an empty log for node, signing authenticators with signer.
@@ -220,7 +259,7 @@ func (l *Log) Append(typ EntryType, content []byte) Entry {
 		Type:    typ,
 		Content: content,
 	}
-	e.Hash = ChainHash(l.LastHash(), e.Seq, e.Type, HashContent(content))
+	l.ch.link(l.LastHash(), e.Seq, e.Type, content, &e.Hash)
 	l.entries = append(l.entries, e)
 	l.wireBytes += e.WireSize()
 	return e
@@ -274,6 +313,25 @@ func (l *Log) All() []Entry {
 	return out
 }
 
+// Entries returns the log's entries without copying. The returned slice is
+// a read-only view for internal callers (auditors, experiments): entries
+// and their hashes must not be modified, and the view must not be appended
+// to. The full slice expression pins capacity so later Appends to the log
+// cannot alias into it.
+func (l *Log) Entries() []Entry {
+	return l.entries[:len(l.entries):len(l.entries)]
+}
+
+// SegmentView is Segment without the defensive copy, for read-only
+// internal callers (e.g. online auditors polling the log). The same
+// read-only contract as Entries applies.
+func (l *Log) SegmentView(lo, hi uint64) ([]Entry, error) {
+	if lo < 1 || hi > uint64(len(l.entries)) || lo > hi {
+		return nil, fmt.Errorf("tevlog: segment [%d,%d] out of range [1,%d]", lo, hi, len(l.entries))
+	}
+	return l.entries[lo-1 : hi : hi], nil
+}
+
 // Tampering errors returned by segment verification.
 var (
 	// ErrChainBroken reports a segment whose recomputed hash chain does not
@@ -291,13 +349,30 @@ var (
 // sequence number 1). It returns ErrChainBroken if sequence numbers are not
 // consecutive. The input slice is modified in place.
 func Rechain(prev Hash, entries []Entry) error {
+	var c chainer
 	for i := range entries {
 		if i > 0 && entries[i].Seq != entries[i-1].Seq+1 {
 			return fmt.Errorf("%w: non-consecutive sequence numbers %d, %d",
 				ErrChainBroken, entries[i-1].Seq, entries[i].Seq)
 		}
-		entries[i].Hash = ChainHash(prev, entries[i].Seq, entries[i].Type, HashContent(entries[i].Content))
+		c.link(prev, entries[i].Seq, entries[i].Type, entries[i].Content, &entries[i].Hash)
 		prev = entries[i].Hash
+	}
+	return nil
+}
+
+// chainHashes recomputes the chain hashes of a segment into dst (len(dst)
+// must equal len(entries)) without modifying the entries, so verification
+// never needs a defensive copy of the segment.
+func chainHashes(prev Hash, entries []Entry, dst []Hash) error {
+	var c chainer
+	for i := range entries {
+		if i > 0 && entries[i].Seq != entries[i-1].Seq+1 {
+			return fmt.Errorf("%w: non-consecutive sequence numbers %d, %d",
+				ErrChainBroken, entries[i-1].Seq, entries[i].Seq)
+		}
+		c.link(prev, entries[i].Seq, entries[i].Type, entries[i].Content, &dst[i])
+		prev = dst[i]
 	}
 	return nil
 }
@@ -308,28 +383,30 @@ func Rechain(prev Hash, entries []Entry) error {
 // Every authenticator whose sequence number falls inside the segment must
 // match the recomputed chain; at least one must cover the segment's last
 // entry, otherwise the tail of the segment is uncommitted and skipping it
-// would go unnoticed. Signatures are checked against ks.
+// would go unnoticed. Signatures are checked against ks, concurrently when
+// several authenticators fall inside the segment; the segment itself is
+// never modified.
 func VerifySegment(prev Hash, entries []Entry, auths []Authenticator, ks *sig.KeyStore) error {
 	if len(entries) == 0 {
 		return errors.New("tevlog: empty segment")
 	}
-	if err := Rechain(prev, entries); err != nil {
+	hashes := make([]Hash, len(entries))
+	if err := chainHashes(prev, entries, hashes); err != nil {
 		return err
 	}
 	lo, hi := entries[0].Seq, entries[len(entries)-1].Seq
-	node := ""
+	inRange := func(a *Authenticator) bool { return a.Seq >= lo && a.Seq <= hi }
+	sigOK := verifyAuthsParallel(auths, inRange, ks)
 	covered := false
-	for _, a := range auths {
-		if node == "" {
-			node = string(a.Node)
-		}
-		if a.Seq < lo || a.Seq > hi {
+	for i := range auths {
+		a := &auths[i]
+		if !inRange(a) {
 			continue
 		}
-		if !a.Verify(ks) {
+		if !sigOK[i] {
 			return ErrBadSignature
 		}
-		if got := entries[a.Seq-lo].Hash; got != a.Hash {
+		if got := hashes[a.Seq-lo]; got != a.Hash {
 			return fmt.Errorf("%w: entry %d has chain hash %x, authenticator commits to %x",
 				ErrAuthenticatorMismatch, a.Seq, got[:8], a.Hash[:8])
 		}
@@ -341,6 +418,56 @@ func VerifySegment(prev Hash, entries []Entry, auths []Authenticator, ks *sig.Ke
 		return fmt.Errorf("%w: no authenticator covers segment end %d", ErrAuthenticatorMismatch, hi)
 	}
 	return nil
+}
+
+// verifyAuthsParallel checks the signatures of every selected authenticator
+// on a bounded worker pool and reports per-index validity. The outcome is
+// position-indexed, so callers scanning the results in order observe the
+// exact error precedence of a serial pass regardless of scheduling.
+func verifyAuthsParallel(auths []Authenticator, selected func(*Authenticator) bool, ks *sig.KeyStore) []bool {
+	ok := make([]bool, len(auths))
+	n := 0
+	for i := range auths {
+		if selected(&auths[i]) {
+			n++
+		}
+	}
+	// Capped like merkle.DefaultWorkers so segment verifications nested
+	// inside an already-parallel audit don't oversubscribe the scheduler.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range auths {
+			if selected(&auths[i]) {
+				ok[i] = auths[i].Verify(ks)
+			}
+		}
+		return ok
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(auths) {
+					return
+				}
+				if selected(&auths[i]) {
+					ok[i] = auths[i].Verify(ks)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ok
 }
 
 // MarshalSegment serializes a segment for transfer or storage.

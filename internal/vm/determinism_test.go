@@ -156,7 +156,9 @@ func TestPropertyStateRestoreResumesIdentically(t *testing.T) {
 		if err := m3.RestoreState(st); err != nil {
 			t.Fatal(err)
 		}
-		m3.Run(10_000)
+		// Resume with the remaining budget so long-running programs stop at
+		// the same instruction count as the uninterrupted machine.
+		m3.Run(10_000 - m2.ICount)
 
 		if m1.ICount != m3.ICount || m1.Regs != m3.Regs || m1.PC != m3.PC {
 			return false
