@@ -340,6 +340,20 @@ func BenchmarkReplay_GameSecond(b *testing.B) {
 			})
 		})
 	}
+	b.Run("stream-4", func(b *testing.B) {
+		// Streaming pipeline: decode ∥ chain-verify ∥ replay from the
+		// compressed container, default window.
+		audit(b, func() error {
+			res, _, err := s.AuditNodeStream("player1", 4, 0)
+			if err != nil {
+				return err
+			}
+			if !res.Passed {
+				return res.Fault
+			}
+			return nil
+		})
+	})
 }
 
 // rootSink prevents the compiler from eliding the hashing work.

@@ -112,6 +112,7 @@ func (a *Auditor) AuditChunk(req ChunkRequest) *Result {
 		return res
 	}
 	rp.Feed(req.Entries)
+	rp.Close()
 	rp.Run()
 	res.Replay = rp.Stats
 	if f := rp.Fault(); f != nil {
@@ -191,4 +192,4 @@ func (o *OnlineAudit) Fault() *FaultReport { return o.rp.Fault() }
 func (o *OnlineAudit) Stats() ReplayStats { return o.rp.Stats }
 
 // LagEntries returns how many fed entries remain unconsumed.
-func (o *OnlineAudit) LagEntries() int { return len(o.rp.entries) - o.rp.Consumed() }
+func (o *OnlineAudit) LagEntries() int { return o.rp.Pending() }

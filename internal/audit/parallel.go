@@ -216,6 +216,7 @@ func (a *Auditor) runEpoch(node sig.NodeID, ep *epoch, opts ParallelOptions) epo
 		}
 	}
 	rp.Feed(ep.entries)
+	rp.Close()
 	rp.Run()
 	return epochResult{stats: rp.Stats, fault: rp.Fault()}
 }

@@ -1,6 +1,7 @@
 package audit_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/audit"
@@ -20,8 +21,37 @@ const (
 
 var eqWorkerCounts = []int{1, 2, 8}
 
-// auditBothWays runs the serial and parallel audits of node and fails the
-// test on any verdict divergence. It returns the serial result.
+// compareVerdicts fails the test when a result diverges from the serial
+// auditor's verdict: pass/fail, fault check and entry, and (on passing
+// runs) replay and syntactic stats must all match.
+func compareVerdicts(t *testing.T, label string, serial, got *audit.Result) {
+	t.Helper()
+	if got.Passed != serial.Passed {
+		t.Errorf("%s: passed=%v, serial passed=%v", label, got.Passed, serial.Passed)
+		return
+	}
+	if serial.Fault != nil {
+		if got.Fault == nil {
+			t.Errorf("%s: no fault, serial faulted: %v", label, serial.Fault)
+			return
+		}
+		if got.Fault.Check != serial.Fault.Check || got.Fault.EntrySeq != serial.Fault.EntrySeq {
+			t.Errorf("%s: fault (%s, seq %d), serial fault (%s, seq %d)",
+				label, got.Fault.Check, got.Fault.EntrySeq,
+				serial.Fault.Check, serial.Fault.EntrySeq)
+		}
+	}
+	if serial.Passed && got.Replay != serial.Replay {
+		t.Errorf("%s: replay stats %+v, serial %+v", label, got.Replay, serial.Replay)
+	}
+	if got.Syntactic != serial.Syntactic {
+		t.Errorf("%s: syntactic stats %+v, serial %+v", label, got.Syntactic, serial.Syntactic)
+	}
+}
+
+// auditBothWays runs the serial, epoch-parallel and streaming audits of
+// node and fails the test on any verdict divergence. It returns the serial
+// result.
 func auditBothWays(t *testing.T, s *game.Scenario, node string, label string) *audit.Result {
 	t.Helper()
 	serial, err := s.AuditNode(sig.NodeID(node))
@@ -33,29 +63,16 @@ func auditBothWays(t *testing.T, s *game.Scenario, node string, label string) *a
 		if err != nil {
 			t.Fatalf("%s: parallel audit (%d workers): %v", label, workers, err)
 		}
-		if par.Passed != serial.Passed {
-			t.Errorf("%s: %d workers: passed=%v, serial passed=%v",
-				label, workers, par.Passed, serial.Passed)
-			continue
+		compareVerdicts(t, fmt.Sprintf("%s: %d workers", label, workers), serial, par)
+
+		stream, sstats, err := s.AuditNodeStream(sig.NodeID(node), workers, 0)
+		if err != nil {
+			t.Fatalf("%s: stream audit (%d workers): %v", label, workers, err)
 		}
-		if serial.Fault != nil {
-			if par.Fault == nil {
-				t.Errorf("%s: %d workers: no fault, serial faulted: %v", label, workers, serial.Fault)
-				continue
-			}
-			if par.Fault.Check != serial.Fault.Check || par.Fault.EntrySeq != serial.Fault.EntrySeq {
-				t.Errorf("%s: %d workers: fault (%s, seq %d), serial fault (%s, seq %d)",
-					label, workers, par.Fault.Check, par.Fault.EntrySeq,
-					serial.Fault.Check, serial.Fault.EntrySeq)
-			}
-		}
-		if serial.Passed && par.Replay != serial.Replay {
-			t.Errorf("%s: %d workers: replay stats %+v, serial %+v",
-				label, workers, par.Replay, serial.Replay)
-		}
-		if par.Syntactic != serial.Syntactic {
-			t.Errorf("%s: %d workers: syntactic stats %+v, serial %+v",
-				label, workers, par.Syntactic, serial.Syntactic)
+		compareVerdicts(t, fmt.Sprintf("%s: stream %d workers", label, workers), serial, stream)
+		if sstats.PeakResidentEntries > sstats.Window {
+			t.Errorf("%s: stream %d workers: %d resident entries exceed window %d",
+				label, workers, sstats.PeakResidentEntries, sstats.Window)
 		}
 	}
 	return serial

@@ -36,6 +36,7 @@ func (a *Auditor) MinimizeEvidence(ev *Evidence) (*Evidence, error) {
 	}
 	rp.EnableAccessTracking()
 	rp.Feed(ev.Entries)
+	rp.Close()
 	rp.Run()
 	partial, err := snapshot.PartialFromRestored(ev.Start, rp.AccessedPages())
 	if err != nil {
@@ -80,6 +81,7 @@ func (a *Auditor) auditPartialChunk(ev *Evidence) (*Result, error) {
 	}
 	rp.EnableAccessTracking()
 	rp.Feed(ev.Entries)
+	rp.Close()
 	rp.Run()
 	res.Replay = rp.Stats
 	// The conclusiveness check must come before the verdict.

@@ -23,6 +23,10 @@ type Replay struct {
 
 	entries []tevlog.Entry
 	pos     int
+	// dropped counts consumed entries compacted away by Feed, so Consumed
+	// stays cumulative while the resident slice holds only the unconsumed
+	// suffix (what bounds auditor memory during streaming audits).
+	dropped int
 
 	// outQueue buffers outputs the replica produced that have not yet been
 	// matched against SEND entries. Matching happens at safe points (never
@@ -32,6 +36,19 @@ type Replay struct {
 	// paused is set when the replay ran out of fed entries mid-execution;
 	// Feed clears it.
 	paused bool
+	// complete is set by Close: the fed log is the whole segment, so once
+	// it is consumed the replica may run its tail past the final entry.
+	// While unset (incremental feeding), Run never executes past the last
+	// fed entry — it must not, or it could overshoot the landmark of an
+	// async event that has not been fed yet.
+	complete bool
+	// syncTail records whether the most recently consumed replayable entry
+	// was synchronous (NONDET/SEND), i.e. the replica was mid-execution at
+	// consumption. Only then does a complete log run a tail; after an async
+	// entry the replica rests exactly at the landmark, which keeps epoch
+	// slices ending at snapshots from coasting into the next epoch's
+	// instructions.
+	syncTail bool
 
 	fault *FaultReport
 	done  bool
@@ -97,8 +114,16 @@ type pendingOut struct {
 }
 
 // Feed appends log entries to be replayed and refreshes the instruction
-// budget. It resumes a replay paused at log exhaustion.
+// budget. It resumes a replay paused at log exhaustion. Entries already
+// consumed are compacted away, so a replay fed incrementally (online or
+// streaming audits) holds only the unconsumed suffix of the log.
 func (r *Replay) Feed(entries []tevlog.Entry) {
+	if r.pos > 0 {
+		n := copy(r.entries, r.entries[r.pos:])
+		r.entries = r.entries[:n]
+		r.dropped += r.pos
+		r.pos = 0
+	}
 	r.entries = append(r.entries, entries...)
 	r.done = false
 	r.boundPos = -1
@@ -127,6 +152,24 @@ func (r *Replay) Feed(entries []tevlog.Entry) {
 	}
 }
 
+// Close marks the fed log as complete: no further Feed will follow. The
+// next Run may then let the replica run past the final entry to its natural
+// stopping point (halt, idle, the next input request, or the instruction
+// budget) — a deterministic position, unlike the legacy behavior of
+// coasting to the end of whatever execution chunk was in flight. Budget
+// exhaustion, which pauses while the feed is incomplete (more entries can
+// only raise the budget), becomes a final verdict; Close resumes a replay
+// paused that way.
+func (r *Replay) Close() {
+	r.complete = true
+	if r.paused {
+		r.paused = false
+		if r.fault == nil {
+			r.mach.Halted = false
+		}
+	}
+}
+
 // Fault returns the divergence report, if any.
 func (r *Replay) Fault() *FaultReport { return r.fault }
 
@@ -134,8 +177,11 @@ func (r *Replay) Fault() *FaultReport { return r.fault }
 func (r *Replay) Done() bool { return r.done && r.fault == nil }
 
 // Consumed returns the number of log entries consumed so far (including
-// skipped protocol entries).
-func (r *Replay) Consumed() int { return r.pos }
+// skipped protocol entries and entries compacted away by Feed).
+func (r *Replay) Consumed() int { return r.dropped + r.pos }
+
+// Pending returns the number of fed entries not yet consumed.
+func (r *Replay) Pending() int { return len(r.entries) - r.pos }
 
 // Machine exposes the replica for final-state inspection by tests.
 func (r *Replay) Machine() *vm.Machine { return r.mach }
@@ -212,6 +258,7 @@ func (r *Replay) drainOutputs() bool {
 		}
 		r.outQueue = r.outQueue[1:]
 		r.consume()
+		r.syncTail = true
 		r.Stats.SendsMatched++
 	}
 	return true
@@ -255,7 +302,19 @@ func (r *Replay) In(m *vm.Machine, port uint32) uint32 {
 		return 0
 	}
 	r.consume()
+	r.syncTail = true
 	r.Stats.NondetsConsumed++
+	// Skip protocol entries at the cursor now (the Run loop would skip them
+	// anyway), then stop the replica at this exact instruction if the fed
+	// log is exhausted. Running further would be execution past the last
+	// entry, whose extent depends on chunk alignment — and under incremental
+	// feeding it could sail past the landmark of an async event that has not
+	// been fed yet. Stopping at the consumption point makes the replay's
+	// position and stats a pure function of the log, independent of how it
+	// was fed.
+	if r.nextReplayable() == nil {
+		m.StopReq = true
+	}
 	return uint32(nd.Value)
 }
 
@@ -267,9 +326,12 @@ func (r *Replay) Out(m *vm.Machine, port uint32, val uint32) {
 // onGuestSend queues each output of the replica for matching against the
 // log's SEND entries — "checking the outputs against the outputs in L_ij"
 // (§4.5). Matching is deferred to safe points so an instruction is never
-// interrupted with device state half-updated.
+// interrupted with device state half-updated; the stop request makes the
+// producing instruction itself the safe point, so outputs are matched at a
+// deterministic position regardless of chunk alignment or feed granularity.
 func (r *Replay) onGuestSend(dest uint32, payload []byte) {
 	r.outQueue = append(r.outQueue, pendingOut{dest: dest, payload: payload})
+	r.mach.StopReq = true
 }
 
 // perform applies an asynchronous event at its landmark.
@@ -338,7 +400,7 @@ func (r *Replay) nextAsyncBound() (uint64, bool) {
 // (online auditing).
 func (r *Replay) Run() {
 	m := r.mach
-	for r.fault == nil {
+	for r.fault == nil && !r.paused {
 		if !r.drainOutputs() {
 			if r.fault == nil {
 				// Outputs await SEND entries that have not been fed yet
@@ -351,6 +413,9 @@ func (r *Replay) Run() {
 		}
 		e := r.nextReplayable()
 		if e == nil {
+			if r.complete && r.syncTail {
+				r.runTail()
+			}
 			r.done = true
 			return
 		}
@@ -382,6 +447,7 @@ func (r *Replay) Run() {
 				r.perform(ev, e.Seq)
 				if r.fault == nil {
 					r.consume()
+					r.syncTail = false
 				}
 				continue
 			default: // landmark ahead: run toward it
@@ -409,6 +475,14 @@ func (r *Replay) Run() {
 			return
 		}
 		if r.Stats.Instructions >= r.MaxInstructions {
+			if !r.complete {
+				// The budget so far reflects only the fed prefix of the
+				// log; entries still to come can only raise it. Pause and
+				// let Feed (or Close) resolve — faulting here would make
+				// the verdict depend on feeding granularity.
+				r.paused = true
+				return
+			}
 			r.diverge(CheckSemantic, e.Seq,
 				"instruction budget exhausted (%d) without reproducing log entry", r.MaxInstructions)
 			return
@@ -434,12 +508,40 @@ func (r *Replay) Run() {
 	}
 }
 
+// runTail lets the replica of a complete, fully consumed log coast past
+// the final entry to its natural stopping point: a halt, an idle wait, the
+// next input request (which pauses at log exhaustion), or the instruction
+// budget. The stopping point is a deterministic function of the log and
+// image, so final state and stats do not depend on feeding granularity.
+func (r *Replay) runTail() {
+	m := r.mach
+	for r.fault == nil && !m.Halted && !m.Waiting && !r.paused {
+		if r.Stats.Instructions >= r.MaxInstructions {
+			return
+		}
+		n := r.MaxInstructions - r.Stats.Instructions
+		if n > 4096 {
+			n = 4096
+		}
+		before := m.ICount
+		m.Run(n)
+		r.Stats.Instructions += m.ICount - before
+		if m.ICount == before {
+			return
+		}
+	}
+}
+
 // runTo advances the replica to exactly the target instruction count,
 // accounting instructions and honoring the budget.
 func (r *Replay) runTo(target uint64) {
 	m := r.mach
 	for r.fault == nil && m.ICount < target && !m.Halted && !m.Waiting {
 		if r.Stats.Instructions >= r.MaxInstructions {
+			if !r.complete {
+				r.paused = true // as in Run: an incomplete feed cannot render a budget verdict
+				return
+			}
 			r.diverge(CheckSemantic, 0,
 				"instruction budget exhausted (%d) before reaching landmark icount=%d", r.MaxInstructions, target)
 			return

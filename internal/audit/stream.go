@@ -1,0 +1,486 @@
+package audit
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/logcomp"
+	"repro/internal/sig"
+	"repro/internal/snapshot"
+	"repro/internal/tevlog"
+	"repro/internal/wire"
+)
+
+// This file implements the streaming audit pipeline: decode ∥ chain-verify
+// ∥ replay. The materializing auditor (AuditFull/AuditFullParallel over a
+// decompressed slice) pays the whole decode as dead time before the first
+// instruction replays, and holds every entry of the log in memory at once.
+// AuditStream instead wires logcomp.EntryReader → tevlog.ChainVerifier +
+// SyntacticChecker → epoch replay workers as bounded-channel stages: epochs
+// are emitted at snapshot entries and handed to workers while later
+// segments of the container are still decoding, and the number of decoded
+// entries resident across the whole pipeline is capped by a configurable
+// window rather than the log length.
+//
+// The verdict is identical to the materializing auditor's. Stage faults
+// are merged with the serial pipeline's precedence — decode, then chain
+// (over the whole log), then syntactic, then the earliest faulting epoch's
+// replay fault — and each stage runs to completion before a lower-
+// precedence fault is allowed to win, exactly as if the stages had run one
+// after another over a materialized slice.
+
+// DefaultStreamWindow bounds resident decoded entries when StreamOptions
+// leaves Window zero.
+const DefaultStreamWindow = 4096
+
+// streamBatch is how many entries a replay worker feeds per Run call when
+// its epoch channel has a backlog.
+const streamBatch = 64
+
+// StreamOptions configures AuditStream.
+type StreamOptions struct {
+	// Workers bounds the number of epochs replayed concurrently. <= 0
+	// selects runtime.NumCPU().
+	Workers int
+	// Window caps the number of decoded entries resident across the
+	// pipeline (decode buffers, epoch queues, and unconsumed replay feeds).
+	// <= 0 selects DefaultStreamWindow.
+	Window int
+	// Materialize returns the audited machine's full state at a snapshot
+	// index, exactly as in ParallelOptions. When nil, the log is replayed
+	// as a single boot epoch (still overlapped with decode and chain
+	// verification).
+	Materialize func(snapIdx uint32) (*snapshot.Restored, error)
+}
+
+// StreamStats reports how the pipeline ran.
+type StreamStats struct {
+	// Entries is the number of entries decoded from the container.
+	Entries int
+	// Epochs is the number of replay epochs the log was partitioned into.
+	Epochs int
+	// Window is the resident-entry cap the run used.
+	Window int
+	// PeakResidentEntries is the high-water mark of decoded entries alive
+	// across the pipeline; always <= Window. Entries handed off to a
+	// budget-stalled replica (a pathological log whose async-free stretch
+	// exceeds the replay budget) leave the window early and are accounted
+	// to the replica instead, bounded by one epoch.
+	PeakResidentEntries int
+}
+
+// entryWindow is a counting semaphore over decoded entries with a
+// high-water mark, the mechanism that bounds pipeline memory.
+type entryWindow struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	used  int
+	limit int
+	peak  int
+}
+
+func newEntryWindow(limit int) *entryWindow {
+	w := &entryWindow{limit: limit}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// acquire blocks until a slot is free.
+func (w *entryWindow) acquire() {
+	w.mu.Lock()
+	for w.used >= w.limit {
+		w.cond.Wait()
+	}
+	w.used++
+	if w.used > w.peak {
+		w.peak = w.used
+	}
+	w.mu.Unlock()
+}
+
+func (w *entryWindow) release(n int) {
+	if n == 0 {
+		return
+	}
+	w.mu.Lock()
+	w.used -= n
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// streamEpoch is one independently replayable log slice in flight.
+type streamEpoch struct {
+	index int
+	boot  bool
+	// startSnap/startRoot/startSeq authenticate the starting state of a
+	// non-boot epoch, as in the epoch-parallel engine.
+	startSnap uint32
+	startRoot [32]byte
+	startSeq  uint64
+	ch        chan tevlog.Entry
+}
+
+// streamVerdict accumulates per-stage outcomes for the merge step.
+type streamVerdict struct {
+	decodeErr error
+	chainErr  error
+	synStats  SyntacticStats
+	synFault  *FaultReport
+
+	mu      sync.Mutex
+	results map[int]epochResult
+	cutoff  atomic.Int64
+}
+
+// record stores one epoch's outcome, lowering the cutoff on fault.
+func (v *streamVerdict) record(index int, r epochResult) {
+	v.mu.Lock()
+	v.results[index] = r
+	v.mu.Unlock()
+	if r.fault != nil {
+		for {
+			cur := v.cutoff.Load()
+			if int64(index) >= cur || v.cutoff.CompareAndSwap(cur, int64(index)) {
+				break
+			}
+		}
+	}
+}
+
+// AuditStream checks an entire execution from boot, like AuditFull, but
+// straight from the compressed log container: entries are decoded, chain-
+// verified and replayed concurrently in bounded memory. The verdict —
+// pass/fail, fault, and stats — is identical to AuditFull's (and therefore
+// AuditFullParallel's) over the decompressed slice; a container that fails
+// to decode reports a CheckLog fault carrying the decoder's error. The
+// returned StreamStats describe the pipeline run itself.
+func (a *Auditor) AuditStream(node sig.NodeID, nodeIdx uint32, compressed []byte, auths []tevlog.Authenticator, opts StreamOptions) (*Result, StreamStats) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	window := opts.Window
+	if window <= 0 {
+		window = DefaultStreamWindow
+	}
+	win := newEntryWindow(window)
+	chanCap := window / 4
+	if chanCap < 1 {
+		chanCap = 1
+	}
+	if chanCap > 128 {
+		chanCap = 128
+	}
+
+	verdict := &streamVerdict{results: make(map[int]epochResult)}
+	verdict.cutoff.Store(int64(1) << 62)
+
+	// Stage 1: decode. Entries acquire a window slot before they exist.
+	decoded := make(chan tevlog.Entry, chanCap)
+	var entryCount atomic.Int64
+	go func() {
+		defer close(decoded)
+		r, err := logcomp.NewEntryReader(compressed)
+		if err != nil {
+			verdict.decodeErr = err
+			return
+		}
+		defer r.Close()
+		for {
+			win.acquire()
+			e, err := r.Next()
+			if err == io.EOF {
+				win.release(1)
+				return
+			}
+			if err != nil {
+				win.release(1)
+				verdict.decodeErr = err
+				return
+			}
+			entryCount.Add(1)
+			decoded <- e
+		}
+	}()
+
+	// Stage 3: replay workers, pulling epochs as the router emits them.
+	epochQueue := make(chan *streamEpoch, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ep := range epochQueue {
+				if int64(ep.index) > verdict.cutoff.Load() {
+					// A lower epoch already faulted; this epoch cannot
+					// affect the verdict (same cutoff rule as runPool).
+					drainEpoch(ep, win)
+					continue
+				}
+				verdict.record(ep.index, a.runStreamEpoch(node, ep, opts, win))
+			}
+		}()
+	}
+
+	// Stage 2: chain verification, syntactic checking and epoch routing.
+	epochs := a.routeStream(node, nodeIdx, decoded, auths, opts, win, epochQueue, verdict)
+	close(epochQueue)
+	wg.Wait()
+
+	stream := StreamStats{
+		Entries: int(entryCount.Load()),
+		Epochs:  epochs,
+		Window:  window,
+	}
+	win.mu.Lock()
+	stream.PeakResidentEntries = win.peak
+	win.mu.Unlock()
+
+	return a.mergeStream(node, verdict, epochs), stream
+}
+
+// routeStream consumes decoded entries, feeds the chain verifier and the
+// syntactic checker, and slices the stream into epochs at snapshot entries
+// (mirroring the epoch-parallel engine's partition rules). It returns the
+// number of epochs emitted. A chain fault ends chain verification,
+// syntactic checking and routing — in the batch pipeline neither the
+// syntactic check nor replay would have run at all — but the stream is
+// still drained to the end, because a decode error anywhere outranks the
+// chain fault (the batch pipeline fails in DecompressEntries before
+// verifying anything).
+func (a *Auditor) routeStream(node sig.NodeID, nodeIdx uint32, decoded <-chan tevlog.Entry, auths []tevlog.Authenticator, opts StreamOptions, win *entryWindow, epochQueue chan<- *streamEpoch, verdict *streamVerdict) int {
+	var chain *tevlog.ChainVerifier
+	if a.TamperEvident {
+		chain = tevlog.NewChainVerifier(tevlog.Hash{}, auths, a.Keys)
+	}
+	syn := NewSyntacticChecker(node, SyntacticOptions{
+		NodeIdx: nodeIdx, Keys: a.Keys,
+		VerifySignatures: a.TamperEvident && a.VerifySignatures,
+		StrictAcks:       a.StrictAcks,
+	})
+
+	var current *streamEpoch
+	// next describes the epoch the next routed entry belongs to; epochs are
+	// created lazily so a log ending exactly at a snapshot emits no empty
+	// trailing epoch (the parallel engine's partition does the same).
+	next := streamEpoch{boot: true}
+	epochs := 0
+
+	emit := func(e tevlog.Entry) {
+		if current == nil {
+			ep := next
+			ep.index = epochs
+			ep.ch = make(chan tevlog.Entry, streamBatch)
+			epochs++
+			current = &ep
+			epochQueue <- current
+		}
+		current.ch <- e
+	}
+
+	for e := range decoded {
+		if chain != nil && verdict.chainErr == nil {
+			if err := chain.Add(&e); err != nil {
+				verdict.chainErr = err
+			} else {
+				e.Hash = chain.Last()
+			}
+		}
+		if verdict.chainErr != nil {
+			// The chain fault owns the verdict unless decoding fails later;
+			// syntactic checking and replay are moot. Consume and drop.
+			if current != nil {
+				close(current.ch)
+				current = nil
+			}
+			win.release(1)
+			continue
+		}
+		syn.Add(&e)
+		emit(e)
+		if e.Type == tevlog.TypeSnapshot && opts.Materialize != nil {
+			if ev, err := wire.ParseEvent(e.Content); err == nil {
+				// Epoch boundary: the snapshot entry closes the epoch that
+				// derives its root; the next epoch starts from its state.
+				close(current.ch)
+				current = nil
+				next = streamEpoch{startSnap: ev.SnapIdx, startRoot: ev.Root, startSeq: e.Seq}
+			}
+			// An unparseable snapshot entry splits nothing: replay will
+			// fault on it inside the current epoch, matching the parallel
+			// engine's fallback for malformed snapshot scans.
+		}
+	}
+
+	if verdict.decodeErr == nil && verdict.chainErr == nil && chain != nil {
+		verdict.chainErr = chain.Finish()
+	}
+	verdict.synStats, verdict.synFault = syn.Finish()
+
+	if epochs == 0 && verdict.decodeErr == nil && verdict.chainErr == nil {
+		// Empty log: still run the boot replay, as the batch auditor does.
+		emitEmpty := next
+		emitEmpty.index = 0
+		emitEmpty.ch = make(chan tevlog.Entry)
+		epochs++
+		current = &emitEmpty
+		epochQueue <- current
+	}
+	if current != nil {
+		close(current.ch)
+	}
+	return epochs
+}
+
+// drainEpoch discards an epoch's entries, returning their window slots.
+func drainEpoch(ep *streamEpoch, win *entryWindow) {
+	for range ep.ch {
+		win.release(1)
+	}
+}
+
+// runStreamEpoch is runEpoch's streaming twin: it verifies and restores the
+// epoch's starting state, then feeds the replica from the epoch channel in
+// batches, returning window slots as entries are consumed. Faults and stats
+// are identical to a one-shot replay of the same slice — the replay stops
+// at deterministic points regardless of batching.
+func (a *Auditor) runStreamEpoch(node sig.NodeID, ep *streamEpoch, opts StreamOptions, win *entryWindow) epochResult {
+	var rp *Replay
+	var err error
+	if ep.boot {
+		rp, err = NewReplayFromImage(node, a.RefImage, a.RNGSeed)
+		if err != nil {
+			drainEpoch(ep, win)
+			return epochResult{fault: &FaultReport{Node: node, Check: CheckSemantic, Detail: err.Error()}}
+		}
+	} else {
+		restored, merr := opts.Materialize(ep.startSnap)
+		if merr != nil {
+			drainEpoch(ep, win)
+			return epochResult{fault: &FaultReport{
+				Node: node, Check: CheckSnapshot, EntrySeq: ep.startSeq,
+				Detail: fmt.Sprintf("materializing snapshot %d: %v", ep.startSnap, merr),
+			}}
+		}
+		// The machine's state is untrusted: verify it against the root the
+		// log committed at this epoch's starting snapshot before replaying.
+		if verr := snapshot.VerifyRestored(restored, ep.startRoot); verr != nil {
+			drainEpoch(ep, win)
+			return epochResult{fault: &FaultReport{
+				Node: node, Check: CheckSnapshot, EntrySeq: ep.startSeq, Detail: verr.Error(),
+			}}
+		}
+		rp, err = NewReplayFromSnapshot(node, restored, a.RNGSeed)
+		if err != nil {
+			drainEpoch(ep, win)
+			return epochResult{fault: &FaultReport{Node: node, Check: CheckSemantic, Detail: err.Error()}}
+		}
+	}
+
+	batch := make([]tevlog.Entry, 0, streamBatch)
+	fed, released := 0, 0
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		fed += len(batch)
+		rp.Feed(batch)
+		batch = batch[:0]
+		rp.Run()
+		// A slot frees when its entry is consumed — or handed off to the
+		// replica wholesale when the replay is budget-stalled (it paused
+		// with entries pending, waiting for a later landmark or Close to
+		// raise the budget). Without the handoff, a pathological log with a
+		// >budget async-free stretch would pin the window and wedge the
+		// pipeline; with it, such entries are accounted to the replica (at
+		// worst one epoch's worth) instead of the window.
+		target := rp.Consumed()
+		if rp.Fault() == nil && rp.Pending() > 0 {
+			target = fed
+		}
+		if target > released {
+			win.release(target - released)
+			released = target
+		}
+	}
+	for e := range ep.ch {
+		if rp.Fault() != nil {
+			win.release(1)
+			continue
+		}
+		batch = append(batch, e)
+		// Opportunistically batch whatever is already queued, then run. The
+		// fill never blocks: a starved channel degrades to entry-at-a-time
+		// feeding, so windows smaller than the batch stay deadlock-free.
+	fill:
+		for len(batch) < streamBatch {
+			select {
+			case e2, ok := <-ep.ch:
+				if !ok {
+					break fill
+				}
+				if rp.Fault() != nil {
+					win.release(1)
+					continue
+				}
+				batch = append(batch, e2)
+			default:
+				break fill
+			}
+		}
+		flush()
+	}
+	if rp.Fault() == nil {
+		flush()
+		rp.Close()
+		rp.Run()
+	}
+	win.release(len(batch)) // post-fault leftovers never fed
+	if fed > released {
+		win.release(fed - released)
+	}
+	return epochResult{stats: rp.Stats, fault: rp.Fault()}
+}
+
+// mergeStream folds the stage outcomes into the batch pipeline's verdict,
+// applying its precedence: decode, chain, syntactic, then the earliest
+// faulting epoch's replay fault.
+func (a *Auditor) mergeStream(node sig.NodeID, verdict *streamVerdict, epochs int) *Result {
+	res := &Result{Node: node}
+	if verdict.decodeErr != nil {
+		res.Fault = &FaultReport{Node: node, Check: CheckLog,
+			Detail: "decoding log container: " + verdict.decodeErr.Error()}
+		return res
+	}
+	if a.TamperEvident && verdict.chainErr != nil {
+		res.Fault = &FaultReport{Node: node, Check: CheckLog, Detail: verdict.chainErr.Error()}
+		return res
+	}
+	res.Syntactic = verdict.synStats
+	if verdict.synFault != nil {
+		res.Fault = verdict.synFault
+		return res
+	}
+	var merged ReplayStats
+	cutoff := int(verdict.cutoff.Load())
+	if cutoff < epochs {
+		// Epochs below the cutoff all ran and passed; this fault is the one
+		// the serial replay reports, and the summed stats cover exactly the
+		// work the serial replay performed before stopping.
+		for i := 0; i <= cutoff; i++ {
+			addStats(&merged, verdict.results[i].stats)
+		}
+		res.Replay = merged
+		res.Fault = verdict.results[cutoff].fault
+		return res
+	}
+	for i := 0; i < epochs; i++ {
+		addStats(&merged, verdict.results[i].stats)
+	}
+	res.Replay = merged
+	res.Passed = true
+	return res
+}

@@ -24,155 +24,281 @@ type SyntacticOptions struct {
 	StrictAcks bool
 }
 
-// SyntacticCheck performs the §4.5 well-formedness pass over a log segment:
-// every entry parses, signatures in messages and acknowledgments verify,
-// each message was acknowledged, and the message stream is consistent with
-// the injection stream entering the AVM (the §4.4 cross-reference that
-// catches packets dropped or altered between receipt and injection).
-func SyntacticCheck(node sig.NodeID, entries []tevlog.Entry, opts SyntacticOptions) (SyntacticStats, *FaultReport) {
-	var stats SyntacticStats
-	stats.Entries = len(entries)
-	fault := func(seq uint64, detail string) (SyntacticStats, *FaultReport) {
-		return stats, &FaultReport{Node: node, Check: CheckSyntactic, Detail: detail, EntrySeq: seq}
+// pendingFault is a deferred fault candidate: an entry referenced a
+// sequence number beyond everything seen so far, which is a fault only if
+// the segment turns out to reach that far (the batch pass decides with
+// len(entries) in hand; a streaming pass must wait for Finish). The stats
+// snapshot freezes what the batch pass would have returned had it stopped
+// here.
+type pendingFault struct {
+	seq    uint64 // faulting entry's sequence number
+	refSeq uint64 // referenced sequence number; materializes if inside the segment
+	detail string
+	stats  SyntacticStats
+}
+
+// SyntacticChecker is the streaming form of SyntacticCheck: it consumes a
+// log segment one entry at a time and reports the same verdict — fault,
+// stats, and entry — as the batch pass, which wraps it. Payload bytes — the
+// bulk of a log's weight — are dropped as soon as their injection is
+// cross-checked, so they track the monitor's in-flight injection pipeline
+// rather than the log length. A few words of bookkeeping per SEND (ack
+// matching) and per injected RECV (double-injection detection) do persist
+// for the whole segment, exactly as in the batch pass.
+type SyntacticChecker struct {
+	node sig.NodeID
+	opts SyntacticOptions
+
+	stats    SyntacticStats
+	count    int
+	started  bool
+	firstSeq uint64
+
+	// recvIndex records every RECV entry's position; recvPayload holds its
+	// parsed content only until the matching injection event consumes it.
+	recvIndex   map[uint64]int
+	recvPayload map[uint64]*wire.RecvContent
+	injected    map[uint64]bool
+	sendAcked   map[uint64]bool
+	sendSeqs    []uint64
+
+	lastEventICount uint64
+	lastInjectIndex int
+
+	fault   *FaultReport
+	pending []pendingFault
+}
+
+// NewSyntacticChecker starts a streaming syntactic pass over node's log.
+func NewSyntacticChecker(node sig.NodeID, opts SyntacticOptions) *SyntacticChecker {
+	return &SyntacticChecker{
+		node: node, opts: opts,
+		recvIndex:       make(map[uint64]int),
+		recvPayload:     make(map[uint64]*wire.RecvContent),
+		injected:        make(map[uint64]bool),
+		sendAcked:       make(map[uint64]bool),
+		lastInjectIndex: -1,
 	}
+}
 
-	firstSeq := uint64(0)
-	if len(entries) > 0 {
-		firstSeq = entries[0].Seq
+// fail records the first immediate fault; subsequent entries only count
+// toward the segment length (the batch pass would never have seen them).
+func (c *SyntacticChecker) fail(seq uint64, detail string) {
+	c.fault = &FaultReport{Node: c.node, Check: CheckSyntactic, Detail: detail, EntrySeq: seq}
+}
+
+// deferRef records a forward-reference fault candidate for Finish.
+func (c *SyntacticChecker) deferRef(seq, refSeq uint64, detail string) {
+	c.pending = append(c.pending, pendingFault{
+		seq: seq, refSeq: refSeq, detail: detail, stats: c.stats,
+	})
+}
+
+// seen reports whether sequence number s falls inside the segment prefix
+// processed so far (the batch pass's inSegment bound, evaluated over i+1
+// entries). Like the batch pass it assumes the consecutive numbering the
+// chain verifier enforces.
+func (c *SyntacticChecker) seen(s uint64, i int) bool {
+	return s >= c.firstSeq && s < c.firstSeq+uint64(i+1)
+}
+
+// Add consumes the next entry of the segment.
+func (c *SyntacticChecker) Add(e *tevlog.Entry) {
+	i := c.count
+	c.count++
+	if !c.started {
+		c.started = true
+		c.firstSeq = e.Seq
 	}
-	inSegment := func(seq uint64) bool { return seq >= firstSeq && seq < firstSeq+uint64(len(entries)) }
-
-	recvs := make(map[uint64]*wire.RecvContent) // entry seq → content
-	recvIndex := make(map[uint64]int)           // RECV entry seq → position
-	injected := make(map[uint64]bool)           // RECV entry seq → injected
-	sendAcked := make(map[uint64]bool)          // SEND entry seq → acked
-	var sendSeqs []uint64
-	lastEventICount := uint64(0)
-	lastInjectIndex := -1
-
-	for i := range entries {
-		e := &entries[i]
-		switch e.Type {
-		case tevlog.TypeSend:
-			sc, err := wire.ParseSend(e.Content)
-			if err != nil {
-				return fault(e.Seq, "malformed SEND entry: "+err.Error())
+	if c.fault != nil {
+		return
+	}
+	switch e.Type {
+	case tevlog.TypeSend:
+		sc, err := wire.ParseSend(e.Content)
+		if err != nil {
+			c.fail(e.Seq, "malformed SEND entry: "+err.Error())
+			return
+		}
+		if sc.MsgID != e.Seq {
+			c.fail(e.Seq, "SEND message id does not match entry sequence number")
+			return
+		}
+		c.stats.Sends++
+		c.sendSeqs = append(c.sendSeqs, e.Seq)
+		c.sendAcked[e.Seq] = false
+	case tevlog.TypeRecv:
+		rc, err := wire.ParseRecv(e.Content)
+		if err != nil {
+			c.fail(e.Seq, "malformed RECV entry: "+err.Error())
+			return
+		}
+		c.stats.Recvs++
+		c.recvPayload[e.Seq] = rc
+		c.recvIndex[e.Seq] = i
+		if c.opts.VerifySignatures {
+			// Recompute the sender's chain hash for SEND(m) and verify
+			// the sender's authenticator signature over it, proving the
+			// message is genuine (§4.3: forged incoming messages are
+			// detectable because senders sign their messages).
+			sendContent := (&wire.SendContent{
+				MsgID: rc.MsgID, Dest: c.opts.NodeIdx, Payload: rc.Payload,
+			}).Marshal()
+			h := tevlog.ChainHash(rc.SenderPrev, rc.SenderSeq, tevlog.TypeSend,
+				tevlog.HashContent(sendContent))
+			a := tevlog.Authenticator{
+				Node: sig.NodeID(rc.SrcNode), Seq: rc.SenderSeq, Hash: h, Sig: rc.SenderSig,
 			}
-			if sc.MsgID != e.Seq {
-				return fault(e.Seq, "SEND message id does not match entry sequence number")
+			if !a.Verify(c.opts.Keys) {
+				c.fail(e.Seq, "RECV entry carries an invalid sender signature (forged message?)")
+				return
 			}
-			stats.Sends++
-			sendSeqs = append(sendSeqs, e.Seq)
-			sendAcked[e.Seq] = false
-		case tevlog.TypeRecv:
-			rc, err := wire.ParseRecv(e.Content)
-			if err != nil {
-				return fault(e.Seq, "malformed RECV entry: "+err.Error())
-			}
-			stats.Recvs++
-			recvs[e.Seq] = rc
-			recvIndex[e.Seq] = i
-			if opts.VerifySignatures {
-				// Recompute the sender's chain hash for SEND(m) and verify
-				// the sender's authenticator signature over it, proving the
-				// message is genuine (§4.3: forged incoming messages are
-				// detectable because senders sign their messages).
-				sendContent := (&wire.SendContent{
-					MsgID: rc.MsgID, Dest: opts.NodeIdx, Payload: rc.Payload,
-				}).Marshal()
-				h := tevlog.ChainHash(rc.SenderPrev, rc.SenderSeq, tevlog.TypeSend,
-					tevlog.HashContent(sendContent))
-				a := tevlog.Authenticator{
-					Node: sig.NodeID(rc.SrcNode), Seq: rc.SenderSeq, Hash: h, Sig: rc.SenderSig,
-				}
-				if !a.Verify(opts.Keys) {
-					return fault(e.Seq, "RECV entry carries an invalid sender signature (forged message?)")
-				}
-				stats.SigsVerified++
-			}
-		case tevlog.TypeAck:
-			ac, err := wire.ParseAck(e.Content)
-			if err != nil {
-				return fault(e.Seq, "malformed ACK entry: "+err.Error())
-			}
-			stats.Acks++
-			if inSegment(ac.MsgID) {
-				if _, ok := sendAcked[ac.MsgID]; !ok {
-					return fault(e.Seq, "ACK references a non-SEND entry")
-				}
-				sendAcked[ac.MsgID] = true
-			}
-			if opts.VerifySignatures {
-				a := tevlog.Authenticator{
-					Node: sig.NodeID(ac.PeerNode), Seq: ac.PeerSeq, Hash: ac.PeerHash, Sig: ac.PeerSig,
-				}
-				if !a.Verify(opts.Keys) {
-					return fault(e.Seq, "ACK entry carries an invalid peer signature")
-				}
-				stats.SigsVerified++
-			}
-		case tevlog.TypeNondet:
-			if _, err := wire.ParseNondet(e.Content); err != nil {
-				return fault(e.Seq, "malformed NONDET entry: "+err.Error())
-			}
-			stats.Nondets++
-		case tevlog.TypeIRQ, tevlog.TypeSnapshot:
-			ev, err := wire.ParseEvent(e.Content)
-			if err != nil {
-				return fault(e.Seq, "malformed event entry: "+err.Error())
-			}
-			if ev.Landmark.ICount < lastEventICount {
-				return fault(e.Seq, "event landmarks are not monotonic")
-			}
-			lastEventICount = ev.Landmark.ICount
-			if e.Type == tevlog.TypeSnapshot {
-				stats.Snapshots++
+			c.stats.SigsVerified++
+		}
+	case tevlog.TypeAck:
+		ac, err := wire.ParseAck(e.Content)
+		if err != nil {
+			c.fail(e.Seq, "malformed ACK entry: "+err.Error())
+			return
+		}
+		c.stats.Acks++
+		if ac.MsgID >= c.firstSeq {
+			if _, ok := c.sendAcked[ac.MsgID]; ok {
+				c.sendAcked[ac.MsgID] = true
+			} else if c.seen(ac.MsgID, i) {
+				c.fail(e.Seq, "ACK references a non-SEND entry")
+				return
 			} else {
-				stats.Events++
+				c.deferRef(e.Seq, ac.MsgID, "ACK references a non-SEND entry")
 			}
-			if ev.Kind == wire.EventInjectPacket {
-				lastInjectIndex = i
-				if inSegment(ev.RecvSeq) {
-					rc := recvs[ev.RecvSeq]
-					if rc == nil {
-						return fault(e.Seq, "packet injection references a non-RECV entry (forged injection?)")
-					}
-					if injected[ev.RecvSeq] {
-						return fault(e.Seq, "message injected into the AVM twice")
-					}
+		}
+		if c.opts.VerifySignatures {
+			a := tevlog.Authenticator{
+				Node: sig.NodeID(ac.PeerNode), Seq: ac.PeerSeq, Hash: ac.PeerHash, Sig: ac.PeerSig,
+			}
+			if !a.Verify(c.opts.Keys) {
+				c.fail(e.Seq, "ACK entry carries an invalid peer signature")
+				return
+			}
+			c.stats.SigsVerified++
+		}
+	case tevlog.TypeNondet:
+		if _, err := wire.ParseNondet(e.Content); err != nil {
+			c.fail(e.Seq, "malformed NONDET entry: "+err.Error())
+			return
+		}
+		c.stats.Nondets++
+	case tevlog.TypeIRQ, tevlog.TypeSnapshot:
+		ev, err := wire.ParseEvent(e.Content)
+		if err != nil {
+			c.fail(e.Seq, "malformed event entry: "+err.Error())
+			return
+		}
+		if ev.Landmark.ICount < c.lastEventICount {
+			c.fail(e.Seq, "event landmarks are not monotonic")
+			return
+		}
+		c.lastEventICount = ev.Landmark.ICount
+		if e.Type == tevlog.TypeSnapshot {
+			c.stats.Snapshots++
+		} else {
+			c.stats.Events++
+		}
+		if ev.Kind == wire.EventInjectPacket {
+			c.lastInjectIndex = i
+			if ev.RecvSeq >= c.firstSeq {
+				// Checked before the recvIndex lookup: injection prunes the
+				// index, so a re-injection must still resolve to "twice".
+				if c.injected[ev.RecvSeq] {
+					c.fail(e.Seq, "message injected into the AVM twice")
+					return
+				}
+				if _, ok := c.recvIndex[ev.RecvSeq]; ok {
+					rc := c.recvPayload[ev.RecvSeq]
 					if !bytes.Equal(rc.Payload, ev.Payload) || rc.SrcIdx != ev.SrcIdx {
-						return fault(e.Seq, "injected payload differs from the received message (altered in the monitor?)")
+						c.fail(e.Seq, "injected payload differs from the received message (altered in the monitor?)")
+						return
 					}
-					injected[ev.RecvSeq] = true
+					c.injected[ev.RecvSeq] = true
+					// The payload and position are no longer needed: only
+					// uninjected RECVs matter to Finish, and the injected
+					// set alone guards against double injection.
+					delete(c.recvPayload, ev.RecvSeq)
+					delete(c.recvIndex, ev.RecvSeq)
+				} else if c.seen(ev.RecvSeq, i) {
+					c.fail(e.Seq, "packet injection references a non-RECV entry (forged injection?)")
+					return
+				} else {
+					c.deferRef(e.Seq, ev.RecvSeq, "packet injection references a non-RECV entry (forged injection?)")
 				}
 			}
-		case tevlog.TypeAnnotation:
-			// Free-form; ignored.
-		default:
-			return fault(e.Seq, "unknown entry type")
+		}
+	case tevlog.TypeAnnotation:
+		// Free-form; ignored.
+	default:
+		c.fail(e.Seq, "unknown entry type")
+	}
+}
+
+// Finish completes the pass and returns the verdict the batch pass would
+// have produced over the same entries.
+func (c *SyntacticChecker) Finish() (SyntacticStats, *FaultReport) {
+	// A deferred forward reference materializes if the segment reached the
+	// referenced sequence number. Candidates precede any immediate fault in
+	// entry order (Add stops recording once a fault is set), so the first
+	// materialized candidate is the verdict the batch pass reports.
+	for _, p := range c.pending {
+		if p.refSeq < c.firstSeq+uint64(c.count) {
+			stats := p.stats
+			stats.Entries = c.count
+			return stats, &FaultReport{Node: c.node, Check: CheckSyntactic, Detail: p.detail, EntrySeq: p.seq}
 		}
 	}
-
+	c.stats.Entries = c.count
+	if c.fault != nil {
+		return c.stats, c.fault
+	}
 	// Every received message must have entered the AVM (§4.4: dropping a
 	// message between receipt and injection is a fault). Messages still in
 	// the daemon's injection pipeline at the end of the segment are
 	// tolerated: a RECV may be uninjected only if NO later injection exists
 	// — injecting a later message while dropping an earlier one is a fault.
-	for seq := range recvs {
-		if !injected[seq] {
-			if recvIndex[seq] < lastInjectIndex {
-				return fault(seq, "received message was never injected into the AVM (dropped in the monitor?)")
+	for seq := range c.recvIndex {
+		if !c.injected[seq] {
+			if c.recvIndex[seq] < c.lastInjectIndex {
+				return c.stats, &FaultReport{
+					Node: c.node, Check: CheckSyntactic, EntrySeq: seq,
+					Detail: "received message was never injected into the AVM (dropped in the monitor?)",
+				}
 			}
-			stats.InFlightRecvs++
+			c.stats.InFlightRecvs++
 		}
 	}
-	for _, seq := range sendSeqs {
-		if !sendAcked[seq] {
-			stats.UnackedSends++
+	for _, seq := range c.sendSeqs {
+		if !c.sendAcked[seq] {
+			c.stats.UnackedSends++
 		}
 	}
-	if opts.StrictAcks && stats.UnackedSends > 0 {
-		return fault(0, "sent messages were never acknowledged")
+	if c.opts.StrictAcks && c.stats.UnackedSends > 0 {
+		return c.stats, &FaultReport{
+			Node: c.node, Check: CheckSyntactic, EntrySeq: 0,
+			Detail: "sent messages were never acknowledged",
+		}
 	}
-	return stats, nil
+	return c.stats, nil
+}
+
+// SyntacticCheck performs the §4.5 well-formedness pass over a log segment:
+// every entry parses, signatures in messages and acknowledgments verify,
+// each message was acknowledged, and the message stream is consistent with
+// the injection stream entering the AVM (the §4.4 cross-reference that
+// catches packets dropped or altered between receipt and injection). It is
+// a thin wrapper over SyntacticChecker, which performs the same pass one
+// entry at a time.
+func SyntacticCheck(node sig.NodeID, entries []tevlog.Entry, opts SyntacticOptions) (SyntacticStats, *FaultReport) {
+	c := NewSyntacticChecker(node, opts)
+	for i := range entries {
+		c.Add(&entries[i])
+	}
+	return c.Finish()
 }

@@ -64,6 +64,7 @@ func TestReplayConsumesCleanLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	rp.Feed(entries)
+	rp.Close()
 	rp.Run()
 	if f := rp.Fault(); f != nil {
 		t.Fatalf("clean log diverged: %v", f)
@@ -150,10 +151,42 @@ func TestReplayBudgetExhaustion(t *testing.T) {
 		t.Fatal(err)
 	}
 	rp.Feed(entries)
+	rp.Close()
 	rp.MaxInstructions = 100_000
 	rp.Run()
 	if f := rp.Fault(); f == nil || !strings.Contains(f.Detail, "budget") {
 		t.Fatalf("fault = %v", f)
+	}
+}
+
+func TestReplayBudgetPausesUntilClose(t *testing.T) {
+	// While the feed is incomplete, budget exhaustion pauses (later entries
+	// can only raise the budget); the fault verdict is rendered at Close.
+	// This is what keeps streaming and one-shot verdicts identical.
+	img := compileT(t, "noclock2", `
+		func main() {
+			var i = 0;
+			while (1) { i = i + 1; }
+		}
+	`)
+	entries := synthLog(nondetEntry(vm.PortClockLo, 5))
+	rp, err := NewReplayFromImage("m", img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.Feed(entries)
+	rp.MaxInstructions = 100_000
+	rp.Run()
+	if f := rp.Fault(); f != nil {
+		t.Fatalf("incomplete feed rendered a budget verdict: %v", f)
+	}
+	if rp.Pending() == 0 {
+		t.Fatal("expected the unreproduced entry to remain pending")
+	}
+	rp.Close()
+	rp.Run()
+	if f := rp.Fault(); f == nil || !strings.Contains(f.Detail, "budget") {
+		t.Fatalf("fault after Close = %v", f)
 	}
 }
 

@@ -101,6 +101,7 @@ func RunSec66(scale Scale) (*Sec66Result, error) {
 			return
 		}
 		rep.Feed(decompressed)
+		rep.Close()
 		rep.Run()
 	})
 	if err != nil {

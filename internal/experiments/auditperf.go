@@ -9,9 +9,11 @@ import (
 	"repro/internal/avmm"
 	"repro/internal/dbapp"
 	"repro/internal/game"
+	"repro/internal/logcomp"
 	"repro/internal/metrics"
 	"repro/internal/sig"
 	"repro/internal/snapshot"
+	"repro/internal/tevlog"
 )
 
 // This file is the audit-throughput experiment behind BENCH_audit.json: a
@@ -41,6 +43,20 @@ type AuditBenchResult struct {
 	SerialEntriesPerSec float64          `json:"serial_entries_per_sec"`
 	SerialMInstrPerSec  float64          `json:"serial_minstr_per_sec"`
 	Workers             []AuditWorkerRow `json:"workers_ablation"`
+
+	// Streaming pipeline (decode ∥ chain-verify ∥ replay) against the
+	// materializing pipeline (decompress, rechain, then parallel audit)
+	// over the same compressed container, at StreamWorkers workers.
+	CompressedBytes     int     `json:"compressed_bytes"`
+	MaterializedWallNs  int64   `json:"materialized_wall_ns"`
+	StreamWallNs        int64   `json:"stream_wall_ns"`
+	StreamSpeedup       float64 `json:"stream_speedup_vs_materialized"`
+	StreamWorkers       int     `json:"stream_workers"`
+	StreamWindow        int     `json:"stream_window"`
+	StreamPeakResident  int     `json:"stream_peak_resident_entries"`
+	StreamEpochs        int     `json:"stream_epochs"`
+	StreamVerdictMatch  bool    `json:"stream_verdict_match"`
+	StreamEntriesPerSec float64 `json:"stream_entries_per_sec"`
 
 	// Spot-checking every segment of the minisql log, serial vs parallel.
 	SpotSegments       int   `json:"spot_segments"`
@@ -116,6 +132,55 @@ func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
 		res.Workers = append(res.Workers, row)
 	}
 
+	// --- streaming vs materializing pipeline over the compressed log ---
+	target2, auths, auditor, err := s.AuditInputs(target.Node())
+	if err != nil {
+		return nil, err
+	}
+	compressed := logcomp.CompressEntries(target2.Log.Entries())
+	res.CompressedBytes = len(compressed)
+	res.StreamWorkers = runtime.NumCPU()
+	res.StreamWindow = audit.DefaultStreamWindow
+	materialize := func(snapIdx uint32) (*snapshot.Restored, error) {
+		return target2.Snaps.Materialize(int(snapIdx))
+	}
+	var matRes *audit.Result
+	matWall := stopwatch(func() {
+		decoded, derr := logcomp.DecompressEntries(compressed)
+		if derr != nil {
+			err = derr
+			return
+		}
+		if rerr := tevlog.Rechain(tevlog.Hash{}, decoded); rerr != nil {
+			err = rerr
+			return
+		}
+		matRes = auditor.AuditFullParallel(target.Node(), uint32(target2.Index()), decoded, auths,
+			audit.ParallelOptions{Workers: res.StreamWorkers, Materialize: materialize})
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.MaterializedWallNs = matWall.Nanoseconds()
+	var streamRes *audit.Result
+	var streamStats audit.StreamStats
+	streamWall := stopwatch(func() {
+		streamRes, streamStats = auditor.AuditStream(target.Node(), uint32(target2.Index()), compressed, auths,
+			audit.StreamOptions{Workers: res.StreamWorkers, Window: res.StreamWindow, Materialize: materialize})
+	})
+	res.StreamWallNs = streamWall.Nanoseconds()
+	if streamWall > 0 {
+		res.StreamSpeedup = float64(matWall) / float64(streamWall)
+		res.StreamEntriesPerSec = float64(streamStats.Entries) / streamWall.Seconds()
+	}
+	res.StreamPeakResident = streamStats.PeakResidentEntries
+	res.StreamEpochs = streamStats.Epochs
+	res.StreamVerdictMatch = streamRes.Passed == matRes.Passed && streamRes.Replay == matRes.Replay &&
+		streamRes.Syntactic == matRes.Syntactic
+	if !streamRes.Passed {
+		return nil, fmt.Errorf("auditbench: streaming audit failed: %v", streamRes.Fault)
+	}
+
 	// --- spot-checking every segment, serial vs parallel ---
 	db, err := dbapp.NewScenario(dbapp.ScenarioConfig{
 		Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(), Seed: 17,
@@ -125,13 +190,13 @@ func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
 		return nil, err
 	}
 	db.Run(scale.DBNs)
-	auths, err := db.ServerAuths()
+	dbAuths, err := db.ServerAuths()
 	if err != nil {
 		return nil, err
 	}
 	src := &audit.MonitorSource{
 		Node: "db-server", NodeIdx: 0,
-		Entries: db.Server.Log.Entries(), Auths: auths,
+		Entries: db.Server.Log.Entries(), Auths: dbAuths,
 		Materialize: func(k int) (*snapshot.Restored, error) { return db.Server.Snaps.Materialize(k) },
 	}
 	da := db.Auditor()
@@ -233,6 +298,11 @@ func (r *AuditBenchResult) Table() *metrics.Table {
 			time.Duration(row.WallNs).String(),
 			fmt.Sprintf("%.2fx, verdict match %v", row.Speedup, row.VerdictMatch))
 	}
+	t.Row("materialized pipeline", time.Duration(r.MaterializedWallNs).String(),
+		fmt.Sprintf("decompress+rechain+audit, %d workers", r.StreamWorkers))
+	t.Row("streaming pipeline", time.Duration(r.StreamWallNs).String(),
+		fmt.Sprintf("%.2fx, window %d, peak %d resident, %d epochs, verdict match %v",
+			r.StreamSpeedup, r.StreamWindow, r.StreamPeakResident, r.StreamEpochs, r.StreamVerdictMatch))
 	t.Row("spot check serial", time.Duration(r.SpotSerialWallNs).String(),
 		fmt.Sprintf("%d segments", r.SpotSegments))
 	t.Row("spot check parallel", time.Duration(r.SpotParallelWallNs).String(),

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/avmm"
+	"repro/internal/logcomp"
 	"repro/internal/netsim"
 	"repro/internal/sig"
 	"repro/internal/snapshot"
@@ -258,6 +259,31 @@ func (s *Scenario) AuditNodeParallel(node sig.NodeID, workers int) (*audit.Resul
 		Workers:     workers,
 		Materialize: func(snapIdx uint32) (*snapshot.Restored, error) { return target.Snaps.Materialize(int(snapIdx)) },
 	}), nil
+}
+
+// AuditNodeStream is AuditNode on the streaming pipeline: the node's log is
+// compressed into the columnar container and audited straight from it —
+// decode, chain verification and epoch replay overlapped in bounded memory.
+// The verdict is identical to AuditNode's.
+func (s *Scenario) AuditNodeStream(node sig.NodeID, workers, window int) (*audit.Result, audit.StreamStats, error) {
+	target, auths, a, err := s.auditorFor(node)
+	if err != nil {
+		return nil, audit.StreamStats{}, err
+	}
+	compressed := logcomp.CompressEntries(target.Log.Entries())
+	res, stream := a.AuditStream(node, uint32(target.Index()), compressed, auths, audit.StreamOptions{
+		Workers: workers, Window: window,
+		Materialize: func(snapIdx uint32) (*snapshot.Restored, error) { return target.Snaps.Materialize(int(snapIdx)) },
+	})
+	return res, stream, nil
+}
+
+// AuditInputs exposes the raw materials of an audit of node — the target
+// monitor, the collected authenticators, and a configured auditor — for
+// callers that drive the pipeline in nonstandard ways (streaming-mode
+// experiments, CLI tools).
+func (s *Scenario) AuditInputs(node sig.NodeID) (*avmm.Monitor, []tevlog.Authenticator, *audit.Auditor, error) {
+	return s.auditorFor(node)
 }
 
 // botDriver synthesizes player input: a seeded random walk with aim

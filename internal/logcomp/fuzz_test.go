@@ -1,0 +1,61 @@
+package logcomp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tevlog"
+)
+
+// FuzzDecompressEntries drives arbitrary bytes through the container
+// decoder. The decoder must never panic; whenever it accepts an input, the
+// streaming reader must accept it with the identical entry sequence, and
+// re-encoding must round-trip.
+func FuzzDecompressEntries(f *testing.F) {
+	// Seed corpus: valid containers (empty, small, structured), plus the
+	// header-corruption shapes the decoder must reject precisely.
+	f.Add([]byte{})
+	f.Add([]byte("XXXX"))
+	f.Add(append(magic[:], 0, 0, 0, 0))             // empty container
+	f.Add(append(magic[:], 0xFF, 0xFF, 0xFF, 0xFF)) // huge count, no columns
+	f.Add(magic[:3])                                // cut mid-magic
+	rng := rand.New(rand.NewSource(42))
+	small := CompressEntries(randomEntries(rng, 5))
+	f.Add(small)
+	f.Add(small[:len(small)/2]) // truncated column data
+	f.Add(small[:9])            // truncated column header
+	overCount := append([]byte(nil), small...)
+	binary.BigEndian.PutUint32(overCount[4:8], 1000) // count exceeds columns
+	f.Add(overCount)
+	underCount := append([]byte(nil), small...)
+	binary.BigEndian.PutUint32(underCount[4:8], 2) // columns exceed count
+	f.Add(underCount)
+	structured := make([]tevlog.Entry, 50)
+	for i := range structured {
+		structured[i] = tevlog.Entry{Seq: uint64(i + 1), Type: tevlog.TypeNondet, Content: []byte{1, byte(i), 0, 0}}
+	}
+	f.Add(CompressEntries(structured))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecompressEntries(data)
+		if err != nil {
+			return
+		}
+		// Any accepted container must re-encode losslessly.
+		back, err := DecompressEntries(CompressEntries(entries))
+		if err != nil {
+			t.Fatalf("re-encoding accepted container failed to decode: %v", err)
+		}
+		if len(back) != len(entries) {
+			t.Fatalf("re-encode round trip: %d entries, want %d", len(back), len(entries))
+		}
+		for i := range entries {
+			if entries[i].Seq != back[i].Seq || entries[i].Type != back[i].Type ||
+				!bytes.Equal(entries[i].Content, back[i].Content) {
+				t.Fatalf("entry %d changed across re-encode round trip", i)
+			}
+		}
+	})
+}

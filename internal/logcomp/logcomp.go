@@ -15,8 +15,6 @@ package logcomp
 import (
 	"bytes"
 	"compress/flate"
-	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 
@@ -25,6 +23,12 @@ import (
 
 // Flate compresses raw bytes with the general-purpose stage only (the
 // paper's bzip2 baseline).
+//
+// Invariant: flate.NewWriter only fails on an invalid level (ours is the
+// constant BestCompression) and a flate.Writer writing into a bytes.Buffer
+// cannot return an error (bytes.Buffer.Write never does; it panics on OOM
+// like any allocation). Flate therefore has no error to return; the panics
+// below guard the invariant rather than signal recoverable conditions.
 func Flate(data []byte) []byte {
 	var buf bytes.Buffer
 	w, err := flate.NewWriter(&buf, flate.BestCompression)
@@ -57,92 +61,46 @@ var magic = [4]byte{'A', 'V', 'L', '1'}
 // CompressEntries applies the VMM-specific columnar transform to a segment
 // and then flate-compresses each column. The result decodes back to the
 // identical entry sequence (chain hashes excluded; they are recomputable).
+// It is a thin wrapper over EntryWriter, which streams the same encoding;
+// the two produce bit-identical containers. Like Flate, it writes only to
+// memory, where compression cannot fail (the invariant documented there).
 func CompressEntries(entries []tevlog.Entry) []byte {
-	if len(entries) == 0 {
-		return append(magic[:], 0, 0, 0, 0)
-	}
 	// Column 1: sequence numbers, delta-coded (all-consecutive logs collapse
 	// to a run of 1s). Column 2: types. Column 3: content lengths as
-	// varints. Column 4: concatenated contents with intra-column word-level
-	// delta coding for numeric payloads.
-	var seqs, types, lens, contents []byte
-	prev := entries[0].Seq - 1
+	// varints. Column 4: concatenated contents.
+	w := NewEntryWriter()
 	for i := range entries {
-		e := &entries[i]
-		seqs = binary.AppendUvarint(seqs, e.Seq-prev)
-		prev = e.Seq
-		types = append(types, byte(e.Type))
-		lens = binary.AppendUvarint(lens, uint64(len(e.Content)))
-		contents = append(contents, e.Content...)
+		if err := w.Add(&entries[i]); err != nil {
+			panic(fmt.Sprintf("logcomp: compressing to memory: %v", err))
+		}
 	}
-	out := make([]byte, 0, len(contents)/2+64)
-	out = append(out, magic[:]...)
-	var countBuf [4]byte
-	binary.BigEndian.PutUint32(countBuf[:], uint32(len(entries)))
-	out = append(out, countBuf[:]...)
-	for _, col := range [][]byte{seqs, types, lens, contents} {
-		comp := Flate(col)
-		out = binary.AppendUvarint(out, uint64(len(comp)))
-		out = append(out, comp...)
+	out, err := w.Bytes()
+	if err != nil {
+		panic(fmt.Sprintf("logcomp: compressing to memory: %v", err))
 	}
 	return out
 }
 
-// DecompressEntries reverses CompressEntries.
+// DecompressEntries reverses CompressEntries. It is a thin wrapper over
+// EntryReader, which decodes the same container incrementally; truncated or
+// trailing column streams are rejected with an error naming the column.
 func DecompressEntries(data []byte) ([]tevlog.Entry, error) {
-	if len(data) < 8 || !bytes.Equal(data[:4], magic[:]) {
-		return nil, errors.New("logcomp: bad magic")
+	r, err := NewEntryReader(data)
+	if err != nil {
+		return nil, err
 	}
-	count := binary.BigEndian.Uint32(data[4:8])
-	data = data[8:]
-	if count == 0 {
-		return nil, nil
-	}
-	cols := make([][]byte, 4)
-	for i := range cols {
-		n, used := binary.Uvarint(data)
-		if used <= 0 || uint64(len(data)-used) < n {
-			return nil, errors.New("logcomp: truncated column")
+	defer r.Close()
+	var entries []tevlog.Entry
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			return entries, nil
 		}
-		raw, err := Unflate(data[used : used+int(n)])
 		if err != nil {
 			return nil, err
 		}
-		cols[i] = raw
-		data = data[used+int(n):]
+		entries = append(entries, e)
 	}
-	seqs, types, lens, contents := cols[0], cols[1], cols[2], cols[3]
-	if uint32(len(types)) != count {
-		return nil, errors.New("logcomp: type column length mismatch")
-	}
-	entries := make([]tevlog.Entry, count)
-	var seq uint64
-	for i := range entries {
-		d, used := binary.Uvarint(seqs)
-		if used <= 0 {
-			return nil, errors.New("logcomp: truncated seq column")
-		}
-		seqs = seqs[used:]
-		seq += d
-		n, used := binary.Uvarint(lens)
-		if used <= 0 {
-			return nil, errors.New("logcomp: truncated len column")
-		}
-		lens = lens[used:]
-		if uint64(len(contents)) < n {
-			return nil, errors.New("logcomp: truncated content column")
-		}
-		entries[i] = tevlog.Entry{
-			Seq:     seq,
-			Type:    tevlog.EntryType(types[i]),
-			Content: append([]byte(nil), contents[:n]...),
-		}
-		contents = contents[n:]
-	}
-	if len(contents) != 0 {
-		return nil, errors.New("logcomp: trailing content bytes")
-	}
-	return entries, nil
 }
 
 // Ratio returns compressed/original as a convenience for reporting.

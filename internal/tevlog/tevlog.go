@@ -361,18 +361,114 @@ func Rechain(prev Hash, entries []Entry) error {
 	return nil
 }
 
-// chainHashes recomputes the chain hashes of a segment into dst (len(dst)
-// must equal len(entries)) without modifying the entries, so verification
-// never needs a defensive copy of the segment.
-func chainHashes(prev Hash, entries []Entry, dst []Hash) error {
-	var c chainer
-	for i := range entries {
-		if i > 0 && entries[i].Seq != entries[i-1].Seq+1 {
-			return fmt.Errorf("%w: non-consecutive sequence numbers %d, %d",
-				ErrChainBroken, entries[i-1].Seq, entries[i].Seq)
+// ChainVerifier is the streaming form of VerifySegment: it consumes a
+// segment one entry at a time, maintaining the running chain hash, and
+// checks the recomputed chain against the collected authenticators when the
+// segment ends. It never owns the entry slice, so a multi-hour log verifies
+// in memory proportional to the authenticator set, not the log.
+//
+// Error semantics are identical to VerifySegment's: chain breaks surface
+// immediately from Add (the first break in entry order, exactly the error a
+// batch pass reports), while authenticator checks — which depend on the
+// segment's final sequence number — are deferred to Finish and evaluated in
+// the order the authenticators were supplied, preserving the batch
+// verifier's error precedence (a chain break anywhere outranks a bad
+// signature anywhere).
+type ChainVerifier struct {
+	ks    *sig.KeyStore
+	auths []Authenticator
+	// bySeq indexes auths by sequence number so each entry touches only its
+	// own authenticators.
+	bySeq map[uint64][]int
+	// authHash records the recomputed chain hash at each authenticator's
+	// sequence number, filled as the stream passes it.
+	authHash []Hash
+	c        chainer
+	prev     Hash
+	started  bool
+	lo, last uint64
+	err      error
+}
+
+// NewChainVerifier starts verifying a segment whose predecessor has chain
+// hash prev (the zero hash for a log audited from boot). Signatures are
+// checked against ks.
+func NewChainVerifier(prev Hash, auths []Authenticator, ks *sig.KeyStore) *ChainVerifier {
+	v := &ChainVerifier{
+		ks:       ks,
+		auths:    auths,
+		bySeq:    make(map[uint64][]int),
+		authHash: make([]Hash, len(auths)),
+		prev:     prev,
+	}
+	for i := range auths {
+		v.bySeq[auths[i].Seq] = append(v.bySeq[auths[i].Seq], i)
+	}
+	return v
+}
+
+// Add folds the next entry into the chain. It returns ErrChainBroken (with
+// detail) as soon as sequence numbers stop being consecutive; the error is
+// sticky. The entry is not modified; use Last for its recomputed hash.
+func (v *ChainVerifier) Add(e *Entry) error {
+	if v.err != nil {
+		return v.err
+	}
+	if v.started && e.Seq != v.last+1 {
+		v.err = fmt.Errorf("%w: non-consecutive sequence numbers %d, %d",
+			ErrChainBroken, v.last, e.Seq)
+		return v.err
+	}
+	if !v.started {
+		v.started = true
+		v.lo = e.Seq
+	}
+	v.c.link(v.prev, e.Seq, e.Type, e.Content, &v.prev)
+	v.last = e.Seq
+	for _, i := range v.bySeq[e.Seq] {
+		v.authHash[i] = v.prev
+	}
+	return nil
+}
+
+// Last returns the chain hash of the most recently added entry (what
+// Rechain would have stored in it).
+func (v *ChainVerifier) Last() Hash { return v.prev }
+
+// Finish completes verification: every authenticator inside the segment
+// must carry a valid signature and match the recomputed chain, and at least
+// one must cover the final entry — otherwise the tail of the segment is
+// uncommitted and truncating it would go unnoticed. Signatures are checked
+// concurrently when several authenticators fall inside the segment.
+func (v *ChainVerifier) Finish() error {
+	if v.err != nil {
+		return v.err
+	}
+	if !v.started {
+		return errors.New("tevlog: empty segment")
+	}
+	lo, hi := v.lo, v.last
+	inRange := func(a *Authenticator) bool { return a.Seq >= lo && a.Seq <= hi }
+	sigOK := verifyAuthsParallel(v.auths, inRange, v.ks)
+	covered := false
+	for i := range v.auths {
+		a := &v.auths[i]
+		if !inRange(a) {
+			continue
 		}
-		c.link(prev, entries[i].Seq, entries[i].Type, entries[i].Content, &dst[i])
-		prev = dst[i]
+		if !sigOK[i] {
+			return ErrBadSignature
+		}
+		if got := v.authHash[i]; got != a.Hash {
+			return fmt.Errorf("%w: entry %d has chain hash %x, authenticator commits to %x",
+				ErrAuthenticatorMismatch, a.Seq, got[:8], a.Hash[:8])
+		}
+		if a.Seq == hi {
+			covered = true
+		}
+	}
+	if !covered {
+		return fmt.Errorf("%w: no authenticator covers segment end %d", ErrAuthenticatorMismatch, hi)
 	}
 	return nil
 }
@@ -385,39 +481,16 @@ func chainHashes(prev Hash, entries []Entry, dst []Hash) error {
 // entry, otherwise the tail of the segment is uncommitted and skipping it
 // would go unnoticed. Signatures are checked against ks, concurrently when
 // several authenticators fall inside the segment; the segment itself is
-// never modified.
+// never modified. It is a thin wrapper over ChainVerifier, which performs
+// the same checks one entry at a time.
 func VerifySegment(prev Hash, entries []Entry, auths []Authenticator, ks *sig.KeyStore) error {
-	if len(entries) == 0 {
-		return errors.New("tevlog: empty segment")
-	}
-	hashes := make([]Hash, len(entries))
-	if err := chainHashes(prev, entries, hashes); err != nil {
-		return err
-	}
-	lo, hi := entries[0].Seq, entries[len(entries)-1].Seq
-	inRange := func(a *Authenticator) bool { return a.Seq >= lo && a.Seq <= hi }
-	sigOK := verifyAuthsParallel(auths, inRange, ks)
-	covered := false
-	for i := range auths {
-		a := &auths[i]
-		if !inRange(a) {
-			continue
-		}
-		if !sigOK[i] {
-			return ErrBadSignature
-		}
-		if got := hashes[a.Seq-lo]; got != a.Hash {
-			return fmt.Errorf("%w: entry %d has chain hash %x, authenticator commits to %x",
-				ErrAuthenticatorMismatch, a.Seq, got[:8], a.Hash[:8])
-		}
-		if a.Seq == hi {
-			covered = true
+	v := NewChainVerifier(prev, auths, ks)
+	for i := range entries {
+		if err := v.Add(&entries[i]); err != nil {
+			return err
 		}
 	}
-	if !covered {
-		return fmt.Errorf("%w: no authenticator covers segment end %d", ErrAuthenticatorMismatch, hi)
-	}
-	return nil
+	return v.Finish()
 }
 
 // verifyAuthsParallel checks the signatures of every selected authenticator

@@ -103,6 +103,14 @@ type Machine struct {
 	Waiting bool
 	// Halted is set by HLT or by a fault.
 	Halted bool
+	// StopReq asks Run to return at the next instruction boundary. Bus
+	// handlers set it when the host must regain control at an exact
+	// execution point (e.g. a replaying auditor stopping at the instruction
+	// that consumed the last available log entry, so the replica never runs
+	// ahead of the log). The in-flight instruction retires normally; Run
+	// clears the flag when it honors it. Not part of the machine state:
+	// snapshots neither save nor restore it.
+	StopReq bool
 	// FaultInfo is non-nil after a fault.
 	FaultInfo *Fault
 
@@ -386,6 +394,10 @@ func (m *Machine) Run(maxInstr uint64) uint64 {
 	start := m.ICount
 	for m.ICount-start < maxInstr {
 		if !m.Step() {
+			break
+		}
+		if m.StopReq {
+			m.StopReq = false
 			break
 		}
 	}

@@ -1,0 +1,112 @@
+// Command check_bench gates CI on audit-engine performance: it compares a
+// freshly measured BENCH_audit.json against the committed baseline and
+// fails when a throughput metric regressed by more than the tolerance
+// (default 30%), or when any correctness invariant recorded in the JSON is
+// violated (verdict mismatches, a streaming window overrun).
+//
+//	go run ./scripts/check_bench.go -baseline BENCH_audit.json -current bench.json
+//
+// Only rate metrics are compared — wall-clock times vary with runner
+// hardware, but so do rates, hence the deliberately loose tolerance: the
+// gate exists to catch step-change regressions (an accidentally serialized
+// pipeline, a quadratic hot path), not single-digit noise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// bench mirrors the subset of experiments.AuditBenchResult the gate reads.
+type bench struct {
+	LogEntries          int     `json:"log_entries"`
+	SerialEntriesPerSec float64 `json:"serial_entries_per_sec"`
+	SerialMInstrPerSec  float64 `json:"serial_minstr_per_sec"`
+	StreamEntriesPerSec float64 `json:"stream_entries_per_sec"`
+	StreamVerdictMatch  bool    `json:"stream_verdict_match"`
+	StreamPeakResident  int     `json:"stream_peak_resident_entries"`
+	StreamWindow        int     `json:"stream_window"`
+	MerkleSerialGBps    float64 `json:"merkle_serial_gb_per_sec"`
+	MerkleParallelGBps  float64 `json:"merkle_parallel_gb_per_sec"`
+	VerifyOpsPerSec     float64 `json:"rsa_verify_ops_per_sec"`
+	Workers             []struct {
+		Workers      int  `json:"workers"`
+		VerdictMatch bool `json:"verdict_match"`
+	} `json:"workers_ablation"`
+}
+
+func load(path string) (*bench, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b bench
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_audit.json", "committed baseline JSON")
+	currentPath := flag.String("current", "bench.json", "freshly measured JSON")
+	tolerance := flag.Float64("tolerance", 0.30, "max allowed fractional regression on rate metrics")
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "check_bench:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "check_bench:", err)
+		os.Exit(2)
+	}
+
+	failures := 0
+	rate := func(name string, base, cur float64) {
+		if base <= 0 {
+			fmt.Printf("  %-28s baseline empty; skipped\n", name)
+			return
+		}
+		floor := base * (1 - *tolerance)
+		status := "ok"
+		if cur < floor {
+			status = "REGRESSED"
+			failures++
+		}
+		fmt.Printf("  %-28s %12.1f vs baseline %12.1f (floor %12.1f) %s\n", name, cur, base, floor, status)
+	}
+	invariant := func(name string, ok bool) {
+		status := "ok"
+		if !ok {
+			status = "VIOLATED"
+			failures++
+		}
+		fmt.Printf("  %-28s %s\n", name, status)
+	}
+
+	fmt.Printf("check_bench: tolerance %.0f%%, %d entries audited\n", *tolerance*100, current.LogEntries)
+	rate("serial entries/s", baseline.SerialEntriesPerSec, current.SerialEntriesPerSec)
+	rate("serial Minstr/s", baseline.SerialMInstrPerSec, current.SerialMInstrPerSec)
+	rate("stream entries/s", baseline.StreamEntriesPerSec, current.StreamEntriesPerSec)
+	rate("merkle serial GB/s", baseline.MerkleSerialGBps, current.MerkleSerialGBps)
+	rate("merkle parallel GB/s", baseline.MerkleParallelGBps, current.MerkleParallelGBps)
+	rate("rsa verify ops/s", baseline.VerifyOpsPerSec, current.VerifyOpsPerSec)
+
+	invariant("stream verdict match", current.StreamVerdictMatch)
+	invariant("stream window respected", current.StreamWindow <= 0 ||
+		current.StreamPeakResident <= current.StreamWindow)
+	for _, w := range current.Workers {
+		invariant(fmt.Sprintf("parallel verdict (%d workers)", w.Workers), w.VerdictMatch)
+	}
+
+	if failures > 0 {
+		fmt.Printf("check_bench: %d failure(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("check_bench: all metrics within tolerance")
+}
