@@ -87,7 +87,10 @@ type ChunkRequest struct {
 // detected.
 func (a *Auditor) AuditChunk(req ChunkRequest) *Result {
 	res := &Result{Node: req.Node}
-	if err := snapshot.VerifyRestored(req.Start, req.StartRoot); err != nil {
+	// Authenticate the snapshot; the verification tree is kept live so
+	// snapshot entries inside the chunk verify incrementally.
+	lh := &snapshot.LiveStateHasher{}
+	if err := lh.SeedVerify(req.Start, req.StartRoot); err != nil {
 		res.Fault = &FaultReport{Node: req.Node, Check: CheckSnapshot, Detail: err.Error()}
 		return res
 	}
@@ -111,6 +114,7 @@ func (a *Auditor) AuditChunk(req ChunkRequest) *Result {
 		res.Fault = &FaultReport{Node: req.Node, Check: CheckSemantic, Detail: err.Error()}
 		return res
 	}
+	rp.AdoptStateHasher(lh)
 	rp.Feed(req.Entries)
 	rp.Close()
 	rp.Run()

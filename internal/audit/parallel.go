@@ -204,8 +204,11 @@ func (a *Auditor) runEpoch(node sig.NodeID, ep *epoch, opts ParallelOptions) epo
 		}
 		// The machine's state is untrusted: replaying from a state it never
 		// committed to would let it steer the verdict. Check it against the
-		// root the log committed at this epoch's starting snapshot.
-		if verr := snapshot.VerifyRestored(restored, ep.startRoot); verr != nil {
+		// root the log committed at this epoch's starting snapshot; the hash
+		// tree that verification builds doubles as the replay's live tree,
+		// so snapshot entries inside the epoch verify incrementally.
+		lh := &snapshot.LiveStateHasher{}
+		if verr := lh.SeedVerify(restored, ep.startRoot); verr != nil {
 			return epochResult{fault: &FaultReport{
 				Node: node, Check: CheckSnapshot, EntrySeq: ep.startSeq, Detail: verr.Error(),
 			}}
@@ -214,6 +217,7 @@ func (a *Auditor) runEpoch(node sig.NodeID, ep *epoch, opts ParallelOptions) epo
 		if err != nil {
 			return epochResult{fault: &FaultReport{Node: node, Check: CheckSemantic, Detail: err.Error()}}
 		}
+		rp.AdoptStateHasher(lh)
 	}
 	rp.Feed(ep.entries)
 	rp.Close()

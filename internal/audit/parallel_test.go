@@ -2,12 +2,14 @@ package audit_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/audit"
 	"repro/internal/avmm"
 	"repro/internal/game"
 	"repro/internal/sig"
+	"repro/internal/vm"
 )
 
 // Equivalence harness for the epoch-parallel audit engine: whatever the
@@ -95,6 +97,102 @@ func TestParallelAuditEquivalenceClean(t *testing.T) {
 		if res.Replay.SnapshotsVerified == 0 {
 			t.Fatalf("clean run of %s verified no snapshots; epochs were not exercised", node)
 		}
+	}
+}
+
+// TestAuditEquivalenceStaleCorruptedPage: a machine that corrupts a page of
+// its own state which the guest never touches again commits snapshot roots
+// over the corrupted contents, while the replica — whose incremental live
+// tree keeps that page's hash from its verified seed and never refreshes it
+// (the page is never re-dirtied) — derives the honest root. The audit must
+// flag the first snapshot committed after the corruption, identically on
+// the serial, epoch-parallel and streaming engines. This is the scenario a
+// buggy incremental verifier would miss: the corruption lives entirely in
+// leaves outside every dirty set the replay ever folds.
+func TestAuditEquivalenceStaleCorruptedPage(t *testing.T) {
+	cfg := game.ScenarioConfig{
+		Players: 2, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
+		Seed: 99, SnapshotEveryNs: eqSnapNs, FakeSignatures: true,
+	}
+	const pokeNs = eqMatchNs
+	const endNs = 2 * eqMatchNs
+
+	// Dry run: find a page of player1's machine that nothing — no guest
+	// fetch, load or store, no host write — touches after the poke point.
+	// Corrupting such a page cannot perturb execution (so the dry run's
+	// touched set holds for the corrupted run too) and it stays stale for
+	// the rest of the match.
+	dry, err := game.NewScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dry.Run(pokeNs)
+	mach := dry.Player(1).Machine
+	mach.TrackAccess(true)
+	floor := mach.DirtyEpoch()
+	dry.Run(endNs)
+	touched := make(map[int]bool)
+	for _, p := range mach.AccessedPages() {
+		touched[p] = true
+	}
+	for _, p := range mach.DirtyPagesSince(floor) {
+		touched[p] = true
+	}
+	stale := -1
+	for p := 0; p < mach.NumPages(); p++ {
+		if !touched[p] {
+			stale = p
+			break
+		}
+	}
+	if stale < 0 {
+		t.Fatal("every page is touched after the poke point; no stale page to corrupt")
+	}
+
+	// Real run: flip a byte of that page mid-match through the host write
+	// path, so the monitor's own dirty tracking folds the corrupted page
+	// into its next snapshot root — exactly what a machine tampering with
+	// cold state looks like to an auditor.
+	s, err := game.NewScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(pokeNs)
+	target := s.Player(1)
+	snapsBefore := target.Snaps.Count()
+	addr := uint32(stale)*vm.PageSize + 17
+	if err := target.Machine.WriteBytes(addr, []byte{target.Machine.Mem[addr] ^ 0xA5}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(endNs)
+	if target.Snaps.Count() <= snapsBefore {
+		t.Fatal("no snapshot committed after the corruption; the scenario proves nothing")
+	}
+	// Staleness proof: the corrupted page enters exactly one increment (the
+	// first snapshot after the poke) and is never re-captured.
+	for k := snapsBefore + 1; k < target.Snaps.Count(); k++ {
+		sn, err := target.Snaps.Snapshot(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := sn.MemPages[stale]; ok {
+			t.Fatalf("page %d re-captured at snapshot %d; it is not stale", stale, k)
+		}
+	}
+
+	serial := auditBothWays(t, s, "player1", "stale-corrupt/player1")
+	if serial.Passed {
+		t.Fatal("corrupted stale page escaped the audit")
+	}
+	if serial.Fault.Check != audit.CheckSnapshot {
+		t.Fatalf("fault check = %v, want %v (detail: %s)", serial.Fault.Check, audit.CheckSnapshot, serial.Fault.Detail)
+	}
+	if !strings.Contains(serial.Fault.Detail, "committed snapshot root") {
+		t.Fatalf("fault is not a replayed-root mismatch: %s", serial.Fault.Detail)
+	}
+	honest := auditBothWays(t, s, "player2", "stale-corrupt/player2")
+	if !honest.Passed {
+		t.Errorf("honest player failed audit: %v", honest.Fault)
 	}
 }
 

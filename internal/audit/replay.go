@@ -56,9 +56,18 @@ type Replay struct {
 	// Stats accumulates replay effort.
 	Stats ReplayStats
 
-	// stateHasher is reused across snapshot-root verifications so each
-	// snapshot entry does not reallocate the page hash tree.
-	stateHasher snapshot.StateHasher
+	// live is the incremental state tree behind snapshot-root verification:
+	// seeded once from the replica's starting state, then folded forward by
+	// only the pages dirtied between snapshot entries (§4.4's
+	// O(dirty · log n) commitment, applied by the auditor). The epoch
+	// engines seed it while verifying the materialized starting snapshot
+	// (AdoptStateHasher); otherwise it is seeded lazily at the first
+	// snapshot entry, which for a boot replay costs exactly the full rehash
+	// the first verification always paid.
+	live *snapshot.LiveStateHasher
+	// verifyFloor is the dirty-generation floor of the live tree: pages the
+	// replica wrote after it must be folded before the next root compare.
+	verifyFloor uint64
 
 	// MaxInstructions bounds replay effort past the last consumed entry; a
 	// divergent execution that never consumes the next logged entry is
@@ -111,6 +120,43 @@ func (r *Replay) attach(m *vm.Machine) {
 type pendingOut struct {
 	dest    uint32
 	payload []byte
+}
+
+// AdoptStateHasher hands the replay a live state hasher already seeded from
+// the replica's starting state — the epoch engines seed one while verifying
+// the materialized snapshot against the committed root, so the replay's
+// first in-log snapshot entry folds dirty pages instead of rehashing the
+// whole state. Must be called before the first Run, while the replica's
+// memory still equals the seeded state.
+func (r *Replay) AdoptStateHasher(lh *snapshot.LiveStateHasher) {
+	r.live = lh
+	r.verifyFloor = r.mach.DirtyEpoch()
+}
+
+// stateRoot returns the replica's current authenticated state digest,
+// maintained incrementally: the live tree is seeded on first use (covering
+// the whole state) and thereafter folds only the pages written since the
+// previous snapshot entry. The digest is bit-identical to a full
+// snapshot.RootOfState over the same state.
+func (r *Replay) stateRoot() ([32]byte, error) {
+	m := r.mach
+	regs := m.CaptureStateRegisters()
+	dev := r.devs.AuthSnapshot()
+	if r.live == nil || !r.live.Seeded() {
+		if r.live == nil {
+			r.live = &snapshot.LiveStateHasher{}
+		}
+		root := r.live.Seed(m.Mem, regs, dev)
+		r.verifyFloor = m.DirtyEpoch()
+		return root, nil
+	}
+	dirty := m.DirtyPagesSince(r.verifyFloor)
+	root, err := r.live.Fold(m.Mem, dirty, regs, dev)
+	if err != nil {
+		return [32]byte{}, err
+	}
+	r.verifyFloor = m.DirtyEpoch()
+	return root, nil
 }
 
 // Feed appends log entries to be replayed and refreshes the instruction
@@ -349,7 +395,11 @@ func (r *Replay) perform(ev *wire.EventContent, seq uint64) {
 		r.mach.RaiseIRQ(vm.IRQInput)
 		r.Stats.EventsInjected++
 	case wire.EventSnapshot:
-		got := r.stateHasher.RootOfState(r.mach.Mem, r.mach.CaptureStateRegisters(), r.devs.AuthSnapshot())
+		got, err := r.stateRoot()
+		if err != nil {
+			r.diverge(CheckSemantic, seq, "folding dirty pages into live state tree: %v", err)
+			return
+		}
 		if got != ev.Root {
 			r.diverge(CheckSnapshot, seq,
 				"replayed state root %x does not match committed snapshot root %x",

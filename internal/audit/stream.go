@@ -367,7 +367,10 @@ func (a *Auditor) runStreamEpoch(node sig.NodeID, ep *streamEpoch, opts StreamOp
 		}
 		// The machine's state is untrusted: verify it against the root the
 		// log committed at this epoch's starting snapshot before replaying.
-		if verr := snapshot.VerifyRestored(restored, ep.startRoot); verr != nil {
+		// The verification tree becomes the replay's live tree, so snapshot
+		// entries inside the epoch verify incrementally.
+		lh := &snapshot.LiveStateHasher{}
+		if verr := lh.SeedVerify(restored, ep.startRoot); verr != nil {
 			drainEpoch(ep, win)
 			return epochResult{fault: &FaultReport{
 				Node: node, Check: CheckSnapshot, EntrySeq: ep.startSeq, Detail: verr.Error(),
@@ -378,6 +381,7 @@ func (a *Auditor) runStreamEpoch(node sig.NodeID, ep *streamEpoch, opts StreamOp
 			drainEpoch(ep, win)
 			return epochResult{fault: &FaultReport{Node: node, Check: CheckSemantic, Detail: err.Error()}}
 		}
+		rp.AdoptStateHasher(lh)
 	}
 
 	batch := make([]tevlog.Entry, 0, streamBatch)

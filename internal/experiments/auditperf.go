@@ -14,6 +14,7 @@ import (
 	"repro/internal/sig"
 	"repro/internal/snapshot"
 	"repro/internal/tevlog"
+	"repro/internal/vm"
 )
 
 // This file is the audit-throughput experiment behind BENCH_audit.json: a
@@ -69,6 +70,18 @@ type AuditBenchResult struct {
 	MerkleSerialGBps   float64 `json:"merkle_serial_gb_per_sec"`
 	MerkleParallelGBps float64 `json:"merkle_parallel_gb_per_sec"`
 	MerkleWorkers      int     `json:"merkle_workers"`
+
+	// Incremental (live-tree) snapshot verification vs a full rehash of the
+	// same state: what one snapshot entry costs the replay. The incremental
+	// fold touches only the dirty pages and the union of their root paths,
+	// so its cost scales with IncVerifyDirtyPages, not IncVerifyStatePages.
+	IncVerifyStatePages      int     `json:"inc_verify_state_pages"`
+	IncVerifyDirtyPages      int     `json:"inc_verify_dirty_pages"`
+	MerkleFullVerifyNs       int64   `json:"merkle_full_verify_ns_per_snapshot"`
+	MerkleIncVerifyNs        int64   `json:"merkle_inc_verify_ns_per_snapshot"`
+	MerkleIncSpeedup         float64 `json:"merkle_inc_speedup_vs_full"`
+	MerkleFullVerifiesPerSec float64 `json:"merkle_full_verifies_per_sec"`
+	MerkleIncVerifiesPerSec  float64 `json:"merkle_inc_verifies_per_sec"`
 
 	// RSA authenticator verification rate (DefaultKeyBits keys).
 	VerifyOpsPerSec float64 `json:"rsa_verify_ops_per_sec"`
@@ -244,6 +257,37 @@ func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
 	res.MerkleSerialGBps = merkleGBps(mem, 1)
 	res.MerkleParallelGBps = merkleGBps(mem, res.MerkleWorkers)
 
+	// --- incremental vs full per-snapshot verification ---
+	// A replay verifying a snapshot entry either rehashes the whole state
+	// (the pre-live-tree behavior) or folds only the pages dirtied since the
+	// previous entry. Both are measured serially: the fold is what each
+	// epoch's replica pays inline, and a fixed dirty count keeps the row
+	// comparable across runs.
+	res.IncVerifyStatePages = res.MerkleBytes / vm.PageSize
+	res.IncVerifyDirtyPages = 16
+	dirty := make([]int, res.IncVerifyDirtyPages)
+	for i := range dirty {
+		dirty[i] = i * res.IncVerifyStatePages / res.IncVerifyDirtyPages
+	}
+	fullSH := snapshot.StateHasher{Workers: 1}
+	res.MerkleFullVerifyNs = bestNsPerOp(3, 1, func() {
+		fullSH.RootOfState(mem, nil, nil)
+	})
+	incSH := snapshot.LiveStateHasher{Workers: 1}
+	incSH.Seed(mem, nil, nil)
+	res.MerkleIncVerifyNs = bestNsPerOp(3, 200, func() {
+		if _, ferr := incSH.Fold(mem, dirty, nil, nil); ferr != nil {
+			panic(ferr)
+		}
+	})
+	if res.MerkleIncVerifyNs > 0 {
+		res.MerkleIncSpeedup = float64(res.MerkleFullVerifyNs) / float64(res.MerkleIncVerifyNs)
+		res.MerkleIncVerifiesPerSec = 1e9 / float64(res.MerkleIncVerifyNs)
+	}
+	if res.MerkleFullVerifyNs > 0 {
+		res.MerkleFullVerifiesPerSec = 1e9 / float64(res.MerkleFullVerifyNs)
+	}
+
 	// --- RSA verification rate ---
 	res.VerifyKeyBits = sig.DefaultKeyBits
 	signer, err := sig.GenerateRSA("auditbench", sig.DefaultKeyBits, "auditbench")
@@ -286,6 +330,27 @@ func merkleGBps(mem []byte, workers int) float64 {
 	return float64(len(mem)) / best.Seconds() / 1e9
 }
 
+// bestNsPerOp times loops of fn (opsPerRep calls per repetition, best of
+// reps) and returns the per-call nanoseconds. Cheap operations get batched
+// into one stopwatch window so timer granularity does not swamp them.
+func bestNsPerOp(reps, opsPerRep int, fn func()) int64 {
+	best := time.Duration(1<<63 - 1)
+	for rep := 0; rep < reps; rep++ {
+		d := stopwatch(func() {
+			for i := 0; i < opsPerRep; i++ {
+				fn()
+			}
+		})
+		if d < best {
+			best = d
+		}
+	}
+	if best <= 0 {
+		return 0
+	}
+	return best.Nanoseconds() / int64(opsPerRep)
+}
+
 // Table renders the audit-throughput experiment.
 func (r *AuditBenchResult) Table() *metrics.Table {
 	t := metrics.NewTable("Audit engine throughput (serial vs parallel)",
@@ -311,6 +376,11 @@ func (r *AuditBenchResult) Table() *metrics.Table {
 		fmt.Sprintf("%d MiB state", r.MerkleBytes>>20))
 	t.Row("merkle root parallel", fmt.Sprintf("%.2f GB/s", r.MerkleParallelGBps),
 		fmt.Sprintf("%d workers", r.MerkleWorkers))
+	t.Row("snapshot verify full", time.Duration(r.MerkleFullVerifyNs).String(),
+		fmt.Sprintf("rehash all %d pages", r.IncVerifyStatePages))
+	t.Row("snapshot verify incremental", time.Duration(r.MerkleIncVerifyNs).String(),
+		fmt.Sprintf("%.0fx, fold %d dirty pages, %.0f verifies/s",
+			r.MerkleIncSpeedup, r.IncVerifyDirtyPages, r.MerkleIncVerifiesPerSec))
 	t.Row("rsa verify", fmt.Sprintf("%.0f ops/s", r.VerifyOpsPerSec),
 		fmt.Sprintf("%d-bit keys", r.VerifyKeyBits))
 	return t

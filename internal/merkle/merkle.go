@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"hash"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -87,6 +88,9 @@ type Tree struct {
 	// hs is a reusable digest for the incremental Update path. Fill uses
 	// per-worker digests instead; a Tree is not safe for concurrent use.
 	hs hasher
+	// scratch holds UpdateBatch's working set of node positions so repeated
+	// batch updates (one per snapshot entry during replay) do not allocate.
+	scratch []int
 }
 
 // newShell allocates a tree and hashes only the padding leaves beyond
@@ -171,6 +175,30 @@ func (t *Tree) Fill(data func(i int) []byte, workers int) {
 	}
 }
 
+// SeedFrom re-seeds the tree over nLeaves leaves from data with one
+// parallel Fill. Node storage is reused when nLeaves matches the tree's
+// current shape and reallocated otherwise, so a long-lived tree (e.g. a
+// replay's live state hasher) can be pointed at a new epoch's materialized
+// state in a single call. A zero-value Tree is a valid receiver.
+func (t *Tree) SeedFrom(nLeaves int, data func(i int) []byte, workers int) {
+	if nLeaves < 1 {
+		nLeaves = 1
+	}
+	if t.nodes == nil || t.leaves != nLeaves {
+		*t = *newShell(nLeaves)
+	}
+	t.Fill(data, workers)
+}
+
+// Seeded builds a tree over nLeaves leaves and fills it from data in one
+// parallel pass — New followed by Fill, without New's wasted empty-leaf
+// build.
+func Seeded(nLeaves int, data func(i int) []byte, workers int) *Tree {
+	t := newShell(nLeaves)
+	t.Fill(data, workers)
+	return t
+}
+
 // Leaves returns the number of addressable leaves.
 func (t *Tree) Leaves() int { return t.leaves }
 
@@ -187,6 +215,101 @@ func (t *Tree) Update(index int, data []byte) error {
 		i /= 2
 		t.hs.inner(&t.nodes[2*i], &t.nodes[2*i+1], &t.nodes[i])
 	}
+	return nil
+}
+
+// batchLeavesPerWorker is the minimum number of leaves UpdateBatch hashes
+// per goroutine before fanning out; below it the spawn cost dwarfs the
+// hashing and the batch runs serially.
+const batchLeavesPerWorker = 32
+
+// UpdateBatch recomputes the given leaves from data (data(i) must return
+// leaf i's contents, as in Fill) and then rebuilds only the union of their
+// root paths, visiting each interior node once no matter how many dirty
+// leaves share it. Cost is O(dirty) leaf hashes plus O(dirty · log n)
+// interior hashes with shared prefixes deduplicated — the §4.4 incremental
+// commitment, generalized from Update's single leaf. Large batches fan the
+// leaf hashing out over up to workers goroutines (workers <= 0 selects
+// DefaultWorkers()); the path fold is serial, as in Fill. Indices may be
+// unsorted and may repeat; an out-of-range index fails the whole batch
+// before any leaf is written.
+func (t *Tree) UpdateBatch(indices []int, data func(i int) []byte, workers int) error {
+	if len(indices) == 0 {
+		return nil
+	}
+	for _, idx := range indices {
+		if idx < 0 || idx >= t.leaves {
+			return fmt.Errorf("merkle: leaf index %d out of range [0,%d)", idx, t.leaves)
+		}
+	}
+	// Sort and dedupe into the scratch buffer first: the path fold needs
+	// sorted positions anyway, and the parallel leaf pass must never hand
+	// the same leaf slot to two goroutines (repeated indices would race on
+	// the node write even though the bytes agree).
+	cur := append(t.scratch[:0], indices...)
+	sort.Ints(cur)
+	w := 0
+	for _, idx := range cur {
+		if w > 0 && cur[w-1] == idx {
+			continue
+		}
+		cur[w] = idx
+		w++
+	}
+	cur = cur[:w]
+
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if max := len(cur) / batchLeavesPerWorker; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		t.hs.init()
+		for _, idx := range cur {
+			t.hs.leaf(idx, data(idx), &t.nodes[t.base+idx])
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(cur) + workers - 1) / workers
+		for lo := 0; lo < len(cur); lo += chunk {
+			hi := lo + chunk
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			wg.Add(1)
+			go func(part []int) {
+				defer wg.Done()
+				var s hasher
+				for _, idx := range part {
+					s.leaf(idx, data(idx), &t.nodes[t.base+idx])
+				}
+			}(cur[lo:hi])
+		}
+		wg.Wait()
+	}
+
+	// Fold the union of root paths level by level. Positions stay sorted, so
+	// each level's parents dedupe with a linear compaction; every interior
+	// node on any dirty path is rehashed exactly once.
+	for i := range cur {
+		cur[i] += t.base
+	}
+	t.hs.init()
+	for cur[0] > 1 {
+		w := 0
+		for _, pos := range cur {
+			p := pos / 2
+			if w > 0 && cur[w-1] == p {
+				continue
+			}
+			cur[w] = p
+			w++
+			t.hs.inner(&t.nodes[2*p], &t.nodes[2*p+1], &t.nodes[p])
+		}
+		cur = cur[:w]
+	}
+	t.scratch = cur[:0]
 	return nil
 }
 

@@ -139,6 +139,103 @@ func TestPropertyProofSoundness(t *testing.T) {
 	}
 }
 
+// TestPropertyUpdateBatchEquivalence: for random trees and random dirty
+// sets, UpdateBatch must land on exactly the state a sequence of single
+// Updates produces, which must equal a fresh Fill over the final leaves —
+// including the padding-leaf boundary (leaf counts that are not powers of
+// two) and duplicate/unsorted dirty indices.
+func TestPropertyUpdateBatchEquivalence(t *testing.T) {
+	f := func(seed int64, nRaw uint8, dirtyRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%70) + 1 // exercises 1-leaf trees and non-powers of two
+		leaves := make([][]byte, n)
+		for i := range leaves {
+			leaves[i] = make([]byte, rng.Intn(40))
+			rng.Read(leaves[i])
+		}
+		batched := Seeded(n, func(i int) []byte { return leaves[i] }, 1)
+		sequential := Seeded(n, func(i int) []byte { return leaves[i] }, 1)
+
+		nDirty := int(dirtyRaw % 32)
+		dirty := make([]int, nDirty)
+		for i := range dirty {
+			dirty[i] = rng.Intn(n) // unsorted, possibly repeated
+			leaves[dirty[i]] = append(leaves[dirty[i]], byte(rng.Intn(256)))
+		}
+		if err := batched.UpdateBatch(dirty, func(i int) []byte { return leaves[i] }, 4); err != nil {
+			return false
+		}
+		for _, idx := range dirty {
+			if err := sequential.Update(idx, leaves[idx]); err != nil {
+				return false
+			}
+		}
+		fresh := Seeded(n, func(i int) []byte { return leaves[i] }, 2)
+		return batched.Root() == sequential.Root() && batched.Root() == fresh.Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpdateBatchDuplicateIndicesParallel: heavy duplication across a
+// parallel batch must neither race (two workers hashing the same leaf
+// slot; caught under -race) nor corrupt the root.
+func TestUpdateBatchDuplicateIndicesParallel(t *testing.T) {
+	const n = 256
+	leaves := make([][]byte, n)
+	data := func(i int) []byte { return leaves[i] }
+	for i := range leaves {
+		leaves[i] = []byte{byte(i)}
+	}
+	tr := Seeded(n, data, 1)
+	dirty := make([]int, 0, 4*n)
+	for rep := 0; rep < 4; rep++ {
+		for i := 0; i < n; i++ {
+			dirty = append(dirty, i)
+			leaves[i] = []byte{byte(i), byte(rep)}
+		}
+	}
+	if err := tr.UpdateBatch(dirty, data, 8); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root() != RootOf(leaves) {
+		t.Fatal("duplicated parallel batch root disagrees with RootOf")
+	}
+}
+
+func TestUpdateBatchRejectsOutOfRange(t *testing.T) {
+	tr := New(5)
+	before := tr.Root()
+	if err := tr.UpdateBatch([]int{1, 5}, func(int) []byte { return []byte("x") }, 1); err == nil {
+		t.Fatal("out-of-range batch index accepted")
+	}
+	if tr.Root() != before {
+		t.Fatal("failed batch mutated the tree")
+	}
+	if err := tr.UpdateBatch(nil, nil, 1); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+}
+
+func TestSeedFromReusesAndReshapes(t *testing.T) {
+	var tr Tree
+	data := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	tr.SeedFrom(3, func(i int) []byte { return data[i] }, 1)
+	if tr.Root() != RootOf(data) {
+		t.Fatal("seeded root disagrees with RootOf")
+	}
+	// Reshape to a different leaf count, then back.
+	tr.SeedFrom(5, func(i int) []byte { return []byte{byte(i)} }, 1)
+	if tr.Leaves() != 5 {
+		t.Fatalf("Leaves() = %d after reshape, want 5", tr.Leaves())
+	}
+	tr.SeedFrom(3, func(i int) []byte { return data[i] }, 1)
+	if tr.Root() != RootOf(data) {
+		t.Fatal("re-seeded root disagrees with RootOf")
+	}
+}
+
 func TestNonPowerOfTwoLeafCounts(t *testing.T) {
 	for _, n := range []int{1, 3, 5, 7, 9, 100, 127} {
 		tr := New(n)

@@ -114,11 +114,12 @@ func (st *Store) Take(m *vm.Machine, devBlob, authDevBlob []byte) (*Snapshot, er
 		st.tree.Fill(func(p int) []byte { return s.MemPages[p] }, 0)
 	} else {
 		for _, p := range pages {
-			page := append([]byte(nil), m.Page(p)...)
-			s.MemPages[p] = page
-			if err := st.tree.Update(p, page); err != nil {
-				return nil, err
-			}
+			s.MemPages[p] = append([]byte(nil), m.Page(p)...)
+		}
+		// Batch path: rehash the dirty leaves, then fold the union of their
+		// root paths once — shared interior nodes are not rehashed per page.
+		if err := st.tree.UpdateBatch(pages, func(p int) []byte { return s.MemPages[p] }, 0); err != nil {
+			return nil, err
 		}
 	}
 	s.MemRoot = st.tree.Root()
@@ -143,16 +144,26 @@ func CombineRoot(memRoot merkle.Hash, machineBlob, devBlob []byte) [32]byte {
 	return out
 }
 
-// Materialize reconstructs the complete state at snapshot k by folding the
-// incremental captures 0..k.
+// Materialize reconstructs the complete state at snapshot k. Increments
+// are folded newest-first, each page taken from the most recent capture
+// that holds it, and the walk stops as soon as every page is resolved —
+// so materializing late snapshots (which parallel audits do once per
+// epoch) costs the distinct pages, not the sum of all increment sizes.
 func (st *Store) Materialize(k int) (*Restored, error) {
 	if k < 0 || k >= len(st.snaps) {
 		return nil, fmt.Errorf("snapshot: index %d out of range [0,%d)", k, len(st.snaps))
 	}
 	mem := make([]byte, st.memSize)
-	for i := 0; i <= k; i++ {
+	written := make([]bool, st.pageCount)
+	remaining := st.pageCount
+	for i := k; i >= 0 && remaining > 0; i-- {
 		for p, page := range st.snaps[i].MemPages {
+			if written[p] {
+				continue
+			}
 			copy(mem[p*vm.PageSize:], page)
+			written[p] = true
+			remaining--
 		}
 	}
 	s := st.snaps[k]
@@ -179,41 +190,57 @@ func (st *Store) TransferBytes(k int) (int, error) {
 
 // VerifyRestored recomputes the root of a downloaded state and compares it
 // with the root the log committed to (§4.5, "Verifying the snapshot").
+// Callers that go on to replay from the state should use
+// LiveStateHasher.SeedVerify instead, which leaves the verification tree
+// primed for incremental folding.
 func VerifyRestored(r *Restored, wantRoot [32]byte) error {
 	got := RootOfState(r.Mem, r.Machine, r.AuthDevice)
-	if got != wantRoot {
-		return fmt.Errorf("snapshot: state root %x does not match committed root %x", got[:8], wantRoot[:8])
+	return checkRoot(got, wantRoot)
+}
+
+func checkRoot(got, want [32]byte) error {
+	if got != want {
+		return fmt.Errorf("snapshot: state root %x does not match committed root %x", got[:8], want[:8])
 	}
 	return nil
 }
 
+// statePages returns the leaf count for a memory image: whole pages,
+// rounding up so a non-page-aligned tail is hashed rather than silently
+// truncated.
+func statePages(memLen int) int {
+	return (memLen + vm.PageSize - 1) / vm.PageSize
+}
+
+// statePage returns page p of mem, clamped at a partial tail; nil beyond
+// the image (padding leaves).
+func statePage(mem []byte, p int) []byte {
+	lo := p * vm.PageSize
+	if lo >= len(mem) {
+		return nil
+	}
+	hi := lo + vm.PageSize
+	if hi > len(mem) {
+		hi = len(mem)
+	}
+	return mem[lo:hi]
+}
+
 // StateHasher computes authenticated state digests, reusing one hash tree
-// across calls so replays that verify many snapshot entries do not rebuild
-// (or reallocate) the tree each time. Page hashing — a pure fan-out over
+// across calls so repeated full-state verifications do not rebuild (or
+// reallocate) the tree each time. Page hashing — a pure fan-out over
 // 4 KiB pages — runs on up to Workers goroutines. A StateHasher is not
-// safe for concurrent use; parallel audit epochs each hold their own.
+// safe for concurrent use; concurrent verifiers each hold their own.
 type StateHasher struct {
 	// Workers bounds the page-hashing fan-out; <= 0 selects
 	// merkle.DefaultWorkers().
 	Workers int
-	tree    *merkle.Tree
-	pages   int
+	tree    merkle.Tree
 }
 
 // RootOfState computes the authenticated digest of a full state.
 func (sh *StateHasher) RootOfState(mem []byte, machineBlob, devBlob []byte) [32]byte {
-	pages := len(mem) / vm.PageSize
-	if sh.tree == nil || sh.pages != pages {
-		sh.tree = merkle.New(pages)
-		sh.pages = pages
-	}
-	sh.tree.Fill(func(p int) []byte {
-		if p >= pages {
-			// merkle.New rounds zero pages up to one empty leaf.
-			return nil
-		}
-		return mem[p*vm.PageSize : (p+1)*vm.PageSize]
-	}, sh.Workers)
+	sh.tree.SeedFrom(statePages(len(mem)), func(p int) []byte { return statePage(mem, p) }, sh.Workers)
 	return CombineRoot(sh.tree.Root(), machineBlob, devBlob)
 }
 
@@ -223,4 +250,54 @@ func (sh *StateHasher) RootOfState(mem []byte, machineBlob, devBlob []byte) [32]
 func RootOfState(mem []byte, machineBlob, devBlob []byte) [32]byte {
 	var sh StateHasher
 	return sh.RootOfState(mem, machineBlob, devBlob)
+}
+
+// LiveStateHasher maintains a persistent hash tree over a machine state so
+// a replay can verify successive snapshot roots incrementally: seed the
+// tree once from a full state, then fold only the pages dirtied since the
+// previous verification. Each fold costs O(dirty · log n) instead of the
+// O(state) a full rehash pays — §4.4's incremental-commitment argument,
+// applied on the auditor side. Not safe for concurrent use; parallel audit
+// epochs each hold their own.
+type LiveStateHasher struct {
+	// Workers bounds the page-hashing fan-out of Seed (and of large Folds);
+	// <= 0 selects merkle.DefaultWorkers().
+	Workers int
+	tree    merkle.Tree
+	memLen  int
+	seeded  bool
+}
+
+// Seeded reports whether the live tree has been initialized.
+func (lh *LiveStateHasher) Seeded() bool { return lh.seeded }
+
+// Seed (re)initializes the live tree from a full memory image with one
+// parallel fill and returns the authenticated digest of the state.
+func (lh *LiveStateHasher) Seed(mem []byte, machineBlob, devBlob []byte) [32]byte {
+	lh.tree.SeedFrom(statePages(len(mem)), func(p int) []byte { return statePage(mem, p) }, lh.Workers)
+	lh.memLen = len(mem)
+	lh.seeded = true
+	return CombineRoot(lh.tree.Root(), machineBlob, devBlob)
+}
+
+// SeedVerify seeds the live tree from a restored state and checks the
+// resulting digest against the root the log committed to — VerifyRestored,
+// but leaving the hasher primed so the replay that starts from the state
+// can fold dirty pages instead of rehashing everything at each snapshot
+// entry.
+func (lh *LiveStateHasher) SeedVerify(r *Restored, wantRoot [32]byte) error {
+	return checkRoot(lh.Seed(r.Mem, r.Machine, r.AuthDevice), wantRoot)
+}
+
+// Fold rehashes only the given dirty pages of mem and returns the new
+// authenticated digest. An unseeded hasher — or one seeded over a
+// different-sized image — falls back to a full Seed.
+func (lh *LiveStateHasher) Fold(mem []byte, dirty []int, machineBlob, devBlob []byte) ([32]byte, error) {
+	if !lh.seeded || lh.memLen != len(mem) {
+		return lh.Seed(mem, machineBlob, devBlob), nil
+	}
+	if err := lh.tree.UpdateBatch(dirty, func(p int) []byte { return statePage(mem, p) }, lh.Workers); err != nil {
+		return [32]byte{}, err
+	}
+	return CombineRoot(lh.tree.Root(), machineBlob, devBlob), nil
 }

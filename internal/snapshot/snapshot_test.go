@@ -178,6 +178,110 @@ func TestRootChainsAcrossIncrements(t *testing.T) {
 	}
 }
 
+// TestRootOfStateHashesPartialTailPage: a memory image that is not a whole
+// number of pages must have its tail hashed, not silently truncated
+// (regression: pages := len(mem) / PageSize dropped the remainder).
+func TestRootOfStateHashesPartialTailPage(t *testing.T) {
+	mem := make([]byte, vm.PageSize+100)
+	base := RootOfState(mem, nil, nil)
+	mem[vm.PageSize+50] = 0xAB // flip a byte in the partial tail
+	if RootOfState(mem, nil, nil) == base {
+		t.Fatal("tail-page byte flip did not change the state root")
+	}
+	// The tail must be distinguished from its absence entirely.
+	if RootOfState(mem[:vm.PageSize], nil, nil) == RootOfState(mem[:vm.PageSize+1], nil, nil) {
+		t.Fatal("one-byte tail hashed identically to no tail")
+	}
+}
+
+// TestLiveStateHasherMatchesFullRehash: seeding a live tree and folding
+// dirty pages must land on exactly the digest a from-scratch rehash of the
+// final state computes — the equivalence incremental replay verification
+// rests on.
+func TestLiveStateHasherMatchesFullRehash(t *testing.T) {
+	mem := make([]byte, 8*vm.PageSize+123) // partial tail page too
+	for i := range mem {
+		mem[i] = byte(i * 7)
+	}
+	var lh LiveStateHasher
+	if lh.Seeded() {
+		t.Fatal("unseeded hasher claims seeded")
+	}
+	got := lh.Seed(mem, []byte("regs"), []byte("dev"))
+	if want := RootOfState(mem, []byte("regs"), []byte("dev")); got != want {
+		t.Fatal("seed digest disagrees with full rehash")
+	}
+	// Dirty a few pages, including the partial tail, and fold.
+	mem[0] ^= 1
+	mem[3*vm.PageSize+9]++
+	mem[8*vm.PageSize+2] ^= 0x80
+	got, err := lh.Fold(mem, []int{0, 3, 8}, []byte("regs2"), []byte("dev"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := RootOfState(mem, []byte("regs2"), []byte("dev")); got != want {
+		t.Fatal("folded digest disagrees with full rehash")
+	}
+	// An unseeded fold — or one over a different-sized image — reseeds.
+	var fresh LiveStateHasher
+	got, err = fresh.Fold(mem, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := RootOfState(mem, nil, nil); got != want {
+		t.Fatal("unseeded fold did not fall back to a full seed")
+	}
+	grown := append(mem, make([]byte, vm.PageSize)...)
+	got, err = lh.Fold(grown, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := RootOfState(grown, nil, nil); got != want {
+		t.Fatal("resized fold did not fall back to a full seed")
+	}
+	// Out-of-range dirty index fails the fold rather than corrupting state.
+	if _, err := lh.Fold(grown, []int{10}, nil, nil); err == nil {
+		t.Fatal("out-of-range dirty page accepted")
+	}
+}
+
+// TestMaterializeSkipsStalePages: newest-first materialization must take
+// each page from its most recent capture, never an older one.
+func TestMaterializeSkipsStalePages(t *testing.T) {
+	m := newTestMachine(t)
+	st := NewStore(len(m.Mem))
+	if err := m.Store32(2*vm.PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Take(m, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i <= 4; i++ {
+		if err := m.Store32(2*vm.PageSize, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Take(m, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < st.Count(); k++ {
+		r, err := st.Materialize(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := le32(r.Mem, 2*vm.PageSize); v != uint32(k+1) {
+			t.Fatalf("snapshot %d materialized page value %d, want %d", k, v, k+1)
+		}
+		s, err := st.Snapshot(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyRestored(r, s.Root); err != nil {
+			t.Fatalf("snapshot %d: %v", k, err)
+		}
+	}
+}
+
 func TestBounds(t *testing.T) {
 	st := NewStore(4 * vm.PageSize)
 	if _, err := st.Materialize(0); err == nil {

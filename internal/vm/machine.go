@@ -139,7 +139,21 @@ type Machine struct {
 	// recorded landmarks.
 	InjectGate func(m *Machine) (irq int, ok bool)
 
-	dirty    []bool // one flag per page
+	// pageGen records, per page, the write generation of the page's most
+	// recent store. Generations split dirty tracking between independent
+	// consumers: the recording monitor (DirtyPages/ClearDirty, which drive
+	// incremental snapshots) and a replaying auditor's live state tree
+	// (DirtyEpoch/DirtyPagesSince, folded at each snapshot entry) each hold
+	// their own generation floor, so one clearing its view never perturbs
+	// the other.
+	pageGen []uint64
+	// gen is the current write generation; every store stamps its page with
+	// it. It advances only when a consumer takes a floor (DirtyEpoch), so
+	// the invariant is: pageGen[p] > floor iff page p was written after that
+	// floor was taken.
+	gen uint64
+	// recFloor is the recorder-facing floor behind DirtyPages/ClearDirty.
+	recFloor uint64
 	numPages int
 
 	// accessed tracks pages touched (fetch, load or store) when
@@ -167,7 +181,8 @@ func NewMachine(memSize int, bus IOBus) *Machine {
 		Mem:        make([]byte, pages*PageSize),
 		Bus:        bus,
 		NsPerInstr: DefaultNsPerInstr,
-		dirty:      make([]bool, pages),
+		pageGen:    make([]uint64, pages),
+		gen:        1,
 		numPages:   pages,
 	}
 	m.Regs[RegSP] = uint32(pages * PageSize)
@@ -436,9 +451,9 @@ func (m *Machine) store32(addr uint32, val uint32) {
 		return
 	}
 	binary.LittleEndian.PutUint32(m.Mem[addr:], val)
-	m.dirty[addr/PageSize] = true
+	m.pageGen[addr/PageSize] = m.gen
 	if (addr%PageSize)+4 > PageSize {
-		m.dirty[addr/PageSize+1] = true
+		m.pageGen[addr/PageSize+1] = m.gen
 	}
 	if m.trackAccess {
 		m.accessed[addr/PageSize] = true
@@ -463,7 +478,7 @@ func (m *Machine) storeByte(addr uint32, val byte) {
 		return
 	}
 	m.Mem[addr] = val
-	m.dirty[addr/PageSize] = true
+	m.pageGen[addr/PageSize] = m.gen
 	if m.trackAccess {
 		m.accessed[addr/PageSize] = true
 	}
@@ -495,9 +510,9 @@ func (m *Machine) Store32(addr uint32, val uint32) error {
 		return fmt.Errorf("vm: host store32 at 0x%x out of range", addr)
 	}
 	binary.LittleEndian.PutUint32(m.Mem[addr:], val)
-	m.dirty[addr/PageSize] = true
+	m.pageGen[addr/PageSize] = m.gen
 	if (addr%PageSize)+4 > PageSize {
-		m.dirty[addr/PageSize+1] = true
+		m.pageGen[addr/PageSize+1] = m.gen
 	}
 	return nil
 }
@@ -508,9 +523,12 @@ func (m *Machine) WriteBytes(addr uint32, b []byte) error {
 	if int(addr)+len(b) > len(m.Mem) {
 		return fmt.Errorf("vm: host write of %d bytes at 0x%x out of range", len(b), addr)
 	}
+	if len(b) == 0 {
+		return nil // addr+len(b)-1 below would wrap and dirty every page
+	}
 	copy(m.Mem[addr:], b)
 	for p := addr / PageSize; p <= (addr+uint32(len(b))-1)/PageSize && int(p) < m.numPages; p++ {
-		m.dirty[p] = true
+		m.pageGen[p] = m.gen
 	}
 	return nil
 }
@@ -522,29 +540,48 @@ func (m *Machine) NumPages() int { return m.numPages }
 func (m *Machine) Page(p int) []byte { return m.Mem[p*PageSize : (p+1)*PageSize] }
 
 // DirtyPages returns the indices of pages written since the last
-// ClearDirty, in ascending order.
+// ClearDirty, in ascending order. This is the recorder-facing view, the
+// one incremental snapshots capture.
 func (m *Machine) DirtyPages() []int {
+	return m.DirtyPagesSince(m.recFloor)
+}
+
+// ClearDirty resets the recorder-facing dirty tracking, typically right
+// after a snapshot. The auditor-facing view (DirtyEpoch floors) is
+// unaffected.
+func (m *Machine) ClearDirty() {
+	m.recFloor = m.DirtyEpoch()
+}
+
+// MarkAllDirty flags every page for every consumer, used after a restore.
+func (m *Machine) MarkAllDirty() {
+	for p := range m.pageGen {
+		m.pageGen[p] = m.gen
+	}
+}
+
+// DirtyEpoch returns a floor for DirtyPagesSince and advances the write
+// generation, so pages written after the call are distinguishable from
+// those written before it. A replaying auditor takes a floor each time it
+// folds the dirty set into its live state tree; the recorder's
+// DirtyPages/ClearDirty hold a floor of their own, so neither consumer's
+// clearing perturbs the other.
+func (m *Machine) DirtyEpoch() uint64 {
+	g := m.gen
+	m.gen++
+	return g
+}
+
+// DirtyPagesSince returns, in ascending order, the indices of pages
+// written after the given floor was taken with DirtyEpoch.
+func (m *Machine) DirtyPagesSince(floor uint64) []int {
 	var out []int
-	for p, d := range m.dirty {
-		if d {
+	for p, g := range m.pageGen {
+		if g > floor {
 			out = append(out, p)
 		}
 	}
 	return out
-}
-
-// ClearDirty resets dirty tracking, typically right after a snapshot.
-func (m *Machine) ClearDirty() {
-	for p := range m.dirty {
-		m.dirty[p] = false
-	}
-}
-
-// MarkAllDirty flags every page, used after a restore.
-func (m *Machine) MarkAllDirty() {
-	for p := range m.dirty {
-		m.dirty[p] = true
-	}
 }
 
 // TrackAccess enables (or disables) page-access tracking for loads, stores

@@ -360,6 +360,54 @@ func TestStoreStraddlingPageBoundaryDirtiesBoth(t *testing.T) {
 	}
 }
 
+// TestDirtyGenerationsSplitConsumers: the recorder's ClearDirty and an
+// auditor's DirtyEpoch floors must track the same writes independently —
+// clearing one view never clears the other.
+func TestDirtyGenerationsSplitConsumers(t *testing.T) {
+	m := NewMachine(8*PageSize, nil)
+	m.ClearDirty()
+	floor := m.DirtyEpoch()
+
+	if err := m.Store32(2*PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The recorder snapshots and clears; the auditor's view must survive.
+	if d := m.DirtyPages(); len(d) != 1 || d[0] != 2 {
+		t.Fatalf("recorder dirty = %v, want [2]", d)
+	}
+	m.ClearDirty()
+	if d := m.DirtyPagesSince(floor); len(d) != 1 || d[0] != 2 {
+		t.Fatalf("auditor dirty = %v after recorder clear, want [2]", d)
+	}
+
+	// The auditor folds and takes a new floor; the recorder's view must
+	// survive, and only post-floor writes show up for the auditor.
+	if err := m.Store32(5*PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	floor = m.DirtyEpoch()
+	if err := m.Store32(6*PageSize, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.DirtyPagesSince(floor); len(d) != 1 || d[0] != 6 {
+		t.Fatalf("auditor dirty = %v, want [6]", d)
+	}
+	if d := m.DirtyPages(); len(d) != 2 || d[0] != 5 || d[1] != 6 {
+		t.Fatalf("recorder dirty = %v, want [5 6]", d)
+	}
+
+	// MarkAllDirty flags every page for both consumers.
+	m.ClearDirty()
+	floor = m.DirtyEpoch()
+	m.MarkAllDirty()
+	if d := m.DirtyPages(); len(d) != m.NumPages() {
+		t.Fatalf("recorder sees %d pages after MarkAllDirty, want %d", len(d), m.NumPages())
+	}
+	if d := m.DirtyPagesSince(floor); len(d) != m.NumPages() {
+		t.Fatalf("auditor sees %d pages after MarkAllDirty, want %d", len(d), m.NumPages())
+	}
+}
+
 func TestStateCaptureRestoreRoundTrip(t *testing.T) {
 	devs := NewDeviceSet(7)
 	m := bootCode(t, asm(

@@ -30,6 +30,9 @@ type bench struct {
 	StreamWindow        int     `json:"stream_window"`
 	MerkleSerialGBps    float64 `json:"merkle_serial_gb_per_sec"`
 	MerkleParallelGBps  float64 `json:"merkle_parallel_gb_per_sec"`
+	MerkleFullVerifies  float64 `json:"merkle_full_verifies_per_sec"`
+	MerkleIncVerifies   float64 `json:"merkle_inc_verifies_per_sec"`
+	MerkleIncSpeedup    float64 `json:"merkle_inc_speedup_vs_full"`
 	VerifyOpsPerSec     float64 `json:"rsa_verify_ops_per_sec"`
 	Workers             []struct {
 		Workers      int  `json:"workers"`
@@ -95,9 +98,15 @@ func main() {
 	rate("stream entries/s", baseline.StreamEntriesPerSec, current.StreamEntriesPerSec)
 	rate("merkle serial GB/s", baseline.MerkleSerialGBps, current.MerkleSerialGBps)
 	rate("merkle parallel GB/s", baseline.MerkleParallelGBps, current.MerkleParallelGBps)
+	rate("merkle full verifies/s", baseline.MerkleFullVerifies, current.MerkleFullVerifies)
+	rate("merkle inc verifies/s", baseline.MerkleIncVerifies, current.MerkleIncVerifies)
 	rate("rsa verify ops/s", baseline.VerifyOpsPerSec, current.VerifyOpsPerSec)
 
 	invariant("stream verdict match", current.StreamVerdictMatch)
+	// The incremental fold must stay decisively cheaper than a full rehash;
+	// losing this means per-snapshot verification went back to O(state).
+	invariant("inc verify beats full rehash", current.MerkleIncVerifies <= 0 ||
+		current.MerkleIncSpeedup > 2)
 	invariant("stream window respected", current.StreamWindow <= 0 ||
 		current.StreamPeakResident <= current.StreamWindow)
 	for _, w := range current.Workers {
