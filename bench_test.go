@@ -224,6 +224,77 @@ func BenchmarkAblation_Landmarks(b *testing.B) {
 
 // --- component micro-benchmarks ---
 
+// machineRunMixes are small hand-assembled kernels, one per instruction
+// mix, each an infinite loop so the benchmark meters pure interpreter
+// throughput. Addresses: code at vm.CodeBase, scratch data at 32 KiB.
+var machineRunMixes = []struct {
+	name string
+	prog []vm.Instr
+}{
+	{"alu", []vm.Instr{
+		{Op: vm.OpAddi, Ra: 1, Rb: 1, Imm: 1},
+		{Op: vm.OpMul, Ra: 2, Rb: 1, Rc: 1},
+		{Op: vm.OpXor, Ra: 3, Rb: 2, Rc: 1},
+		{Op: vm.OpShl, Ra: 4, Rb: 3, Rc: 1},
+		{Op: vm.OpSub, Ra: 5, Rb: 4, Rc: 2},
+		{Op: vm.OpOr, Ra: 6, Rb: 5, Rc: 3},
+		{Op: vm.OpJmp, Imm: vm.CodeBase},
+	}},
+	{"branch", []vm.Instr{
+		{Op: vm.OpAddi, Ra: 1, Rb: 1, Imm: 1},         // 0
+		{Op: vm.OpAnd, Ra: 2, Rb: 1, Rc: 3},           // 1: r2 = r1 & 1
+		{Op: vm.OpJz, Ra: 2, Imm: vm.CodeBase + 4*8},  // 2: taken every other lap
+		{Op: vm.OpJnz, Ra: 3, Imm: vm.CodeBase + 4*8}, // 3: always taken (r3=1)
+		{Op: vm.OpEq, Ra: 4, Rb: 1, Rc: 3},            // 4
+		{Op: vm.OpJnz, Ra: 4, Imm: vm.CodeBase},       // 5: rarely taken
+		{Op: vm.OpJmp, Imm: vm.CodeBase},              // 6
+	}},
+	{"mem", []vm.Instr{
+		{Op: vm.OpStore, Ra: 8, Rb: 1},           // 0: mem[r8] = r1
+		{Op: vm.OpLoad, Ra: 2, Rb: 8},            // 1: r2 = mem[r8]
+		{Op: vm.OpPush, Ra: 2},                   // 2
+		{Op: vm.OpPush, Ra: 1},                   // 3
+		{Op: vm.OpPop, Ra: 4},                    // 4
+		{Op: vm.OpPop, Ra: 5},                    // 5
+		{Op: vm.OpStoreb, Ra: 8, Rb: 5, Imm: 64}, // 6
+		{Op: vm.OpLoadb, Ra: 6, Rb: 8, Imm: 64},  // 7
+		{Op: vm.OpJmp, Imm: vm.CodeBase},         // 8
+	}},
+}
+
+// BenchmarkMachineRun meters the interpreter per instruction mix, with the
+// predecoded sprint loop against the careful Step path — the ablation
+// behind the predecode_speedup row of BENCH_audit.json.
+func BenchmarkMachineRun(b *testing.B) {
+	for _, mix := range machineRunMixes {
+		for _, mode := range []struct {
+			name        string
+			nopredecode bool
+		}{{"predecode", false}, {"step", true}} {
+			b.Run(mix.name+"/"+mode.name, func(b *testing.B) {
+				var code []byte
+				for _, ins := range mix.prog {
+					code = ins.Encode(code)
+				}
+				img := &vm.Image{Name: mix.name, Code: code, Entry: vm.CodeBase, MemSize: 64 * 1024}
+				m, err := img.Boot(nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.DisablePredecode = mode.nopredecode
+				m.Regs[3] = 1
+				m.Regs[8] = 32 * 1024
+				b.ResetTimer()
+				m.RunUntil(m.ICount + uint64(b.N))
+				if m.Halted {
+					b.Fatalf("kernel halted: %v", m.FaultInfo)
+				}
+				b.ReportMetric(float64(m.ICount)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+			})
+		}
+	}
+}
+
 func BenchmarkVM_Interpreter(b *testing.B) {
 	img, err := lang.Compile("spin", `
 		func main() {

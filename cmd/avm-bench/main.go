@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,7 +38,37 @@ func main() {
 	runFlag := flag.String("run", "all", "experiment to run: all, table1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec65, sec66, sec67, ablations, audit")
 	full := flag.Bool("full", false, "use the longer full-scale runs")
 	jsonPath := flag.String("json", "", "write the audit experiment's metrics as JSON to this path (e.g. BENCH_audit.json)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Report failures without log.Fatalf: os.Exit here would skip the
+		// still-pending StopCPUProfile defer and truncate the CPU profile.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-set statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	scale := experiments.QuickScale
 	if *full {

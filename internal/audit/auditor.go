@@ -31,6 +31,11 @@ type Auditor struct {
 	VerifySignatures bool
 	// StrictAcks faults unacknowledged sends (quiesced offline audits only).
 	StrictAcks bool
+	// DisablePredecode forces every replica this auditor boots onto the
+	// careful Step path instead of the predecoded sprint loop. Verdicts are
+	// identical either way; the audit benchmark flips it to measure the
+	// predecode ablation.
+	DisablePredecode bool
 }
 
 // AuditFull checks an entire execution from boot: log verification against
@@ -115,6 +120,7 @@ func (a *Auditor) AuditChunk(req ChunkRequest) *Result {
 		return res
 	}
 	rp.AdoptStateHasher(lh)
+	rp.Machine().DisablePredecode = a.DisablePredecode
 	rp.Feed(req.Entries)
 	rp.Close()
 	rp.Run()

@@ -219,6 +219,7 @@ func (a *Auditor) runEpoch(node sig.NodeID, ep *epoch, opts ParallelOptions) epo
 		}
 		rp.AdoptStateHasher(lh)
 	}
+	rp.Machine().DisablePredecode = a.DisablePredecode
 	rp.Feed(ep.entries)
 	rp.Close()
 	rp.Run()

@@ -537,14 +537,20 @@ func (r *Replay) Run() {
 				"instruction budget exhausted (%d) without reproducing log entry", r.MaxInstructions)
 			return
 		}
-		// Bound the chunk by the next async landmark so a single Run cannot
-		// sail past an event that must fire mid-chunk.
-		chunk := uint64(4096)
-		if bound, ok := r.nextAsyncBound(); ok && bound > m.ICount && bound-m.ICount < chunk {
-			chunk = bound - m.ICount
+		// Sprint the gap: run in one stretch to the next async landmark (or
+		// the remaining instruction budget, whichever is nearer), so the
+		// interpreter stays on its predecoded fast path instead of paying
+		// per-chunk turnarounds. RunUntil lands exactly on the bound, so a
+		// single sprint cannot sail past an event that must fire mid-gap;
+		// the synchronous entries inside the gap self-pace, because the bus
+		// handler stops the machine at the instruction that consumes the
+		// last fed entry.
+		bound := m.ICount + (r.MaxInstructions - r.Stats.Instructions)
+		if b, ok := r.nextAsyncBound(); ok && b > m.ICount && b < bound {
+			bound = b
 		}
 		before := m.ICount
-		m.Run(chunk)
+		m.RunUntil(bound)
 		r.Stats.Instructions += m.ICount - before
 		if m.ICount == before && !m.Halted && !m.Waiting {
 			// No progress and not idle: faulted replica.
@@ -569,12 +575,8 @@ func (r *Replay) runTail() {
 		if r.Stats.Instructions >= r.MaxInstructions {
 			return
 		}
-		n := r.MaxInstructions - r.Stats.Instructions
-		if n > 4096 {
-			n = 4096
-		}
 		before := m.ICount
-		m.Run(n)
+		m.RunUntil(m.ICount + (r.MaxInstructions - r.Stats.Instructions))
 		r.Stats.Instructions += m.ICount - before
 		if m.ICount == before {
 			return
@@ -596,12 +598,15 @@ func (r *Replay) runTo(target uint64) {
 				"instruction budget exhausted (%d) before reaching landmark icount=%d", r.MaxInstructions, target)
 			return
 		}
-		n := target - m.ICount
-		if n > 4096 {
-			n = 4096
+		// Sprint straight to the landmark, budget permitting; RunUntil stops
+		// on the exact instruction count, so no careful tail is needed to
+		// avoid overshooting the event's recorded position.
+		bound := m.ICount + (r.MaxInstructions - r.Stats.Instructions)
+		if target < bound {
+			bound = target
 		}
 		before := m.ICount
-		m.Run(n)
+		m.RunUntil(bound)
 		r.Stats.Instructions += m.ICount - before
 		if m.ICount == before {
 			return

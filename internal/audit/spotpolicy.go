@@ -2,6 +2,7 @@ package audit
 
 import (
 	"runtime"
+	"sync"
 
 	"repro/internal/sig"
 	"repro/internal/snapshot"
@@ -36,6 +37,41 @@ type MonitorSource struct {
 	Materialize func(k int) (*snapshot.Restored, error)
 
 	points []SnapshotPoint
+
+	// states memoizes Materialize per snapshot index. Folding a full state
+	// out of the increment chain costs O(state) per call, and chunks that
+	// share a starting snapshot — overlapping policies, repeated passes over
+	// the same source, serial-then-parallel sweeps — would otherwise each
+	// pay it from scratch. Audits never mutate a Restored (replicas copy the
+	// memory at boot), so sharing one per index is safe under concurrent
+	// Chunk calls.
+	mu     sync.Mutex
+	states map[int]*snapshot.Restored
+}
+
+// materialize returns the memoized state for snapshot index k, folding it
+// on first use.
+func (m *MonitorSource) materialize(k int) (*snapshot.Restored, error) {
+	m.mu.Lock()
+	st, ok := m.states[k]
+	m.mu.Unlock()
+	if ok {
+		return st, nil
+	}
+	// Fold outside the lock: concurrent first requests for distinct indices
+	// must not serialize. A duplicated fold for the same index only wastes
+	// work; both results are identical.
+	st, err := m.Materialize(k)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.states == nil {
+		m.states = make(map[int]*snapshot.Restored)
+	}
+	m.states[k] = st
+	m.mu.Unlock()
+	return st, nil
 }
 
 // Segments implements SegmentSource.
@@ -58,7 +94,7 @@ func (m *MonitorSource) Chunk(from, k int) (ChunkRequest, error) {
 	}
 	start := pts[from]
 	end := pts[from+k]
-	restored, err := m.Materialize(int(start.SnapIdx))
+	restored, err := m.materialize(int(start.SnapIdx))
 	if err != nil {
 		return ChunkRequest{}, err
 	}

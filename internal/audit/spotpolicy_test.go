@@ -114,3 +114,42 @@ func TestSpotPolicyPickBounds(t *testing.T) {
 		t.Fatal("random sample not deterministic")
 	}
 }
+
+func TestSpotCheckMemoizesMaterialization(t *testing.T) {
+	s, err := dbapp.NewScenario(dbapp.ScenarioConfig{
+		Mode: avmm.ModeAVMMNoSig, Seed: 13, SnapshotEveryNs: 4_000_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(24_000_000_000)
+	src := sourceFor(t, s)
+	// Count the O(state) folds behind the memo: repeated passes over the
+	// same source — the serial-then-parallel sweep of the audit benchmark —
+	// must materialize each starting snapshot exactly once.
+	calls := make(map[int]int)
+	inner := src.Materialize
+	src.Materialize = func(k int) (*snapshot.Restored, error) {
+		calls[k]++
+		return inner(k)
+	}
+	a := s.Auditor()
+	all := audit.RecentFirst{K: 1 << 30}
+	for pass := 0; pass < 3; pass++ {
+		out, err := a.SpotCheckParallel(src, all, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.FaultFound {
+			t.Fatalf("honest machine failed spot check: %v", out.FirstFault)
+		}
+	}
+	if len(calls) == 0 {
+		t.Fatal("no materializations at all; the spot check inspected nothing")
+	}
+	for k, n := range calls {
+		if n != 1 {
+			t.Fatalf("snapshot %d materialized %d times, want 1 (memo miss)", k, n)
+		}
+	}
+}

@@ -383,6 +383,7 @@ func (a *Auditor) runStreamEpoch(node sig.NodeID, ep *streamEpoch, opts StreamOp
 		}
 		rp.AdoptStateHasher(lh)
 	}
+	rp.Machine().DisablePredecode = a.DisablePredecode
 
 	batch := make([]tevlog.Entry, 0, streamBatch)
 	fed, released := 0, 0

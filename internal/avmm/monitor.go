@@ -556,6 +556,13 @@ func (mon *Monitor) InjectInput(event uint32) {
 // it halts). Monitor overhead is charged against the same clock, so an
 // overloaded machine retires fewer instructions per slice — overhead
 // manifests exactly as reduced guest throughput.
+//
+// Between device interactions the guest executes on the interpreter's
+// predecoded sprint loop (vm.Machine.RunUntil); the 64-instruction stride
+// is kept as the accounting cadence because charging recording overhead
+// and checking the timer deadline at that granularity is part of the
+// recorded timing model — landmarks, clock reads and timer IRQs all
+// depend on it, so coarsening the stride would change every recorded log.
 func (mon *Monitor) RunSlice(endNs uint64) {
 	const chunk = 64
 	m := mon.Machine
@@ -575,7 +582,7 @@ func (mon *Monitor) RunSlice(endNs uint64) {
 			}
 			continue
 		}
-		ran := m.Run(chunk)
+		ran := m.RunUntil(m.ICount + chunk)
 		if ran > 0 && mon.perInstrNs > 0 {
 			mon.charge(ran * mon.perInstrNs)
 		}

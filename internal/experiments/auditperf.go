@@ -27,6 +27,7 @@ type AuditWorkerRow struct {
 	Workers      int     `json:"workers"`
 	WallNs       int64   `json:"wall_ns"`
 	Speedup      float64 `json:"speedup_vs_serial"`
+	MInstrPerSec float64 `json:"minstr_per_sec"`
 	VerdictMatch bool    `json:"verdict_match"`
 }
 
@@ -44,6 +45,17 @@ type AuditBenchResult struct {
 	SerialEntriesPerSec float64          `json:"serial_entries_per_sec"`
 	SerialMInstrPerSec  float64          `json:"serial_minstr_per_sec"`
 	Workers             []AuditWorkerRow `json:"workers_ablation"`
+	// ParallelMInstrPerSec is the best replay throughput over the worker
+	// ablation — the headline rate a multi-core auditor sustains.
+	ParallelMInstrPerSec float64 `json:"parallel_minstr_per_sec"`
+
+	// Predecode ablation: the same serial audit with the interpreter forced
+	// onto the careful Step path (no predecoded sprint). The speedup is the
+	// factor the predecode cache buys on real replay, and the verdict must
+	// not depend on which path executed.
+	NoPredecodeWallNs     int64   `json:"serial_nopredecode_wall_ns"`
+	PredecodeSpeedup      float64 `json:"predecode_speedup_vs_step"`
+	PredecodeVerdictMatch bool    `json:"predecode_verdict_match"`
 
 	// Streaming pipeline (decode ∥ chain-verify ∥ replay) against the
 	// materializing pipeline (decompress, rechain, then parallel audit)
@@ -141,8 +153,28 @@ func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
 		}
 		if wall > 0 {
 			row.Speedup = float64(serialWall) / float64(wall)
+			row.MInstrPerSec = float64(res.ReplayedInstr) / wall.Seconds() / 1e6
+		}
+		if row.MInstrPerSec > res.ParallelMInstrPerSec {
+			res.ParallelMInstrPerSec = row.MInstrPerSec
 		}
 		res.Workers = append(res.Workers, row)
+	}
+
+	// --- predecode ablation: the same serial audit on the Step path ---
+	target1, auths1, ablAuditor, err := s.AuditInputs(target.Node())
+	if err != nil {
+		return nil, err
+	}
+	ablAuditor.DisablePredecode = true
+	var noPre *audit.Result
+	noPreWall := stopwatch(func() {
+		noPre = ablAuditor.AuditFull(target.Node(), uint32(target1.Index()), target1.Log.Entries(), auths1)
+	})
+	res.NoPredecodeWallNs = noPreWall.Nanoseconds()
+	res.PredecodeVerdictMatch = noPre.Passed == serial.Passed && noPre.Replay == serial.Replay
+	if serialWall > 0 {
+		res.PredecodeSpeedup = float64(noPreWall) / float64(serialWall)
 	}
 
 	// --- streaming vs materializing pipeline over the compressed log ---
@@ -361,8 +393,10 @@ func (r *AuditBenchResult) Table() *metrics.Table {
 	for _, row := range r.Workers {
 		t.Row(fmt.Sprintf("parallel replay (%d workers)", row.Workers),
 			time.Duration(row.WallNs).String(),
-			fmt.Sprintf("%.2fx, verdict match %v", row.Speedup, row.VerdictMatch))
+			fmt.Sprintf("%.2fx, %.1f Minstr/s, verdict match %v", row.Speedup, row.MInstrPerSec, row.VerdictMatch))
 	}
+	t.Row("serial replay, no predecode", time.Duration(r.NoPredecodeWallNs).String(),
+		fmt.Sprintf("predecode speedup %.2fx, verdict match %v", r.PredecodeSpeedup, r.PredecodeVerdictMatch))
 	t.Row("materialized pipeline", time.Duration(r.MaterializedWallNs).String(),
 		fmt.Sprintf("decompress+rechain+audit, %d workers", r.StreamWorkers))
 	t.Row("streaming pipeline", time.Duration(r.StreamWallNs).String(),

@@ -1,0 +1,32 @@
+package vm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode shakes the instruction codec: Decode must accept any 8 bytes
+// without panicking (the interpreter decodes whatever memory the PC lands
+// on, and the predecode cache decodes entire pages of arbitrary bytes), and
+// Encode∘Decode must be the identity on the wire — the predecode cache is
+// only sound if the decoded form loses nothing the interpreter reads.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(Instr{Op: OpAddi, Ra: 3, Rb: 4, Imm: 0xDEADBEEF}.Encode(nil))
+	f.Add(Instr{Op: OpJnz, Ra: 15, Imm: CodeBase}.Encode(nil))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) < InstrSize {
+			t.Skip("Decode's contract requires InstrSize bytes")
+		}
+		ins := Decode(b)
+		wire := ins.Encode(nil)
+		if !bytes.Equal(wire, b[:InstrSize]) {
+			t.Fatalf("Encode(Decode(%x)) = %x", b[:InstrSize], wire)
+		}
+		if again := Decode(wire); again != ins {
+			t.Fatalf("Decode(Encode(%+v)) = %+v", ins, again)
+		}
+		_ = ins.String() // disassembly of arbitrary bytes must not panic
+	})
+}

@@ -162,6 +162,16 @@ type Machine struct {
 	// during replay") and evidence minimization (§7.3).
 	accessed    []bool
 	trackAccess bool
+
+	// DisablePredecode forces Step-by-Step execution in Run/RunUntil,
+	// bypassing the predecoded sprint loop. The interpreter benchmarks and
+	// the audit predecode ablation flip it; retired machine state is
+	// bit-identical either way.
+	DisablePredecode bool
+	// code is the per-page predecode cache behind the sprint loop,
+	// allocated lazily on the first sprint and invalidated through the page
+	// write generations (see predecode.go).
+	code []pageCode
 }
 
 // DefaultNsPerInstr models a 100 kIPS virtual machine (10 µs per
@@ -406,16 +416,46 @@ func (m *Machine) Step() bool {
 // halts or begins waiting for an interrupt. It returns the number of
 // instructions retired.
 func (m *Machine) Run(maxInstr uint64) uint64 {
-	start := m.ICount
-	for m.ICount-start < maxInstr {
-		if !m.Step() {
-			break
-		}
-		if m.StopReq {
-			m.StopReq = false
-			break
-		}
+	bound := m.ICount + maxInstr
+	if bound < m.ICount { // saturate on overflow
+		bound = ^uint64(0)
 	}
+	return m.RunUntil(bound)
+}
+
+// RunUntil executes instructions until the retired-instruction count
+// reaches bound, stopping early if the machine halts, faults, begins
+// waiting for an interrupt, or a bus handler requests a stop. It returns
+// the number of instructions retired.
+//
+// When no per-instruction host feature is active — access tracking, an
+// InjectGate, the predecode ablation — execution runs on the predecoded
+// sprint loop (predecode.go): instructions come from the per-page
+// predecode cache, invalidated through the page write generations so
+// self-modifying code re-decodes before its next fetch, and the hot loop
+// carries none of Step's per-instruction feature branches. The careful and
+// sprint paths retire bit-identical state; landing exactly on bound is
+// what lets a replaying auditor sprint the gap to the next recorded
+// landmark and an AVMM sprint between device interactions.
+func (m *Machine) RunUntil(bound uint64) uint64 {
+	start := m.ICount
+	// A StopReq raised before the call (rather than by a bus handler inside
+	// it) is honored after one instruction, as Run's per-Step check always
+	// did; the sprint only polls the flag at bus instructions, so route the
+	// preset case through the careful loop.
+	if m.DisablePredecode || m.trackAccess || m.InjectGate != nil || m.StopReq {
+		for m.ICount < bound {
+			if !m.Step() {
+				break
+			}
+			if m.StopReq {
+				m.StopReq = false
+				break
+			}
+		}
+		return m.ICount - start
+	}
+	m.sprint(bound)
 	return m.ICount - start
 }
 

@@ -1,0 +1,414 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the interpreter's fast path: a per-page predecoded
+// instruction cache and the sprint loop that executes from it. Step decodes
+// 8 bytes on every retired instruction and pays a branch for every optional
+// host feature (access tracking, the inject gate, the stop request); the
+// sprint decodes each code page once, keeps the decoded instructions until
+// the page is written, and hoists the feature branches out of the loop
+// entirely — RunUntil selects the careful Step loop whenever one of those
+// features is active. Both paths retire bit-identical machine state; the
+// differential tests in predecode_test.go pin the equivalence instruction
+// by instruction.
+
+const (
+	// pageShift is log2(PageSize).
+	pageShift = 12
+	// instrShift is log2(InstrSize).
+	instrShift = 3
+	// instrsPerPage is the number of aligned instruction slots per page.
+	instrsPerPage = PageSize / InstrSize
+)
+
+// pageCode caches one page's instruction stream, decoded at the
+// InstrSize-aligned slots (a misaligned PC falls back to Step, which
+// decodes straight from memory).
+type pageCode struct {
+	// stamp is the page write generation the decode is valid for: the entry
+	// is stale as soon as pageGen[p] != stamp. predecodePage guarantees that
+	// every store landing on the page after the decode moves pageGen[p] off
+	// the stamp, so self-modifying code — guest stores, host pokes, cheat
+	// patches — re-decodes before the next instruction executes from it.
+	stamp  uint64
+	instrs *[instrsPerPage]Instr
+}
+
+// predecodePage (re)decodes page p into the cache and stamps the entry
+// against the page's current write generation.
+func (m *Machine) predecodePage(p uint32) {
+	cp := &m.code[p]
+	if cp.instrs == nil {
+		cp.instrs = new([instrsPerPage]Instr)
+	}
+	mem := m.Mem[int(p)<<pageShift : (int(p)+1)<<pageShift]
+	for i := range cp.instrs {
+		cp.instrs[i] = Decode(mem[i*InstrSize:])
+	}
+	// A store stamps its page with the current generation, so if this page
+	// already carries the current generation, a write after this decode
+	// would be indistinguishable from the write before it. Advancing the
+	// generation restores the invariant that any later store moves
+	// pageGen[p] off the recorded stamp. Floors handed out by DirtyEpoch
+	// stay valid: generations only grow, and no page is stamped here.
+	if m.pageGen[p] == m.gen {
+		m.gen++
+	}
+	cp.stamp = m.pageGen[p]
+}
+
+// sprint executes instructions from the predecode cache until the retired
+// count reaches bound, the machine halts, waits or faults, or a bus handler
+// requests a stop. Preconditions (enforced by RunUntil): no access
+// tracking, no InjectGate, predecode not disabled.
+//
+// The execution position (PC, ICount, Branches) lives in locals for the
+// duration of the sprint and is flushed back to the machine at every exit
+// and around every call that observes or mutates it: interrupt delivery,
+// bus handlers (which read the virtual clock and landmarks), the careful
+// Step fallback, and fault construction. Bus handlers never write the
+// position, so the locals stay authoritative across In/Out.
+//
+// The instruction semantics below are a transcript of Machine.Step and must
+// stay in sync with it; predecode_test.go diffs the two paths.
+func (m *Machine) sprint(bound uint64) {
+	if m.Halted || m.Waiting {
+		return
+	}
+	if m.code == nil {
+		m.code = make([]pageCode, m.numPages)
+	}
+	var (
+		instrs  *[instrsPerPage]Instr
+		curPage = uint32(1) << 31 // sentinel above any reachable page index
+	)
+	memLen := uint32(len(m.Mem))
+	pageGen := m.pageGen
+	pc, icount, branches := m.PC, m.ICount, m.Branches
+	// intGate caches IntEnabled && pending != 0 so the hot loop pays one
+	// predictable branch instead of two field loads per instruction. Within
+	// a sprint, pending can only change inside RaiseIRQ — reachable through
+	// a bus handler or delivery itself — and IntEnabled only through
+	// cli/sti/iret or delivery, so the gate is recomputed exactly at those
+	// points (and after the Step fallback, which can do anything).
+	intGate := m.IntEnabled && m.pending != 0
+	for icount < bound {
+		// Interrupt delivery at the instruction boundary, exactly as in
+		// Step. The sprint only runs without an InjectGate, so the pending
+		// mask and the interrupt flag alone decide.
+		if intGate {
+			m.PC, m.ICount, m.Branches = pc, icount, branches
+			m.deliverIRQ(m.lowestIRQ())
+			pc, branches = m.PC, m.Branches // delivery rewrites PC and counts a branch
+			if m.Halted {
+				return
+			}
+			intGate = m.IntEnabled && m.pending != 0
+			curPage = uint32(1) << 31 // delivery pushed to the stack; revalidate
+		}
+		if pc&(InstrSize-1) != 0 || pc >= memLen {
+			// Misaligned or out-of-range fetch: let Step resolve it (decode
+			// across slot boundaries, or the fetch fault), then resume
+			// sprinting.
+			m.PC, m.ICount, m.Branches = pc, icount, branches
+			if !m.Step() {
+				return
+			}
+			if m.StopReq {
+				m.StopReq = false
+				return
+			}
+			pc, icount, branches = m.PC, m.ICount, m.Branches
+			intGate = m.IntEnabled && m.pending != 0
+			curPage = uint32(1) << 31 // the careful instruction can do anything
+			continue
+		}
+		// The stamp is checked only when (re-)entering a page: while the
+		// sprint stays on one page, every path that can write guest memory —
+		// the store-class cases below, interrupt delivery, the Step fallback,
+		// bus handlers — drops curPage to the sentinel when it touches (or
+		// could touch) the executing page, forcing this revalidation.
+		if page := pc >> pageShift; page != curPage {
+			cp := &m.code[page]
+			if cp.instrs == nil || cp.stamp != pageGen[page] {
+				m.predecodePage(page)
+			}
+			curPage, instrs = page, cp.instrs
+		}
+		ins := instrs[(pc&(PageSize-1))>>instrShift]
+		nextPC := pc + InstrSize
+		branched := false
+
+		switch ins.Op {
+		case OpNop:
+		case OpHlt:
+			m.Halted = true
+			goto noRetire
+		case OpMovi:
+			m.Regs[ins.Ra&15] = ins.Imm
+		case OpMov:
+			m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15]
+		case OpAdd:
+			m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] + m.Regs[ins.Rc&15]
+		case OpSub:
+			m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] - m.Regs[ins.Rc&15]
+		case OpMul:
+			m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] * m.Regs[ins.Rc&15]
+		case OpDivu:
+			if m.Regs[ins.Rc&15] == 0 {
+				m.sprintFault(pc, icount, FaultDivByZero, "divu")
+				goto noRetire
+			} else {
+				m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] / m.Regs[ins.Rc&15]
+			}
+		case OpModu:
+			if m.Regs[ins.Rc&15] == 0 {
+				m.sprintFault(pc, icount, FaultDivByZero, "modu")
+				goto noRetire
+			} else {
+				m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] % m.Regs[ins.Rc&15]
+			}
+		case OpAnd:
+			m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] & m.Regs[ins.Rc&15]
+		case OpOr:
+			m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] | m.Regs[ins.Rc&15]
+		case OpXor:
+			m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] ^ m.Regs[ins.Rc&15]
+		case OpShl:
+			m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] << (m.Regs[ins.Rc&15] & 31)
+		case OpShr:
+			m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] >> (m.Regs[ins.Rc&15] & 31)
+		case OpAddi:
+			m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] + ins.Imm
+		case OpEq:
+			m.Regs[ins.Ra&15] = boolToWord(m.Regs[ins.Rb&15] == m.Regs[ins.Rc&15])
+		case OpLtu:
+			m.Regs[ins.Ra&15] = boolToWord(m.Regs[ins.Rb&15] < m.Regs[ins.Rc&15])
+		case OpLts:
+			m.Regs[ins.Ra&15] = boolToWord(int32(m.Regs[ins.Rb&15]) < int32(m.Regs[ins.Rc&15]))
+		case OpNot:
+			m.Regs[ins.Ra&15] = boolToWord(m.Regs[ins.Rb&15] == 0)
+		// The memory and stack cases below inline the fast path of the
+		// load32/store32/loadByte/storeByte/push/pop helpers: same bounds
+		// checks, same dirty stamping, same fault details, minus the call
+		// (the helpers' fault paths keep them above the inlining budget) and
+		// minus the access-tracking branches, which are off in the sprint.
+		case OpLoad:
+			if addr := m.Regs[ins.Rb&15] + ins.Imm; addr <= memLen-4 {
+				m.Regs[ins.Ra&15] = binary.LittleEndian.Uint32(m.Mem[addr:])
+			} else {
+				m.Regs[ins.Ra&15] = 0 // the helper's zero return is assigned even on fault
+				m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", addr))
+				goto noRetire
+			}
+		case OpStore:
+			if addr := m.Regs[ins.Ra&15] + ins.Imm; addr <= memLen-4 {
+				binary.LittleEndian.PutUint32(m.Mem[addr:], m.Regs[ins.Rb&15])
+				pageGen[addr>>pageShift] = m.gen
+				if addr&(PageSize-1) > PageSize-4 {
+					pageGen[addr>>pageShift+1] = m.gen
+				}
+				if addr>>pageShift == curPage || (addr+3)>>pageShift == curPage {
+					curPage = uint32(1) << 31 // self-modifying store: re-decode
+				}
+			} else {
+				m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", addr))
+				goto noRetire
+			}
+		case OpLoadb:
+			if addr := m.Regs[ins.Rb&15] + ins.Imm; addr < memLen {
+				m.Regs[ins.Ra&15] = uint32(m.Mem[addr])
+			} else {
+				m.Regs[ins.Ra&15] = 0 // the helper's zero return is assigned even on fault
+				m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("loadb at 0x%x", addr))
+				goto noRetire
+			}
+		case OpStoreb:
+			if addr := m.Regs[ins.Ra&15] + ins.Imm; addr < memLen {
+				m.Mem[addr] = byte(m.Regs[ins.Rb&15])
+				pageGen[addr>>pageShift] = m.gen
+				if addr>>pageShift == curPage {
+					curPage = uint32(1) << 31 // self-modifying store: re-decode
+				}
+			} else {
+				m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("storeb at 0x%x", addr))
+				goto noRetire
+			}
+		case OpJmp:
+			nextPC = ins.Imm
+			branched = true
+		case OpJz:
+			if m.Regs[ins.Ra&15] == 0 {
+				nextPC = ins.Imm
+				branched = true
+			}
+		case OpJnz:
+			if m.Regs[ins.Ra&15] != 0 {
+				nextPC = ins.Imm
+				branched = true
+			}
+		case OpCall:
+			sp := m.Regs[RegSP] - 4
+			m.Regs[RegSP] = sp
+			if sp <= memLen-4 {
+				binary.LittleEndian.PutUint32(m.Mem[sp:], nextPC)
+				pageGen[sp>>pageShift] = m.gen
+				if sp&(PageSize-1) > PageSize-4 { // misaligned SP can straddle pages
+					pageGen[sp>>pageShift+1] = m.gen
+				}
+				if sp>>pageShift == curPage || (sp+3)>>pageShift == curPage {
+					curPage = uint32(1) << 31 // stack overlaps the executing page
+				}
+			} else {
+				m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", sp))
+				goto noRetire
+			}
+			nextPC = ins.Imm
+			branched = true
+		case OpRet:
+			if sp := m.Regs[RegSP]; sp <= memLen-4 {
+				nextPC = binary.LittleEndian.Uint32(m.Mem[sp:])
+			} else {
+				m.Regs[RegSP] += 4 // the pop helper increments SP even on a faulting load
+				m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+				goto noRetire
+			}
+			m.Regs[RegSP] += 4
+			branched = true
+		case OpPush:
+			// Step evaluates the operand before push() decrements SP, so
+			// `push sp` stores the pre-decrement value.
+			val := m.Regs[ins.Ra&15]
+			sp := m.Regs[RegSP] - 4
+			m.Regs[RegSP] = sp
+			if sp <= memLen-4 {
+				binary.LittleEndian.PutUint32(m.Mem[sp:], val)
+				pageGen[sp>>pageShift] = m.gen
+				if sp&(PageSize-1) > PageSize-4 { // misaligned SP can straddle pages
+					pageGen[sp>>pageShift+1] = m.gen
+				}
+				if sp>>pageShift == curPage || (sp+3)>>pageShift == curPage {
+					curPage = uint32(1) << 31 // stack overlaps the executing page
+				}
+			} else {
+				m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", sp))
+				goto noRetire
+			}
+		case OpPop:
+			// Step's pop() increments SP before the destination register is
+			// assigned, so `pop sp` ends with the loaded value, not value+4.
+			if sp := m.Regs[RegSP]; sp <= memLen-4 {
+				m.Regs[RegSP] = sp + 4
+				m.Regs[ins.Ra&15] = binary.LittleEndian.Uint32(m.Mem[sp:])
+			} else {
+				m.Regs[RegSP] = sp + 4 // SP advances even on a faulting load
+				m.Regs[ins.Ra&15] = 0  // and the helper's zero return is still assigned
+				m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+				goto noRetire
+			}
+		case OpIn:
+			if m.Bus == nil {
+				m.sprintFault(pc, icount, FaultBadPort, fmt.Sprintf("in port 0x%x with no bus", ins.Imm))
+				goto noRetire
+			}
+			m.PC, m.ICount, m.Branches = pc, icount, branches
+			m.Regs[ins.Ra&15] = m.Bus.In(m, ins.Imm)
+			if m.Halted {
+				goto noRetire // the handler paused or faulted the machine
+			}
+			if m.StopReq {
+				goto stopRetire
+			}
+			intGate = m.IntEnabled && m.pending != 0
+			curPage = uint32(1) << 31 // a handler may have written memory
+		case OpOut:
+			if m.Bus == nil {
+				m.sprintFault(pc, icount, FaultBadPort, fmt.Sprintf("out port 0x%x with no bus", ins.Imm))
+				goto noRetire
+			}
+			m.PC, m.ICount, m.Branches = pc, icount, branches
+			m.Bus.Out(m, ins.Imm, m.Regs[ins.Ra&15])
+			if m.Halted {
+				goto noRetire // the handler paused or faulted the machine
+			}
+			if m.StopReq {
+				goto stopRetire
+			}
+			intGate = m.IntEnabled && m.pending != 0
+			curPage = uint32(1) << 31 // a handler may have written memory
+		case OpCli:
+			m.IntEnabled = false
+			intGate = false
+		case OpSti:
+			m.IntEnabled = true
+			intGate = m.pending != 0
+		case OpIret:
+			if sp := m.Regs[RegSP]; sp <= memLen-4 {
+				nextPC = binary.LittleEndian.Uint32(m.Mem[sp:])
+			} else {
+				// As in Step: the faulting pop still advances SP and IRET
+				// still re-enables interrupts before the halt is noticed.
+				m.Regs[RegSP] += 4
+				m.IntEnabled = true
+				m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+				goto noRetire
+			}
+			m.Regs[RegSP] += 4
+			m.IntEnabled = true
+			intGate = m.pending != 0
+			branched = true
+		case OpWfi:
+			if m.pending == 0 {
+				m.Waiting = true
+				goto wfiRetire
+			}
+		default:
+			m.sprintFault(pc, icount, FaultBadOpcode, fmt.Sprintf("opcode %d", ins.Op))
+			goto noRetire
+		}
+
+		pc = nextPC
+		icount++
+		if branched {
+			branches++
+		}
+		continue
+
+		// The exits below are reachable only by goto from exceptional paths
+		// inside the switch, keeping the common retire path free of flag
+		// checks: within a sprint, Halted/Waiting/StopReq can only become
+		// true in the cases that jump here.
+
+	stopRetire:
+		// A bus handler requested a stop: the in-flight instruction retires
+		// first, exactly as in Run's per-Step check. In/Out never branch.
+		m.StopReq = false
+		m.PC, m.ICount, m.Branches = nextPC, icount+1, branches
+		return
+
+	wfiRetire:
+		// WFI retires, then the machine idles awaiting an interrupt.
+		m.PC, m.ICount, m.Branches = nextPC, icount+1, branches
+		return
+
+	noRetire:
+		// Fault, HLT, or a bus pause: the instruction does not retire, so
+		// the position stays at it — as Step leaves it.
+		m.PC, m.ICount, m.Branches = pc, icount, branches
+		return
+	}
+	m.PC, m.ICount, m.Branches = pc, icount, branches
+}
+
+// sprintFault records a fault at the given execution position (the sprint
+// keeps the position in locals, so Machine.fault's reads of PC/ICount
+// would see stale fields) and halts the machine. The common sprint exit
+// flushes the position back to the machine.
+func (m *Machine) sprintFault(pc uint32, icount uint64, code FaultCode, detail string) {
+	m.Halted = true
+	m.FaultInfo = &Fault{Code: code, PC: pc, ICount: icount, Detail: detail}
+}

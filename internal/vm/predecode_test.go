@@ -1,0 +1,258 @@
+package vm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// cloneForDiff boots two machines from the same image and device seed: one
+// on the predecoded sprint path, one forced onto the careful Step path.
+func cloneForDiff(t *testing.T, code []byte, vectors [NumIRQs]uint32) (fast, slow *Machine) {
+	t.Helper()
+	img := &Image{Name: "diff", Code: code, Entry: CodeBase, MemSize: 64 * 1024, Vectors: vectors}
+	boot := func() *Machine {
+		m, err := img.Boot(NewDeviceSet(42))
+		if err != nil {
+			t.Fatalf("boot: %v", err)
+		}
+		return m
+	}
+	fast, slow = boot(), boot()
+	slow.DisablePredecode = true
+	return fast, slow
+}
+
+// diffState fails the test on the first field where the two machines
+// disagree.
+func diffState(t *testing.T, label string, fast, slow *Machine) {
+	t.Helper()
+	if fast.Regs != slow.Regs {
+		t.Fatalf("%s: regs diverge: sprint %v, step %v", label, fast.Regs, slow.Regs)
+	}
+	if fast.PC != slow.PC || fast.ICount != slow.ICount || fast.Branches != slow.Branches {
+		t.Fatalf("%s: position diverges: sprint pc=0x%x ic=%d br=%d, step pc=0x%x ic=%d br=%d",
+			label, fast.PC, fast.ICount, fast.Branches, slow.PC, slow.ICount, slow.Branches)
+	}
+	if fast.Halted != slow.Halted || fast.Waiting != slow.Waiting || fast.IntEnabled != slow.IntEnabled {
+		t.Fatalf("%s: flags diverge: sprint halt=%v wait=%v int=%v, step halt=%v wait=%v int=%v",
+			label, fast.Halted, fast.Waiting, fast.IntEnabled, slow.Halted, slow.Waiting, slow.IntEnabled)
+	}
+	if fast.PendingIRQs() != slow.PendingIRQs() {
+		t.Fatalf("%s: pending IRQs diverge: sprint %x, step %x", label, fast.PendingIRQs(), slow.PendingIRQs())
+	}
+	if !bytes.Equal(fast.Mem, slow.Mem) {
+		for i := range fast.Mem {
+			if fast.Mem[i] != slow.Mem[i] {
+				t.Fatalf("%s: memory diverges at 0x%x: sprint %02x, step %02x", label, i, fast.Mem[i], slow.Mem[i])
+			}
+		}
+	}
+	ff, sf := fast.FaultInfo, slow.FaultInfo
+	switch {
+	case (ff == nil) != (sf == nil):
+		t.Fatalf("%s: fault diverges: sprint %v, step %v", label, ff, sf)
+	case ff != nil && *ff != *sf:
+		t.Fatalf("%s: fault diverges: sprint %+v, step %+v", label, *ff, *sf)
+	}
+}
+
+// TestSprintMatchesStepRandomPrograms throws randomized instruction soup —
+// including wild jumps, faulting memory accesses, interrupt flag churn and
+// stores that land in the code page — at both interpreter paths and
+// requires bit-identical machine state after every chunk. IRQs are raised
+// at scripted boundaries so delivery goes through both paths too.
+func TestSprintMatchesStepRandomPrograms(t *testing.T) {
+	const (
+		progInstrs = 480 // fills most of the first code page
+		chunks     = 200
+		chunkLen   = 97 // deliberately not a multiple of anything
+	)
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for trial := 0; trial < 24; trial++ {
+		prog := make([]Instr, progInstrs)
+		for i := range prog {
+			r := next()
+			op := Opcode(r % uint64(opCount))
+			if op == OpHlt && r&0xF0 != 0 {
+				op = OpAddi // halting every few instructions proves nothing
+			}
+			ins := Instr{Op: op, Ra: uint8(next() % 16), Rb: uint8(next() % 16), Rc: uint8(next() % 16)}
+			switch next() % 4 {
+			case 0: // valid aligned code address (jump/call targets)
+				ins.Imm = CodeBase + uint32(next()%progInstrs)*InstrSize
+			case 1: // valid data address
+				ins.Imm = 32*1024 + uint32(next()%8192)
+			case 2: // small immediate (also a port number for in/out)
+				ins.Imm = uint32(next() % 97)
+			default: // hostile: wild address / misaligning offset
+				ins.Imm = uint32(next())
+			}
+			prog[i] = ins
+		}
+		var code []byte
+		for _, ins := range prog {
+			code = ins.Encode(code)
+		}
+		var vectors [NumIRQs]uint32
+		vectors[IRQTimer] = CodeBase
+		vectors[IRQInput] = CodeBase + 16*InstrSize
+		fast, slow := cloneForDiff(t, code, vectors)
+		// Seed registers so loads/stores have somewhere interesting to go.
+		for r := 0; r < NumRegs-1; r++ {
+			v := uint32(next())
+			fast.Regs[r], slow.Regs[r] = v, v
+		}
+		// Zero a few base registers so store [rX+imm] with a code-address
+		// immediate lands in the executing page — the self-modifying path
+		// both interpreters must agree on.
+		for _, r := range []int{0, 5, 9} {
+			fast.Regs[r], slow.Regs[r] = 0, 0
+		}
+		for c := 0; c < chunks; c++ {
+			if c%7 == 3 {
+				fast.RaiseIRQ(IRQTimer)
+				slow.RaiseIRQ(IRQTimer)
+			}
+			if c%11 == 5 {
+				fast.RaiseIRQ(IRQInput)
+				slow.RaiseIRQ(IRQInput)
+			}
+			nf := fast.Run(chunkLen)
+			ns := slow.Run(chunkLen)
+			if nf != ns {
+				t.Fatalf("trial %d chunk %d: sprint retired %d, step retired %d", trial, c, nf, ns)
+			}
+			diffState(t, fmt.Sprintf("trial %d chunk %d", trial, c), fast, slow)
+			if fast.Halted || (fast.Waiting && fast.PendingIRQs() == 0 && c%7 != 2) {
+				break
+			}
+		}
+	}
+}
+
+// TestSprintSelfModifyingCode runs a guest that repeatedly patches the
+// immediate of one of its own instructions — through the interpreter's
+// store path, in the page it is executing from — and checks the sprint
+// path both matches Step exactly and observes every patched value: a stale
+// predecode would keep executing the original immediate.
+func TestSprintSelfModifyingCode(t *testing.T) {
+	// r1: loop counter. The patch site is instruction 2 (movi r3, 0); each
+	// iteration stores the counter into its immediate word, so the value
+	// r3 carries — accumulated into r5 — proves the re-decode happened.
+	patchSite := uint32(CodeBase + 2*InstrSize)
+	code := asm(
+		Instr{Op: OpMovi, Ra: 1, Imm: 0},                     // 0: counter = 0
+		Instr{Op: OpMovi, Ra: 5, Imm: 0},                     // 1: acc = 0
+		Instr{Op: OpMovi, Ra: 3, Imm: 0},                     // 2: PATCH SITE: r3 = imm
+		Instr{Op: OpAdd, Ra: 5, Rb: 5, Rc: 3},                // 3: acc += r3
+		Instr{Op: OpMovi, Ra: 6, Imm: patchSite + 4},         // 4: address of the imm word
+		Instr{Op: OpAddi, Ra: 7, Rb: 1, Imm: 1},              // 5: r7 = counter + 1
+		Instr{Op: OpStore, Ra: 6, Rb: 7},                     // 6: mem32[patchSite+4] = r7
+		Instr{Op: OpAddi, Ra: 1, Rb: 1, Imm: 1},              // 7: counter++
+		Instr{Op: OpMovi, Ra: 8, Imm: 10},                    // 8
+		Instr{Op: OpLtu, Ra: 9, Rb: 1, Rc: 8},                // 9: counter < 10 ?
+		Instr{Op: OpJnz, Ra: 9, Imm: CodeBase + 2*InstrSize}, // 10: loop to patch site
+		Instr{Op: OpHlt},                                     // 11
+	)
+	fast, slow := cloneForDiff(t, code, [NumIRQs]uint32{})
+	fast.Run(10_000)
+	slow.Run(10_000)
+	diffState(t, "self-modifying", fast, slow)
+	if !fast.Halted || fast.FaultInfo != nil {
+		t.Fatalf("guest did not halt cleanly: halted=%v fault=%v", fast.Halted, fast.FaultInfo)
+	}
+	// Iteration i executes the patch site with imm = i (patched by the
+	// previous iteration), so acc = 0+1+...+9.
+	if want := uint32(45); fast.Regs[5] != want {
+		t.Fatalf("acc = %d, want %d; the predecode cache served stale code", fast.Regs[5], want)
+	}
+}
+
+// TestSprintStackPointerAliasing pins the operand-order corner cases where
+// the stack op's register IS the stack pointer: `push sp` stores the
+// pre-decrement SP (Step evaluates the operand before push() mutates it)
+// and `pop sp` ends with the loaded value, not value+4 (Step's destination
+// assignment overwrites pop()'s increment). Both paths must agree, on the
+// happy path and on the faulting-pop path.
+func TestSprintStackPointerAliasing(t *testing.T) {
+	progs := map[string][]Instr{
+		"push-sp": {
+			{Op: OpPush, Ra: RegSP},
+			{Op: OpPop, Ra: 1},
+			{Op: OpHlt},
+		},
+		"pop-sp": {
+			{Op: OpMovi, Ra: 2, Imm: 40_000},
+			{Op: OpPush, Ra: 2},
+			{Op: OpPop, Ra: RegSP}, // SP becomes the loaded value
+			{Op: OpPush, Ra: 2},    // lands at 40_000-4 if semantics match
+			{Op: OpHlt},
+		},
+		"pop-sp-fault": {
+			{Op: OpMovi, Ra: RegSP, Imm: 0xFFFFFFF0}, // out-of-range stack
+			{Op: OpPop, Ra: RegSP},                   // faulting load, aliased dest
+			{Op: OpHlt},
+		},
+	}
+	for name, prog := range progs {
+		fast, slow := cloneForDiff(t, asm(prog...), [NumIRQs]uint32{})
+		fast.Run(100)
+		slow.Run(100)
+		diffState(t, name, fast, slow)
+	}
+}
+
+// TestPredecodeInvalidationHostWrite checks that host-side patching between
+// runs (how cheats and snapshot restores mutate memory) invalidates the
+// predecode cache.
+func TestPredecodeInvalidationHostWrite(t *testing.T) {
+	code := asm(
+		Instr{Op: OpMovi, Ra: 1, Imm: 7}, // 0: patched below
+		Instr{Op: OpJmp, Imm: CodeBase},  // 1: spin
+	)
+	m := bootCode(t, code, nil)
+	m.Run(100) // populates the predecode cache
+	if m.Regs[1] != 7 {
+		t.Fatalf("r1 = %d before patch, want 7", m.Regs[1])
+	}
+	patched := Instr{Op: OpMovi, Ra: 1, Imm: 99}.Encode(nil)
+	if err := m.WriteBytes(CodeBase, patched); err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100)
+	if m.Regs[1] != 99 {
+		t.Fatalf("r1 = %d after patch, want 99; host write did not invalidate the predecode cache", m.Regs[1])
+	}
+}
+
+// TestRunUntilLandsOnBound checks the sprint stops at exactly the requested
+// retired-instruction count — the property landmark-bounded replay relies
+// on.
+func TestRunUntilLandsOnBound(t *testing.T) {
+	code := asm(
+		Instr{Op: OpAddi, Ra: 1, Rb: 1, Imm: 1},
+		Instr{Op: OpAddi, Ra: 2, Rb: 2, Imm: 3},
+		Instr{Op: OpJmp, Imm: CodeBase},
+	)
+	m := bootCode(t, code, nil)
+	for _, bound := range []uint64{1, 2, 3, 5, 100, 101, 4096, 4097} {
+		ran := m.RunUntil(bound)
+		if m.ICount != bound {
+			t.Fatalf("RunUntil(%d): icount = %d", bound, m.ICount)
+		}
+		if ran != bound-(m.ICount-ran) && m.ICount-ran > bound {
+			t.Fatalf("RunUntil(%d): retired %d from %d", bound, ran, m.ICount-ran)
+		}
+	}
+	// A bound at or below the current count runs nothing.
+	if ran := m.RunUntil(10); ran != 0 {
+		t.Fatalf("RunUntil(past bound) retired %d instructions", ran)
+	}
+}

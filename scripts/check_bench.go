@@ -21,20 +21,23 @@ import (
 
 // bench mirrors the subset of experiments.AuditBenchResult the gate reads.
 type bench struct {
-	LogEntries          int     `json:"log_entries"`
-	SerialEntriesPerSec float64 `json:"serial_entries_per_sec"`
-	SerialMInstrPerSec  float64 `json:"serial_minstr_per_sec"`
-	StreamEntriesPerSec float64 `json:"stream_entries_per_sec"`
-	StreamVerdictMatch  bool    `json:"stream_verdict_match"`
-	StreamPeakResident  int     `json:"stream_peak_resident_entries"`
-	StreamWindow        int     `json:"stream_window"`
-	MerkleSerialGBps    float64 `json:"merkle_serial_gb_per_sec"`
-	MerkleParallelGBps  float64 `json:"merkle_parallel_gb_per_sec"`
-	MerkleFullVerifies  float64 `json:"merkle_full_verifies_per_sec"`
-	MerkleIncVerifies   float64 `json:"merkle_inc_verifies_per_sec"`
-	MerkleIncSpeedup    float64 `json:"merkle_inc_speedup_vs_full"`
-	VerifyOpsPerSec     float64 `json:"rsa_verify_ops_per_sec"`
-	Workers             []struct {
+	LogEntries            int     `json:"log_entries"`
+	SerialEntriesPerSec   float64 `json:"serial_entries_per_sec"`
+	SerialMInstrPerSec    float64 `json:"serial_minstr_per_sec"`
+	ParallelMInstrPerSec  float64 `json:"parallel_minstr_per_sec"`
+	PredecodeSpeedup      float64 `json:"predecode_speedup_vs_step"`
+	PredecodeVerdictMatch bool    `json:"predecode_verdict_match"`
+	StreamEntriesPerSec   float64 `json:"stream_entries_per_sec"`
+	StreamVerdictMatch    bool    `json:"stream_verdict_match"`
+	StreamPeakResident    int     `json:"stream_peak_resident_entries"`
+	StreamWindow          int     `json:"stream_window"`
+	MerkleSerialGBps      float64 `json:"merkle_serial_gb_per_sec"`
+	MerkleParallelGBps    float64 `json:"merkle_parallel_gb_per_sec"`
+	MerkleFullVerifies    float64 `json:"merkle_full_verifies_per_sec"`
+	MerkleIncVerifies     float64 `json:"merkle_inc_verifies_per_sec"`
+	MerkleIncSpeedup      float64 `json:"merkle_inc_speedup_vs_full"`
+	VerifyOpsPerSec       float64 `json:"rsa_verify_ops_per_sec"`
+	Workers               []struct {
 		Workers      int  `json:"workers"`
 		VerdictMatch bool `json:"verdict_match"`
 	} `json:"workers_ablation"`
@@ -95,6 +98,7 @@ func main() {
 	fmt.Printf("check_bench: tolerance %.0f%%, %d entries audited\n", *tolerance*100, current.LogEntries)
 	rate("serial entries/s", baseline.SerialEntriesPerSec, current.SerialEntriesPerSec)
 	rate("serial Minstr/s", baseline.SerialMInstrPerSec, current.SerialMInstrPerSec)
+	rate("parallel Minstr/s", baseline.ParallelMInstrPerSec, current.ParallelMInstrPerSec)
 	rate("stream entries/s", baseline.StreamEntriesPerSec, current.StreamEntriesPerSec)
 	rate("merkle serial GB/s", baseline.MerkleSerialGBps, current.MerkleSerialGBps)
 	rate("merkle parallel GB/s", baseline.MerkleParallelGBps, current.MerkleParallelGBps)
@@ -103,6 +107,13 @@ func main() {
 	rate("rsa verify ops/s", baseline.VerifyOpsPerSec, current.VerifyOpsPerSec)
 
 	invariant("stream verdict match", current.StreamVerdictMatch)
+	invariant("predecode verdict match", current.PredecodeVerdictMatch)
+	// The predecoded sprint must stay decisively faster than Step-by-Step
+	// replay; losing this means the interpreter fell off its fast path (a
+	// feature branch crept back into the hot loop, or the cache stopped
+	// hitting).
+	invariant("predecode speedup >= 2", current.PredecodeSpeedup <= 0 ||
+		current.PredecodeSpeedup >= 2)
 	// The incremental fold must stay decisively cheaper than a full rehash;
 	// losing this means per-snapshot verification went back to O(state).
 	invariant("inc verify beats full rehash", current.MerkleIncVerifies <= 0 ||
