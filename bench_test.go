@@ -12,8 +12,10 @@ package avm_test
 
 import (
 	"fmt"
+	"net"
 	"testing"
 
+	auditpkg "repro/internal/audit"
 	"repro/internal/avmm"
 	"repro/internal/experiments"
 	"repro/internal/game"
@@ -416,6 +418,33 @@ func BenchmarkReplay_GameSecond(b *testing.B) {
 		// compressed container, default window.
 		audit(b, func() error {
 			res, _, err := s.AuditNodeStream("player1", 4, 0)
+			if err != nil {
+				return err
+			}
+			if !res.Passed {
+				return res.Fault
+			}
+			return nil
+		})
+	})
+	b.Run("dist-tcp-3", func(b *testing.B) {
+		// Distributed dispatch over three loopback TCP workers: the full
+		// wire round trip (materialized start states + entry runs out,
+		// verdicts back) plus coordinator-side root verification and merge.
+		var addrs []string
+		for i := 0; i < 3; i++ {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			go auditpkg.ServeEpochWorker(l)
+			addrs = append(addrs, l.Addr().String())
+		}
+		audit(b, func() error {
+			res, _, err := s.AuditNodeDist("player1", auditpkg.DistOptions{
+				Backend: &auditpkg.TCPBackend{Addrs: addrs},
+			})
 			if err != nil {
 				return err
 			}

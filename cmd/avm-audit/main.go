@@ -11,6 +11,32 @@
 // decoding, chain verification and replay run as overlapped stages, and at
 // most -window decoded entries are resident at once — the mode to use for
 // multi-hour logs. The verdict is identical to the materializing pipeline.
+//
+// # Distributed auditing
+//
+// The replay stage can be fanned out over remote workers:
+//
+//	avm-audit -serve -listen 127.0.0.1:9100          # scenario-agnostic worker
+//	avm-audit -dir /tmp/match1 -dispatch 127.0.0.1:9100,127.0.0.1:9101
+//
+// A worker holds no recording, no keys and no guest sources — the
+// coordinator ships the reference configuration and self-contained epoch
+// jobs (verified start state + entry run) and merges the verdicts, which
+// are byte-identical to a local audit. Workers are untrusted: the
+// coordinator root-verifies every start state before dispatch and
+// re-replays a -spot fraction of epochs locally. Recordings that carry
+// snapshots (avm-run writes <node>.snaps) dispatch one job per
+// inter-snapshot epoch; without them the log ships as a single boot epoch.
+//
+// # Exit codes
+//
+// avm-audit exits with stable codes so scripts and CI can branch on the
+// outcome without parsing output:
+//
+//	0  every audited log passed
+//	1  at least one fault was detected (the machine misbehaved)
+//	2  the audit itself could not be completed (bad recording, I/O or
+//	   transport failure, unreachable workers)
 package main
 
 import (
@@ -18,10 +44,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"net"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/audit"
@@ -29,8 +56,16 @@ import (
 	"repro/internal/game"
 	"repro/internal/logcomp"
 	"repro/internal/sig"
+	"repro/internal/snapshot"
 	"repro/internal/tevlog"
 	"repro/internal/vm"
+)
+
+// Exit codes, per the command documentation.
+const (
+	exitClean     = 0
+	exitFault     = 1
+	exitAuditFail = 2
 )
 
 // Meta mirrors cmd/avm-run's metadata format.
@@ -78,20 +113,59 @@ func rebuildKeys(meta *Meta) *sig.KeyStore {
 	return keys
 }
 
-func main() {
+// loadSnapshots returns a Materialize source for the node's persisted
+// snapshot store (avm-run writes one per node when snapshots were taken),
+// or nil when the recording carries none.
+func loadSnapshots(dir, node string) (func(snapIdx uint32) (*snapshot.Restored, error), error) {
+	f, err := os.Open(filepath.Join(dir, node+".snaps"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var sf snapshot.StoreFile
+	if err := gob.NewDecoder(f).Decode(&sf); err != nil {
+		return nil, fmt.Errorf("decoding %s snapshots: %w", node, err)
+	}
+	st := sf.Restore()
+	return func(snapIdx uint32) (*snapshot.Restored, error) {
+		return st.Materialize(int(snapIdx))
+	}, nil
+}
+
+// fail reports an audit-infrastructure failure (exit code 2).
+func fail(format string, args ...interface{}) int {
+	fmt.Fprintf(os.Stderr, "avm-audit: "+format+"\n", args...)
+	return exitAuditFail
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
 	dir := flag.String("dir", "avm-run-out", "directory written by avm-run")
 	nodeFlag := flag.String("node", "", "node to audit (default: all)")
 	stream := flag.Bool("stream", false, "audit straight from the compressed log (decode ∥ chain-verify ∥ replay, bounded memory)")
 	window := flag.Int("window", audit.DefaultStreamWindow, "streaming mode: max decoded entries resident at once")
+	serve := flag.Bool("serve", false, "run as a replay worker instead of auditing: accept epoch jobs from a coordinator")
+	listen := flag.String("listen", "127.0.0.1:0", "worker mode: address to listen on")
+	dispatch := flag.String("dispatch", "", "comma-separated worker addresses; fan the replay stage out over them")
+	spot := flag.Float64("spot", 0.1, "dispatch mode: fraction of epochs the coordinator re-replays locally to catch lying workers")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "dispatch mode: straggler deadline before an epoch is re-dispatched")
 	flag.Parse()
+
+	if *serve {
+		return serveWorker(*listen)
+	}
 
 	metaBytes, err := os.ReadFile(filepath.Join(*dir, "meta.json"))
 	if err != nil {
-		log.Fatal(err)
+		return fail("%v", err)
 	}
 	var meta Meta
 	if err := json.Unmarshal(metaBytes, &meta); err != nil {
-		log.Fatal(err)
+		return fail("%v", err)
 	}
 	keys := rebuildKeys(&meta)
 
@@ -105,26 +179,34 @@ func main() {
 		sort.Strings(nodes)
 	}
 
+	var backend *audit.TCPBackend
+	if *dispatch != "" {
+		backend = &audit.TCPBackend{
+			Addrs:      strings.Split(*dispatch, ","),
+			JobTimeout: *jobTimeout,
+		}
+	}
+
 	faults := 0
 	for _, node := range nodes {
 		compressed, err := os.ReadFile(filepath.Join(*dir, node+".log"))
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		var auths []tevlog.Authenticator
 		authFile, err := os.Open(filepath.Join(*dir, node+".auths"))
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		if err := gob.NewDecoder(authFile).Decode(&auths); err != nil {
-			log.Fatalf("decoding %s authenticators: %v", node, err)
+			return fail("decoding %s authenticators: %v", node, err)
 		}
 		if err := authFile.Close(); err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		ref, err := referenceImage(&meta, node)
 		if err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 		a := &audit.Auditor{
 			Keys: keys, RefImage: ref, RNGSeed: meta.RNGSeeds[node],
@@ -133,36 +215,83 @@ func main() {
 		start := time.Now()
 		var res *audit.Result
 		entryCount := 0
-		if *stream {
-			// Recordings carry no snapshot store, so the stream replays a
-			// single boot epoch — decode, chain verification and replay
-			// still overlap, with at most -window entries resident.
-			var sstats audit.StreamStats
-			res, sstats = a.AuditStream(sig.NodeID(node), uint32(meta.Nodes[node]), compressed, auths,
-				audit.StreamOptions{Window: *window})
-			entryCount = sstats.Entries
-		} else {
+		extra := ""
+		switch {
+		case backend != nil:
 			entries, err := logcomp.DecompressEntries(compressed)
 			if err != nil {
-				log.Fatalf("decompressing %s log: %v", node, err)
+				return fail("decompressing %s log: %v", node, err)
 			}
 			if err := tevlog.Rechain(tevlog.Hash{}, entries); err != nil {
-				log.Fatalf("rechaining %s log: %v", node, err)
+				return fail("rechaining %s log: %v", node, err)
+			}
+			entryCount = len(entries)
+			materialize, err := loadSnapshots(*dir, node)
+			if err != nil {
+				return fail("%v", err)
+			}
+			var dstats audit.DistStats
+			res, dstats, err = a.AuditFullDist(sig.NodeID(node), uint32(meta.Nodes[node]), entries, auths,
+				audit.DistOptions{
+					Backend:             backend,
+					Materialize:         materialize,
+					SpotRecheckFraction: *spot,
+					SpotRecheckSeed:     meta.Seed,
+				})
+			if err != nil {
+				return fail("dispatching %s audit: %v", node, err)
+			}
+			extra = fmt.Sprintf(", %d epochs over %d workers, %d re-dispatched, %d spot-rechecked",
+				dstats.Epochs, len(backend.Addrs), dstats.Redispatches, dstats.SpotRechecked)
+		case *stream:
+			// Streaming straight from the container; with persisted
+			// snapshots the stream router splits epochs, otherwise it
+			// replays a single boot epoch — decode, chain verification and
+			// replay still overlap, with at most -window entries resident.
+			materialize, err := loadSnapshots(*dir, node)
+			if err != nil {
+				return fail("%v", err)
+			}
+			var sstats audit.StreamStats
+			res, sstats = a.AuditStream(sig.NodeID(node), uint32(meta.Nodes[node]), compressed, auths,
+				audit.StreamOptions{Window: *window, Materialize: materialize})
+			entryCount = sstats.Entries
+		default:
+			entries, err := logcomp.DecompressEntries(compressed)
+			if err != nil {
+				return fail("decompressing %s log: %v", node, err)
+			}
+			if err := tevlog.Rechain(tevlog.Hash{}, entries); err != nil {
+				return fail("rechaining %s log: %v", node, err)
 			}
 			entryCount = len(entries)
 			res = a.AuditFull(sig.NodeID(node), uint32(meta.Nodes[node]), entries, auths)
 		}
 		wall := time.Since(start).Round(time.Millisecond)
 		if res.Passed {
-			fmt.Printf("%-10s PASSED in %-8v (%d entries, %d instructions replayed, %d sends matched)\n",
-				node, wall, entryCount, res.Replay.Instructions, res.Replay.SendsMatched)
+			fmt.Printf("%-10s PASSED in %-8v (%d entries, %d instructions replayed, %d sends matched%s)\n",
+				node, wall, entryCount, res.Replay.Instructions, res.Replay.SendsMatched, extra)
 		} else {
 			faults++
-			fmt.Printf("%-10s FAULT  in %-8v — %s (%s check, entry %d)\n",
-				node, wall, res.Fault.Detail, res.Fault.Check, res.Fault.EntrySeq)
+			fmt.Printf("%-10s FAULT  in %-8v — %s (%s check, entry %d%s)\n",
+				node, wall, res.Fault.Detail, res.Fault.Check, res.Fault.EntrySeq, extra)
 		}
 	}
 	if faults > 0 {
-		os.Exit(1)
+		return exitFault
 	}
+	return exitClean
+}
+
+// serveWorker runs the scenario-agnostic replay worker until killed.
+func serveWorker(addr string) int {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fail("listen %s: %v", addr, err)
+	}
+	fmt.Printf("avm-audit: worker listening on %s\n", l.Addr())
+	if err := audit.ServeEpochWorker(l); err != nil {
+		return fail("serving: %v", err)
+	}
+	return exitClean
 }

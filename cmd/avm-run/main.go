@@ -145,6 +145,23 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
+		if mon.Snaps != nil && mon.Snaps.Count() > 0 {
+			// Persist the snapshot store so a dispatching auditor
+			// (avm-audit -dispatch) can materialize epoch starting states
+			// and fan the replay out; without it the log audits as a
+			// single boot epoch.
+			snapPath := filepath.Join(*out, node+".snaps")
+			sf, err := os.Create(snapPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := gob.NewEncoder(sf).Encode(mon.Snaps.File()); err != nil {
+				log.Fatal(err)
+			}
+			if err := sf.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
 		fmt.Printf("  %-10s %6d entries → %8d bytes compressed (%s)\n",
 			node, mon.Log.Len(), len(compressed), logPath)
 	}

@@ -1,0 +1,273 @@
+package audit
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/sig"
+	"repro/internal/snapshot"
+	"repro/internal/tevlog"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// This file is the router/backend split of the epoch replay engine. The
+// partitioning rule (slice the log at snapshot entries), the earliest-fault
+// cutoff and the deterministic merge live in the router; *where* an epoch
+// replays is an EpochBackend: the in-process worker pool (PoolBackend), a
+// simulated lossy network (NetsimBackend), or real TCP workers
+// (TCPBackend). Every backend produces verdicts byte-identical to a serial
+// replay of the same epochs, so the audit's conclusion never depends on
+// where the replay ran.
+
+// EpochJob is one self-contained epoch replay job: the slice of the log
+// between two snapshot entries, plus the authenticated identity of its
+// starting state. Remote backends ship jobs whole; the in-process pool
+// leaves Start nil and materializes on the worker goroutine.
+type EpochJob struct {
+	Index int
+	// Boot marks the first epoch, replayed from the reference image.
+	Boot bool
+	// StartSnap/StartRoot/StartSeq identify and authenticate the starting
+	// state of a non-boot epoch, exactly as in the epoch-parallel engine.
+	StartSnap uint32
+	StartRoot [32]byte
+	StartSeq  uint64
+	// Start is the materialized starting state. Nil jobs are materialized
+	// by the worker from its local snapshot source; wire-shipped jobs carry
+	// the state (the coordinator verifies it against StartRoot before
+	// dispatch, the worker re-verifies while seeding its live tree).
+	Start *snapshot.Restored
+	// Entries is the epoch's entry run. Epochs that end at a snapshot
+	// include that snapshot entry, so the boundary root is verified by the
+	// epoch that derives it.
+	Entries []tevlog.Entry
+}
+
+// Session is the per-audit reference configuration an epoch replay needs:
+// who is being audited, the trusted reference image, and the reference
+// device-RNG seed. It is everything a replay worker holds — no keys, no
+// recording, no guest sources.
+type Session struct {
+	Node             sig.NodeID
+	RefImage         *vm.Image
+	RNGSeed          uint64
+	DisablePredecode bool
+}
+
+// session assembles the auditor's replay session for a node.
+func (a *Auditor) session(node sig.NodeID) Session {
+	return Session{Node: node, RefImage: a.RefImage, RNGSeed: a.RNGSeed,
+		DisablePredecode: a.DisablePredecode}
+}
+
+// EpochVerdict is one epoch's outcome as reported by a backend.
+type EpochVerdict struct {
+	Index int
+	Stats ReplayStats
+	Fault *FaultReport
+	// Err is a transport/backend failure: the epoch could not be replayed
+	// anywhere (distinct from an audit fault, which is a verdict). The
+	// router fails the audit when an errored epoch is needed for the merge.
+	Err error
+	// Worker names the backend worker that produced the verdict
+	// (diagnostics; "" for the in-process pool).
+	Worker string
+	// Attempts counts dispatch attempts for this epoch, 1 for a first-try
+	// success. Retries and straggler re-dispatches raise it.
+	Attempts int
+	// WireBytes counts job+verdict payload bytes shipped for this epoch
+	// across all attempts (0 for the in-process pool).
+	WireBytes int
+}
+
+// EpochBackend executes epoch replay jobs on behalf of the router.
+type EpochBackend interface {
+	// Remote reports whether jobs must carry materialized start states
+	// (wire-shipped backends). The router materializes and root-verifies
+	// starts before dispatch for remote backends; for local backends it
+	// hands out lazy jobs the pool materializes itself.
+	Remote() bool
+	// Run replays the jobs, calling emit exactly once per job that is not
+	// skipped (possibly from multiple goroutines). skip(i) reports that
+	// epoch i can no longer affect the merged verdict (the earliest-fault
+	// cutoff); backends should consult it before dispatching a job and may
+	// drop jobs for which it returns true. Run returns only catastrophic
+	// failures (every worker unreachable); per-epoch failures travel as
+	// EpochVerdict.Err.
+	Run(sess Session, jobs []*EpochJob, skip func(int) bool, emit func(EpochVerdict)) error
+}
+
+// runEpochJob replays one epoch. Boot jobs replay from the session's
+// reference image; other jobs replay from their materialized start state —
+// taken from the job, or from the materialize source when the job travels
+// lazily — which is verified against the committed root before the first
+// instruction executes (the state is untrusted, §4.5). The verification
+// tree becomes the replay's live tree, so snapshot entries inside the
+// epoch verify incrementally.
+func runEpochJob(sess Session, job *EpochJob, materialize func(snapIdx uint32) (*snapshot.Restored, error)) epochResult {
+	var rp *Replay
+	var err error
+	if job.Boot {
+		rp, err = NewReplayFromImage(sess.Node, sess.RefImage, sess.RNGSeed)
+		if err != nil {
+			return epochResult{fault: &FaultReport{Node: sess.Node, Check: CheckSemantic, Detail: err.Error()}}
+		}
+	} else {
+		restored := job.Start
+		if restored == nil {
+			if materialize == nil {
+				return epochResult{fault: &FaultReport{
+					Node: sess.Node, Check: CheckSnapshot, EntrySeq: job.StartSeq,
+					Detail: fmt.Sprintf("materializing snapshot %d: no snapshot source", job.StartSnap),
+				}}
+			}
+			var merr error
+			restored, merr = materialize(job.StartSnap)
+			if merr != nil {
+				return epochResult{fault: &FaultReport{
+					Node: sess.Node, Check: CheckSnapshot, EntrySeq: job.StartSeq,
+					Detail: fmt.Sprintf("materializing snapshot %d: %v", job.StartSnap, merr),
+				}}
+			}
+		}
+		lh := &snapshot.LiveStateHasher{}
+		if verr := lh.SeedVerify(restored, job.StartRoot); verr != nil {
+			return epochResult{fault: &FaultReport{
+				Node: sess.Node, Check: CheckSnapshot, EntrySeq: job.StartSeq, Detail: verr.Error(),
+			}}
+		}
+		rp, err = NewReplayFromSnapshot(sess.Node, restored, sess.RNGSeed)
+		if err != nil {
+			return epochResult{fault: &FaultReport{Node: sess.Node, Check: CheckSemantic, Detail: err.Error()}}
+		}
+		rp.AdoptStateHasher(lh)
+	}
+	rp.Machine().DisablePredecode = sess.DisablePredecode
+	rp.Feed(job.Entries)
+	rp.Close()
+	rp.Run()
+	return epochResult{stats: rp.Stats, fault: rp.Fault()}
+}
+
+// PoolBackend replays epochs on a bounded in-process goroutine pool — the
+// engine AuditFullParallel has always used, behind the backend seam.
+type PoolBackend struct {
+	// Workers bounds concurrent epochs. <= 0 selects runtime.NumCPU().
+	Workers int
+	// Materialize supplies starting states for lazy (Start == nil) jobs.
+	Materialize func(snapIdx uint32) (*snapshot.Restored, error)
+}
+
+// Remote implements EpochBackend: pool jobs stay in-process and lazy.
+func (b *PoolBackend) Remote() bool { return false }
+
+// Run implements EpochBackend with the runPool index hand-out: indices are
+// dispatched in order, skipped jobs are dropped, and every job below the
+// final cutoff is guaranteed a verdict.
+func (b *PoolBackend) Run(sess Session, jobs []*EpochJob, skip func(int) bool, emit func(EpochVerdict)) error {
+	workers := b.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	runPool(len(jobs), workers, func(i int) bool {
+		r := runEpochJob(sess, jobs[i], b.Materialize)
+		emit(EpochVerdict{Index: i, Stats: r.stats, Fault: r.fault, Attempts: 1})
+		return r.fault != nil
+	})
+	return nil
+}
+
+// --- wire conversions shared by the remote backends ---
+
+// jobToWire converts an epoch job to its wire form. Remote jobs must carry
+// a materialized start state (or be boot jobs).
+func jobToWire(job *EpochJob) *wire.AuditJob {
+	w := &wire.AuditJob{
+		Index: uint64(job.Index), Boot: job.Boot,
+		StartSnap: job.StartSnap, StartSeq: job.StartSeq, StartRoot: job.StartRoot,
+		Entries: job.Entries,
+	}
+	if job.Start != nil {
+		w.Mem = job.Start.Mem
+		w.Machine = job.Start.Machine
+		w.Device = job.Start.Device
+		w.AuthDevice = job.Start.AuthDevice
+	}
+	return w
+}
+
+// jobFromWire reassembles a worker-side epoch job.
+func jobFromWire(w *wire.AuditJob) *EpochJob {
+	job := &EpochJob{
+		Index: int(w.Index), Boot: w.Boot,
+		StartSnap: w.StartSnap, StartSeq: w.StartSeq, StartRoot: w.StartRoot,
+		Entries: w.Entries,
+	}
+	if !w.Boot {
+		job.Start = &snapshot.Restored{
+			Index: int(w.StartSnap), Mem: w.Mem, Machine: w.Machine,
+			Device: w.Device, AuthDevice: w.AuthDevice, Root: w.StartRoot,
+		}
+	}
+	return job
+}
+
+// sessionToWire converts a replay session to its wire form.
+func sessionToWire(sess Session) *wire.AuditSession {
+	return wire.SessionFromImage(string(sess.Node), sess.RefImage, sess.RNGSeed, sess.DisablePredecode)
+}
+
+// sessionFromWire reassembles a worker-side session.
+func sessionFromWire(w *wire.AuditSession) (Session, error) {
+	img, err := w.Image()
+	if err != nil {
+		return Session{}, err
+	}
+	return Session{Node: sig.NodeID(w.Node), RefImage: img, RNGSeed: w.RNGSeed,
+		DisablePredecode: w.DisablePredecode}, nil
+}
+
+// verdictToWire converts an epoch outcome to its wire form.
+func verdictToWire(index int, r epochResult) *wire.AuditVerdict {
+	v := &wire.AuditVerdict{
+		Index:             uint64(index),
+		Instructions:      r.stats.Instructions,
+		EntriesConsumed:   uint64(r.stats.EntriesConsumed),
+		SendsMatched:      uint64(r.stats.SendsMatched),
+		NondetsConsumed:   uint64(r.stats.NondetsConsumed),
+		EventsInjected:    uint64(r.stats.EventsInjected),
+		SnapshotsVerified: uint64(r.stats.SnapshotsVerified),
+	}
+	if r.fault != nil {
+		v.HasFault = true
+		v.FaultNode = string(r.fault.Node)
+		v.FaultCheck = string(r.fault.Check)
+		v.FaultDetail = r.fault.Detail
+		v.FaultEntrySeq = r.fault.EntrySeq
+		v.FaultLandmark = r.fault.Landmark
+	}
+	return v
+}
+
+// verdictFromWire reassembles an epoch outcome from its wire form.
+func verdictFromWire(v *wire.AuditVerdict) epochResult {
+	r := epochResult{stats: ReplayStats{
+		Instructions:      v.Instructions,
+		EntriesConsumed:   int(v.EntriesConsumed),
+		SendsMatched:      int(v.SendsMatched),
+		NondetsConsumed:   int(v.NondetsConsumed),
+		EventsInjected:    int(v.EventsInjected),
+		SnapshotsVerified: int(v.SnapshotsVerified),
+	}}
+	if v.HasFault {
+		r.fault = &FaultReport{
+			Node: sig.NodeID(v.FaultNode), Check: Check(v.FaultCheck),
+			Detail: v.FaultDetail, EntrySeq: v.FaultEntrySeq, Landmark: v.FaultLandmark,
+		}
+	}
+	return r
+}

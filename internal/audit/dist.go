@@ -1,0 +1,354 @@
+package audit
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sig"
+	"repro/internal/snapshot"
+	"repro/internal/tevlog"
+)
+
+// This file is the distributed audit coordinator: AuditFullDist runs the
+// full audit pipeline with the semantic (replay) stage fanned out over an
+// EpochBackend — the in-process pool, simulated network workers, or real
+// TCP workers. Chain verification and the syntactic check stay on the
+// coordinator (they are cheap, sequential passes); only epoch replay, the
+// dominant cost, is shipped.
+//
+// Trust model: workers are UNTRUSTED. The coordinator (a) materializes
+// every epoch's starting state from its own snapshot source and verifies
+// it against the root the audited log committed — a worker never chooses
+// what state an epoch replays from; (b) re-replays a configurable fraction
+// of epochs locally and compares verdicts, so a worker that lies about an
+// outcome is caught with probability ≥ the spot fraction per lie; and
+// (c) merges verdicts under the same earliest-fault cutoff as the
+// in-process engine, so the conclusion is byte-identical to AuditFull
+// whenever workers are honest — and equal to the coordinator's own replay
+// of every spot-rechecked epoch regardless.
+
+// DistOptions configures the distributed full audit.
+type DistOptions struct {
+	// Backend executes epoch jobs. Nil selects the in-process pool.
+	Backend EpochBackend
+	// Workers bounds pool/preparation concurrency. <= 0 selects
+	// runtime.NumCPU().
+	Workers int
+	// Materialize returns the audited machine's full state at a snapshot
+	// index, exactly as in ParallelOptions. When nil, the log is replayed
+	// as a single boot epoch.
+	Materialize func(snapIdx uint32) (*snapshot.Restored, error)
+	// SpotRecheckFraction is the fraction of epochs the coordinator
+	// re-replays locally to catch lying workers (0 disables, 1 rechecks
+	// everything). Selection is deterministic given SpotRecheckSeed.
+	SpotRecheckFraction float64
+	// SpotRecheckSeed drives the deterministic spot selection.
+	SpotRecheckSeed uint64
+}
+
+// DistStats reports how a distributed audit ran.
+type DistStats struct {
+	// Epochs is the number of replay epochs the log was partitioned into.
+	Epochs int
+	// Dispatched counts epochs handed to the backend (epochs whose start
+	// state already failed coordinator-side verification never ship).
+	Dispatched int
+	// CoordinatorFaults counts epochs that faulted on the coordinator
+	// before dispatch (materialization or start-root verification).
+	CoordinatorFaults int
+	// Redispatches counts dispatch attempts beyond each epoch's first —
+	// crash retries and straggler re-dispatches.
+	Redispatches int
+	// SpotRechecked counts epochs the coordinator re-replayed locally.
+	SpotRechecked int
+	// SpotMismatches counts rechecked epochs whose worker verdict diverged
+	// from the coordinator's own replay — lying (or broken) workers. The
+	// coordinator's verdict wins.
+	SpotMismatches int
+	// WireBytes is the total job+verdict payload shipped (0 for the pool).
+	WireBytes int
+	// PrepWallNs is coordinator time spent materializing and root-verifying
+	// start states before dispatch (remote backends only).
+	PrepWallNs int64
+	// MergeWallNs is coordinator time spent folding verdicts into the final
+	// result after the backend finished.
+	MergeWallNs int64
+}
+
+// AuditFullDist checks an entire execution from boot like AuditFull — log
+// verification, syntactic check, semantic replay — with the replay stage
+// distributed over opts.Backend. The Result is byte-identical to
+// AuditFull's. A non-nil error means the audit could not be completed
+// (transport failure on an epoch the verdict needs) — distinct from a
+// fault, which is a completed audit's conclusion about the machine.
+func (a *Auditor) AuditFullDist(node sig.NodeID, nodeIdx uint32, entries []tevlog.Entry, auths []tevlog.Authenticator, opts DistOptions) (*Result, DistStats, error) {
+	res := &Result{Node: node}
+
+	if a.TamperEvident {
+		if err := tevlog.VerifySegment(tevlog.Hash{}, entries, auths, a.Keys); err != nil {
+			res.Fault = &FaultReport{Node: node, Check: CheckLog, Detail: err.Error()}
+			return res, DistStats{}, nil
+		}
+	}
+
+	stats, fr := SyntacticCheck(node, entries, SyntacticOptions{
+		NodeIdx: nodeIdx, Keys: a.Keys,
+		VerifySignatures: a.TamperEvident && a.VerifySignatures,
+		StrictAcks:       a.StrictAcks,
+	})
+	res.Syntactic = stats
+	if fr != nil {
+		res.Fault = fr
+		return res, DistStats{}, nil
+	}
+
+	be := opts.Backend
+	if be == nil {
+		be = &PoolBackend{Workers: opts.Workers, Materialize: opts.Materialize}
+	}
+	jobs := a.partition(entries, ParallelOptions{Materialize: opts.Materialize})
+	replay, fault, dstats, err := a.runJobs(node, jobs, be, distConfig{
+		materialize:  opts.Materialize,
+		prepWorkers:  opts.Workers,
+		spotFraction: opts.SpotRecheckFraction,
+		spotSeed:     opts.SpotRecheckSeed,
+	})
+	if err != nil {
+		return nil, dstats, err
+	}
+	res.Replay = replay
+	if fault != nil {
+		res.Fault = fault
+		return res, dstats, nil
+	}
+	res.Passed = true
+	return res, dstats, nil
+}
+
+// distConfig is the router's internal knob set.
+type distConfig struct {
+	materialize  func(snapIdx uint32) (*snapshot.Restored, error)
+	prepWorkers  int
+	spotFraction float64
+	spotSeed     uint64
+}
+
+// splitmix64 is the deterministic spot-selection hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// spotSelected reports whether epoch i is re-replayed locally.
+func (c *distConfig) spotSelected(i int) bool {
+	if c.spotFraction <= 0 {
+		return false
+	}
+	if c.spotFraction >= 1 {
+		return true
+	}
+	return float64(splitmix64(c.spotSeed^uint64(i))>>11)/float64(1<<53) < c.spotFraction
+}
+
+// prepareStart materializes and root-verifies a non-boot job's starting
+// state on the coordinator, setting job.Start. A failure is the epoch's
+// verdict — byte-identical to the fault the in-process engine reports —
+// and the job never ships.
+func prepareStart(node sig.NodeID, job *EpochJob, materialize func(snapIdx uint32) (*snapshot.Restored, error)) *FaultReport {
+	if materialize == nil {
+		return &FaultReport{
+			Node: node, Check: CheckSnapshot, EntrySeq: job.StartSeq,
+			Detail: fmt.Sprintf("materializing snapshot %d: no snapshot source", job.StartSnap),
+		}
+	}
+	restored, merr := materialize(job.StartSnap)
+	if merr != nil {
+		return &FaultReport{
+			Node: node, Check: CheckSnapshot, EntrySeq: job.StartSeq,
+			Detail: fmt.Sprintf("materializing snapshot %d: %v", job.StartSnap, merr),
+		}
+	}
+	lh := &snapshot.LiveStateHasher{}
+	if verr := lh.SeedVerify(restored, job.StartRoot); verr != nil {
+		return &FaultReport{
+			Node: node, Check: CheckSnapshot, EntrySeq: job.StartSeq, Detail: verr.Error(),
+		}
+	}
+	job.Start = restored
+	return nil
+}
+
+// sameEpochResult reports whether a worker verdict matches the
+// coordinator's own replay of the same epoch.
+func sameEpochResult(local epochResult, v EpochVerdict) bool {
+	if local.stats != v.Stats {
+		return false
+	}
+	if (local.fault == nil) != (v.Fault == nil) {
+		return false
+	}
+	if local.fault == nil {
+		return true
+	}
+	return *local.fault == *v.Fault
+}
+
+// runJobs dispatches epoch jobs to a backend and merges verdicts under the
+// earliest-fault cutoff — the deterministic heart of every audit engine.
+// The merged (stats, fault) pair is identical to a serial replay of the
+// same epochs whenever verdicts are honest; spot-rechecked epochs are
+// guaranteed it regardless.
+func (a *Auditor) runJobs(node sig.NodeID, jobs []*EpochJob, be EpochBackend, cfg distConfig) (ReplayStats, *FaultReport, DistStats, error) {
+	sess := a.session(node)
+	dstats := DistStats{Epochs: len(jobs)}
+
+	var mu sync.Mutex
+	results := make(map[int]epochResult, len(jobs))
+	errs := make(map[int]error)
+	var cutoff atomic.Int64
+	cutoff.Store(int64(1) << 62)
+
+	lower := func(i int) {
+		for {
+			cur := cutoff.Load()
+			if int64(i) >= cur || cutoff.CompareAndSwap(cur, int64(i)) {
+				break
+			}
+		}
+	}
+	record := func(i int, r epochResult) {
+		mu.Lock()
+		_, dup := results[i]
+		if !dup {
+			results[i] = r
+			delete(errs, i)
+		}
+		mu.Unlock()
+		if !dup && r.fault != nil {
+			lower(i)
+		}
+	}
+
+	// Remote backends get self-contained jobs: materialize and root-verify
+	// every start on the coordinator, concurrently. Failures are verdicts.
+	dispatch := jobs
+	if be.Remote() {
+		prepStart := time.Now()
+		prepWorkers := cfg.prepWorkers
+		if prepWorkers <= 0 {
+			prepWorkers = runtime.NumCPU()
+		}
+		faults := make([]*FaultReport, len(jobs))
+		runPool(len(jobs), prepWorkers, func(i int) bool {
+			if !jobs[i].Boot {
+				faults[i] = prepareStart(node, jobs[i], cfg.materialize)
+			}
+			return false
+		})
+		dispatch = dispatch[:0:0]
+		for i, job := range jobs {
+			if faults[i] != nil {
+				dstats.CoordinatorFaults++
+				record(i, epochResult{fault: faults[i]})
+				continue
+			}
+			dispatch = append(dispatch, job)
+		}
+		dstats.PrepWallNs = time.Since(prepStart).Nanoseconds()
+	}
+	dstats.Dispatched = len(dispatch)
+
+	jobByIndex := make(map[int]*EpochJob, len(jobs))
+	for _, j := range jobs {
+		jobByIndex[j.Index] = j
+	}
+	skip := func(i int) bool { return int64(i) > cutoff.Load() }
+	emit := func(v EpochVerdict) {
+		mu.Lock()
+		dstats.WireBytes += v.WireBytes
+		if v.Attempts > 1 {
+			dstats.Redispatches += v.Attempts - 1
+		}
+		mu.Unlock()
+		if v.Err != nil {
+			mu.Lock()
+			if _, done := results[v.Index]; !done {
+				errs[v.Index] = v.Err
+			}
+			mu.Unlock()
+			return
+		}
+		if cfg.spotSelected(v.Index) {
+			// Re-replay locally before trusting the worker: the local
+			// verdict is authoritative, so a lie can never steer the cutoff
+			// or the merged result for a rechecked epoch.
+			local := runEpochJob(sess, jobByIndex[v.Index], cfg.materialize)
+			mu.Lock()
+			dstats.SpotRechecked++
+			mu.Unlock()
+			if !sameEpochResult(local, v) {
+				mu.Lock()
+				dstats.SpotMismatches++
+				mu.Unlock()
+			}
+			record(v.Index, local)
+			return
+		}
+		record(v.Index, epochResult{stats: v.Stats, fault: v.Fault})
+	}
+
+	if len(dispatch) > 0 {
+		if err := be.Run(sess, dispatch, skip, emit); err != nil {
+			return ReplayStats{}, nil, dstats, fmt.Errorf("audit: epoch backend: %w", err)
+		}
+	}
+
+	mergeStart := time.Now()
+
+	// The verdict needs every epoch up to the earliest fault (or all of
+	// them on a pass). A transport-failed epoch inside that range means the
+	// audit is incomplete — an error, never a silent verdict.
+	needed := len(jobs) - 1
+	if c := int(cutoff.Load()); c < len(jobs) {
+		needed = c
+	}
+	var missing []int
+	for i := 0; i <= needed; i++ {
+		if _, ok := results[i]; !ok {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Ints(missing)
+		first := missing[0]
+		dstats.MergeWallNs = time.Since(mergeStart).Nanoseconds()
+		if err := errs[first]; err != nil {
+			return ReplayStats{}, nil, dstats, fmt.Errorf("audit: epoch %d undecided after transport failure: %w", first, err)
+		}
+		return ReplayStats{}, nil, dstats, fmt.Errorf("audit: backend returned no verdict for epoch %d", first)
+	}
+
+	var merged ReplayStats
+	var fault *FaultReport
+	if c := int(cutoff.Load()); c < len(jobs) {
+		// Earliest faulting epoch: epochs below it all ran and passed, so
+		// this is the fault the serial replay reports. Its stats sum covers
+		// exactly the work the serial replay performed before stopping.
+		for i := 0; i <= c; i++ {
+			addStats(&merged, results[i].stats)
+		}
+		fault = results[c].fault
+	} else {
+		for i := 0; i < len(jobs); i++ {
+			addStats(&merged, results[i].stats)
+		}
+	}
+	dstats.MergeWallNs = time.Since(mergeStart).Nanoseconds()
+	return merged, fault, dstats, nil
+}

@@ -1,0 +1,195 @@
+package audit
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// NetsimBackend replays epochs over the simulated network substrate: the
+// coordinator is netsim node 0, workers are nodes 1..Workers, and every
+// job and verdict rides a netsim frame through the link's configured
+// latency, jitter, loss and partition filter. The simulated workers decode
+// the same wire frames a TCP worker decodes and replay in-process, so the
+// backend exercises the full codec path plus the coordinator's retry and
+// re-dispatch machinery under deterministic packet loss, reordering (via
+// jitter) and healable partitions (via netsim.Network.Filter) — scenarios
+// a loopback TCP test cannot produce on demand.
+//
+// The run is single-threaded virtual time: verdicts are deterministic for
+// a given netsim seed, loss rate and filter, which is what lets tests
+// assert byte-identical audit results under adversarial links.
+type NetsimBackend struct {
+	// Net is the simulated network. The backend owns its Deliver callback
+	// for the duration of Run and advances its virtual clock.
+	Net *netsim.Network
+	// Workers is the number of simulated worker nodes (netsim nodes
+	// 1..Workers; the coordinator is node 0). <= 0 selects 3.
+	Workers int
+	// TimeoutNs is the virtual-time deadline after which a dispatched
+	// epoch with no verdict is retransmitted (to the next worker in the
+	// rotation). <= 0 selects 10ms of virtual time.
+	TimeoutNs uint64
+	// ServiceNs is the simulated per-epoch worker service time. <= 0
+	// selects 1ms of virtual time.
+	ServiceNs uint64
+	// MaxAttempts bounds dispatch attempts per epoch. <= 0 selects
+	// Workers+2.
+	MaxAttempts int
+}
+
+// Remote implements EpochBackend: jobs ship whole and round-trip the wire
+// codec.
+func (b *NetsimBackend) Remote() bool { return true }
+
+// Run implements EpochBackend on the virtual-time loop.
+func (b *NetsimBackend) Run(sess Session, jobs []*EpochJob, skip func(int) bool, emit func(EpochVerdict)) error {
+	workers := b.Workers
+	if workers <= 0 {
+		workers = 3
+	}
+	timeout := b.TimeoutNs
+	if timeout == 0 {
+		timeout = 10_000_000
+	}
+	service := b.ServiceNs
+	if service == 0 {
+		service = 1_000_000
+	}
+	maxAttempts := b.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = workers + 2
+	}
+
+	// Simulated workers decode the session exactly as a TCP worker would,
+	// so the image and configuration round-trip the codec once per run.
+	workerSess, err := sessionFromWire(mustReparseSession(sessionToWire(sess)))
+	if err != nil {
+		return fmt.Errorf("audit: netsim session round-trip: %w", err)
+	}
+
+	type flight struct {
+		deadline uint64
+		attempts int
+		sentTo   int
+		bytes    int
+	}
+	pos := make(map[int]int, len(jobs)) // epoch index → position
+	for p, j := range jobs {
+		pos[j.Index] = p
+	}
+	state := make([]flight, len(jobs))
+	settled := make([]bool, len(jobs))
+	remaining := len(jobs)
+
+	net := b.Net
+	prevDeliver, prevFilter := net.Deliver, net.Filter
+	defer func() { net.Deliver, net.Filter = prevDeliver, prevFilter }()
+	// Keep any caller-installed filter (partitions) active during the run.
+	net.Filter = prevFilter
+
+	var runErr error
+	net.Deliver = func(f netsim.Frame) {
+		if f.To == 0 {
+			// Verdict arriving at the coordinator.
+			v, perr := wire.ParseAuditVerdict(f.Data)
+			if perr != nil {
+				runErr = fmt.Errorf("audit: netsim verdict decode: %w", perr)
+				return
+			}
+			p, ok := pos[int(v.Index)]
+			if !ok || settled[p] {
+				return // duplicate from a retransmit; first verdict won
+			}
+			settled[p] = true
+			remaining--
+			r := verdictFromWire(v)
+			emit(EpochVerdict{
+				Index: int(v.Index), Stats: r.stats, Fault: r.fault,
+				Worker:   fmt.Sprintf("sim-worker-%d", f.From),
+				Attempts: state[p].attempts, WireBytes: state[p].bytes + len(f.Data),
+			})
+			return
+		}
+		// Job arriving at a simulated worker: decode, replay, reply after
+		// the service time. Replays are idempotent, so a retransmitted job
+		// just produces a duplicate verdict the coordinator drops.
+		j, perr := wire.ParseAuditJob(f.Data)
+		if perr != nil {
+			runErr = fmt.Errorf("audit: netsim job decode: %w", perr)
+			return
+		}
+		r := runEpochJob(workerSess, jobFromWire(j), nil)
+		reply := verdictToWire(int(j.Index), r).Marshal()
+		net.Send(net.Now()+service, f.To, 0, reply, len(reply)+wire.TCPIPOverhead)
+	}
+
+	send := func(p int) {
+		job := jobs[p]
+		state[p].attempts++
+		state[p].sentTo = 1 + (job.Index+state[p].attempts-1)%workers
+		payload := jobToWire(job).Marshal()
+		state[p].bytes += len(payload)
+		state[p].deadline = net.Now() + timeout
+		net.Send(net.Now(), 0, state[p].sentTo, payload, len(payload)+wire.TCPIPOverhead)
+	}
+
+	// Initial dispatch in epoch order, then advance virtual time until
+	// every epoch settles, retransmitting on deadline expiry.
+	for p := range jobs {
+		if skip(jobs[p].Index) {
+			settled[p] = true
+			remaining--
+			continue
+		}
+		send(p)
+	}
+	for remaining > 0 && runErr == nil {
+		next := uint64(1<<63 - 1)
+		if at, ok := net.NextDelivery(); ok {
+			next = at
+		}
+		for p := range jobs {
+			if !settled[p] && state[p].deadline < next {
+				next = state[p].deadline
+			}
+		}
+		if next == uint64(1<<63-1) {
+			return fmt.Errorf("audit: netsim backend stalled with %d epochs unresolved", remaining)
+		}
+		net.AdvanceTo(next)
+		for p := range jobs {
+			if settled[p] || net.Now() < state[p].deadline {
+				continue
+			}
+			if skip(jobs[p].Index) {
+				settled[p] = true
+				remaining--
+				continue
+			}
+			if state[p].attempts >= maxAttempts {
+				settled[p] = true
+				remaining--
+				emit(EpochVerdict{Index: jobs[p].Index, Attempts: state[p].attempts,
+					WireBytes: state[p].bytes, Worker: "(exhausted)",
+					Err: fmt.Errorf("audit: epoch %d lost on the simulated network after %d attempts",
+						jobs[p].Index, state[p].attempts)})
+				continue
+			}
+			send(p)
+		}
+	}
+	return runErr
+}
+
+// mustReparseSession round-trips a session through its wire encoding; the
+// encoding is total, so a parse failure is a codec bug worth surfacing at
+// the call site.
+func mustReparseSession(s *wire.AuditSession) *wire.AuditSession {
+	out, err := wire.ParseAuditSession(s.Marshal())
+	if err != nil {
+		panic(fmt.Sprintf("audit: session codec round-trip failed: %v", err))
+	}
+	return out
+}

@@ -1,8 +1,6 @@
 package audit
 
 import (
-	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -39,22 +37,6 @@ type ParallelOptions struct {
 	// against the root committed in the log before replaying from it.
 	// When nil, the audit falls back to the serial single-replay path.
 	Materialize func(snapIdx uint32) (*snapshot.Restored, error)
-}
-
-// epoch is one independently replayable log slice.
-type epoch struct {
-	// boot marks the first epoch, replayed from the reference image.
-	boot bool
-	// startSnap/startRoot identify and authenticate the starting state of
-	// a non-boot epoch.
-	startSnap uint32
-	startRoot [32]byte
-	// startSeq is the log seq of the starting snapshot entry (diagnostics).
-	startSeq uint64
-	// entries is the slice to replay. Epochs that end at a snapshot include
-	// that snapshot entry, so the boundary root is verified by the epoch
-	// that derives it.
-	entries []tevlog.Entry
 }
 
 // epochResult carries one epoch's outcome back to the merge step.
@@ -108,55 +90,23 @@ func (a *Auditor) AuditFullParallel(node sig.NodeID, nodeIdx uint32, entries []t
 // stage AuditFullParallel runs after log verification and the syntactic
 // check; experiments time it directly against the serial replay.
 func (a *Auditor) SemanticCheckParallel(node sig.NodeID, entries []tevlog.Entry, opts ParallelOptions) (ReplayStats, *FaultReport) {
-	epochs := a.partition(entries, opts)
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	jobs := a.partition(entries, opts)
+	be := &PoolBackend{Workers: opts.Workers, Materialize: opts.Materialize}
+	stats, fault, _, err := a.runJobs(node, jobs, be, distConfig{materialize: opts.Materialize})
+	if err != nil {
+		// The in-process pool never reports transport failures; this guards
+		// a future backend misrouted through the parallel entry point.
+		return stats, &FaultReport{Node: node, Check: CheckSemantic, Detail: err.Error()}
 	}
-	if workers > len(epochs) {
-		workers = len(epochs)
-	}
-	if len(epochs) < 2 || workers == 1 {
-		r := a.runEpoch(node, &epochs[0], opts)
-		if len(epochs) >= 2 {
-			// Serial fan-in over the same epochs (workers == 1).
-			for i := 1; i < len(epochs) && r.fault == nil; i++ {
-				next := a.runEpoch(node, &epochs[i], opts)
-				addStats(&r.stats, next.stats)
-				r.fault = next.fault
-			}
-		}
-		return r.stats, r.fault
-	}
-
-	results := make([]epochResult, len(epochs))
-	cutoff := runPool(len(epochs), workers, func(i int) bool {
-		results[i] = a.runEpoch(node, &epochs[i], opts)
-		return results[i].fault != nil
-	})
-
-	var merged ReplayStats
-	if cutoff < len(epochs) {
-		// Earliest faulting epoch: epochs below it all ran and passed, so
-		// this is the fault the serial replay reports. Its stats sum covers
-		// exactly the work the serial replay performed before stopping.
-		for i := 0; i <= cutoff; i++ {
-			addStats(&merged, results[i].stats)
-		}
-		return merged, results[cutoff].fault
-	}
-	for i := range results {
-		addStats(&merged, results[i].stats)
-	}
-	return merged, nil
+	return stats, fault
 }
 
-// partition slices the log into epochs at snapshot entries. It returns a
-// single boot epoch (the serial layout) when the log has no snapshots, the
-// snapshot scan fails (replay will fault on the malformed entry), or no
+// partition slices the log into epoch jobs at snapshot entries. It returns
+// a single boot epoch (the serial layout) when the log has no snapshots,
+// the snapshot scan fails (replay will fault on the malformed entry), or no
 // Materialize source is available.
-func (a *Auditor) partition(entries []tevlog.Entry, opts ParallelOptions) []epoch {
-	whole := []epoch{{boot: true, entries: entries}}
+func (a *Auditor) partition(entries []tevlog.Entry, opts ParallelOptions) []*EpochJob {
+	whole := []*EpochJob{{Boot: true, Entries: entries}}
 	if opts.Materialize == nil || len(entries) == 0 {
 		return whole
 	}
@@ -164,72 +114,33 @@ func (a *Auditor) partition(entries []tevlog.Entry, opts ParallelOptions) []epoc
 	if err != nil || len(points) == 0 {
 		return whole
 	}
-	epochs := make([]epoch, 0, len(points)+1)
-	epochs = append(epochs, epoch{boot: true, entries: entries[:points[0].EntryIndex+1]})
+	jobs := make([]*EpochJob, 0, len(points)+1)
+	jobs = append(jobs, &EpochJob{Boot: true, Entries: entries[:points[0].EntryIndex+1]})
 	for i := 1; i < len(points); i++ {
-		epochs = append(epochs, epoch{
-			startSnap: points[i-1].SnapIdx,
-			startRoot: points[i-1].Root,
-			startSeq:  points[i-1].Seq,
-			entries:   entries[points[i-1].EntryIndex+1 : points[i].EntryIndex+1],
+		jobs = append(jobs, &EpochJob{
+			StartSnap: points[i-1].SnapIdx,
+			StartRoot: points[i-1].Root,
+			StartSeq:  points[i-1].Seq,
+			Entries:   entries[points[i-1].EntryIndex+1 : points[i].EntryIndex+1],
 		})
 	}
 	last := points[len(points)-1]
 	if tail := entries[last.EntryIndex+1:]; len(tail) > 0 {
-		epochs = append(epochs, epoch{
-			startSnap: last.SnapIdx, startRoot: last.Root, startSeq: last.Seq,
-			entries: tail,
+		jobs = append(jobs, &EpochJob{
+			StartSnap: last.SnapIdx, StartRoot: last.Root, StartSeq: last.Seq,
+			Entries: tail,
 		})
 	}
-	return epochs
-}
-
-// runEpoch materializes an epoch's starting state, verifies it against the
-// committed root, and replays the epoch's entries.
-func (a *Auditor) runEpoch(node sig.NodeID, ep *epoch, opts ParallelOptions) epochResult {
-	var rp *Replay
-	var err error
-	if ep.boot {
-		rp, err = NewReplayFromImage(node, a.RefImage, a.RNGSeed)
-		if err != nil {
-			return epochResult{fault: &FaultReport{Node: node, Check: CheckSemantic, Detail: err.Error()}}
-		}
-	} else {
-		restored, merr := opts.Materialize(ep.startSnap)
-		if merr != nil {
-			return epochResult{fault: &FaultReport{
-				Node: node, Check: CheckSnapshot, EntrySeq: ep.startSeq,
-				Detail: fmt.Sprintf("materializing snapshot %d: %v", ep.startSnap, merr),
-			}}
-		}
-		// The machine's state is untrusted: replaying from a state it never
-		// committed to would let it steer the verdict. Check it against the
-		// root the log committed at this epoch's starting snapshot; the hash
-		// tree that verification builds doubles as the replay's live tree,
-		// so snapshot entries inside the epoch verify incrementally.
-		lh := &snapshot.LiveStateHasher{}
-		if verr := lh.SeedVerify(restored, ep.startRoot); verr != nil {
-			return epochResult{fault: &FaultReport{
-				Node: node, Check: CheckSnapshot, EntrySeq: ep.startSeq, Detail: verr.Error(),
-			}}
-		}
-		rp, err = NewReplayFromSnapshot(node, restored, a.RNGSeed)
-		if err != nil {
-			return epochResult{fault: &FaultReport{Node: node, Check: CheckSemantic, Detail: err.Error()}}
-		}
-		rp.AdoptStateHasher(lh)
+	for i, j := range jobs {
+		j.Index = i
 	}
-	rp.Machine().DisablePredecode = a.DisablePredecode
-	rp.Feed(ep.entries)
-	rp.Close()
-	rp.Run()
-	return epochResult{stats: rp.Stats, fault: rp.Fault()}
+	return jobs
 }
 
 // replayFull is the shared serial semantic check: one replay of the whole
 // log from the reference image, i.e. a single boot epoch.
 func (a *Auditor) replayFull(res *Result, node sig.NodeID, entries []tevlog.Entry) *Result {
-	r := a.runEpoch(node, &epoch{boot: true, entries: entries}, ParallelOptions{})
+	r := runEpochJob(a.session(node), &EpochJob{Boot: true, Entries: entries}, nil)
 	res.Replay = r.stats
 	if r.fault != nil {
 		res.Fault = r.fault

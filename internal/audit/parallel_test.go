@@ -77,6 +77,10 @@ func auditBothWays(t *testing.T, s *game.Scenario, node string, label string) *a
 				label, workers, sstats.PeakResidentEntries, sstats.Window)
 		}
 	}
+	// The distributed backends must reach the same verdict as well: the
+	// in-process pool behind the router seam, a lossy simulated network,
+	// and real loopback TCP workers.
+	distBothWays(t, s, node, label, serial)
 	return serial
 }
 

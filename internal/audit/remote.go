@@ -1,0 +1,511 @@
+package audit
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// This file is the real-network epoch backend: a length-prefixed TCP
+// protocol between an audit coordinator (TCPBackend) and scenario-agnostic
+// replay workers (ServeEpochWorker / `avm-audit -serve`). One connection
+// carries one session: the coordinator opens with the reference
+// configuration (image, node, RNG seed), then streams epoch jobs and reads
+// verdicts, tagged by epoch index so late verdicts from a straggler never
+// desynchronize the stream.
+//
+// Failure handling is per epoch: a connection error or crash mid-epoch
+// requeues the job for another worker; a verdict slower than JobTimeout is
+// re-dispatched to a different worker while the original stays outstanding
+// (first verdict wins, duplicates are deduplicated); and a worker that
+// times out repeatedly is abandoned. The audit errors out only when an
+// epoch exhausts MaxAttempts or every worker is gone.
+
+// frame i/o -----------------------------------------------------------------
+
+// writeDistFrame writes one length-prefixed protocol frame.
+func writeDistFrame(w io.Writer, kind wire.DistFrameKind, body []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(body)))
+	hdr[4] = byte(kind)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readDistFrame reads one length-prefixed protocol frame.
+func readDistFrame(r io.Reader) (wire.DistFrameKind, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return 0, nil, errors.New("audit: empty protocol frame")
+	}
+	if n > wire.MaxDistFrame {
+		return 0, nil, wire.ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return wire.DistFrameKind(body[0]), body[1:], nil
+}
+
+// worker side ---------------------------------------------------------------
+
+// ServeEpochWorker accepts coordinator connections on l and replays epoch
+// jobs until the listener closes. The worker is scenario-agnostic and
+// holds no trust: everything a replay needs arrives in the session and job
+// frames, and the coordinator verifies what comes back (root checks before
+// dispatch, spot re-replays after). Each connection is served on its own
+// goroutine; jobs within a connection replay one at a time, so a
+// deployment's parallelism is its worker count.
+func ServeEpochWorker(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			if err := serveWorkerConn(conn); err != nil && !errors.Is(err, io.EOF) {
+				// Report protocol errors while the connection still works; a
+				// broken pipe just ends the session — the coordinator's
+				// retry owns recovery.
+				_ = writeDistFrame(conn, wire.DistFrameError, []byte(err.Error()))
+			}
+		}()
+	}
+}
+
+// serveWorkerConn runs one coordinator session: session frame, then jobs.
+func serveWorkerConn(conn net.Conn) error {
+	kind, body, err := readDistFrame(conn)
+	if err != nil {
+		return err
+	}
+	if kind != wire.DistFrameSession {
+		return fmt.Errorf("audit: worker expected session frame, got kind %d", kind)
+	}
+	ws, err := wire.ParseAuditSession(body)
+	if err != nil {
+		return err
+	}
+	sess, err := sessionFromWire(ws)
+	if err != nil {
+		return err
+	}
+	if err := writeDistFrame(conn, wire.DistFrameSessionOK, nil); err != nil {
+		return err
+	}
+	for {
+		kind, body, err := readDistFrame(conn)
+		if err != nil {
+			return err
+		}
+		if kind != wire.DistFrameJob {
+			return fmt.Errorf("audit: worker expected job frame, got kind %d", kind)
+		}
+		wj, err := wire.ParseAuditJob(body)
+		if err != nil {
+			return err
+		}
+		job := jobFromWire(wj)
+		r := runEpochJob(sess, job, nil)
+		if err := writeDistFrame(conn, wire.DistFrameVerdict, verdictToWire(job.Index, r).Marshal()); err != nil {
+			return err
+		}
+	}
+}
+
+// coordinator side ----------------------------------------------------------
+
+// TCPBackend replays epochs on remote workers reached over TCP.
+type TCPBackend struct {
+	// Addrs are the worker addresses (host:port), one connection each.
+	Addrs []string
+	// DialTimeout bounds connection setup. <= 0 selects 5s.
+	DialTimeout time.Duration
+	// JobTimeout is the straggler deadline: an epoch with no verdict after
+	// this long is re-dispatched to another worker (the original dispatch
+	// stays outstanding; the first verdict wins). <= 0 selects 2m.
+	JobTimeout time.Duration
+	// MaxAttempts bounds dispatch attempts per epoch across workers.
+	// <= 0 selects len(Addrs)+2.
+	MaxAttempts int
+	// ConsecutiveTimeouts is how many straggler deadlines in a row a
+	// connection survives before it is dropped and redialed. <= 0 selects 2.
+	ConsecutiveTimeouts int
+}
+
+// Remote implements EpochBackend: jobs ship whole.
+func (b *TCPBackend) Remote() bool { return true }
+
+// tcpDispatch is the shared state of one Run.
+type tcpDispatch struct {
+	jobs []*EpochJob
+
+	pending   chan int // positions awaiting dispatch; never closed (exit via done)
+	settled   []atomic.Bool
+	attempts  []atomic.Int32
+	shipped   []atomic.Int64 // job-frame bytes written per position, all attempts
+	remaining atomic.Int64
+	done      chan struct{}
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	failed map[int]error // position → last error, for epochs out of attempts
+	closed bool
+}
+
+// settle marks a position finished (verdict, skip, or failure); the run
+// completes when every position settles. Reports whether this call won.
+func (d *tcpDispatch) settle(pos int) bool {
+	if !d.settled[pos].CompareAndSwap(false, true) {
+		return false
+	}
+	if d.remaining.Add(-1) == 0 {
+		close(d.done)
+	}
+	return true
+}
+
+// fail records a position that exhausted its attempts.
+func (d *tcpDispatch) fail(pos int, err error) {
+	d.mu.Lock()
+	d.failed[pos] = err
+	d.mu.Unlock()
+	d.settle(pos)
+}
+
+// requeue returns a position to the dispatch queue. The queue is sized for
+// every position times every attempt plus slack, so the send never blocks.
+func (d *tcpDispatch) requeue(pos int) {
+	if !d.settled[pos].Load() {
+		select {
+		case d.pending <- pos:
+		default:
+			// Queue saturated by duplicate requeues; the position is
+			// already waiting, dropping this copy loses nothing.
+		}
+	}
+}
+
+// register tracks a live connection so shutdown can unblock its reads;
+// returns false when the run is already over.
+func (d *tcpDispatch) register(c net.Conn) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return false
+	}
+	d.conns[c] = struct{}{}
+	return true
+}
+
+func (d *tcpDispatch) unregister(c net.Conn) {
+	d.mu.Lock()
+	delete(d.conns, c)
+	d.mu.Unlock()
+}
+
+// shutdown closes every live connection, unblocking worker reads.
+func (d *tcpDispatch) shutdown() {
+	d.mu.Lock()
+	d.closed = true
+	for c := range d.conns {
+		c.Close()
+	}
+	d.conns = map[net.Conn]struct{}{}
+	d.mu.Unlock()
+}
+
+func (d *tcpDispatch) finished() bool {
+	select {
+	case <-d.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Run implements EpochBackend over the worker fleet.
+func (b *TCPBackend) Run(sess Session, jobs []*EpochJob, skip func(int) bool, emit func(EpochVerdict)) error {
+	if len(b.Addrs) == 0 {
+		return errors.New("audit: TCP backend has no worker addresses")
+	}
+	maxAttempts := b.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = len(b.Addrs) + 2
+	}
+	d := &tcpDispatch{
+		jobs:     jobs,
+		pending:  make(chan int, len(jobs)*(maxAttempts+2)+len(b.Addrs)),
+		settled:  make([]atomic.Bool, len(jobs)),
+		attempts: make([]atomic.Int32, len(jobs)),
+		shipped:  make([]atomic.Int64, len(jobs)),
+		done:     make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+		failed:   make(map[int]error),
+	}
+	d.remaining.Store(int64(len(jobs)))
+	for pos := range jobs {
+		d.pending <- pos
+	}
+
+	// Jobs are encoded lazily and cached, so skipped epochs cost nothing
+	// and a re-dispatch reuses the first attempt's bytes.
+	encoded := make([][]byte, len(jobs))
+	var encMu sync.Mutex
+	frame := func(pos int) []byte {
+		encMu.Lock()
+		defer encMu.Unlock()
+		if encoded[pos] == nil {
+			encoded[pos] = jobToWire(jobs[pos]).Marshal()
+		}
+		return encoded[pos]
+	}
+
+	sessionFrame := sessionToWire(sess).Marshal()
+	var wg sync.WaitGroup
+	var live atomic.Int64
+	allDead := make(chan struct{})
+	live.Store(int64(len(b.Addrs)))
+	for _, addr := range b.Addrs {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			b.runWorker(addr, sessionFrame, d, frame, skip, emit)
+			if live.Add(-1) == 0 {
+				close(allDead)
+			}
+		}(addr)
+	}
+
+	var runErr error
+	select {
+	case <-d.done:
+	case <-allDead:
+		if d.remaining.Load() > 0 {
+			runErr = fmt.Errorf("audit: all %d TCP workers unreachable with %d epochs unresolved",
+				len(b.Addrs), d.remaining.Load())
+		}
+	}
+	d.shutdown()
+	wg.Wait()
+
+	// Report per-epoch failures as errored verdicts; the router decides
+	// whether the final verdict needed them.
+	d.mu.Lock()
+	for pos, err := range d.failed {
+		emit(EpochVerdict{Index: jobs[pos].Index, Err: err,
+			Attempts: int(d.attempts[pos].Load()), Worker: "(exhausted)"})
+	}
+	d.mu.Unlock()
+	return runErr
+}
+
+// runWorker drives one worker connection until the run completes or the
+// worker is abandoned. Returning requeues nothing by itself — any position
+// this worker held was requeued on its error path — so the job flows to
+// the surviving workers.
+func (b *TCPBackend) runWorker(addr string, sessionFrame []byte, d *tcpDispatch, frame func(int) []byte, skip func(int) bool, emit func(EpochVerdict)) {
+	dialTimeout := b.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	jobTimeout := b.JobTimeout
+	if jobTimeout <= 0 {
+		jobTimeout = 2 * time.Minute
+	}
+	maxConsecutiveTimeouts := b.ConsecutiveTimeouts
+	if maxConsecutiveTimeouts <= 0 {
+		maxConsecutiveTimeouts = 2
+	}
+
+	posByIndex := make(map[int]int, len(d.jobs))
+	for pos, j := range d.jobs {
+		posByIndex[j.Index] = pos
+	}
+
+	var conn net.Conn
+	closeConn := func() {
+		if conn != nil {
+			d.unregister(conn)
+			conn.Close()
+			conn = nil
+		}
+	}
+	defer closeConn()
+	connect := func() bool {
+		closeConn()
+		if d.finished() {
+			return false
+		}
+		c, err := net.DialTimeout("tcp", addr, dialTimeout)
+		if err != nil {
+			return false
+		}
+		// Register before the first write: once the conn is registered,
+		// shutdown() can always unblock this goroutine's I/O, so a worker
+		// that stalls mid-handshake cannot outlive the run.
+		if !d.register(c) {
+			c.Close()
+			return false
+		}
+		c.SetWriteDeadline(time.Now().Add(dialTimeout))
+		if err := writeDistFrame(c, wire.DistFrameSession, sessionFrame); err != nil {
+			d.unregister(c)
+			c.Close()
+			return false
+		}
+		c.SetReadDeadline(time.Now().Add(dialTimeout))
+		kind, _, err := readDistFrame(c)
+		if err != nil || kind != wire.DistFrameSessionOK {
+			d.unregister(c)
+			c.Close()
+			return false
+		}
+		conn = c
+		return true
+	}
+	if !connect() {
+		return
+	}
+
+	// deliver hands a verdict frame to the router, deduplicating via the
+	// settled flags so a straggler's late verdict and its re-dispatch twin
+	// emit exactly once. Returns the settled position, or -1 on a frame
+	// this run cannot place. Shipped bytes are read from the per-position
+	// tally, so a late verdict drained while awaiting another job is
+	// charged its own epoch's frames (every attempt's), not the current
+	// job's.
+	deliver := func(body []byte) int {
+		v, err := wire.ParseAuditVerdict(body)
+		if err != nil {
+			return -1
+		}
+		pos, ok := posByIndex[int(v.Index)]
+		if !ok {
+			return -1
+		}
+		if d.settle(pos) {
+			r := verdictFromWire(v)
+			emit(EpochVerdict{
+				Index: int(v.Index), Stats: r.stats, Fault: r.fault,
+				Worker: addr, Attempts: int(d.attempts[pos].Load()),
+				WireBytes: int(d.shipped[pos].Load()) + len(body),
+			})
+		}
+		return pos
+	}
+
+	consecutiveTimeouts := 0
+	for {
+		var pos int
+		var ok bool
+		select {
+		case <-d.done:
+			return
+		case pos, ok = <-d.pending:
+			if !ok {
+				return
+			}
+		}
+		if d.settled[pos].Load() {
+			continue
+		}
+		if skip(d.jobs[pos].Index) {
+			d.settle(pos)
+			continue
+		}
+		if n := d.attempts[pos].Add(1); int(n) > maxAttemptsOf(b, len(b.Addrs)) {
+			d.fail(pos, fmt.Errorf("audit: epoch %d exhausted %d dispatch attempts",
+				d.jobs[pos].Index, maxAttemptsOf(b, len(b.Addrs))))
+			continue
+		}
+		job := frame(pos)
+		// A write deadline keeps a wedged worker from pinning this epoch
+		// forever: job frames carry whole materialized states, so a stalled
+		// receiver can block a large write that the read deadline below
+		// would never reach.
+		conn.SetWriteDeadline(time.Now().Add(jobTimeout))
+		if err := writeDistFrame(conn, wire.DistFrameJob, job); err != nil {
+			d.requeue(pos)
+			if !connect() {
+				return
+			}
+			continue
+		}
+		d.shipped[pos].Add(int64(len(job)))
+		// Await this job's verdict, tolerating late verdicts for earlier
+		// jobs this connection timed out on.
+		for {
+			conn.SetReadDeadline(time.Now().Add(jobTimeout))
+			kind, body, err := readDistFrame(conn)
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					// Straggler: hand the epoch to another worker and move
+					// on; if the verdict still lands here later, the next
+					// await drains and delivers it.
+					d.requeue(pos)
+					consecutiveTimeouts++
+					if consecutiveTimeouts >= maxConsecutiveTimeouts {
+						if !connect() {
+							return
+						}
+						consecutiveTimeouts = 0
+					}
+					break
+				}
+				d.requeue(pos)
+				if !connect() {
+					return
+				}
+				break
+			}
+			if kind != wire.DistFrameVerdict {
+				// Worker-side protocol error (DistFrameError or garbage):
+				// this connection is not going to produce the verdict.
+				d.requeue(pos)
+				if !connect() {
+					return
+				}
+				break
+			}
+			consecutiveTimeouts = 0
+			got := deliver(body)
+			if got < 0 {
+				d.requeue(pos)
+				if !connect() {
+					return
+				}
+				break
+			}
+			if got == pos {
+				break
+			}
+			// A late verdict for an earlier job; keep reading for ours.
+		}
+	}
+}
+
+// maxAttemptsOf resolves the per-epoch attempt bound.
+func maxAttemptsOf(b *TCPBackend, workers int) int {
+	if b.MaxAttempts > 0 {
+		return b.MaxAttempts
+	}
+	return workers + 2
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"net"
 	"runtime"
 	"time"
 
@@ -70,6 +71,22 @@ type AuditBenchResult struct {
 	StreamEpochs        int     `json:"stream_epochs"`
 	StreamVerdictMatch  bool    `json:"stream_verdict_match"`
 	StreamEntriesPerSec float64 `json:"stream_entries_per_sec"`
+
+	// Distributed dispatch: the same full audit with epochs shipped to
+	// loopback TCP workers, against the in-process pool at the same
+	// fan-out. The overhead ratio is what the wire codec, coordinator-side
+	// root verification and verdict merge cost on top of local replay; the
+	// merge and prep walls break the coordinator's share out.
+	DistWorkers       int     `json:"dist_workers"`
+	DistEpochs        int     `json:"dist_epochs"`
+	DistWallNs        int64   `json:"dist_wall_ns"`
+	DistLocalWallNs   int64   `json:"dist_local_same_workers_wall_ns"`
+	DistOverheadRatio float64 `json:"dist_overhead_ratio"`
+	DistPrepWallNs    int64   `json:"dist_prep_wall_ns"`
+	DistMergeWallNs   int64   `json:"dist_merge_wall_ns"`
+	DistJobBytes      int     `json:"dist_job_bytes"`
+	DistRedispatches  int     `json:"dist_redispatches"`
+	DistVerdictMatch  bool    `json:"dist_verdict_match"`
 
 	// Spot-checking every segment of the minisql log, serial vs parallel.
 	SpotSegments       int   `json:"spot_segments"`
@@ -224,6 +241,64 @@ func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
 		streamRes.Syntactic == matRes.Syntactic
 	if !streamRes.Passed {
 		return nil, fmt.Errorf("auditbench: streaming audit failed: %v", streamRes.Fault)
+	}
+
+	// --- distributed dispatch over loopback TCP workers ---
+	res.DistWorkers = 3
+	var listeners []net.Listener
+	var addrs []string
+	for i := 0; i < res.DistWorkers; i++ {
+		l, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			return nil, fmt.Errorf("auditbench: worker listener: %w", lerr)
+		}
+		listeners = append(listeners, l)
+		addrs = append(addrs, l.Addr().String())
+		go audit.ServeEpochWorker(l)
+	}
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	target3, auths3, distAuditor, err := s.AuditInputs(target.Node())
+	if err != nil {
+		return nil, err
+	}
+	entries3 := target3.Log.Entries()
+	var localRes *audit.Result
+	localWall := stopwatch(func() {
+		localRes = distAuditor.AuditFullParallel(target.Node(), uint32(target3.Index()), entries3, auths3,
+			audit.ParallelOptions{Workers: res.DistWorkers, Materialize: materialize})
+	})
+	res.DistLocalWallNs = localWall.Nanoseconds()
+	var distRes *audit.Result
+	var dstats audit.DistStats
+	distWall := stopwatch(func() {
+		distRes, dstats, err = distAuditor.AuditFullDist(target.Node(), uint32(target3.Index()), entries3, auths3,
+			audit.DistOptions{
+				Backend:     &audit.TCPBackend{Addrs: addrs, JobTimeout: 2 * time.Minute},
+				Materialize: materialize,
+				Workers:     res.DistWorkers,
+			})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("auditbench: distributed audit: %w", err)
+	}
+	res.DistWallNs = distWall.Nanoseconds()
+	res.DistEpochs = dstats.Epochs
+	res.DistPrepWallNs = dstats.PrepWallNs
+	res.DistMergeWallNs = dstats.MergeWallNs
+	res.DistJobBytes = dstats.WireBytes
+	res.DistRedispatches = dstats.Redispatches
+	res.DistVerdictMatch = distRes.Passed == localRes.Passed && distRes.Replay == localRes.Replay &&
+		distRes.Syntactic == localRes.Syntactic &&
+		distRes.Passed == serial.Passed && distRes.Replay == serial.Replay
+	if localWall > 0 {
+		res.DistOverheadRatio = float64(distWall) / float64(localWall)
+	}
+	if !distRes.Passed {
+		return nil, fmt.Errorf("auditbench: distributed audit failed: %v", distRes.Fault)
 	}
 
 	// --- spot-checking every segment, serial vs parallel ---
@@ -402,6 +477,10 @@ func (r *AuditBenchResult) Table() *metrics.Table {
 	t.Row("streaming pipeline", time.Duration(r.StreamWallNs).String(),
 		fmt.Sprintf("%.2fx, window %d, peak %d resident, %d epochs, verdict match %v",
 			r.StreamSpeedup, r.StreamWindow, r.StreamPeakResident, r.StreamEpochs, r.StreamVerdictMatch))
+	t.Row("distributed pipeline", time.Duration(r.DistWallNs).String(),
+		fmt.Sprintf("%d TCP workers, %d epochs, %.2fx local wall, %d KiB shipped, %d re-dispatched, merge %v, verdict match %v",
+			r.DistWorkers, r.DistEpochs, r.DistOverheadRatio, r.DistJobBytes>>10, r.DistRedispatches,
+			time.Duration(r.DistMergeWallNs), r.DistVerdictMatch))
 	t.Row("spot check serial", time.Duration(r.SpotSerialWallNs).String(),
 		fmt.Sprintf("%d segments", r.SpotSegments))
 	t.Row("spot check parallel", time.Duration(r.SpotParallelWallNs).String(),

@@ -286,6 +286,24 @@ func (s *Scenario) AuditInputs(node sig.NodeID) (*avmm.Monitor, []tevlog.Authent
 	return s.auditorFor(node)
 }
 
+// AuditNodeDist is AuditNode with the replay stage fanned out over an
+// epoch backend — the in-process pool when opts.Backend is nil, simulated
+// network workers, or real TCP workers. The node's snapshot store supplies
+// epoch starting states (root-verified by the coordinator before
+// dispatch); the verdict is byte-identical to AuditNode's.
+func (s *Scenario) AuditNodeDist(node sig.NodeID, opts audit.DistOptions) (*audit.Result, audit.DistStats, error) {
+	target, auths, a, err := s.auditorFor(node)
+	if err != nil {
+		return nil, audit.DistStats{}, err
+	}
+	if opts.Materialize == nil {
+		opts.Materialize = func(snapIdx uint32) (*snapshot.Restored, error) {
+			return target.Snaps.Materialize(int(snapIdx))
+		}
+	}
+	return a.AuditFullDist(node, uint32(target.Index()), target.Log.Entries(), auths, opts)
+}
+
 // botDriver synthesizes player input: a seeded random walk with aim
 // wiggle, fire bursts, reloads, occasional jumps and weapon switches. The
 // aggressive variant holds fire continuously — the §5.4 external aimbot,

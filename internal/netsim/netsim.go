@@ -78,6 +78,12 @@ type Network struct {
 	// Deliver is invoked for each frame when it arrives. Set by the world
 	// before advancing time.
 	Deliver func(f Frame)
+	// Filter, when set, is consulted at delivery time; returning false
+	// drops the frame (counted against the sender as lost). It models
+	// deterministic partitions and adversarial links on top of the
+	// probabilistic LossRate — a filter that consults Now() can cut a node
+	// off for a virtual-time span and then heal.
+	Filter func(f Frame) bool
 }
 
 // New returns an empty network.
@@ -141,6 +147,10 @@ func (n *Network) AdvanceTo(t uint64) {
 	for len(n.queue) > 0 && n.queue[0].at <= t {
 		e := heap.Pop(&n.queue).(event)
 		n.now = e.at
+		if n.Filter != nil && !n.Filter(e.frame) {
+			n.NodeStats(e.frame.From).FramesLost++
+			continue
+		}
 		if n.Deliver == nil {
 			panic("netsim: AdvanceTo with no Deliver callback")
 		}

@@ -72,6 +72,32 @@ func NewStore(memSize int) *Store {
 // Count returns the number of snapshots taken.
 func (st *Store) Count() int { return len(st.snaps) }
 
+// StoreFile is the persisted form of a snapshot store — what avm-run gob-
+// encodes into a recording's <node>.snaps and avm-audit decodes to
+// materialize epoch starting states. Defining it here (not in each CLI)
+// keeps the writers' and readers' formats from drifting.
+type StoreFile struct {
+	MemSize int
+	Snaps   []*Snapshot
+}
+
+// File returns the store's persistable form. The slice and its snapshots
+// are shared, not copied; callers must not mutate them.
+func (st *Store) File() StoreFile {
+	return StoreFile{MemSize: st.memSize, Snaps: st.snaps}
+}
+
+// Restore rebuilds a store around a persisted snapshot sequence, for
+// audit-side materialization: Materialize, Snapshot, Count and
+// TransferBytes work as on the original store. The internal hash tree is
+// not reconstructed, so Take must not be called on a restored store —
+// auditors only read.
+func (f StoreFile) Restore() *Store {
+	st := NewStore(f.MemSize)
+	st.snaps = f.Snaps
+	return st
+}
+
 // Snapshot returns snapshot k.
 func (st *Store) Snapshot(k int) (*Snapshot, error) {
 	if k < 0 || k >= len(st.snaps) {

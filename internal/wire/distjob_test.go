@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/tevlog"
+	"repro/internal/vm"
+)
+
+func testSession() *AuditSession {
+	img := &vm.Image{
+		Name: "ref-img", Code: []byte{1, 2, 3, 4, 5}, TextSize: 4,
+		Entry: 0x1000, MemSize: 1 << 18, Disk: []byte("disk contents"),
+	}
+	img.Vectors[0] = 0x2000
+	img.Vectors[3] = 0x2400
+	return SessionFromImage("player1", img, 0xDEADBEEF, true)
+}
+
+func TestAuditSessionRoundTrip(t *testing.T) {
+	s := testSession()
+	got, err := ParseAuditSession(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("session round trip:\n got %+v\nwant %+v", got, s)
+	}
+	img, err := got.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Hash() != mustImage(t, s).Hash() {
+		t.Fatal("reassembled image hash differs")
+	}
+}
+
+func mustImage(t *testing.T, s *AuditSession) *vm.Image {
+	t.Helper()
+	img, err := s.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestAuditJobRoundTrip(t *testing.T) {
+	job := &AuditJob{
+		Index: 7, StartSnap: 3, StartSeq: 991,
+		Mem: make([]byte, 8192), Machine: []byte{9, 8, 7},
+		Device: []byte("dev"), AuthDevice: []byte("authdev"),
+		Entries: []tevlog.Entry{
+			{Seq: 1, Type: tevlog.TypeSend, Content: []byte("hello")},
+			{Seq: 2, Type: tevlog.TypeNondet, Content: nil},
+			{Seq: 3, Type: tevlog.TypeSnapshot, Content: []byte{0xFF, 0x00}},
+		},
+	}
+	for i := range job.StartRoot {
+		job.StartRoot[i] = byte(i)
+	}
+	for i := range job.Mem {
+		job.Mem[i] = byte(i * 31)
+	}
+	got, err := ParseAuditJob(job.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The codec does not ship chain hashes or distinguish nil from empty
+	// content; normalize before comparing.
+	if len(job.Entries[1].Content) == 0 {
+		job.Entries[1].Content = []byte{}
+	}
+	if len(got.Entries[1].Content) == 0 {
+		got.Entries[1].Content = []byte{}
+	}
+	if !reflect.DeepEqual(job, got) {
+		t.Fatalf("job round trip:\n got %+v\nwant %+v", got, job)
+	}
+}
+
+func TestAuditVerdictRoundTrip(t *testing.T) {
+	for _, v := range []*AuditVerdict{
+		{Index: 0, Instructions: 123456, EntriesConsumed: 77, SendsMatched: 3,
+			NondetsConsumed: 40, EventsInjected: 9, SnapshotsVerified: 2},
+		{Index: 5, Instructions: 1, HasFault: true, FaultNode: "player2",
+			FaultCheck: "snapshot", FaultDetail: "state root ab does not match",
+			FaultEntrySeq: 4242, FaultLandmark: vm.Landmark{ICount: 99, Branches: 7, PC: 0x30}},
+	} {
+		got, err := ParseAuditVerdict(v.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(v, got) {
+			t.Fatalf("verdict round trip:\n got %+v\nwant %+v", got, v)
+		}
+	}
+}
+
+// TestDistCodecTruncation: every strict prefix of a valid encoding must be
+// rejected, never crash, and never round-trip as something else.
+func TestDistCodecTruncation(t *testing.T) {
+	session := testSession().Marshal()
+	job := (&AuditJob{Index: 1, Boot: true,
+		Entries: []tevlog.Entry{{Seq: 1, Type: tevlog.TypeSend, Content: []byte("x")}}}).Marshal()
+	verdict := (&AuditVerdict{Index: 2, HasFault: true, FaultDetail: "d"}).Marshal()
+
+	for name, tc := range map[string]struct {
+		buf   []byte
+		parse func([]byte) error
+	}{
+		"session": {session, func(b []byte) error { _, err := ParseAuditSession(b); return err }},
+		"job":     {job, func(b []byte) error { _, err := ParseAuditJob(b); return err }},
+		"verdict": {verdict, func(b []byte) error { _, err := ParseAuditVerdict(b); return err }},
+	} {
+		if err := tc.parse(tc.buf); err != nil {
+			t.Fatalf("%s: valid encoding rejected: %v", name, err)
+		}
+		for cut := 0; cut < len(tc.buf); cut++ {
+			if err := tc.parse(tc.buf[:cut]); err == nil {
+				t.Errorf("%s: truncation at %d/%d accepted", name, cut, len(tc.buf))
+			}
+		}
+		if err := tc.parse(append(append([]byte(nil), tc.buf...), 0)); err == nil {
+			t.Errorf("%s: trailing byte accepted", name)
+		}
+	}
+}

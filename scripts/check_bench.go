@@ -1,15 +1,21 @@
 // Command check_bench gates CI on audit-engine performance: it compares a
-// freshly measured BENCH_audit.json against the committed baseline and
-// fails when a throughput metric regressed by more than the tolerance
-// (default 30%), or when any correctness invariant recorded in the JSON is
-// violated (verdict mismatches, a streaming window overrun).
+// freshly measured BENCH_audit.json against the committed baseline — and,
+// when -prev points at the previous main run's artifact (restored from the
+// actions cache), against that too — and fails when a throughput metric
+// regressed by more than the tolerance (default 30%), or when any
+// correctness invariant recorded in the JSON is violated (verdict
+// mismatches, a streaming window overrun, a distributed dispatch that cost
+// more than it should).
 //
 //	go run ./scripts/check_bench.go -baseline BENCH_audit.json -current bench.json
+//	go run ./scripts/check_bench.go -baseline BENCH_audit.json -prev prev/bench.json -current bench.json
 //
 // Only rate metrics are compared — wall-clock times vary with runner
 // hardware, but so do rates, hence the deliberately loose tolerance: the
 // gate exists to catch step-change regressions (an accidentally serialized
-// pipeline, a quadratic hot path), not single-digit noise.
+// pipeline, a quadratic hot path), not single-digit noise. The previous-run
+// comparison is tighter in spirit (same runner fleet, adjacent commits)
+// but uses the same tolerance so a noisy runner cannot block a merge.
 package main
 
 import (
@@ -31,6 +37,11 @@ type bench struct {
 	StreamVerdictMatch    bool    `json:"stream_verdict_match"`
 	StreamPeakResident    int     `json:"stream_peak_resident_entries"`
 	StreamWindow          int     `json:"stream_window"`
+	DistWorkers           int     `json:"dist_workers"`
+	DistWallNs            int64   `json:"dist_wall_ns"`
+	DistOverheadRatio     float64 `json:"dist_overhead_ratio"`
+	DistMergeWallNs       int64   `json:"dist_merge_wall_ns"`
+	DistVerdictMatch      bool    `json:"dist_verdict_match"`
 	MerkleSerialGBps      float64 `json:"merkle_serial_gb_per_sec"`
 	MerkleParallelGBps    float64 `json:"merkle_parallel_gb_per_sec"`
 	MerkleFullVerifies    float64 `json:"merkle_full_verifies_per_sec"`
@@ -57,6 +68,7 @@ func load(path string) (*bench, error) {
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_audit.json", "committed baseline JSON")
+	prevPath := flag.String("prev", "", "previous run's JSON artifact (optional; skipped when missing)")
 	currentPath := flag.String("current", "bench.json", "freshly measured JSON")
 	tolerance := flag.Float64("tolerance", 0.30, "max allowed fractional regression on rate metrics")
 	flag.Parse()
@@ -71,21 +83,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "check_bench:", err)
 		os.Exit(2)
 	}
+	var prev *bench
+	if *prevPath != "" {
+		if _, statErr := os.Stat(*prevPath); statErr == nil {
+			prev, err = load(*prevPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "check_bench:", err)
+				os.Exit(2)
+			}
+		} else {
+			fmt.Printf("check_bench: no previous-run artifact at %s (first run on this branch?); baseline only\n", *prevPath)
+		}
+	}
 
 	failures := 0
-	rate := func(name string, base, cur float64) {
-		if base <= 0 {
-			fmt.Printf("  %-28s baseline empty; skipped\n", name)
-			return
+	rates := func(label string, base *bench) {
+		rate := func(name string, baseVal, cur float64) {
+			if baseVal <= 0 {
+				fmt.Printf("  %-28s %s empty; skipped\n", name, label)
+				return
+			}
+			floor := baseVal * (1 - *tolerance)
+			status := "ok"
+			if cur < floor {
+				status = "REGRESSED"
+				failures++
+			}
+			fmt.Printf("  %-28s %12.1f vs %s %12.1f (floor %12.1f) %s\n", name, cur, label, baseVal, floor, status)
 		}
-		floor := base * (1 - *tolerance)
-		status := "ok"
-		if cur < floor {
-			status = "REGRESSED"
-			failures++
-		}
-		fmt.Printf("  %-28s %12.1f vs baseline %12.1f (floor %12.1f) %s\n", name, cur, base, floor, status)
+		rate("serial entries/s", base.SerialEntriesPerSec, current.SerialEntriesPerSec)
+		rate("serial Minstr/s", base.SerialMInstrPerSec, current.SerialMInstrPerSec)
+		rate("parallel Minstr/s", base.ParallelMInstrPerSec, current.ParallelMInstrPerSec)
+		rate("stream entries/s", base.StreamEntriesPerSec, current.StreamEntriesPerSec)
+		rate("merkle serial GB/s", base.MerkleSerialGBps, current.MerkleSerialGBps)
+		rate("merkle parallel GB/s", base.MerkleParallelGBps, current.MerkleParallelGBps)
+		rate("merkle full verifies/s", base.MerkleFullVerifies, current.MerkleFullVerifies)
+		rate("merkle inc verifies/s", base.MerkleIncVerifies, current.MerkleIncVerifies)
+		rate("rsa verify ops/s", base.VerifyOpsPerSec, current.VerifyOpsPerSec)
 	}
+
+	fmt.Printf("check_bench: tolerance %.0f%%, %d entries audited\n", *tolerance*100, current.LogEntries)
+	fmt.Println("vs committed baseline:")
+	rates("baseline", baseline)
+	if prev != nil {
+		fmt.Println("vs previous run:")
+		rates("previous", prev)
+	}
+
 	invariant := func(name string, ok bool) {
 		status := "ok"
 		if !ok {
@@ -95,17 +139,7 @@ func main() {
 		fmt.Printf("  %-28s %s\n", name, status)
 	}
 
-	fmt.Printf("check_bench: tolerance %.0f%%, %d entries audited\n", *tolerance*100, current.LogEntries)
-	rate("serial entries/s", baseline.SerialEntriesPerSec, current.SerialEntriesPerSec)
-	rate("serial Minstr/s", baseline.SerialMInstrPerSec, current.SerialMInstrPerSec)
-	rate("parallel Minstr/s", baseline.ParallelMInstrPerSec, current.ParallelMInstrPerSec)
-	rate("stream entries/s", baseline.StreamEntriesPerSec, current.StreamEntriesPerSec)
-	rate("merkle serial GB/s", baseline.MerkleSerialGBps, current.MerkleSerialGBps)
-	rate("merkle parallel GB/s", baseline.MerkleParallelGBps, current.MerkleParallelGBps)
-	rate("merkle full verifies/s", baseline.MerkleFullVerifies, current.MerkleFullVerifies)
-	rate("merkle inc verifies/s", baseline.MerkleIncVerifies, current.MerkleIncVerifies)
-	rate("rsa verify ops/s", baseline.VerifyOpsPerSec, current.VerifyOpsPerSec)
-
+	fmt.Println("invariants:")
 	invariant("stream verdict match", current.StreamVerdictMatch)
 	invariant("predecode verdict match", current.PredecodeVerdictMatch)
 	// The predecoded sprint must stay decisively faster than Step-by-Step
@@ -120,6 +154,17 @@ func main() {
 		current.MerkleIncSpeedup > 2)
 	invariant("stream window respected", current.StreamWindow <= 0 ||
 		current.StreamPeakResident <= current.StreamWindow)
+	// Distributed dispatch: the verdict must not depend on where epochs
+	// replayed, shipping epochs over loopback must stay within a small
+	// multiple of the in-process pool at the same fan-out (a blowup means
+	// the codec or the coordinator serialized the pipeline), and the
+	// deterministic merge must stay a rounding error, not a stage.
+	if current.DistWorkers > 0 {
+		invariant("dist verdict match", current.DistVerdictMatch)
+		invariant("dist overhead ratio <= 5", current.DistOverheadRatio <= 0 ||
+			current.DistOverheadRatio <= 5)
+		invariant("dist merge wall <= 100ms", current.DistMergeWallNs <= 100_000_000)
+	}
 	for _, w := range current.Workers {
 		invariant(fmt.Sprintf("parallel verdict (%d workers)", w.Workers), w.VerdictMatch)
 	}

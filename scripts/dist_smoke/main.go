@@ -1,0 +1,220 @@
+// Command dist_smoke is the CI gate for the distributed audit fan-out: it
+// starts real `avm-audit -serve` worker processes on loopback, dispatches
+// the full 26-cheat catalog (plus a clean match) through the TCP backend,
+// and fails unless every distributed Result is byte-identical to the
+// serial engine's. It then exercises the avm-run → avm-audit -dispatch
+// offline workflow end to end and asserts the documented exit codes
+// (0 clean, 1 fault detected, 2 audit/transport failure).
+//
+//	go build -o bin/ ./cmd/avm-audit ./cmd/avm-run
+//	go run ./scripts/dist_smoke -audit-bin bin/avm-audit -run-bin bin/avm-run
+//
+// Exit status: 0 on full equivalence, 1 on any divergence or harness
+// failure.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/avmm"
+	"repro/internal/game"
+	"repro/internal/sig"
+)
+
+const matchNs = 6_000_000_000
+
+var failures int
+
+func failf(format string, args ...interface{}) {
+	failures++
+	fmt.Fprintf(os.Stderr, "dist_smoke: FAIL: "+format+"\n", args...)
+}
+
+// startWorker spawns one `avm-audit -serve` process and returns the
+// address it bound (parsed from its banner line).
+func startWorker(auditBin string) (string, func(), error) {
+	cmd := exec.Command(auditBin, "-serve", "-listen", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return "", nil, err
+	}
+	stop := func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.LastIndex(line, "listening on "); i >= 0 {
+				addrCh <- strings.TrimSpace(line[i+len("listening on "):])
+				break
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			stop()
+			return "", nil, fmt.Errorf("worker printed no listen address")
+		}
+		return addr, stop, nil
+	case <-time.After(10 * time.Second):
+		stop()
+		return "", nil, fmt.Errorf("worker did not announce its address in time")
+	}
+}
+
+// auditMatch records one two-player match (cheat may be nil) and compares
+// the serial audit of both players against the TCP-dispatched audit.
+func auditMatch(name string, cheat *game.Cheat, addrs []string) {
+	cfg := game.ScenarioConfig{
+		Players: 2, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
+		Seed: 2024, SnapshotEveryNs: matchNs / 3, FakeSignatures: true,
+	}
+	if cheat != nil {
+		cfg.CheatPlayer = 1
+		cfg.Cheat = cheat
+	}
+	s, err := game.NewScenario(cfg)
+	if err != nil {
+		failf("%s: building scenario: %v", name, err)
+		return
+	}
+	s.Run(matchNs)
+	for _, node := range []string{"player1", "player2"} {
+		serial, err := s.AuditNode(sig.NodeID(node))
+		if err != nil {
+			failf("%s/%s: serial audit: %v", name, node, err)
+			continue
+		}
+		dist, dstats, err := s.AuditNodeDist(sig.NodeID(node), audit.DistOptions{
+			Backend:             &audit.TCPBackend{Addrs: addrs, JobTimeout: 60 * time.Second},
+			SpotRecheckFraction: 0.25,
+			SpotRecheckSeed:     cfg.Seed,
+		})
+		if err != nil {
+			failf("%s/%s: dispatched audit: %v", name, node, err)
+			continue
+		}
+		if !reflect.DeepEqual(serial, dist) {
+			failf("%s/%s: verdict divergence:\n  serial: %+v\n  dist:   %+v", name, node, serial, dist)
+			continue
+		}
+		if dstats.SpotMismatches != 0 {
+			failf("%s/%s: honest workers produced %d spot mismatches", name, node, dstats.SpotMismatches)
+		}
+		cheater := cheat != nil && node == "player1"
+		if serial.Passed == cheater {
+			// Not a divergence, but the smoke would be vacuous: a cheater
+			// that passes (or an honest player that faults) means the
+			// scenario no longer exercises what it claims to.
+			failf("%s/%s: serial passed=%v but cheater=%v", name, node, serial.Passed, cheater)
+		}
+	}
+}
+
+// expectExit runs a command and checks its exit code.
+func expectExit(want int, bin string, args ...string) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	err := cmd.Run()
+	got := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		got = ee.ExitCode()
+	} else if err != nil {
+		failf("%s %s: %v", bin, strings.Join(args, " "), err)
+		return
+	}
+	if got != want {
+		failf("%s %s: exit %d, want %d", bin, strings.Join(args, " "), got, want)
+	}
+}
+
+func main() {
+	auditBin := flag.String("audit-bin", "bin/avm-audit", "path to the avm-audit binary")
+	runBin := flag.String("run-bin", "bin/avm-run", "path to the avm-run binary")
+	workers := flag.Int("workers", 3, "loopback worker processes to start")
+	cheats := flag.String("cheats", "all", `comma-separated catalog cheats to dispatch, or "all"`)
+	flag.Parse()
+
+	var addrs []string
+	for i := 0; i < *workers; i++ {
+		addr, stop, err := startWorker(*auditBin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dist_smoke: starting worker %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		defer stop()
+		addrs = append(addrs, addr)
+	}
+	fmt.Printf("dist_smoke: %d workers on %s\n", *workers, strings.Join(addrs, ", "))
+
+	// Phase 1: the cheat catalog, serial vs TCP-dispatched, byte-identical.
+	catalog := game.Catalog()
+	if *cheats != "all" {
+		catalog = catalog[:0]
+		for _, nm := range strings.Split(*cheats, ",") {
+			c, err := game.CatalogByName(strings.TrimSpace(nm))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dist_smoke:", err)
+				os.Exit(1)
+			}
+			catalog = append(catalog, c)
+		}
+	}
+	start := time.Now()
+	auditMatch("clean", nil, addrs)
+	for _, c := range catalog {
+		before := failures
+		auditMatch(c.Name, c, addrs)
+		status := "ok"
+		if failures > before {
+			status = "DIVERGED"
+		}
+		fmt.Printf("dist_smoke: %-24s %s\n", c.Name, status)
+	}
+	fmt.Printf("dist_smoke: catalog phase done in %v (%d matches)\n",
+		time.Since(start).Round(time.Millisecond), len(catalog)+1)
+
+	// Phase 2: the offline workflow through the real binaries, asserting
+	// the documented exit codes.
+	tmp, err := os.MkdirTemp("", "dist-smoke-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dist_smoke:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(tmp)
+	cleanDir := filepath.Join(tmp, "clean")
+	cheatDir := filepath.Join(tmp, "cheat")
+	expectExit(0, *runBin, "-scenario", "game", "-seconds", "6", "-seed", "3", "-out", cleanDir)
+	expectExit(0, *runBin, "-scenario", "game", "-seconds", "6", "-seed", "3", "-cheat", "aimbot", "-out", cheatDir)
+	dispatchArg := strings.Join(addrs, ",")
+	expectExit(0, *auditBin, "-dir", cleanDir, "-dispatch", dispatchArg)                         // clean ⇒ 0
+	expectExit(1, *auditBin, "-dir", cheatDir, "-dispatch", dispatchArg, "-spot", "1")           // fault ⇒ 1
+	expectExit(1, *auditBin, "-dir", cheatDir)                                                   // serial agrees ⇒ 1
+	expectExit(2, *auditBin, "-dir", cleanDir, "-dispatch", "127.0.0.1:1", "-job-timeout", "2s") // dead worker ⇒ 2
+	expectExit(2, *auditBin, "-dir", filepath.Join(tmp, "missing"))                              // bad recording ⇒ 2
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "dist_smoke: %d failure(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("dist_smoke: all verdicts byte-identical; exit codes stable")
+}
