@@ -28,6 +28,22 @@
 // snapshots (avm-run writes <node>.snaps) dispatch one job per
 // inter-snapshot epoch; without them the log ships as a single boot epoch.
 //
+// # Continuous auditing
+//
+// -coordinate runs the long-lived coordinator service instead of the
+// one-shot dispatcher: every node's log is audited concurrently through
+// one shared epoch queue and one multiplexed connection per worker, with
+// heartbeat liveness, pipelined jobs, retry with exponential backoff,
+// straggler hedging, and graceful degradation to local replay when the
+// fleet is empty (disable with -local-fallback=false to fail instead,
+// exit 2):
+//
+//	avm-audit -dir /tmp/match1 -coordinate 127.0.0.1:9100,127.0.0.1:9101
+//
+// Workers may come and go mid-audit; a worker that received SIGINT or
+// SIGTERM drains gracefully — it finishes in-flight epochs, refuses new
+// jobs so the coordinator re-dispatches them elsewhere, and exits 0.
+//
 // # Exit codes
 //
 // avm-audit exits with stable codes so scripts and CI can branch on the
@@ -46,9 +62,12 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/audit"
@@ -151,12 +170,17 @@ func run() int {
 	serve := flag.Bool("serve", false, "run as a replay worker instead of auditing: accept epoch jobs from a coordinator")
 	listen := flag.String("listen", "127.0.0.1:0", "worker mode: address to listen on")
 	dispatch := flag.String("dispatch", "", "comma-separated worker addresses; fan the replay stage out over them")
+	coordinate := flag.String("coordinate", "", "comma-separated worker addresses; audit every node concurrently through the long-running coordinator service")
 	spot := flag.Float64("spot", 0.1, "dispatch mode: fraction of epochs the coordinator re-replays locally to catch lying workers")
 	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "dispatch mode: straggler deadline before an epoch is re-dispatched")
+	pipeline := flag.Int("pipeline", 0, "coordinate mode: epoch jobs kept in flight per worker connection (0 = default)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "coordinate mode: straggler hedge delay (0 = job-timeout/4, negative disables hedging)")
+	localFallback := flag.Bool("local-fallback", true, "coordinate mode: replay locally when no workers are live instead of failing")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "worker mode: max time to finish in-flight epochs after SIGINT/SIGTERM")
 	flag.Parse()
 
 	if *serve {
-		return serveWorker(*listen)
+		return serveWorker(*listen, *drainTimeout)
 	}
 
 	metaBytes, err := os.ReadFile(filepath.Join(*dir, "meta.json"))
@@ -177,6 +201,17 @@ func run() int {
 			nodes = append(nodes, n)
 		}
 		sort.Strings(nodes)
+	}
+
+	if *coordinate != "" {
+		var addrs []string
+		for _, a := range strings.Split(*coordinate, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		return runCoordinated(*dir, &meta, keys, nodes, addrs,
+			*pipeline, *spot, *jobTimeout, *hedgeAfter, *localFallback)
 	}
 
 	var backend *audit.TCPBackend
@@ -283,15 +318,174 @@ func run() int {
 	return exitClean
 }
 
+// nodeRecording is one node's loaded, chain-verified recording plus the
+// auditor configured for it — everything the coordinator needs.
+type nodeRecording struct {
+	node        string
+	idx         uint32
+	entries     []tevlog.Entry
+	auths       []tevlog.Authenticator
+	auditor     *audit.Auditor
+	materialize func(snapIdx uint32) (*snapshot.Restored, error)
+}
+
+// loadNodeRecording reads and verifies one node's log, authenticators and
+// snapshot store from the recording directory.
+func loadNodeRecording(dir string, meta *Meta, keys *sig.KeyStore, node string) (*nodeRecording, error) {
+	compressed, err := os.ReadFile(filepath.Join(dir, node+".log"))
+	if err != nil {
+		return nil, err
+	}
+	entries, err := logcomp.DecompressEntries(compressed)
+	if err != nil {
+		return nil, fmt.Errorf("decompressing %s log: %w", node, err)
+	}
+	if err := tevlog.Rechain(tevlog.Hash{}, entries); err != nil {
+		return nil, fmt.Errorf("rechaining %s log: %w", node, err)
+	}
+	var auths []tevlog.Authenticator
+	authFile, err := os.Open(filepath.Join(dir, node+".auths"))
+	if err != nil {
+		return nil, err
+	}
+	if err := gob.NewDecoder(authFile).Decode(&auths); err != nil {
+		authFile.Close()
+		return nil, fmt.Errorf("decoding %s authenticators: %w", node, err)
+	}
+	if err := authFile.Close(); err != nil {
+		return nil, err
+	}
+	ref, err := referenceImage(meta, node)
+	if err != nil {
+		return nil, err
+	}
+	materialize, err := loadSnapshots(dir, node)
+	if err != nil {
+		return nil, err
+	}
+	return &nodeRecording{
+		node: node, idx: uint32(meta.Nodes[node]),
+		entries: entries, auths: auths, materialize: materialize,
+		auditor: &audit.Auditor{
+			Keys: keys, RefImage: ref, RNGSeed: meta.RNGSeeds[node],
+			TamperEvident: true, VerifySignatures: true,
+		},
+	}, nil
+}
+
+// runCoordinated audits every node concurrently through one long-running
+// coordinator: a shared epoch queue, one multiplexed connection per
+// worker, heartbeat liveness, pipelined dispatch, retry with backoff and
+// straggler hedging. Workers may join, leave or crash mid-audit; with
+// -local-fallback (the default) an empty fleet degrades to local replay.
+func runCoordinated(dir string, meta *Meta, keys *sig.KeyStore, nodes, addrs []string,
+	pipeline int, spot float64, jobTimeout, hedgeAfter time.Duration, localFallback bool) int {
+	recs := make([]*nodeRecording, 0, len(nodes))
+	for _, node := range nodes {
+		rec, err := loadNodeRecording(dir, meta, keys, node)
+		if err != nil {
+			return fail("%v", err)
+		}
+		recs = append(recs, rec)
+	}
+
+	coord := audit.NewCoordinator(audit.CoordinatorConfig{
+		Pipeline:             pipeline,
+		JobTimeout:           jobTimeout,
+		HedgeAfter:           hedgeAfter,
+		DisableLocalFallback: !localFallback,
+	})
+	defer coord.Close()
+	for _, a := range addrs {
+		coord.AddWorker(a)
+	}
+
+	type outcome struct {
+		res    *audit.Result
+		dstats audit.DistStats
+		wall   time.Duration
+		err    error
+	}
+	start := time.Now()
+	outs := make([]outcome, len(recs))
+	var wg sync.WaitGroup
+	for i, rec := range recs {
+		wg.Add(1)
+		go func(i int, rec *nodeRecording) {
+			defer wg.Done()
+			t0 := time.Now()
+			res, dstats, err := coord.Audit(rec.auditor, sig.NodeID(rec.node), rec.idx, rec.entries, rec.auths,
+				audit.DistOptions{
+					Materialize:         rec.materialize,
+					SpotRecheckFraction: spot,
+					SpotRecheckSeed:     meta.Seed,
+				})
+			outs[i] = outcome{res: res, dstats: dstats, wall: time.Since(t0).Round(time.Millisecond), err: err}
+		}(i, rec)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	code := exitClean
+	faults := 0
+	for i, rec := range recs {
+		out := outs[i]
+		if out.err != nil {
+			code = fail("auditing %s: %v", rec.node, out.err)
+			continue
+		}
+		extra := fmt.Sprintf(", %d epochs, %d re-dispatched, %d spot-rechecked",
+			out.dstats.Epochs, out.dstats.Redispatches, out.dstats.SpotRechecked)
+		if out.res.Passed {
+			fmt.Printf("%-10s PASSED in %-8v (%d entries, %d instructions replayed, %d sends matched%s)\n",
+				rec.node, out.wall, len(rec.entries), out.res.Replay.Instructions, out.res.Replay.SendsMatched, extra)
+		} else {
+			faults++
+			fmt.Printf("%-10s FAULT  in %-8v — %s (%s check, entry %d%s)\n",
+				rec.node, out.wall, out.res.Fault.Detail, out.res.Fault.Check, out.res.Fault.EntrySeq, extra)
+		}
+	}
+	fs := coord.Stats()
+	util := 0.0
+	if fs.WorkersRegistered > 0 && wall > 0 {
+		util = float64(fs.BusyNs) / (float64(wall.Nanoseconds()) * float64(fs.WorkersRegistered))
+	}
+	fmt.Printf("fleet: %d/%d workers live, %d epochs done (%d local-fallback), %d retries, %d hedges, %d heartbeat timeouts, utilization %.2f\n",
+		fs.WorkersLive, fs.WorkersRegistered, fs.EpochsDone, fs.LocalFallbackEpochs,
+		fs.Retries, fs.Hedges, fs.HeartbeatTimeouts, util)
+	if code != exitClean {
+		return code
+	}
+	if faults > 0 {
+		return exitFault
+	}
+	return exitClean
+}
+
 // serveWorker runs the scenario-agnostic replay worker until killed.
-func serveWorker(addr string) int {
+// SIGINT and SIGTERM drain gracefully: the worker stops accepting work,
+// refuses queued jobs so the coordinator re-dispatches them elsewhere,
+// finishes what is already in flight (bounded by drainTimeout), and exits
+// 0.
+func serveWorker(addr string, drainTimeout time.Duration) int {
+	w := &audit.EpochWorker{}
+	// Register the drain handler before announcing the address: a
+	// supervisor may signal the instant it sees the banner.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		fmt.Printf("avm-audit: %v received, draining (finishing in-flight epochs)\n", s)
+		w.Drain(drainTimeout)
+	}()
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fail("listen %s: %v", addr, err)
 	}
 	fmt.Printf("avm-audit: worker listening on %s\n", l.Addr())
-	if err := audit.ServeEpochWorker(l); err != nil {
+	if err := w.Serve(l); err != nil {
 		return fail("serving: %v", err)
 	}
+	fmt.Println("avm-audit: worker drained, exiting")
 	return exitClean
 }

@@ -1,0 +1,167 @@
+package audit
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// This file is the deterministic chaos-injection harness: a ChaosPlan is a
+// seeded fault schedule an EpochWorker consults before serving each
+// connection, frame and job, covering the adversarial surface the
+// coordinator must survive — workers that crash mid-epoch, hang forever,
+// run 10x slow, lie about verdicts, flap their connections, or sit behind
+// a partition until it heals. Decisions are pure functions of (seed,
+// arrival ordinal), so a plan is reproducible for a fixed dispatch order
+// and never needs wall-clock randomness. The equivalence suite runs the
+// full cheat catalog through a chaotic fleet and asserts the audit verdict
+// is byte-identical to the serial engine's under every plan — faults in
+// the fleet must never surface as faults in the machine being audited.
+
+// ChaosAction is the fate a chaos plan assigns one job.
+type ChaosAction int
+
+// Per-job chaos actions.
+const (
+	// ChaosNone replays the job honestly.
+	ChaosNone ChaosAction = iota
+	// ChaosCrash closes the connection instead of replying — a worker
+	// process dying mid-epoch.
+	ChaosCrash
+	// ChaosHang accepts the job and never replies, keeping the connection
+	// open — the failure mode timeouts and hedging exist for, invisible to
+	// crash detection.
+	ChaosHang
+	// ChaosSlow replays honestly but 10x slower (the replay's own wall time
+	// again ×9, capped) — the straggler that hedging races.
+	ChaosSlow
+	// ChaosLie replays and then corrupts the verdict — the Byzantine worker
+	// spot rechecks exist for.
+	ChaosLie
+)
+
+// ChaosPlan is a seeded, deterministic fault schedule for one worker. The
+// zero value is an honest worker; rates are per-job probabilities decided
+// by a hash of (Seed, job ordinal), evaluated in the order crash, hang,
+// slow, lie.
+type ChaosPlan struct {
+	// Name labels the plan in test output and logs.
+	Name string
+	// Seed drives every per-ordinal decision.
+	Seed uint64
+	// CrashRate, HangRate, SlowRate and LieRate are per-job fault
+	// probabilities; their sum should stay below 1.
+	CrashRate float64
+	HangRate  float64
+	SlowRate  float64
+	LieRate   float64
+	// SlowCapDelay bounds the extra delay a ChaosSlow job sleeps. <= 0
+	// selects 2s.
+	SlowCapDelay time.Duration
+	// FlapEveryFrames drops the connection after every Nth frame read — a
+	// link that works, then doesn't, then does. 0 disables.
+	FlapEveryFrames int
+	// RefuseFirstConns rejects the first N connection attempts outright — a
+	// partition that heals once the coordinator has knocked N times.
+	RefuseFirstConns int
+}
+
+// admitConn reports whether connection attempt connSeq (1-based) gets
+// through the partition.
+func (p *ChaosPlan) admitConn(connSeq int) bool {
+	return connSeq > p.RefuseFirstConns
+}
+
+// admitFrame reports whether the connection survives past frame frameSeq
+// (1-based); false flaps the link.
+func (p *ChaosPlan) admitFrame(frameSeq int) bool {
+	return p.FlapEveryFrames <= 0 || frameSeq%p.FlapEveryFrames != 0
+}
+
+// jobAction decides the fate of the worker's jobSeq-th job.
+func (p *ChaosPlan) jobAction(jobSeq int64) ChaosAction {
+	if p.CrashRate+p.HangRate+p.SlowRate+p.LieRate <= 0 {
+		return ChaosNone
+	}
+	frac := float64(splitmix64(p.Seed^uint64(jobSeq)*0x9E3779B97F4A7C15)>>11) / float64(1<<53)
+	switch {
+	case frac < p.CrashRate:
+		return ChaosCrash
+	case frac < p.CrashRate+p.HangRate:
+		return ChaosHang
+	case frac < p.CrashRate+p.HangRate+p.SlowRate:
+		return ChaosSlow
+	case frac < p.CrashRate+p.HangRate+p.SlowRate+p.LieRate:
+		return ChaosLie
+	}
+	return ChaosNone
+}
+
+// slowCap resolves the ChaosSlow delay bound.
+func (p *ChaosPlan) slowCap() time.Duration {
+	if p.SlowCapDelay > 0 {
+		return p.SlowCapDelay
+	}
+	return 2 * time.Second
+}
+
+// corrupt is the lying worker's verdict: suppress any fault and inflate
+// the stats — the most dangerous lie, because it turns a caught cheater
+// into a clean machine unless the coordinator spot-rechecks.
+func (p *ChaosPlan) corrupt(r epochResult) epochResult {
+	out := epochResult{stats: r.stats}
+	out.stats.Instructions += 1_000_003
+	return out
+}
+
+// ChaosPlans returns the canonical six-fault plan set the equivalence
+// suite runs the cheat catalog under. Each plan perturbs a different
+// recovery path; seeds differ so schedules do not correlate across plans.
+func ChaosPlans() []*ChaosPlan {
+	return []*ChaosPlan{
+		{Name: "crash-at-epoch", Seed: 0xC0FFEE01, CrashRate: 0.35},
+		{Name: "hang-forever", Seed: 0xC0FFEE02, HangRate: 0.30},
+		{Name: "slow-10x", Seed: 0xC0FFEE03, SlowRate: 0.45, SlowCapDelay: 250 * time.Millisecond},
+		{Name: "lying-verdict", Seed: 0xC0FFEE04, LieRate: 0.40},
+		{Name: "connection-flap", Seed: 0xC0FFEE05, FlapEveryFrames: 7},
+		{Name: "partition-heal", Seed: 0xC0FFEE06, RefuseFirstConns: 2},
+	}
+}
+
+// ChaosFleet is a set of in-process loopback replay workers, each running
+// its own fault plan (nil = honest). Tests point a Coordinator or a
+// TCPBackend at Addrs.
+type ChaosFleet struct {
+	Addrs     []string
+	workers   []*EpochWorker
+	listeners []net.Listener
+}
+
+// StartChaosFleet starts one worker per plan on a loopback listener.
+func StartChaosFleet(plans []*ChaosPlan) (*ChaosFleet, error) {
+	f := &ChaosFleet{}
+	for i, plan := range plans {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("audit: chaos fleet worker %d: %w", i, err)
+		}
+		w := &EpochWorker{Chaos: plan}
+		go func() { _ = w.Serve(l) }()
+		f.Addrs = append(f.Addrs, l.Addr().String())
+		f.workers = append(f.workers, w)
+		f.listeners = append(f.listeners, l)
+	}
+	return f, nil
+}
+
+// Close tears the fleet down: listeners close, live connections are cut,
+// hung executors unblock.
+func (f *ChaosFleet) Close() {
+	for _, l := range f.listeners {
+		l.Close()
+	}
+	for _, w := range f.workers {
+		w.Drain(10 * time.Millisecond)
+	}
+}

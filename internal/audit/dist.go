@@ -1,6 +1,7 @@
 package audit
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -69,6 +70,10 @@ type DistStats struct {
 	// from the coordinator's own replay — lying (or broken) workers. The
 	// coordinator's verdict wins.
 	SpotMismatches int
+	// RetriesExhausted counts epochs that burned through their dispatch
+	// retry budget (ErrRetriesExhausted). Nonzero with a clean verdict
+	// means the exhausted epochs were past the earliest-fault cutoff.
+	RetriesExhausted int
 	// WireBytes is the total job+verdict payload shipped (0 for the pool).
 	WireBytes int
 	// PrepWallNs is coordinator time spent materializing and root-verifying
@@ -278,6 +283,9 @@ func (a *Auditor) runJobs(node sig.NodeID, jobs []*EpochJob, be EpochBackend, cf
 		mu.Unlock()
 		if v.Err != nil {
 			mu.Lock()
+			if errors.Is(v.Err, ErrRetriesExhausted) {
+				dstats.RetriesExhausted++
+			}
 			if _, done := results[v.Index]; !done {
 				errs[v.Index] = v.Err
 			}
@@ -303,9 +311,14 @@ func (a *Auditor) runJobs(node sig.NodeID, jobs []*EpochJob, be EpochBackend, cf
 		record(v.Index, epochResult{stats: v.Stats, fault: v.Fault})
 	}
 
+	// A backend Run error is not immediately fatal: transport failures that
+	// only touched epochs past the earliest-fault cutoff cannot change the
+	// verdict, so the error is held until the merge below decides whether a
+	// needed epoch actually went missing.
+	var backendErr error
 	if len(dispatch) > 0 {
 		if err := be.Run(sess, dispatch, skip, emit); err != nil {
-			return ReplayStats{}, nil, dstats, fmt.Errorf("audit: epoch backend: %w", err)
+			backendErr = fmt.Errorf("audit: epoch backend: %w", err)
 		}
 	}
 
@@ -330,6 +343,9 @@ func (a *Auditor) runJobs(node sig.NodeID, jobs []*EpochJob, be EpochBackend, cf
 		dstats.MergeWallNs = time.Since(mergeStart).Nanoseconds()
 		if err := errs[first]; err != nil {
 			return ReplayStats{}, nil, dstats, fmt.Errorf("audit: epoch %d undecided after transport failure: %w", first, err)
+		}
+		if backendErr != nil {
+			return ReplayStats{}, nil, dstats, backendErr
 		}
 		return ReplayStats{}, nil, dstats, fmt.Errorf("audit: backend returned no verdict for epoch %d", first)
 	}

@@ -173,8 +173,8 @@ func (b *NetsimBackend) Run(sess Session, jobs []*EpochJob, skip func(int) bool,
 				remaining--
 				emit(EpochVerdict{Index: jobs[p].Index, Attempts: state[p].attempts,
 					WireBytes: state[p].bytes, Worker: "(exhausted)",
-					Err: fmt.Errorf("audit: epoch %d lost on the simulated network after %d attempts",
-						jobs[p].Index, state[p].attempts)})
+					Err: fmt.Errorf("audit: epoch %d lost on the simulated network after %d attempts: %w",
+						jobs[p].Index, state[p].attempts, ErrRetriesExhausted)})
 				continue
 			}
 			send(p)

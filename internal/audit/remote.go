@@ -22,11 +22,13 @@ import (
 // desynchronize the stream.
 //
 // Failure handling is per epoch: a connection error or crash mid-epoch
-// requeues the job for another worker; a verdict slower than JobTimeout is
-// re-dispatched to a different worker while the original stays outstanding
-// (first verdict wins, duplicates are deduplicated); and a worker that
-// times out repeatedly is abandoned. The audit errors out only when an
-// epoch exhausts MaxAttempts or every worker is gone.
+// requeues the job for another worker under capped exponential backoff
+// with deterministic jitter; a verdict slower than JobTimeout is
+// re-dispatched immediately to a different worker while the original stays
+// outstanding (a hedge — first verdict wins, duplicates are deduplicated);
+// and a worker that times out repeatedly is abandoned. The audit errors
+// out only when an epoch exhausts MaxAttempts (ErrRetriesExhausted) or
+// every worker is gone.
 
 // frame i/o -----------------------------------------------------------------
 
@@ -65,21 +67,99 @@ func readDistFrame(r io.Reader) (wire.DistFrameKind, []byte, error) {
 // worker side ---------------------------------------------------------------
 
 // ServeEpochWorker accepts coordinator connections on l and replays epoch
-// jobs until the listener closes. The worker is scenario-agnostic and
-// holds no trust: everything a replay needs arrives in the session and job
-// frames, and the coordinator verifies what comes back (root checks before
-// dispatch, spot re-replays after). Each connection is served on its own
-// goroutine; jobs within a connection replay one at a time, so a
-// deployment's parallelism is its worker count.
+// jobs until the listener closes — the one-shot entry point kept for
+// callers that never drain. Long-running deployments use an EpochWorker,
+// which adds graceful drain and the multiplexed coordinator protocol.
 func ServeEpochWorker(l net.Listener) error {
+	return (&EpochWorker{}).Serve(l)
+}
+
+// EpochWorker is a scenario-agnostic replay worker. It holds no trust:
+// everything a replay needs arrives in session and job frames, and the
+// coordinator verifies what comes back (root checks before dispatch, spot
+// re-replays after). One worker serves two protocols, discriminated by a
+// connection's first frame:
+//
+//   - the PR-5 one-shot protocol (DistFrameSession then synchronous jobs),
+//     spoken by TCPBackend;
+//   - the multiplexed service protocol (DistFrameMuxSession /
+//     DistFrameMuxJob / DistFramePing), spoken by the Coordinator: one
+//     connection carries many audit sessions, pipelined jobs replay in
+//     arrival order on a per-connection executor, and pings are answered
+//     from the read loop even while a replay runs.
+//
+// Jobs within a connection replay one at a time, so a deployment's
+// parallelism is its worker count; pipelining exists to hide the wire
+// round-trip, not to multiply CPU.
+type EpochWorker struct {
+	// Chaos, when non-nil, perturbs this worker per a deterministic fault
+	// plan — the fault-injection harness. Nil means honest.
+	Chaos *ChaosPlan
+	// IdleTimeout reaps multiplexed connections with no traffic (a
+	// coordinator that died without closing). <= 0 selects 5m; heartbeats
+	// keep healthy connections far below it.
+	IdleTimeout time.Duration
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	draining  bool
+
+	inflight sync.WaitGroup // accepted jobs not yet answered
+	connSeq  atomic.Int64
+	jobSeq   atomic.Int64
+}
+
+// Serve accepts coordinator connections until the listener closes. It
+// returns nil when the worker was drained, the accept error otherwise.
+func (w *EpochWorker) Serve(l net.Listener) error {
+	w.mu.Lock()
+	if w.listeners == nil {
+		w.listeners = make(map[net.Listener]struct{})
+		w.conns = make(map[net.Conn]struct{})
+	}
+	draining := w.draining
+	w.listeners[l] = struct{}{}
+	w.mu.Unlock()
+	if draining {
+		l.Close()
+		return nil
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			w.mu.Lock()
+			delete(w.listeners, l)
+			draining := w.draining
+			w.mu.Unlock()
+			if draining {
+				return nil
+			}
 			return err
 		}
+		if w.Chaos != nil && !w.Chaos.admitConn(int(w.connSeq.Add(1))) {
+			// Partition plan: the link to this worker is down; refuse the
+			// connection outright and let the coordinator's redial backoff
+			// knock until the partition heals.
+			conn.Close()
+			continue
+		}
+		w.mu.Lock()
+		if w.draining {
+			w.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
 		go func() {
-			defer conn.Close()
-			if err := serveWorkerConn(conn); err != nil && !errors.Is(err, io.EOF) {
+			defer func() {
+				w.mu.Lock()
+				delete(w.conns, conn)
+				w.mu.Unlock()
+				conn.Close()
+			}()
+			if err := w.serveConn(conn); err != nil && !errors.Is(err, io.EOF) {
 				// Report protocol errors while the connection still works; a
 				// broken pipe just ends the session — the coordinator's
 				// retry owns recovery.
@@ -89,15 +169,64 @@ func ServeEpochWorker(l net.Listener) error {
 	}
 }
 
-// serveWorkerConn runs one coordinator session: session frame, then jobs.
-func serveWorkerConn(conn net.Conn) error {
+// Drain gracefully winds the worker down: stop accepting connections,
+// refuse new jobs (each refusal is answered with DistFrameDrain so the
+// coordinator re-dispatches immediately instead of waiting out a timeout),
+// and wait up to timeout for in-flight epochs to finish before closing the
+// remaining connections.
+func (w *EpochWorker) Drain(timeout time.Duration) {
+	w.mu.Lock()
+	w.draining = true
+	for l := range w.listeners {
+		l.Close()
+	}
+	w.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		w.inflight.Wait()
+		close(done)
+	}()
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	select {
+	case <-done:
+	case <-time.After(timeout):
+	}
+
+	w.mu.Lock()
+	for c := range w.conns {
+		c.Close()
+	}
+	w.mu.Unlock()
+}
+
+// Draining reports whether Drain has been called.
+func (w *EpochWorker) Draining() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.draining
+}
+
+// serveConn discriminates the two protocols by the first frame.
+func (w *EpochWorker) serveConn(conn net.Conn) error {
 	kind, body, err := readDistFrame(conn)
 	if err != nil {
 		return err
 	}
-	if kind != wire.DistFrameSession {
-		return fmt.Errorf("audit: worker expected session frame, got kind %d", kind)
+	switch kind {
+	case wire.DistFrameSession:
+		return w.serveLegacyConn(conn, body)
+	case wire.DistFrameMuxSession, wire.DistFramePing:
+		return w.serveMuxConn(conn, kind, body)
 	}
+	return fmt.Errorf("audit: worker expected session frame, got kind %d", kind)
+}
+
+// serveLegacyConn runs one PR-5 coordinator session: session frame, then
+// synchronous jobs.
+func (w *EpochWorker) serveLegacyConn(conn net.Conn, body []byte) error {
 	ws, err := wire.ParseAuditSession(body)
 	if err != nil {
 		return err
@@ -117,19 +246,203 @@ func serveWorkerConn(conn net.Conn) error {
 		if kind != wire.DistFrameJob {
 			return fmt.Errorf("audit: worker expected job frame, got kind %d", kind)
 		}
+		if w.Draining() {
+			if err := writeDistFrame(conn, wire.DistFrameDrain, nil); err != nil {
+				return err
+			}
+			continue
+		}
 		wj, err := wire.ParseAuditJob(body)
 		if err != nil {
 			return err
 		}
 		job := jobFromWire(wj)
-		r := runEpochJob(sess, job, nil)
-		if err := writeDistFrame(conn, wire.DistFrameVerdict, verdictToWire(job.Index, r).Marshal()); err != nil {
+		w.inflight.Add(1)
+		verdict, reply := w.runJobMaybeChaotic(sess, job, conn, nil)
+		w.inflight.Done()
+		if !reply {
+			continue
+		}
+		if err := writeDistFrame(conn, wire.DistFrameVerdict, verdict); err != nil {
 			return err
 		}
 	}
 }
 
+// muxWork is one pipelined job queued for a connection's executor.
+type muxWork struct {
+	sessID uint64
+	sess   Session
+	job    *EpochJob
+}
+
+// serveMuxConn runs the multiplexed service protocol: this goroutine is
+// the read loop (it answers pings immediately, even mid-replay — liveness
+// probes measure the worker, not the current epoch), and a per-connection
+// executor goroutine replays queued jobs in arrival order.
+func (w *EpochWorker) serveMuxConn(conn net.Conn, firstKind wire.DistFrameKind, firstBody []byte) error {
+	var wmu sync.Mutex
+	write := func(kind wire.DistFrameKind, body []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		conn.SetWriteDeadline(time.Now().Add(time.Minute))
+		return writeDistFrame(conn, kind, body)
+	}
+
+	connDead := make(chan struct{})
+	jobs := make(chan muxWork, 64)
+	var execWG sync.WaitGroup
+	execWG.Add(1)
+	go func() {
+		defer execWG.Done()
+		for wk := range jobs {
+			select {
+			case <-connDead:
+				// The connection died with this job still queued; it will
+				// never be answered, so release it instead of replaying.
+				w.inflight.Done()
+				continue
+			default:
+			}
+			verdict, reply := w.runJobMaybeChaotic(wk.sess, wk.job, conn, connDead)
+			if reply {
+				_ = write(wire.DistFrameMuxVerdict, wire.AppendMuxID(wk.sessID, verdict))
+			}
+			w.inflight.Done()
+		}
+	}()
+	defer func() {
+		close(connDead)
+		close(jobs)
+		execWG.Wait()
+	}()
+
+	sessions := make(map[uint64]Session)
+	frameSeq := 0
+	handle := func(kind wire.DistFrameKind, body []byte) error {
+		switch kind {
+		case wire.DistFrameMuxSession:
+			id, rest, err := wire.SplitMuxID(body)
+			if err != nil {
+				return err
+			}
+			ws, err := wire.ParseAuditSession(rest)
+			if err != nil {
+				return err
+			}
+			sess, err := sessionFromWire(ws)
+			if err != nil {
+				return err
+			}
+			sessions[id] = sess
+			return write(wire.DistFrameMuxSessionOK, wire.AppendMuxID(id, nil))
+		case wire.DistFrameMuxJob:
+			id, rest, err := wire.SplitMuxID(body)
+			if err != nil {
+				return err
+			}
+			sess, ok := sessions[id]
+			if !ok {
+				return fmt.Errorf("audit: mux job for unregistered session %d", id)
+			}
+			if w.Draining() {
+				return write(wire.DistFrameDrain, nil)
+			}
+			wj, err := wire.ParseAuditJob(rest)
+			if err != nil {
+				return err
+			}
+			w.inflight.Add(1)
+			jobs <- muxWork{sessID: id, sess: sess, job: jobFromWire(wj)}
+			return nil
+		case wire.DistFramePing:
+			return write(wire.DistFramePong, body)
+		}
+		return fmt.Errorf("audit: worker got unexpected mux frame kind %d", kind)
+	}
+
+	if err := handle(firstKind, firstBody); err != nil {
+		return err
+	}
+	idle := w.IdleTimeout
+	if idle <= 0 {
+		idle = 5 * time.Minute
+	}
+	for {
+		conn.SetReadDeadline(time.Now().Add(idle))
+		kind, body, err := readDistFrame(conn)
+		if err != nil {
+			return err
+		}
+		frameSeq++
+		if w.Chaos != nil && !w.Chaos.admitFrame(frameSeq) {
+			// Connection-flap plan: the link drops mid-conversation.
+			return nil
+		}
+		if err := handle(kind, body); err != nil {
+			return err
+		}
+	}
+}
+
+// runJobMaybeChaotic replays one job, letting the worker's chaos plan
+// decide its fate first. It returns the encoded verdict and whether to
+// reply at all (a hanging worker never does). The verdict is encoded here
+// so a lying plan can corrupt it in one place for both protocols. connDead
+// is the mux executor's teardown signal; it is nil on legacy connections,
+// where this function runs on the read loop itself and a hang instead
+// swallows the connection's remaining traffic until the peer gives up.
+func (w *EpochWorker) runJobMaybeChaotic(sess Session, job *EpochJob, conn net.Conn, connDead <-chan struct{}) (verdict []byte, reply bool) {
+	action := ChaosNone
+	if w.Chaos != nil {
+		action = w.Chaos.jobAction(w.jobSeq.Add(1))
+	}
+	switch action {
+	case ChaosCrash:
+		// Die mid-epoch: close the connection without a verdict.
+		conn.Close()
+		return nil, false
+	case ChaosHang:
+		// Accept the job and never reply; hold the slot until the
+		// connection dies so the goroutine cannot leak past the test.
+		if connDead != nil {
+			<-connDead
+		} else {
+			_, _ = io.Copy(io.Discard, conn)
+		}
+		return nil, false
+	}
+	start := time.Now()
+	r := runEpochJob(sess, job, nil)
+	if action == ChaosSlow {
+		// A 10x-slower worker: the replay took 1x, so sleep out the other
+		// 9x (capped) unless the connection dies first.
+		delay := 9 * time.Since(start)
+		if max := w.Chaos.slowCap(); delay > max {
+			delay = max
+		}
+		if connDead == nil {
+			time.Sleep(delay)
+		} else {
+			select {
+			case <-time.After(delay):
+			case <-connDead:
+				return nil, false
+			}
+		}
+	}
+	if action == ChaosLie {
+		r = w.Chaos.corrupt(r)
+	}
+	return verdictToWire(job.Index, r).Marshal(), true
+}
+
 // coordinator side ----------------------------------------------------------
+
+// ErrRetriesExhausted reports an epoch that burned through its dispatch
+// retry budget without a verdict. It surfaces in DistStats.RetriesExhausted
+// and, when the epoch was needed for the merge, in the audit error.
+var ErrRetriesExhausted = errors.New("audit: epoch dispatch retry budget exhausted")
 
 // TCPBackend replays epochs on remote workers reached over TCP.
 type TCPBackend struct {
@@ -147,6 +460,37 @@ type TCPBackend struct {
 	// ConsecutiveTimeouts is how many straggler deadlines in a row a
 	// connection survives before it is dropped and redialed. <= 0 selects 2.
 	ConsecutiveTimeouts int
+	// RetryBackoff is the base delay before a failed epoch re-dispatches;
+	// each subsequent failure doubles it (with deterministic jitter) up to
+	// RetryMaxBackoff. Straggler re-dispatches are exempt — they are hedges,
+	// and delaying a hedge defeats it. <= 0 selects 25ms.
+	RetryBackoff time.Duration
+	// RetryMaxBackoff caps the exponential backoff. <= 0 selects 1s.
+	RetryMaxBackoff time.Duration
+	// BackoffSeed drives the deterministic backoff jitter.
+	BackoffSeed uint64
+}
+
+// backoffDelay computes the capped exponential backoff (with deterministic
+// jitter in [1/2, 1) of the exponential step) before attempt n+1 of pos.
+func (b *TCPBackend) backoffDelay(pos, attempt int) time.Duration {
+	base := b.RetryBackoff
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	ceil := b.RetryMaxBackoff
+	if ceil <= 0 {
+		ceil = time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < ceil; i++ {
+		d *= 2
+	}
+	if d > ceil {
+		d = ceil
+	}
+	frac := float64(splitmix64(b.BackoffSeed^uint64(pos)<<20^uint64(attempt))>>11) / float64(1<<53)
+	return d/2 + time.Duration(frac*float64(d/2))
 }
 
 // Remote implements EpochBackend: jobs ship whole.
@@ -166,6 +510,7 @@ type tcpDispatch struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	failed map[int]error // position → last error, for epochs out of attempts
+	timers []*time.Timer // pending backoff requeues, stopped at shutdown
 	closed bool
 }
 
@@ -202,6 +547,26 @@ func (d *tcpDispatch) requeue(pos int) {
 	}
 }
 
+// requeueAfter schedules a requeue once the backoff delay elapses; the
+// timer is tracked so shutdown can cancel it.
+func (d *tcpDispatch) requeueAfter(pos int, delay time.Duration) {
+	if d.settled[pos].Load() {
+		return
+	}
+	if delay <= 0 {
+		d.requeue(pos)
+		return
+	}
+	t := time.AfterFunc(delay, func() { d.requeue(pos) })
+	d.mu.Lock()
+	if d.closed {
+		t.Stop()
+	} else {
+		d.timers = append(d.timers, t)
+	}
+	d.mu.Unlock()
+}
+
 // register tracks a live connection so shutdown can unblock its reads;
 // returns false when the run is already over.
 func (d *tcpDispatch) register(c net.Conn) bool {
@@ -220,7 +585,8 @@ func (d *tcpDispatch) unregister(c net.Conn) {
 	d.mu.Unlock()
 }
 
-// shutdown closes every live connection, unblocking worker reads.
+// shutdown closes every live connection, unblocking worker reads, and
+// cancels pending backoff timers.
 func (d *tcpDispatch) shutdown() {
 	d.mu.Lock()
 	d.closed = true
@@ -228,6 +594,10 @@ func (d *tcpDispatch) shutdown() {
 		c.Close()
 	}
 	d.conns = map[net.Conn]struct{}{}
+	for _, t := range d.timers {
+		t.Stop()
+	}
+	d.timers = nil
 	d.mu.Unlock()
 }
 
@@ -431,8 +801,8 @@ func (b *TCPBackend) runWorker(addr string, sessionFrame []byte, d *tcpDispatch,
 			continue
 		}
 		if n := d.attempts[pos].Add(1); int(n) > maxAttemptsOf(b, len(b.Addrs)) {
-			d.fail(pos, fmt.Errorf("audit: epoch %d exhausted %d dispatch attempts",
-				d.jobs[pos].Index, maxAttemptsOf(b, len(b.Addrs))))
+			d.fail(pos, fmt.Errorf("audit: epoch %d exhausted %d dispatch attempts: %w",
+				d.jobs[pos].Index, maxAttemptsOf(b, len(b.Addrs)), ErrRetriesExhausted))
 			continue
 		}
 		job := frame(pos)
@@ -442,7 +812,7 @@ func (b *TCPBackend) runWorker(addr string, sessionFrame []byte, d *tcpDispatch,
 		// would never reach.
 		conn.SetWriteDeadline(time.Now().Add(jobTimeout))
 		if err := writeDistFrame(conn, wire.DistFrameJob, job); err != nil {
-			d.requeue(pos)
+			d.requeueAfter(pos, b.backoffDelay(pos, int(d.attempts[pos].Load())))
 			if !connect() {
 				return
 			}
@@ -470,16 +840,16 @@ func (b *TCPBackend) runWorker(addr string, sessionFrame []byte, d *tcpDispatch,
 					}
 					break
 				}
-				d.requeue(pos)
+				d.requeueAfter(pos, b.backoffDelay(pos, int(d.attempts[pos].Load())))
 				if !connect() {
 					return
 				}
 				break
 			}
 			if kind != wire.DistFrameVerdict {
-				// Worker-side protocol error (DistFrameError or garbage):
+				// Worker-side protocol error, drain refusal, or garbage:
 				// this connection is not going to produce the verdict.
-				d.requeue(pos)
+				d.requeueAfter(pos, b.backoffDelay(pos, int(d.attempts[pos].Load())))
 				if !connect() {
 					return
 				}
@@ -488,7 +858,7 @@ func (b *TCPBackend) runWorker(addr string, sessionFrame []byte, d *tcpDispatch,
 			consecutiveTimeouts = 0
 			got := deliver(body)
 			if got < 0 {
-				d.requeue(pos)
+				d.requeueAfter(pos, b.backoffDelay(pos, int(d.attempts[pos].Load())))
 				if !connect() {
 					return
 				}

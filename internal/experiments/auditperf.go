@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/audit"
@@ -87,6 +88,20 @@ type AuditBenchResult struct {
 	DistJobBytes      int     `json:"dist_job_bytes"`
 	DistRedispatches  int     `json:"dist_redispatches"`
 	DistVerdictMatch  bool    `json:"dist_verdict_match"`
+
+	// Long-running coordinator service: the same loopback fleet behind the
+	// elastic epoch queue, several audits in flight concurrently through one
+	// multiplexed, session-cached connection per worker. Epochs/sec is the
+	// sustained rate of the shared queue; utilization is the fraction of
+	// fleet-time connections had at least one job in flight.
+	CoordWorkers          int     `json:"coord_workers"`
+	CoordRuns             int     `json:"coord_concurrent_audits"`
+	CoordWallNs           int64   `json:"coord_wall_ns"`
+	CoordEpochsDone       int64   `json:"coord_epochs_done"`
+	CoordEpochsPerSec     float64 `json:"coord_epochs_per_sec"`
+	CoordFleetUtilization float64 `json:"coord_fleet_utilization"`
+	CoordRetries          int64   `json:"coord_retries"`
+	CoordVerdictMatch     bool    `json:"coord_verdict_match"`
 
 	// Spot-checking every segment of the minisql log, serial vs parallel.
 	SpotSegments       int   `json:"spot_segments"`
@@ -301,6 +316,62 @@ func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
 		return nil, fmt.Errorf("auditbench: distributed audit failed: %v", distRes.Fault)
 	}
 
+	// --- coordinator service over the same loopback fleet ---
+	// Several audits of the same log run concurrently through one shared
+	// epoch queue; local fallback is disabled so every epoch crosses the
+	// wire and the utilization figure names what the fleet actually did.
+	res.CoordWorkers = res.DistWorkers
+	res.CoordRuns = 3
+	coord := audit.NewCoordinator(audit.CoordinatorConfig{
+		Pipeline: 2, JobTimeout: 2 * time.Minute, DisableLocalFallback: true,
+	})
+	for _, a := range addrs {
+		coord.AddWorker(a)
+	}
+	// Wait for the fleet to attach so the measurement starts with live
+	// connections rather than timing the initial dials.
+	for deadline := time.Now().Add(10 * time.Second); coord.Stats().WorkersLive < res.CoordWorkers &&
+		time.Now().Before(deadline); {
+		time.Sleep(5 * time.Millisecond)
+	}
+	coordResults := make([]*audit.Result, res.CoordRuns)
+	coordErrs := make([]error, res.CoordRuns)
+	coordWall := stopwatch(func() {
+		var wg sync.WaitGroup
+		for i := 0; i < res.CoordRuns; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				coordResults[i], _, coordErrs[i] = coord.Audit(distAuditor, target.Node(), uint32(target3.Index()),
+					entries3, auths3, audit.DistOptions{Materialize: materialize})
+			}(i)
+		}
+		wg.Wait()
+	})
+	fleet := coord.Stats()
+	coord.Close()
+	for _, cerr := range coordErrs {
+		if cerr != nil {
+			return nil, fmt.Errorf("auditbench: coordinator audit: %w", cerr)
+		}
+	}
+	res.CoordWallNs = coordWall.Nanoseconds()
+	res.CoordEpochsDone = fleet.EpochsDone
+	res.CoordRetries = fleet.Retries
+	if sec := coordWall.Seconds(); sec > 0 {
+		res.CoordEpochsPerSec = float64(fleet.EpochsDone) / sec
+		res.CoordFleetUtilization = float64(fleet.BusyNs) / (float64(coordWall.Nanoseconds()) * float64(res.CoordWorkers))
+	}
+	res.CoordVerdictMatch = true
+	for _, cr := range coordResults {
+		if cr == nil || cr.Passed != serial.Passed || cr.Replay != serial.Replay {
+			res.CoordVerdictMatch = false
+		}
+	}
+	if !res.CoordVerdictMatch {
+		return nil, fmt.Errorf("auditbench: coordinator verdicts diverged from serial")
+	}
+
 	// --- spot-checking every segment, serial vs parallel ---
 	db, err := dbapp.NewScenario(dbapp.ScenarioConfig{
 		Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(), Seed: 17,
@@ -481,6 +552,10 @@ func (r *AuditBenchResult) Table() *metrics.Table {
 		fmt.Sprintf("%d TCP workers, %d epochs, %.2fx local wall, %d KiB shipped, %d re-dispatched, merge %v, verdict match %v",
 			r.DistWorkers, r.DistEpochs, r.DistOverheadRatio, r.DistJobBytes>>10, r.DistRedispatches,
 			time.Duration(r.DistMergeWallNs), r.DistVerdictMatch))
+	t.Row("coordinator service", time.Duration(r.CoordWallNs).String(),
+		fmt.Sprintf("%d workers, %d concurrent audits, %d epochs, %.1f epochs/s, utilization %.2f, %d retries, verdict match %v",
+			r.CoordWorkers, r.CoordRuns, r.CoordEpochsDone, r.CoordEpochsPerSec,
+			r.CoordFleetUtilization, r.CoordRetries, r.CoordVerdictMatch))
 	t.Row("spot check serial", time.Duration(r.SpotSerialWallNs).String(),
 		fmt.Sprintf("%d segments", r.SpotSegments))
 	t.Row("spot check parallel", time.Duration(r.SpotParallelWallNs).String(),

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -63,5 +64,46 @@ func TestTableRendering(t *testing.T) {
 	// Columns align: every data line at least as wide as the header.
 	if len(lines[3]) < len("name") {
 		t.Fatal("row narrower than header")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	var r Registry
+	r.Counter("retries").Add(3)
+	r.Counter("retries").Inc()
+	r.Gauge("queue_depth").Set(7)
+	r.Gauge("queue_depth").Add(-2)
+	snap := r.Snapshot()
+	if snap["retries"] != 4 {
+		t.Fatalf("retries = %d, want 4", snap["retries"])
+	}
+	if snap["queue_depth"] != 5 {
+		t.Fatalf("queue_depth = %d, want 5", snap["queue_depth"])
+	}
+	if got := r.String(); got != "queue_depth=5 retries=4" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	var r Registry
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("hits").Inc()
+				r.Gauge("depth").Add(1)
+				r.Gauge("depth").Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+	if got := r.Gauge("depth").Value(); got != 0 {
+		t.Fatalf("depth = %d, want 0", got)
 	}
 }

@@ -13,6 +13,7 @@ package wire
 // with precise errors.
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -38,7 +39,50 @@ const (
 	DistFrameVerdict
 	// DistFrameError carries a worker-side protocol error (string body).
 	DistFrameError
+
+	// The frames below extend the protocol for the long-running coordinator
+	// service: one connection multiplexes many audit sessions (each log being
+	// audited registers a session once; its reference image ships once per
+	// worker), carries pipelined jobs tagged with their session, and stays
+	// under heartbeat surveillance. A worker that is draining refuses new
+	// jobs explicitly instead of dying mid-epoch.
+
+	// DistFrameMuxSession registers a session on a multiplexed connection:
+	// uvarint session id, then the AuditSession body.
+	DistFrameMuxSession
+	// DistFrameMuxSessionOK acknowledges a multiplexed session: uvarint
+	// session id.
+	DistFrameMuxSessionOK
+	// DistFrameMuxJob carries one epoch job on a multiplexed connection:
+	// uvarint session id, then the AuditJob body.
+	DistFrameMuxJob
+	// DistFrameMuxVerdict carries one epoch verdict back: uvarint session
+	// id, then the AuditVerdict body. (session id, epoch index) is the
+	// verdict's unique key.
+	DistFrameMuxVerdict
+	// DistFramePing probes worker liveness: uvarint sequence number.
+	DistFramePing
+	// DistFramePong answers a ping, echoing its sequence number.
+	DistFramePong
+	// DistFrameDrain tells the coordinator this worker is draining: the job
+	// that prompted it was refused and must be re-dispatched elsewhere, and
+	// no further jobs will be accepted on this connection.
+	DistFrameDrain
 )
+
+// AppendMuxID prefixes a multiplexed frame body with its session id.
+func AppendMuxID(id uint64, body []byte) []byte {
+	return append(binary.AppendUvarint(make([]byte, 0, len(body)+binary.MaxVarintLen64), id), body...)
+}
+
+// SplitMuxID strips the session id prefix from a multiplexed frame body.
+func SplitMuxID(b []byte) (uint64, []byte, error) {
+	id, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errors.New("wire: truncated mux session id")
+	}
+	return id, b[n:], nil
+}
 
 // AuditSession is the per-audit reference configuration a worker needs to
 // replay epochs: the trusted reference image (the coordinator is the

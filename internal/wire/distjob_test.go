@@ -97,6 +97,26 @@ func TestAuditVerdictRoundTrip(t *testing.T) {
 	}
 }
 
+func TestMuxIDRoundTrip(t *testing.T) {
+	for _, id := range []uint64{0, 1, 127, 128, 1 << 20, 1<<64 - 1} {
+		body := []byte("payload")
+		framed := AppendMuxID(id, body)
+		gotID, gotBody, err := SplitMuxID(framed)
+		if err != nil {
+			t.Fatalf("id %d: %v", id, err)
+		}
+		if gotID != id || string(gotBody) != string(body) {
+			t.Fatalf("mux round trip: got (%d, %q), want (%d, %q)", gotID, gotBody, id, body)
+		}
+	}
+	if _, _, err := SplitMuxID(nil); err == nil {
+		t.Fatal("empty mux body accepted")
+	}
+	if _, _, err := SplitMuxID([]byte{0x80}); err == nil {
+		t.Fatal("truncated uvarint accepted")
+	}
+}
+
 // TestDistCodecTruncation: every strict prefix of a valid encoding must be
 // rejected, never crash, and never round-trip as something else.
 func TestDistCodecTruncation(t *testing.T) {

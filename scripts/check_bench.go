@@ -42,6 +42,12 @@ type bench struct {
 	DistOverheadRatio     float64 `json:"dist_overhead_ratio"`
 	DistMergeWallNs       int64   `json:"dist_merge_wall_ns"`
 	DistVerdictMatch      bool    `json:"dist_verdict_match"`
+	CoordWorkers          int     `json:"coord_workers"`
+	CoordEpochsDone       int64   `json:"coord_epochs_done"`
+	CoordEpochsPerSec     float64 `json:"coord_epochs_per_sec"`
+	CoordFleetUtilization float64 `json:"coord_fleet_utilization"`
+	CoordRetries          int64   `json:"coord_retries"`
+	CoordVerdictMatch     bool    `json:"coord_verdict_match"`
 	MerkleSerialGBps      float64 `json:"merkle_serial_gb_per_sec"`
 	MerkleParallelGBps    float64 `json:"merkle_parallel_gb_per_sec"`
 	MerkleFullVerifies    float64 `json:"merkle_full_verifies_per_sec"`
@@ -115,6 +121,7 @@ func main() {
 		rate("serial Minstr/s", base.SerialMInstrPerSec, current.SerialMInstrPerSec)
 		rate("parallel Minstr/s", base.ParallelMInstrPerSec, current.ParallelMInstrPerSec)
 		rate("stream entries/s", base.StreamEntriesPerSec, current.StreamEntriesPerSec)
+		rate("coord epochs/s", base.CoordEpochsPerSec, current.CoordEpochsPerSec)
 		rate("merkle serial GB/s", base.MerkleSerialGBps, current.MerkleSerialGBps)
 		rate("merkle parallel GB/s", base.MerkleParallelGBps, current.MerkleParallelGBps)
 		rate("merkle full verifies/s", base.MerkleFullVerifies, current.MerkleFullVerifies)
@@ -164,6 +171,17 @@ func main() {
 		invariant("dist overhead ratio <= 5", current.DistOverheadRatio <= 0 ||
 			current.DistOverheadRatio <= 5)
 		invariant("dist merge wall <= 100ms", current.DistMergeWallNs <= 100_000_000)
+	}
+	// Coordinator service: verdicts must not depend on the elastic queue,
+	// an honest loopback fleet must stay busy (a utilization collapse means
+	// dispatch serialized behind the scheduler lock or the session cache
+	// stopped hitting), and retries against honest workers must stay
+	// bounded by the work itself.
+	if current.CoordWorkers > 0 {
+		invariant("coord verdict match", current.CoordVerdictMatch)
+		invariant("coord utilization >= 0.6", current.CoordFleetUtilization <= 0 ||
+			current.CoordFleetUtilization >= 0.6)
+		invariant("coord retries <= epochs", current.CoordRetries <= current.CoordEpochsDone)
 	}
 	for _, w := range current.Workers {
 		invariant(fmt.Sprintf("parallel verdict (%d workers)", w.Workers), w.VerdictMatch)

@@ -6,6 +6,13 @@
 // offline workflow end to end and asserts the documented exit codes
 // (0 clean, 1 fault detected, 2 audit/transport failure).
 //
+// The chaos phase re-runs the catalog through the long-running
+// coordinator service while the fleet churns: one worker process is
+// SIGKILLed a third of the way through and a replacement hot-joins two
+// thirds through, and every verdict must still match the serial engine's.
+// Finally it asserts the -coordinate exit-code contract and that a
+// SIGTERMed worker drains gracefully (exit 0).
+//
 //	go build -o bin/ ./cmd/avm-audit ./cmd/avm-run
 //	go run ./scripts/dist_smoke -audit-bin bin/avm-audit -run-bin bin/avm-run
 //
@@ -22,6 +29,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/audit"
@@ -39,22 +47,32 @@ func failf(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "dist_smoke: FAIL: "+format+"\n", args...)
 }
 
-// startWorker spawns one `avm-audit -serve` process and returns the
-// address it bound (parsed from its banner line).
-func startWorker(auditBin string) (string, func(), error) {
+// workerProc is one real `avm-audit -serve` process under test control.
+type workerProc struct {
+	addr string
+	cmd  *exec.Cmd
+}
+
+// kill SIGKILLs the worker — the crash case; the coordinator only finds
+// out when the connection drops or heartbeats stop.
+func (w *workerProc) kill() {
+	_ = w.cmd.Process.Kill()
+	_, _ = w.cmd.Process.Wait()
+}
+
+// startWorker spawns one `avm-audit -serve` process and returns it with
+// the address it bound (parsed from its banner line).
+func startWorker(auditBin string) (*workerProc, error) {
 	cmd := exec.Command(auditBin, "-serve", "-listen", "127.0.0.1:0")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
-		return "", nil, err
+		return nil, err
 	}
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
-		return "", nil, err
+		return nil, err
 	}
-	stop := func() {
-		_ = cmd.Process.Kill()
-		_, _ = cmd.Process.Wait()
-	}
+	w := &workerProc{cmd: cmd}
 	sc := bufio.NewScanner(stdout)
 	addrCh := make(chan string, 1)
 	go func() {
@@ -70,19 +88,21 @@ func startWorker(auditBin string) (string, func(), error) {
 	select {
 	case addr, ok := <-addrCh:
 		if !ok || addr == "" {
-			stop()
-			return "", nil, fmt.Errorf("worker printed no listen address")
+			w.kill()
+			return nil, fmt.Errorf("worker printed no listen address")
 		}
-		return addr, stop, nil
+		w.addr = addr
+		return w, nil
 	case <-time.After(10 * time.Second):
-		stop()
-		return "", nil, fmt.Errorf("worker did not announce its address in time")
+		w.kill()
+		return nil, fmt.Errorf("worker did not announce its address in time")
 	}
 }
 
 // auditMatch records one two-player match (cheat may be nil) and compares
-// the serial audit of both players against the TCP-dispatched audit.
-func auditMatch(name string, cheat *game.Cheat, addrs []string) {
+// the serial audit of both players against the dispatched audit through
+// the given backend. The spot-recheck seed is filled in from the scenario.
+func auditMatch(name string, cheat *game.Cheat, opts audit.DistOptions) {
 	cfg := game.ScenarioConfig{
 		Players: 2, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
 		Seed: 2024, SnapshotEveryNs: matchNs / 3, FakeSignatures: true,
@@ -103,11 +123,8 @@ func auditMatch(name string, cheat *game.Cheat, addrs []string) {
 			failf("%s/%s: serial audit: %v", name, node, err)
 			continue
 		}
-		dist, dstats, err := s.AuditNodeDist(sig.NodeID(node), audit.DistOptions{
-			Backend:             &audit.TCPBackend{Addrs: addrs, JobTimeout: 60 * time.Second},
-			SpotRecheckFraction: 0.25,
-			SpotRecheckSeed:     cfg.Seed,
-		})
+		opts.SpotRecheckSeed = cfg.Seed
+		dist, dstats, err := s.AuditNodeDist(sig.NodeID(node), opts)
 		if err != nil {
 			failf("%s/%s: dispatched audit: %v", name, node, err)
 			continue
@@ -154,15 +171,19 @@ func main() {
 	cheats := flag.String("cheats", "all", `comma-separated catalog cheats to dispatch, or "all"`)
 	flag.Parse()
 
-	var addrs []string
-	for i := 0; i < *workers; i++ {
-		addr, stop, err := startWorker(*auditBin)
+	mustWorker := func() *workerProc {
+		w, err := startWorker(*auditBin)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dist_smoke: starting worker %d: %v\n", i, err)
+			fmt.Fprintf(os.Stderr, "dist_smoke: starting worker: %v\n", err)
 			os.Exit(1)
 		}
-		defer stop()
-		addrs = append(addrs, addr)
+		return w
+	}
+	var addrs []string
+	for i := 0; i < *workers; i++ {
+		w := mustWorker()
+		defer w.kill()
+		addrs = append(addrs, w.addr)
 	}
 	fmt.Printf("dist_smoke: %d workers on %s\n", *workers, strings.Join(addrs, ", "))
 
@@ -179,11 +200,15 @@ func main() {
 			catalog = append(catalog, c)
 		}
 	}
+	tcpOpts := audit.DistOptions{
+		Backend:             &audit.TCPBackend{Addrs: addrs, JobTimeout: 60 * time.Second},
+		SpotRecheckFraction: 0.25,
+	}
 	start := time.Now()
-	auditMatch("clean", nil, addrs)
+	auditMatch("clean", nil, tcpOpts)
 	for _, c := range catalog {
 		before := failures
-		auditMatch(c.Name, c, addrs)
+		auditMatch(c.Name, c, tcpOpts)
 		status := "ok"
 		if failures > before {
 			status = "DIVERGED"
@@ -192,6 +217,56 @@ func main() {
 	}
 	fmt.Printf("dist_smoke: catalog phase done in %v (%d matches)\n",
 		time.Since(start).Round(time.Millisecond), len(catalog)+1)
+
+	// Chaos phase: the same catalog through the long-running coordinator
+	// while the fleet churns. Local fallback is off, so every verdict comes
+	// from a real worker process; one worker is SIGKILLed a third of the
+	// way through (its in-flight epochs must be re-dispatched after the
+	// connection drops) and a replacement hot-joins two thirds through.
+	var fleet []*workerProc
+	for i := 0; i < 3; i++ {
+		w := mustWorker()
+		defer w.kill()
+		fleet = append(fleet, w)
+	}
+	coord := audit.NewCoordinator(audit.CoordinatorConfig{
+		Pipeline: 2, JobTimeout: 60 * time.Second, DisableLocalFallback: true,
+	})
+	for _, w := range fleet {
+		coord.AddWorker(w.addr)
+	}
+	coordOpts := audit.DistOptions{Backend: coord.Backend(), SpotRecheckFraction: 0.25}
+	killAt, joinAt := len(catalog)/3, 2*len(catalog)/3
+	start = time.Now()
+	auditMatch("chaos/clean", nil, coordOpts)
+	for i, c := range catalog {
+		if i == killAt {
+			fmt.Printf("dist_smoke: SIGKILL worker %s mid-catalog\n", fleet[0].addr)
+			fleet[0].kill()
+		}
+		if i == joinAt {
+			repl := mustWorker()
+			defer repl.kill()
+			coord.RemoveWorker(fleet[0].addr)
+			coord.AddWorker(repl.addr)
+			fmt.Printf("dist_smoke: hot-joined replacement worker %s\n", repl.addr)
+		}
+		before := failures
+		auditMatch("chaos/"+c.Name, c, coordOpts)
+		status := "ok"
+		if failures > before {
+			status = "DIVERGED"
+		}
+		fmt.Printf("dist_smoke: chaos %-24s %s\n", c.Name, status)
+	}
+	fs := coord.Stats()
+	coord.Close()
+	fmt.Printf("dist_smoke: chaos phase done in %v (%d matches; %d epochs, %d retries, %d heartbeat timeouts, %d redials)\n",
+		time.Since(start).Round(time.Millisecond), len(catalog)+1,
+		fs.EpochsDone, fs.Retries, fs.HeartbeatTimeouts, fs.Redials)
+	if fs.LocalFallbackEpochs != 0 {
+		failf("chaos phase replayed %d epochs locally with fallback disabled", fs.LocalFallbackEpochs)
+	}
 
 	// Phase 2: the offline workflow through the real binaries, asserting
 	// the documented exit codes.
@@ -211,6 +286,26 @@ func main() {
 	expectExit(1, *auditBin, "-dir", cheatDir)                                                   // serial agrees ⇒ 1
 	expectExit(2, *auditBin, "-dir", cleanDir, "-dispatch", "127.0.0.1:1", "-job-timeout", "2s") // dead worker ⇒ 2
 	expectExit(2, *auditBin, "-dir", filepath.Join(tmp, "missing"))                              // bad recording ⇒ 2
+
+	// The -coordinate mode honors the same contract: a dead fleet only
+	// fails the audit when local fallback is off.
+	expectExit(0, *auditBin, "-dir", cleanDir, "-coordinate", dispatchArg)               // clean ⇒ 0
+	expectExit(1, *auditBin, "-dir", cheatDir, "-coordinate", dispatchArg, "-spot", "1") // fault ⇒ 1
+	expectExit(0, *auditBin, "-dir", cleanDir, "-coordinate", "127.0.0.1:1",
+		"-job-timeout", "2s") // dead fleet, local fallback ⇒ 0
+	expectExit(2, *auditBin, "-dir", cleanDir, "-coordinate", "127.0.0.1:1",
+		"-local-fallback=false", "-job-timeout", "2s") // dead fleet, no fallback ⇒ 2
+
+	// A SIGTERMed worker must drain gracefully: finish in-flight epochs,
+	// refuse new jobs, exit 0.
+	drainer := mustWorker()
+	if err := drainer.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		failf("signaling drain worker: %v", err)
+	} else if werr := drainer.cmd.Wait(); werr != nil {
+		failf("SIGTERMed worker should drain and exit 0, got: %v", werr)
+	} else {
+		fmt.Println("dist_smoke: SIGTERMed worker drained cleanly (exit 0)")
+	}
 
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "dist_smoke: %d failure(s)\n", failures)
