@@ -132,26 +132,28 @@ func rebuildKeys(meta *Meta) *sig.KeyStore {
 	return keys
 }
 
-// loadSnapshots returns a Materialize source for the node's persisted
-// snapshot store (avm-run writes one per node when snapshots were taken),
-// or nil when the recording carries none.
-func loadSnapshots(dir, node string) (func(snapIdx uint32) (*snapshot.Restored, error), error) {
+// loadSnapshots returns Materialize and DeltaSource closures over the
+// node's persisted snapshot store (avm-run writes one per node when
+// snapshots were taken), or nils when the recording carries none.
+func loadSnapshots(dir, node string) (func(snapIdx uint32) (*snapshot.Restored, error), func(k uint32) (*snapshot.Delta, error), error) {
 	f, err := os.Open(filepath.Join(dir, node+".snaps"))
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	var sf snapshot.StoreFile
 	if err := gob.NewDecoder(f).Decode(&sf); err != nil {
-		return nil, fmt.Errorf("decoding %s snapshots: %w", node, err)
+		return nil, nil, fmt.Errorf("decoding %s snapshots: %w", node, err)
 	}
 	st := sf.Restore()
 	return func(snapIdx uint32) (*snapshot.Restored, error) {
-		return st.Materialize(int(snapIdx))
-	}, nil
+			return st.Materialize(int(snapIdx))
+		}, func(k uint32) (*snapshot.Delta, error) {
+			return st.Delta(int(k))
+		}, nil
 }
 
 // fail reports an audit-infrastructure failure (exit code 2).
@@ -176,6 +178,7 @@ func run() int {
 	pipeline := flag.Int("pipeline", 0, "coordinate mode: epoch jobs kept in flight per worker connection (0 = default)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "coordinate mode: straggler hedge delay (0 = job-timeout/4, negative disables hedging)")
 	localFallback := flag.Bool("local-fallback", true, "coordinate mode: replay locally when no workers are live instead of failing")
+	delta := flag.Bool("delta", false, "dispatch/coordinate mode: ship epoch jobs as proof-carrying dirty-page deltas after the first full state per worker connection")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "worker mode: max time to finish in-flight epochs after SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -211,7 +214,7 @@ func run() int {
 			}
 		}
 		return runCoordinated(*dir, &meta, keys, nodes, addrs,
-			*pipeline, *spot, *jobTimeout, *hedgeAfter, *localFallback)
+			*pipeline, *spot, *jobTimeout, *hedgeAfter, *localFallback, *delta)
 	}
 
 	var backend *audit.TCPBackend
@@ -247,10 +250,11 @@ func run() int {
 			Keys: keys, RefImage: ref, RNGSeed: meta.RNGSeeds[node],
 			TamperEvident: true, VerifySignatures: true,
 		}
+		// Every mode routes through the unified Audit entry point: the
+		// flags select an Engine and fill one AuditRequest.
+		req := audit.AuditRequest{Node: sig.NodeID(node), NodeIdx: uint32(meta.Nodes[node])}
 		start := time.Now()
-		var res *audit.Result
 		entryCount := 0
-		extra := ""
 		switch {
 		case backend != nil:
 			entries, err := logcomp.DecompressEntries(compressed)
@@ -261,36 +265,33 @@ func run() int {
 				return fail("rechaining %s log: %v", node, err)
 			}
 			entryCount = len(entries)
-			materialize, err := loadSnapshots(*dir, node)
+			materialize, deltaSrc, err := loadSnapshots(*dir, node)
 			if err != nil {
 				return fail("%v", err)
 			}
-			var dstats audit.DistStats
-			res, dstats, err = a.AuditFullDist(sig.NodeID(node), uint32(meta.Nodes[node]), entries, auths,
-				audit.DistOptions{
-					Backend:             backend,
-					Materialize:         materialize,
-					SpotRecheckFraction: *spot,
-					SpotRecheckSeed:     meta.Seed,
-				})
-			if err != nil {
-				return fail("dispatching %s audit: %v", node, err)
+			req.Engine = audit.EngineDist
+			req.Backend = backend
+			req.Entries, req.Auths = entries, auths
+			req.Options = audit.EngineOptions{
+				Materialize:         materialize,
+				DeltaSource:         deltaSrc,
+				DeltaJobs:           *delta,
+				SpotRecheckFraction: *spot,
+				SpotRecheckSeed:     meta.Seed,
 			}
-			extra = fmt.Sprintf(", %d epochs over %d workers, %d re-dispatched, %d spot-rechecked",
-				dstats.Epochs, len(backend.Addrs), dstats.Redispatches, dstats.SpotRechecked)
 		case *stream:
 			// Streaming straight from the container; with persisted
 			// snapshots the stream router splits epochs, otherwise it
 			// replays a single boot epoch — decode, chain verification and
 			// replay still overlap, with at most -window entries resident.
-			materialize, err := loadSnapshots(*dir, node)
+			materialize, _, err := loadSnapshots(*dir, node)
 			if err != nil {
 				return fail("%v", err)
 			}
-			var sstats audit.StreamStats
-			res, sstats = a.AuditStream(sig.NodeID(node), uint32(meta.Nodes[node]), compressed, auths,
-				audit.StreamOptions{Window: *window, Materialize: materialize})
-			entryCount = sstats.Entries
+			req.Engine = audit.EngineStream
+			req.Compressed = compressed
+			req.Auths = auths
+			req.Options = audit.EngineOptions{Window: *window, Materialize: materialize}
 		default:
 			entries, err := logcomp.DecompressEntries(compressed)
 			if err != nil {
@@ -300,7 +301,22 @@ func run() int {
 				return fail("rechaining %s log: %v", node, err)
 			}
 			entryCount = len(entries)
-			res = a.AuditFull(sig.NodeID(node), uint32(meta.Nodes[node]), entries, auths)
+			req.Engine = audit.EngineSerial
+			req.Entries, req.Auths = entries, auths
+		}
+		res, astats, err := a.Audit(req)
+		if err != nil {
+			return fail("auditing %s: %v", node, err)
+		}
+		extra := ""
+		switch req.Engine {
+		case audit.EngineDist:
+			dstats := astats.Dist
+			extra = fmt.Sprintf(", %d epochs over %d workers, %d re-dispatched, %d spot-rechecked, job bytes %d full + %d delta (%d delta jobs, %d fallbacks)",
+				dstats.Epochs, len(backend.Addrs), dstats.Redispatches, dstats.SpotRechecked,
+				dstats.WireBytesFull, dstats.WireBytesDelta, dstats.DeltaJobsShipped, dstats.DeltaFallbacks)
+		case audit.EngineStream:
+			entryCount = astats.Stream.Entries
 		}
 		wall := time.Since(start).Round(time.Millisecond)
 		if res.Passed {
@@ -327,6 +343,7 @@ type nodeRecording struct {
 	auths       []tevlog.Authenticator
 	auditor     *audit.Auditor
 	materialize func(snapIdx uint32) (*snapshot.Restored, error)
+	deltaSource func(k uint32) (*snapshot.Delta, error)
 }
 
 // loadNodeRecording reads and verifies one node's log, authenticators and
@@ -359,13 +376,13 @@ func loadNodeRecording(dir string, meta *Meta, keys *sig.KeyStore, node string) 
 	if err != nil {
 		return nil, err
 	}
-	materialize, err := loadSnapshots(dir, node)
+	materialize, deltaSrc, err := loadSnapshots(dir, node)
 	if err != nil {
 		return nil, err
 	}
 	return &nodeRecording{
 		node: node, idx: uint32(meta.Nodes[node]),
-		entries: entries, auths: auths, materialize: materialize,
+		entries: entries, auths: auths, materialize: materialize, deltaSource: deltaSrc,
 		auditor: &audit.Auditor{
 			Keys: keys, RefImage: ref, RNGSeed: meta.RNGSeeds[node],
 			TamperEvident: true, VerifySignatures: true,
@@ -379,7 +396,7 @@ func loadNodeRecording(dir string, meta *Meta, keys *sig.KeyStore, node string) 
 // straggler hedging. Workers may join, leave or crash mid-audit; with
 // -local-fallback (the default) an empty fleet degrades to local replay.
 func runCoordinated(dir string, meta *Meta, keys *sig.KeyStore, nodes, addrs []string,
-	pipeline int, spot float64, jobTimeout, hedgeAfter time.Duration, localFallback bool) int {
+	pipeline int, spot float64, jobTimeout, hedgeAfter time.Duration, localFallback, delta bool) int {
 	recs := make([]*nodeRecording, 0, len(nodes))
 	for _, node := range nodes {
 		rec, err := loadNodeRecording(dir, meta, keys, node)
@@ -415,11 +432,13 @@ func runCoordinated(dir string, meta *Meta, keys *sig.KeyStore, nodes, addrs []s
 			defer wg.Done()
 			t0 := time.Now()
 			res, dstats, err := coord.Audit(rec.auditor, sig.NodeID(rec.node), rec.idx, rec.entries, rec.auths,
-				audit.DistOptions{
+				audit.DistOptions{EngineOptions: audit.EngineOptions{
 					Materialize:         rec.materialize,
+					DeltaSource:         rec.deltaSource,
+					DeltaJobs:           delta,
 					SpotRecheckFraction: spot,
 					SpotRecheckSeed:     meta.Seed,
-				})
+				}})
 			outs[i] = outcome{res: res, dstats: dstats, wall: time.Since(t0).Round(time.Millisecond), err: err}
 		}(i, rec)
 	}
@@ -434,8 +453,9 @@ func runCoordinated(dir string, meta *Meta, keys *sig.KeyStore, nodes, addrs []s
 			code = fail("auditing %s: %v", rec.node, out.err)
 			continue
 		}
-		extra := fmt.Sprintf(", %d epochs, %d re-dispatched, %d spot-rechecked",
-			out.dstats.Epochs, out.dstats.Redispatches, out.dstats.SpotRechecked)
+		extra := fmt.Sprintf(", %d epochs, %d re-dispatched, %d spot-rechecked, job bytes %d full + %d delta (%d delta jobs, %d fallbacks)",
+			out.dstats.Epochs, out.dstats.Redispatches, out.dstats.SpotRechecked,
+			out.dstats.WireBytesFull, out.dstats.WireBytesDelta, out.dstats.DeltaJobsShipped, out.dstats.DeltaFallbacks)
 		if out.res.Passed {
 			fmt.Printf("%-10s PASSED in %-8v (%d entries, %d instructions replayed, %d sends matched%s)\n",
 				rec.node, out.wall, len(rec.entries), out.res.Replay.Instructions, out.res.Replay.SendsMatched, extra)

@@ -38,10 +38,11 @@ type Auditor struct {
 	DisablePredecode bool
 }
 
-// AuditFull checks an entire execution from boot: log verification against
-// authenticators, syntactic check, and full replay from the reference
-// image.
-func (a *Auditor) AuditFull(node sig.NodeID, nodeIdx uint32, entries []tevlog.Entry, auths []tevlog.Authenticator) *Result {
+// auditSerial checks an entire execution from boot: log verification
+// against authenticators, syntactic check, and full replay from the
+// reference image. It backs Audit's EngineSerial and the deprecated
+// AuditFull.
+func (a *Auditor) auditSerial(node sig.NodeID, nodeIdx uint32, entries []tevlog.Entry, auths []tevlog.Authenticator) *Result {
 	res := &Result{Node: node}
 
 	if a.TamperEvident {
@@ -85,12 +86,12 @@ type ChunkRequest struct {
 	Auths []tevlog.Authenticator
 }
 
-// AuditChunk spot-checks one chunk: authenticate the snapshot, verify the
+// auditChunk spot-checks one chunk: authenticate the snapshot, verify the
 // segment's hash chain, syntactic pass, and replay starting from the
 // snapshot. Snapshot entries inside the chunk verify intermediate and final
 // state roots, so an incorrect state transition anywhere in the chunk is
-// detected.
-func (a *Auditor) AuditChunk(req ChunkRequest) *Result {
+// detected. It backs Audit's EngineChunk and the deprecated AuditChunk.
+func (a *Auditor) auditChunk(req ChunkRequest) *Result {
 	res := &Result{Node: req.Node}
 	// Authenticate the snapshot; the verification tree is kept live so
 	// snapshot entries inside the chunk verify incrementally.

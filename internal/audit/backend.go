@@ -79,6 +79,16 @@ type EpochVerdict struct {
 	// WireBytes counts job+verdict payload bytes shipped for this epoch
 	// across all attempts (0 for the in-process pool).
 	WireBytes int
+	// WireBytesFull and WireBytesDelta split the job-frame bytes by
+	// encoding (full-state vs delta-shipped); verdict bytes count toward
+	// WireBytes only.
+	WireBytesFull  int
+	WireBytesDelta int
+	// DeltaShipped counts delta-encoded dispatches of this epoch;
+	// DeltaFallbacks counts full-state re-ships after the worker reported
+	// a missing base state.
+	DeltaShipped   int
+	DeltaFallbacks int
 }
 
 // EpochBackend executes epoch replay jobs on behalf of the router.
@@ -106,6 +116,14 @@ type EpochBackend interface {
 // tree becomes the replay's live tree, so snapshot entries inside the
 // epoch verify incrementally.
 func runEpochJob(sess Session, job *EpochJob, materialize func(snapIdx uint32) (*snapshot.Restored, error)) epochResult {
+	return runEpochJobEx(sess, job, materialize, false)
+}
+
+// runEpochJobEx is runEpochJob with optional end-state capture: remote
+// workers ask for the verified end-of-epoch state (a memory copy per
+// epoch) to seed their connection cache; in-process engines, which never
+// ship state, do not.
+func runEpochJobEx(sess Session, job *EpochJob, materialize func(snapIdx uint32) (*snapshot.Restored, error), captureEnd bool) epochResult {
 	var rp *Replay
 	var err error
 	if job.Boot {
@@ -147,7 +165,11 @@ func runEpochJob(sess Session, job *EpochJob, materialize func(snapIdx uint32) (
 	rp.Feed(job.Entries)
 	rp.Close()
 	rp.Run()
-	return epochResult{stats: rp.Stats, fault: rp.Fault()}
+	res := epochResult{stats: rp.Stats, fault: rp.Fault()}
+	if captureEnd {
+		res.end = rp.EndState()
+	}
+	return res
 }
 
 // PoolBackend replays epochs on a bounded in-process goroutine pool — the

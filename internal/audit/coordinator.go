@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sig"
+	"repro/internal/snapshot"
 	"repro/internal/tevlog"
 	"repro/internal/wire"
 )
@@ -121,6 +122,10 @@ type coordTask struct {
 	enqueuedAt time.Time
 	triedOn    map[string]bool
 	wireBytes  int
+	fullBytes  int // full-state job-frame bytes, all dispatches
+	deltaBytes int // delta-encoded job-frame bytes, all dispatches
+	deltaSent  int // delta-encoded dispatches
+	deltaFalls int // full re-dispatches after a worker NeedState
 	failErr    error
 }
 
@@ -135,13 +140,14 @@ func (t *coordTask) frame() []byte {
 // settled only after its emit (if any) returned, so done closes strictly
 // after every verdict reached the router.
 type coordRun struct {
-	id    uint64
-	sess  Session
-	frame []byte
-	skip  func(int) bool
-	emit  func(EpochVerdict)
-	tasks map[int]*coordTask
-	total int
+	id       uint64
+	sess     Session
+	frame    []byte
+	skip     func(int) bool
+	emit     func(EpochVerdict)
+	deltaSrc func(k uint32) (*snapshot.Delta, error)
+	tasks    map[int]*coordTask
+	total    int
 
 	settled atomic.Int64
 	done    chan struct{}
@@ -176,6 +182,14 @@ type coordWorker struct {
 	timeouts    int
 	activeSince time.Time
 	busy        time.Duration
+
+	// trackers models, per run, what snapshot state the worker behind the
+	// live connection holds for delta-encoded dispatch. Owned by the sender
+	// goroutine — never touched under the lock. needReset (guarded by
+	// Coordinator.mu) carries NeedState notices from the read loop to the
+	// sender, which invalidates the named trackers before its next ship.
+	trackers  map[uint64]*deltaTracker
+	needReset map[uint64]bool
 }
 
 // Coordinator is the long-running audit coordinator service. Create with
@@ -347,7 +361,7 @@ func (c *Coordinator) Close() {
 
 // Backend returns the coordinator as an EpochBackend, for DistOptions.
 // Concurrent audits through it interleave on one shared queue and fleet.
-func (c *Coordinator) Backend() EpochBackend { return coordinatorBackend{c} }
+func (c *Coordinator) Backend() EpochBackend { return coordinatorBackend{c: c} }
 
 // Audit runs one full audit through the coordinator: opts.Backend is
 // replaced, everything else in opts applies unchanged.
@@ -411,19 +425,29 @@ func (c *Coordinator) Stats() FleetStats {
 }
 
 // coordinatorBackend adapts the coordinator to the router's backend seam.
-type coordinatorBackend struct{ c *Coordinator }
+type coordinatorBackend struct {
+	c        *Coordinator
+	deltaSrc func(k uint32) (*snapshot.Delta, error)
+}
 
 // Remote implements EpochBackend: jobs ship whole, starts pre-verified.
 func (b coordinatorBackend) Remote() bool { return true }
 
+// withDelta implements deltaCapable: runs enqueued through the returned
+// backend ship epochs as proof-carrying delta chains per worker connection.
+func (b coordinatorBackend) withDelta(src func(k uint32) (*snapshot.Delta, error)) EpochBackend {
+	b.deltaSrc = src
+	return b
+}
+
 // Run implements EpochBackend by enqueueing the jobs and blocking until
 // every one settles.
 func (b coordinatorBackend) Run(sess Session, jobs []*EpochJob, skip func(int) bool, emit func(EpochVerdict)) error {
-	return b.c.enqueueRun(sess, jobs, skip, emit)
+	return b.c.enqueueRun(sess, jobs, skip, emit, b.deltaSrc)
 }
 
 // enqueueRun puts one audit's epochs on the shared queue and waits.
-func (c *Coordinator) enqueueRun(sess Session, jobs []*EpochJob, skip func(int) bool, emit func(EpochVerdict)) error {
+func (c *Coordinator) enqueueRun(sess Session, jobs []*EpochJob, skip func(int) bool, emit func(EpochVerdict), deltaSrc func(k uint32) (*snapshot.Delta, error)) error {
 	if len(jobs) == 0 {
 		return nil
 	}
@@ -437,7 +461,8 @@ func (c *Coordinator) enqueueRun(sess Session, jobs []*EpochJob, skip func(int) 
 	c.nextRun++
 	run := &coordRun{
 		id: c.nextRun, sess: sess, frame: sessFrame, skip: skip, emit: emit,
-		tasks: make(map[int]*coordTask, len(jobs)), total: len(jobs),
+		deltaSrc: deltaSrc,
+		tasks:    make(map[int]*coordTask, len(jobs)), total: len(jobs),
 		done: make(chan struct{}),
 	}
 	for _, job := range jobs {
@@ -532,6 +557,8 @@ func (c *Coordinator) failTasks(tasks []*coordTask) {
 		t.run.emit(EpochVerdict{
 			Index: t.index, Err: t.failErr,
 			Worker: "(exhausted)", Attempts: t.attempts, WireBytes: t.wireBytes,
+			WireBytesFull: t.fullBytes, WireBytesDelta: t.deltaBytes,
+			DeltaShipped: t.deltaSent, DeltaFallbacks: t.deltaFalls,
 		})
 		t.run.finishSettle(1)
 	}
@@ -641,7 +668,11 @@ func (c *Coordinator) deliverRemote(w *coordWorker, runID uint64, v *wire.AuditV
 	t.done = true
 	t.queued = false
 	t.wireBytes += nbytes
-	ev := EpochVerdict{Index: index, Worker: w.addr, Attempts: t.attempts, WireBytes: t.wireBytes}
+	ev := EpochVerdict{
+		Index: index, Worker: w.addr, Attempts: t.attempts, WireBytes: t.wireBytes,
+		WireBytesFull: t.fullBytes, WireBytesDelta: t.deltaBytes,
+		DeltaShipped: t.deltaSent, DeltaFallbacks: t.deltaFalls,
+	}
 	c.reg.Counter("epochs_done").Inc()
 	c.mu.Unlock()
 	r := verdictFromWire(v)
@@ -649,6 +680,37 @@ func (c *Coordinator) deliverRemote(w *coordWorker, runID uint64, v *wire.AuditV
 	ev.Fault = r.fault
 	run.emit(ev)
 	run.finishSettle(1)
+}
+
+// deltaFallback handles a worker's need-state notice: the worker no longer
+// holds the base state a delta-encoded dispatch chained from (its cache
+// evicted it, or a restarted worker answered behind the same address). The
+// dispatch slot frees, the connection's model of that run's worker state is
+// marked for invalidation (the sender goroutine owns the tracker and resets
+// it before its next ship), and the epoch requeues with no backoff — the
+// invalidated tracker makes the re-dispatch ship the full state.
+func (c *Coordinator) deltaFallback(w *coordWorker, runID uint64, index int) {
+	now := time.Now()
+	c.mu.Lock()
+	key := taskKey{run: runID, index: index}
+	if disp, ok := w.inflight[key]; ok {
+		w.dropDispatchLocked(key, now)
+		disp.task.inflight--
+		w.timeouts = 0
+	}
+	if w.needReset == nil {
+		w.needReset = make(map[uint64]bool)
+	}
+	w.needReset[runID] = true
+	if run := c.runs[runID]; run != nil {
+		if t := run.tasks[index]; t != nil && !t.done {
+			t.deltaFalls++
+			c.reg.Counter("delta_fallbacks").Inc()
+			c.requeueLocked(t, 0, "")
+		}
+	}
+	c.broadcastLocked() // the freed pipeline slot, even when the requeue no-ops
+	c.mu.Unlock()
 }
 
 // worker connection driving ------------------------------------------------
@@ -825,6 +887,8 @@ func (w *coordWorker) serveConn(conn net.Conn) bool {
 	w.conn = conn
 	w.inflight = make(map[taskKey]*coordDispatch)
 	w.sentRuns = make(map[uint64]struct{})
+	w.trackers = make(map[uint64]*deltaTracker)
+	w.needReset = nil
 	w.timeouts = 0
 	c.reg.Gauge("workers_live").Add(1)
 	c.broadcastLocked()
@@ -868,10 +932,20 @@ send:
 			t.inflight++
 			w.addDispatchLocked(taskKey{run: runID, index: t.index}, &coordDispatch{task: t, sentAt: now}, now)
 		}
+		var resetRuns []uint64
+		if len(w.needReset) > 0 {
+			for id := range w.needReset {
+				resetRuns = append(resetRuns, id)
+			}
+			w.needReset = nil
+		}
 		wait := w.senderWaitLocked(now, nextAt, lastPing)
 		wakeCh := c.wake
 		c.mu.Unlock()
 		c.failTasks(failed)
+		for _, id := range resetRuns {
+			w.trackers[id].invalidate()
+		}
 
 		if t != nil {
 			conn.SetWriteDeadline(time.Now().Add(c.cfg.JobTimeout))
@@ -880,12 +954,34 @@ send:
 					break
 				}
 			}
-			frame := t.frame()
-			if writeDistFrame(conn, wire.DistFrameMuxJob, wire.AppendMuxID(runID, frame)) != nil {
+			kind := wire.DistFrameMuxJob
+			var frame []byte
+			if src := t.run.deltaSrc; src != nil {
+				tr := w.trackers[runID]
+				if tr == nil {
+					tr = &deltaTracker{src: src}
+					w.trackers[runID] = tr
+				}
+				if df, derr := tr.deltaFrame(t.job); derr == nil {
+					kind, frame = wire.DistFrameMuxDeltaJob, df
+				}
+			}
+			delta := frame != nil
+			if frame == nil {
+				frame = t.frame()
+				w.trackers[runID].noteFull(t.job)
+			}
+			if writeDistFrame(conn, kind, wire.AppendMuxID(runID, frame)) != nil {
 				break
 			}
 			c.mu.Lock()
 			t.wireBytes += len(frame)
+			if delta {
+				t.deltaBytes += len(frame)
+				t.deltaSent++
+			} else {
+				t.fullBytes += len(frame)
+			}
 			c.mu.Unlock()
 			continue
 		}
@@ -948,6 +1044,16 @@ func (w *coordWorker) readLoop(conn net.Conn, done chan struct{}, traffic *atomi
 				return
 			}
 			c.deliverRemote(w, runID, v, len(rest))
+		case wire.DistFrameMuxNeedState:
+			runID, rest, err := wire.SplitMuxID(body)
+			if err != nil {
+				return
+			}
+			idx, err := wire.ParseNeedState(rest)
+			if err != nil {
+				return
+			}
+			c.deltaFallback(w, runID, int(idx))
 		case wire.DistFrameMuxSessionOK, wire.DistFramePong:
 			// Liveness was the point; the deadline reset above is the work.
 		case wire.DistFrameDrain:
@@ -1019,6 +1125,8 @@ func (c *Coordinator) localLoop() {
 		ev := EpochVerdict{
 			Index: t.index, Stats: r.stats, Fault: r.fault,
 			Worker: "local-fallback", Attempts: t.attempts, WireBytes: t.wireBytes,
+			WireBytesFull: t.fullBytes, WireBytesDelta: t.deltaBytes,
+			DeltaShipped: t.deltaSent, DeltaFallbacks: t.deltaFalls,
 		}
 		c.reg.Counter("epochs_done").Inc()
 		c.mu.Unlock()

@@ -137,9 +137,11 @@ func TestCoordinatorChaosEquivalence(t *testing.T) {
 			}
 			for _, rec := range recs {
 				res, dstats, err := rec.s.AuditNodeDist("player1", audit.DistOptions{
-					Backend:             coord.Backend(),
-					SpotRecheckFraction: spot,
-					SpotRecheckSeed:     0xBADD,
+					Backend: coord.Backend(),
+					EngineOptions: audit.EngineOptions{
+						SpotRecheckFraction: spot,
+						SpotRecheckSeed:     0xBADD,
+					},
 				})
 				if err != nil {
 					t.Fatalf("%s/%s: coordinator audit: %v", plan.Name, rec.name, err)
@@ -190,7 +192,7 @@ func TestCoordinatorJoinLeave(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			results[i], _, errs[i] = s.AuditNodeDist("player1", audit.DistOptions{
-				Backend: coord.Backend(), SpotRecheckFraction: 0.25,
+				Backend: coord.Backend(), EngineOptions: audit.EngineOptions{SpotRecheckFraction: 0.25},
 			})
 		}(i)
 	}

@@ -1,0 +1,214 @@
+package audit
+
+// Delta-shipped job dispatch, shared by the remote backends. After the
+// first full-state job on a connection, the dispatcher tracks which
+// snapshot's state the worker holds and ships subsequent jobs as chains of
+// proof-carrying snapshot deltas (wire.AuditDeltaJob); the worker folds
+// the chain onto its cached, previously-verified state, checks every step
+// against the committed roots, and replays as if the full state had
+// arrived. A worker that no longer holds the base answers NeedState and
+// the dispatcher falls back to the full-state frame. A doctored chain —
+// a lying coordinator — fails fold verification on the worker before any
+// replay work is spent and surfaces as the same snapshot-check fault a
+// corrupt full state would.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/snapshot"
+	"repro/internal/tevlog"
+	"repro/internal/wire"
+)
+
+// maxDeltaChain bounds the steps a single delta job may carry; a longer
+// gap ships as a full state instead (the chain would approach full-state
+// size anyway, and a lost worker should not trigger unbounded rebuilds).
+const maxDeltaChain = 64
+
+// stateCacheSize bounds the verified start states a worker retains per
+// connection for delta-job reconstruction.
+const stateCacheSize = 8
+
+// errDeltaIneligible reports a job the dispatcher cannot delta-encode
+// against the tracked base; the caller ships the full frame.
+var errDeltaIneligible = errors.New("audit: job not delta-eligible")
+
+// deltaTracker is the dispatcher's per-connection record of the snapshot
+// state the worker is known to hold (the start state of the last job
+// shipped on the connection).
+type deltaTracker struct {
+	src      func(k uint32) (*snapshot.Delta, error)
+	haveBase bool
+	baseSnap uint32
+	baseRoot [32]byte
+}
+
+// deltaFrame returns the delta-encoded frame body for job, chaining from
+// the tracked base, or errDeltaIneligible / a source error when the job
+// must ship full. On success the tracked base advances to the job's start
+// snapshot. The caller is responsible for calling noteFull when it ships a
+// full-state frame instead.
+func (t *deltaTracker) deltaFrame(job *EpochJob) ([]byte, error) {
+	if t == nil || t.src == nil || job.Boot {
+		return nil, errDeltaIneligible
+	}
+	if !t.haveBase || job.StartSnap < t.baseSnap || job.StartSnap-t.baseSnap > maxDeltaChain {
+		return nil, errDeltaIneligible
+	}
+	wj := &wire.AuditDeltaJob{
+		Index: uint64(job.Index), StartSnap: job.StartSnap, StartSeq: job.StartSeq,
+		StartRoot: job.StartRoot, BaseSnap: t.baseSnap, BaseRoot: t.baseRoot,
+		Entries: job.Entries,
+	}
+	for k := t.baseSnap + 1; k <= job.StartSnap; k++ {
+		d, err := t.src(k)
+		if err != nil {
+			return nil, fmt.Errorf("audit: delta source for snapshot %d: %w", k, err)
+		}
+		wj.Steps = append(wj.Steps, wire.DeltaStepFromDelta(d))
+	}
+	t.baseSnap = job.StartSnap
+	t.baseRoot = job.StartRoot
+	return wj.Marshal(), nil
+}
+
+// noteFull records that a full-state frame for job shipped on the
+// connection: its start state becomes the new base (boot jobs leave the
+// worker with no reusable state and reset nothing).
+func (t *deltaTracker) noteFull(job *EpochJob) {
+	if t == nil || job.Boot {
+		return
+	}
+	t.haveBase = true
+	t.baseSnap = job.StartSnap
+	t.baseRoot = job.StartRoot
+}
+
+// epochEnd extracts the terminal snapshot boundary of an epoch job: the
+// snapshot index and committed root of the job's final entry. Epoch slices
+// end at the snapshot entry committing their end state; jobs that do not
+// (the tail past the last snapshot) report ok false.
+func epochEnd(job *EpochJob) (snap uint32, root [32]byte, ok bool) {
+	if job == nil || len(job.Entries) == 0 {
+		return 0, root, false
+	}
+	e := &job.Entries[len(job.Entries)-1]
+	if e.Type != tevlog.TypeSnapshot {
+		return 0, root, false
+	}
+	ev, err := wire.ParseEvent(e.Content)
+	if err != nil {
+		return 0, root, false
+	}
+	return ev.SnapIdx, ev.Root, true
+}
+
+// noteEnd advances the tracked base past a fault-free verdict: the worker
+// replayed the epoch through its terminal snapshot entry and cached the
+// verified end state (runJobMaybeChaotic), so the next contiguous job on
+// this connection ships as an empty delta chain — no state bytes at all.
+// The base only moves forward; a late verdict for an earlier epoch cannot
+// drag it back.
+func (t *deltaTracker) noteEnd(job *EpochJob) {
+	if t == nil || t.src == nil {
+		return
+	}
+	snap, root, ok := epochEnd(job)
+	if !ok || (t.haveBase && snap < t.baseSnap) {
+		return
+	}
+	t.haveBase, t.baseSnap, t.baseRoot = true, snap, root
+}
+
+// invalidate forgets the tracked base — after a NeedState, a reconnect, or
+// anything else that breaks the dispatcher's model of the worker's cache.
+func (t *deltaTracker) invalidate() {
+	if t != nil {
+		t.haveBase = false
+	}
+}
+
+// stateCache is a worker's small LRU of start states keyed by their
+// committed root. States enter after their job's start verification seeded
+// them; lookups refresh recency. It is confined to one connection-serving
+// goroutine, so no locking.
+type stateCache struct {
+	order [][32]byte
+	m     map[[32]byte]*snapshot.Restored
+}
+
+func newStateCache() *stateCache {
+	return &stateCache{m: make(map[[32]byte]*snapshot.Restored, stateCacheSize)}
+}
+
+func (c *stateCache) touch(root [32]byte) {
+	for i, r := range c.order {
+		if r == root {
+			copy(c.order[i:], c.order[i+1:])
+			c.order[len(c.order)-1] = root
+			return
+		}
+	}
+	c.order = append(c.order, root)
+}
+
+func (c *stateCache) get(root [32]byte) (*snapshot.Restored, bool) {
+	s, ok := c.m[root]
+	if ok {
+		c.touch(root)
+	}
+	return s, ok
+}
+
+func (c *stateCache) put(s *snapshot.Restored) {
+	if s == nil {
+		return
+	}
+	if _, ok := c.m[s.Root]; !ok && len(c.order) >= stateCacheSize {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, oldest)
+	}
+	c.m[s.Root] = s
+	c.touch(s.Root)
+}
+
+// resolveDeltaJob reconstructs a delta job's start state from the
+// connection's cache: fold every step with proof verification, check the
+// final root against the job's committed start root, and cache the result
+// for future chains. A missing base returns errNeedState (the worker asks
+// for a full re-ship); a chain that fails verification returns the
+// snapshot-check fault the verdict carries — the lying coordinator is
+// caught here, before replay.
+var errNeedState = errors.New("audit: delta base state not cached")
+
+func resolveDeltaJob(sess Session, wj *wire.AuditDeltaJob, cache *stateCache) (*EpochJob, *FaultReport, error) {
+	cur, ok := cache.get(wj.BaseRoot)
+	if !ok {
+		return nil, nil, errNeedState
+	}
+	for i := range wj.Steps {
+		d, err := wj.Steps[i].Delta()
+		if err == nil {
+			cur, err = snapshot.ApplyDelta(cur, d)
+		}
+		if err != nil {
+			return nil, &FaultReport{
+				Node: sess.Node, Check: CheckSnapshot, EntrySeq: wj.StartSeq,
+				Detail: fmt.Sprintf("delta step %d/%d: %v", i+1, len(wj.Steps), err),
+			}, nil
+		}
+		cache.put(cur)
+	}
+	if cur.Root != wj.StartRoot {
+		return nil, &FaultReport{
+			Node: sess.Node, Check: CheckSnapshot, EntrySeq: wj.StartSeq,
+			Detail: fmt.Sprintf("delta chain ends at root %x, log committed %x", cur.Root[:8], wj.StartRoot[:8]),
+		}, nil
+	}
+	return &EpochJob{
+		Index: int(wj.Index), StartSnap: wj.StartSnap, StartSeq: wj.StartSeq,
+		StartRoot: wj.StartRoot, Start: cur, Entries: wj.Entries,
+	}, nil, nil
+}

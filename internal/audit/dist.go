@@ -32,23 +32,13 @@ import (
 // whenever workers are honest — and equal to the coordinator's own replay
 // of every spot-rechecked epoch regardless.
 
-// DistOptions configures the distributed full audit.
+// DistOptions configures the distributed full audit. The shared knobs
+// (Workers, Materialize, SpotRecheck*, DeltaJobs, DeltaSource) live in the
+// embedded EngineOptions; Backend selects where epochs replay.
 type DistOptions struct {
+	EngineOptions
 	// Backend executes epoch jobs. Nil selects the in-process pool.
 	Backend EpochBackend
-	// Workers bounds pool/preparation concurrency. <= 0 selects
-	// runtime.NumCPU().
-	Workers int
-	// Materialize returns the audited machine's full state at a snapshot
-	// index, exactly as in ParallelOptions. When nil, the log is replayed
-	// as a single boot epoch.
-	Materialize func(snapIdx uint32) (*snapshot.Restored, error)
-	// SpotRecheckFraction is the fraction of epochs the coordinator
-	// re-replays locally to catch lying workers (0 disables, 1 rechecks
-	// everything). Selection is deterministic given SpotRecheckSeed.
-	SpotRecheckFraction float64
-	// SpotRecheckSeed drives the deterministic spot selection.
-	SpotRecheckSeed uint64
 }
 
 // DistStats reports how a distributed audit ran.
@@ -76,6 +66,16 @@ type DistStats struct {
 	RetriesExhausted int
 	// WireBytes is the total job+verdict payload shipped (0 for the pool).
 	WireBytes int
+	// WireBytesFull and WireBytesDelta split the shipped job payload by
+	// encoding: full-state AuditJob frames vs delta-shipped AuditDeltaJob
+	// frames. Verdict bytes count toward WireBytes only.
+	WireBytesFull  int
+	WireBytesDelta int
+	// DeltaJobsShipped counts jobs that went out delta-encoded;
+	// DeltaFallbacks counts full-state re-ships after a worker reported a
+	// missing base state (cache eviction, reconnect).
+	DeltaJobsShipped int
+	DeltaFallbacks   int
 	// PrepWallNs is coordinator time spent materializing and root-verifying
 	// start states before dispatch (remote backends only).
 	PrepWallNs int64
@@ -84,13 +84,15 @@ type DistStats struct {
 	MergeWallNs int64
 }
 
-// AuditFullDist checks an entire execution from boot like AuditFull — log
+// auditDist checks an entire execution from boot like auditSerial — log
 // verification, syntactic check, semantic replay — with the replay stage
-// distributed over opts.Backend. The Result is byte-identical to
-// AuditFull's. A non-nil error means the audit could not be completed
+// distributed over opts.Backend. The Result is byte-identical to the
+// serial engine's. A non-nil error means the audit could not be completed
 // (transport failure on an epoch the verdict needs) — distinct from a
-// fault, which is a completed audit's conclusion about the machine.
-func (a *Auditor) AuditFullDist(node sig.NodeID, nodeIdx uint32, entries []tevlog.Entry, auths []tevlog.Authenticator, opts DistOptions) (*Result, DistStats, error) {
+// fault, which is a completed audit's conclusion about the machine. It
+// backs Audit's EngineDist and the deprecated AuditFullDist.
+func (a *Auditor) auditDist(node sig.NodeID, nodeIdx uint32, entries []tevlog.Entry, auths []tevlog.Authenticator, opts DistOptions) (*Result, DistStats, error) {
+	a = a.withEngineOptions(opts.EngineOptions)
 	res := &Result{Node: node}
 
 	if a.TamperEvident {
@@ -115,12 +117,14 @@ func (a *Auditor) AuditFullDist(node sig.NodeID, nodeIdx uint32, entries []tevlo
 	if be == nil {
 		be = &PoolBackend{Workers: opts.Workers, Materialize: opts.Materialize}
 	}
-	jobs := a.partition(entries, ParallelOptions{Materialize: opts.Materialize})
+	jobs := a.partition(entries, ParallelOptions{EngineOptions: EngineOptions{Materialize: opts.Materialize}})
 	replay, fault, dstats, err := a.runJobs(node, jobs, be, distConfig{
 		materialize:  opts.Materialize,
 		prepWorkers:  opts.Workers,
 		spotFraction: opts.SpotRecheckFraction,
 		spotSeed:     opts.SpotRecheckSeed,
+		deltaJobs:    opts.DeltaJobs,
+		deltaSource:  opts.DeltaSource,
 	})
 	if err != nil {
 		return nil, dstats, err
@@ -140,6 +144,16 @@ type distConfig struct {
 	prepWorkers  int
 	spotFraction float64
 	spotSeed     uint64
+	deltaJobs    bool
+	deltaSource  func(k uint32) (*snapshot.Delta, error)
+}
+
+// deltaCapable is the seam through which the router hands a delta source
+// to backends that can ship delta-encoded jobs. withDelta returns a
+// backend value carrying the source; backends without the seam (the
+// in-process pool, which never ships state) ignore DeltaJobs.
+type deltaCapable interface {
+	withDelta(src func(k uint32) (*snapshot.Delta, error)) EpochBackend
 }
 
 // splitmix64 is the deterministic spot-selection hash.
@@ -213,6 +227,12 @@ func (a *Auditor) runJobs(node sig.NodeID, jobs []*EpochJob, be EpochBackend, cf
 	sess := a.session(node)
 	dstats := DistStats{Epochs: len(jobs)}
 
+	if cfg.deltaJobs && cfg.deltaSource != nil {
+		if dc, ok := be.(deltaCapable); ok {
+			be = dc.withDelta(cfg.deltaSource)
+		}
+	}
+
 	var mu sync.Mutex
 	results := make(map[int]epochResult, len(jobs))
 	errs := make(map[int]error)
@@ -277,6 +297,10 @@ func (a *Auditor) runJobs(node sig.NodeID, jobs []*EpochJob, be EpochBackend, cf
 	emit := func(v EpochVerdict) {
 		mu.Lock()
 		dstats.WireBytes += v.WireBytes
+		dstats.WireBytesFull += v.WireBytesFull
+		dstats.WireBytesDelta += v.WireBytesDelta
+		dstats.DeltaJobsShipped += v.DeltaShipped
+		dstats.DeltaFallbacks += v.DeltaFallbacks
 		if v.Attempts > 1 {
 			dstats.Redispatches += v.Attempts - 1
 		}

@@ -70,9 +70,11 @@ func distBothWays(t *testing.T, s *game.Scenario, node string, label string, ser
 	}
 
 	tcp, dstats, err := s.AuditNodeDist(sig.NodeID(node), audit.DistOptions{
-		Backend:             &audit.TCPBackend{Addrs: sharedFleet(t), JobTimeout: 30 * time.Second},
-		SpotRecheckFraction: 0.3,
-		SpotRecheckSeed:     0xC0FFEE,
+		Backend: &audit.TCPBackend{Addrs: sharedFleet(t), JobTimeout: 30 * time.Second},
+		EngineOptions: audit.EngineOptions{
+			SpotRecheckFraction: 0.3,
+			SpotRecheckSeed:     0xC0FFEE,
+		},
 	})
 	if err != nil {
 		t.Fatalf("%s: tcp dist audit: %v", label, err)
@@ -198,8 +200,8 @@ func TestDistLyingWorkerCaught(t *testing.T) {
 	// fraction 1 must recheck every dispatched epoch.
 	reliable := netsim.New(netsim.Config{BaseLatencyNs: 96_000, Seed: 5})
 	res, dstats, err := s.AuditNodeDist("player1", audit.DistOptions{
-		Backend:             &lyingBackend{inner: &audit.NetsimBackend{Net: reliable, Workers: 2, MaxAttempts: 10}},
-		SpotRecheckFraction: 1,
+		Backend:       &lyingBackend{inner: &audit.NetsimBackend{Net: reliable, Workers: 2, MaxAttempts: 10}},
+		EngineOptions: audit.EngineOptions{SpotRecheckFraction: 1},
 	})
 	if err != nil {
 		t.Fatalf("dist audit with lying backend: %v", err)
@@ -387,14 +389,14 @@ func TestDistCoordinatorVerifiesRoots(t *testing.T) {
 		return r, nil
 	}
 	serial := a.AuditFullParallel("player1", uint32(target.Index()), target.Log.Entries(), auths,
-		audit.ParallelOptions{Workers: 4, Materialize: corrupt})
+		audit.ParallelOptions{EngineOptions: audit.EngineOptions{Workers: 4, Materialize: corrupt}})
 	if serial.Passed || serial.Fault.Check != audit.CheckSnapshot {
 		t.Fatalf("parallel engine fault = %+v, want snapshot check", serial.Fault)
 	}
 	res, dstats, err := a.AuditFullDist("player1", uint32(target.Index()), target.Log.Entries(), auths,
 		audit.DistOptions{
-			Backend:     &audit.TCPBackend{Addrs: sharedFleet(t), JobTimeout: 30 * time.Second},
-			Materialize: corrupt,
+			Backend:       &audit.TCPBackend{Addrs: sharedFleet(t), JobTimeout: 30 * time.Second},
+			EngineOptions: audit.EngineOptions{Materialize: corrupt},
 		})
 	if err != nil {
 		t.Fatal(err)

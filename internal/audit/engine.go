@@ -1,0 +1,207 @@
+package audit
+
+// The unified audit entry point. Historically each engine grew its own
+// function — AuditFull, AuditFullParallel, AuditStream, AuditFullDist,
+// AuditChunk — with a private options struct duplicating the same knobs.
+// Audit collapses them behind one request type: pick an Engine, set the
+// shared EngineOptions once, and get the same byte-identical verdict every
+// engine guarantees. The old functions remain as thin deprecated wrappers.
+
+import (
+	"fmt"
+
+	"repro/internal/sig"
+	"repro/internal/snapshot"
+	"repro/internal/tevlog"
+)
+
+// Engine selects the replay engine an Audit request runs on. Every engine
+// produces byte-identical verdicts; they differ in memory footprint,
+// parallelism and where the replay work happens.
+type Engine string
+
+const (
+	// EngineSerial is the single-replica from-boot replay.
+	EngineSerial Engine = "serial"
+	// EngineParallel partitions the log at snapshot boundaries and replays
+	// epochs concurrently in-process.
+	EngineParallel Engine = "parallel"
+	// EngineStream decodes, chain-verifies and replays straight from the
+	// compressed log container in bounded memory (set Compressed).
+	EngineStream Engine = "stream"
+	// EngineDist distributes epoch replay over an EpochBackend (set
+	// Backend; nil selects the in-process pool).
+	EngineDist Engine = "dist"
+	// EngineChunk spot-checks a single chunk starting from an
+	// authenticated snapshot (set Chunk).
+	EngineChunk Engine = "chunk"
+)
+
+// EngineOptions are the knobs shared by every audit engine. The zero value
+// is always valid: serial fallbacks, NumCPU workers, default window, no
+// spot rechecks, full-state job shipping.
+type EngineOptions struct {
+	// Workers bounds replay (and remote-prep) concurrency. <= 0 selects
+	// runtime.NumCPU(); 1 forces the serial path on the parallel engine.
+	Workers int
+	// Window caps resident decoded entries on the stream engine. <= 0
+	// selects DefaultStreamWindow.
+	Window int
+	// SpotRecheckFraction is the fraction of remotely-replayed epochs the
+	// coordinator re-replays locally to catch lying workers (0 disables, 1
+	// rechecks everything). Selection is deterministic given
+	// SpotRecheckSeed. Remote backends only.
+	SpotRecheckFraction float64
+	// SpotRecheckSeed drives the deterministic spot selection.
+	SpotRecheckSeed uint64
+	// DisablePredecode forces every replica this audit boots onto the
+	// careful Step path instead of the predecoded sprint loop — the
+	// predecode ablation. ORed with Auditor.DisablePredecode.
+	DisablePredecode bool
+	// DeltaJobs ships dispatched epoch jobs as proof-carrying dirty-page
+	// deltas where possible: after the first full state per connection,
+	// each job carries only the epoch increments plus Merkle fold proofs,
+	// and a worker reconstructs and verifies its start state without
+	// holding prior state. Requires DeltaSource; remote backends only
+	// (in-process engines never ship state). Verdicts are unaffected.
+	DeltaJobs bool
+	// Materialize returns the audited machine's full state at a snapshot
+	// index, e.g. snapshot.Store.Materialize on the machine's snapshot
+	// sequence. The state is not trusted: every consumer verifies it
+	// against the root committed in the log before using it. When nil, the
+	// log is replayed as a single boot epoch.
+	Materialize func(snapIdx uint32) (*snapshot.Restored, error)
+	// DeltaSource returns the proof-carrying delta from snapshot k-1 to k,
+	// e.g. snapshot.Store.Delta. Required when DeltaJobs is set.
+	DeltaSource func(k uint32) (*snapshot.Delta, error)
+}
+
+// AuditRequest describes one audit: what to check and how to run it.
+type AuditRequest struct {
+	// Node is the audited machine; NodeIdx its index in the scenario's
+	// signing order.
+	Node    sig.NodeID
+	NodeIdx uint32
+
+	// Engine selects the replay engine; empty selects EngineSerial (or
+	// EngineChunk when Chunk is set).
+	Engine Engine
+	// Options are the shared engine knobs.
+	Options EngineOptions
+	// Backend executes epoch jobs on the dist engine. Nil selects the
+	// in-process pool.
+	Backend EpochBackend
+
+	// Entries and Auths are the decoded log (every engine except stream
+	// and chunk).
+	Entries []tevlog.Entry
+	Auths   []tevlog.Authenticator
+	// Compressed is the compressed log container (stream engine).
+	Compressed []byte
+	// Chunk is the spot-check request (chunk engine).
+	Chunk *ChunkRequest
+}
+
+// AuditStats reports how the selected engine ran. Engine is always set;
+// the engine-specific struct of the engine that ran is filled, the others
+// are zero.
+type AuditStats struct {
+	Engine Engine
+	Stream StreamStats
+	Dist   DistStats
+}
+
+// withEngineOptions returns the auditor honoring opts' auditor-level
+// overrides — currently the predecode ablation, which ORs with the
+// auditor's own flag. The receiver is never mutated.
+func (a *Auditor) withEngineOptions(opts EngineOptions) *Auditor {
+	if opts.DisablePredecode && !a.DisablePredecode {
+		ab := *a
+		ab.DisablePredecode = true
+		return &ab
+	}
+	return a
+}
+
+// Audit runs one audit as described by req. The verdict in Result is
+// byte-identical across engines. A non-nil error means the audit could not
+// be completed (e.g. a distributed transport failure on an epoch the
+// verdict needs) — distinct from a fault, which is a completed audit's
+// conclusion about the machine.
+func (a *Auditor) Audit(req AuditRequest) (*Result, AuditStats, error) {
+	engine := req.Engine
+	if engine == "" {
+		if req.Chunk != nil {
+			engine = EngineChunk
+		} else {
+			engine = EngineSerial
+		}
+	}
+	stats := AuditStats{Engine: engine}
+	switch engine {
+	case EngineSerial:
+		return a.auditSerial(req.Node, req.NodeIdx, req.Entries, req.Auths), stats, nil
+	case EngineParallel:
+		return a.auditParallel(req.Node, req.NodeIdx, req.Entries, req.Auths, ParallelOptions{EngineOptions: req.Options}), stats, nil
+	case EngineStream:
+		res, sstats := a.auditStream(req.Node, req.NodeIdx, req.Compressed, req.Auths, StreamOptions{EngineOptions: req.Options})
+		stats.Stream = sstats
+		return res, stats, nil
+	case EngineDist:
+		res, dstats, err := a.auditDist(req.Node, req.NodeIdx, req.Entries, req.Auths, DistOptions{EngineOptions: req.Options, Backend: req.Backend})
+		stats.Dist = dstats
+		return res, stats, err
+	case EngineChunk:
+		if req.Chunk == nil {
+			return nil, stats, fmt.Errorf("audit: chunk engine requires a ChunkRequest")
+		}
+		return a.auditChunk(*req.Chunk), stats, nil
+	default:
+		return nil, stats, fmt.Errorf("audit: unknown engine %q", engine)
+	}
+}
+
+// Deprecated wrappers ------------------------------------------------------
+//
+// The functions below predate Audit and remain for compatibility; each is
+// a thin veneer over the same implementation Audit dispatches to. New code
+// should construct an AuditRequest instead.
+
+// AuditFull checks an entire execution from boot on the serial engine.
+//
+// Deprecated: use Audit with EngineSerial.
+func (a *Auditor) AuditFull(node sig.NodeID, nodeIdx uint32, entries []tevlog.Entry, auths []tevlog.Authenticator) *Result {
+	return a.auditSerial(node, nodeIdx, entries, auths)
+}
+
+// AuditFullParallel checks an entire execution from boot on the
+// epoch-parallel engine.
+//
+// Deprecated: use Audit with EngineParallel.
+func (a *Auditor) AuditFullParallel(node sig.NodeID, nodeIdx uint32, entries []tevlog.Entry, auths []tevlog.Authenticator, opts ParallelOptions) *Result {
+	return a.auditParallel(node, nodeIdx, entries, auths, opts)
+}
+
+// AuditStream checks an entire execution straight from the compressed log
+// container on the streaming engine.
+//
+// Deprecated: use Audit with EngineStream.
+func (a *Auditor) AuditStream(node sig.NodeID, nodeIdx uint32, compressed []byte, auths []tevlog.Authenticator, opts StreamOptions) (*Result, StreamStats) {
+	return a.auditStream(node, nodeIdx, compressed, auths, opts)
+}
+
+// AuditFullDist checks an entire execution with the replay stage
+// distributed over an epoch backend.
+//
+// Deprecated: use Audit with EngineDist.
+func (a *Auditor) AuditFullDist(node sig.NodeID, nodeIdx uint32, entries []tevlog.Entry, auths []tevlog.Authenticator, opts DistOptions) (*Result, DistStats, error) {
+	return a.auditDist(node, nodeIdx, entries, auths, opts)
+}
+
+// AuditChunk spot-checks one chunk starting from an authenticated
+// snapshot.
+//
+// Deprecated: use Audit with EngineChunk.
+func (a *Auditor) AuditChunk(req ChunkRequest) *Result {
+	return a.auditChunk(req)
+}

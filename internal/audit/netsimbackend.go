@@ -1,9 +1,11 @@
 package audit
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/netsim"
+	"repro/internal/snapshot"
 	"repro/internal/wire"
 )
 
@@ -37,11 +39,24 @@ type NetsimBackend struct {
 	// MaxAttempts bounds dispatch attempts per epoch. <= 0 selects
 	// Workers+2.
 	MaxAttempts int
+
+	// deltaSrc, when set (via the dist router's deltaCapable seam), ships
+	// jobs as proof-carrying delta chains per simulated worker. Frames then
+	// carry a one-byte kind prefix to discriminate job encodings and
+	// need-state replies.
+	deltaSrc func(k uint32) (*snapshot.Delta, error)
 }
 
 // Remote implements EpochBackend: jobs ship whole and round-trip the wire
 // codec.
 func (b *NetsimBackend) Remote() bool { return true }
+
+// withDelta implements deltaCapable.
+func (b *NetsimBackend) withDelta(src func(k uint32) (*snapshot.Delta, error)) EpochBackend {
+	nb := *b
+	nb.deltaSrc = src
+	return &nb
+}
 
 // Run implements EpochBackend on the virtual-time loop.
 func (b *NetsimBackend) Run(sess Session, jobs []*EpochJob, skip func(int) bool, emit func(EpochVerdict)) error {
@@ -70,10 +85,14 @@ func (b *NetsimBackend) Run(sess Session, jobs []*EpochJob, skip func(int) bool,
 	}
 
 	type flight struct {
-		deadline uint64
-		attempts int
-		sentTo   int
-		bytes    int
+		deadline   uint64
+		attempts   int
+		sentTo     int
+		bytes      int
+		fullBytes  int
+		deltaBytes int
+		deltaSent  int
+		deltaFalls int
 	}
 	pos := make(map[int]int, len(jobs)) // epoch index → position
 	for p, j := range jobs {
@@ -83,17 +102,68 @@ func (b *NetsimBackend) Run(sess Session, jobs []*EpochJob, skip func(int) bool,
 	settled := make([]bool, len(jobs))
 	remaining := len(jobs)
 
+	// With a delta source, each simulated worker gets a dispatcher-side
+	// tracker and a worker-side state cache, mirroring one TCP connection
+	// per worker.
+	delta := b.deltaSrc != nil
+	trackers := make([]*deltaTracker, workers+1)
+	caches := make([]*stateCache, workers+1)
+	for i := 1; i <= workers; i++ {
+		trackers[i] = &deltaTracker{src: b.deltaSrc}
+		caches[i] = newStateCache()
+	}
+
 	net := b.Net
 	prevDeliver, prevFilter := net.Deliver, net.Filter
 	defer func() { net.Deliver, net.Filter = prevDeliver, prevFilter }()
 	// Keep any caller-installed filter (partitions) active during the run.
 	net.Filter = prevFilter
 
+	// shipFullTo sends position p's full-state frame to worker w, advancing
+	// w's tracker. With delta enabled the frame carries a kind prefix.
+	shipFullTo := func(p, w int) {
+		payload := jobToWire(jobs[p]).Marshal()
+		if delta {
+			payload = append([]byte{byte(wire.DistFrameJob)}, payload...)
+			trackers[w].noteFull(jobs[p])
+		}
+		state[p].fullBytes += len(payload)
+		state[p].bytes += len(payload)
+		state[p].deadline = net.Now() + timeout
+		net.Send(net.Now(), 0, w, payload, len(payload)+wire.TCPIPOverhead)
+	}
+
 	var runErr error
 	net.Deliver = func(f netsim.Frame) {
 		if f.To == 0 {
-			// Verdict arriving at the coordinator.
-			v, perr := wire.ParseAuditVerdict(f.Data)
+			// Verdict (or need-state) arriving at the coordinator.
+			data := f.Data
+			if delta {
+				if len(data) == 0 {
+					runErr = errors.New("audit: netsim empty coordinator frame")
+					return
+				}
+				kind := wire.DistFrameKind(data[0])
+				data = data[1:]
+				if kind == wire.DistFrameNeedState {
+					// The worker evicted the delta base: invalidate its
+					// tracker and re-ship the full state to the same worker.
+					idx, perr := wire.ParseNeedState(data)
+					if perr != nil {
+						runErr = fmt.Errorf("audit: netsim need-state decode: %w", perr)
+						return
+					}
+					p, ok := pos[int(idx)]
+					if !ok || settled[p] {
+						return
+					}
+					trackers[f.From].invalidate()
+					state[p].deltaFalls++
+					shipFullTo(p, f.From)
+					return
+				}
+			}
+			v, perr := wire.ParseAuditVerdict(data)
 			if perr != nil {
 				runErr = fmt.Errorf("audit: netsim verdict decode: %w", perr)
 				return
@@ -109,19 +179,64 @@ func (b *NetsimBackend) Run(sess Session, jobs []*EpochJob, skip func(int) bool,
 				Index: int(v.Index), Stats: r.stats, Fault: r.fault,
 				Worker:   fmt.Sprintf("sim-worker-%d", f.From),
 				Attempts: state[p].attempts, WireBytes: state[p].bytes + len(f.Data),
+				WireBytesFull: state[p].fullBytes, WireBytesDelta: state[p].deltaBytes,
+				DeltaShipped: state[p].deltaSent, DeltaFallbacks: state[p].deltaFalls,
 			})
 			return
 		}
 		// Job arriving at a simulated worker: decode, replay, reply after
 		// the service time. Replays are idempotent, so a retransmitted job
 		// just produces a duplicate verdict the coordinator drops.
-		j, perr := wire.ParseAuditJob(f.Data)
-		if perr != nil {
-			runErr = fmt.Errorf("audit: netsim job decode: %w", perr)
+		data := f.Data
+		kind := wire.DistFrameJob
+		if delta {
+			if len(data) == 0 {
+				runErr = errors.New("audit: netsim empty worker frame")
+				return
+			}
+			kind = wire.DistFrameKind(data[0])
+			data = data[1:]
+		}
+		var job *EpochJob
+		switch kind {
+		case wire.DistFrameJob:
+			j, perr := wire.ParseAuditJob(data)
+			if perr != nil {
+				runErr = fmt.Errorf("audit: netsim job decode: %w", perr)
+				return
+			}
+			job = jobFromWire(j)
+			if delta {
+				caches[f.To].put(job.Start)
+			}
+		case wire.DistFrameDeltaJob:
+			dj, perr := wire.ParseAuditDeltaJob(data)
+			if perr != nil {
+				runErr = fmt.Errorf("audit: netsim delta job decode: %w", perr)
+				return
+			}
+			resolved, fault, rerr := resolveDeltaJob(workerSess, dj, caches[f.To])
+			if errors.Is(rerr, errNeedState) {
+				reply := append([]byte{byte(wire.DistFrameNeedState)}, wire.MarshalNeedState(dj.Index)...)
+				net.Send(net.Now()+service, f.To, 0, reply, len(reply)+wire.TCPIPOverhead)
+				return
+			}
+			if fault != nil {
+				reply := append([]byte{byte(wire.DistFrameVerdict)},
+					verdictToWire(int(dj.Index), epochResult{fault: fault}).Marshal()...)
+				net.Send(net.Now()+service, f.To, 0, reply, len(reply)+wire.TCPIPOverhead)
+				return
+			}
+			job = resolved
+		default:
+			runErr = fmt.Errorf("audit: netsim worker got frame kind %d", kind)
 			return
 		}
-		r := runEpochJob(workerSess, jobFromWire(j), nil)
-		reply := verdictToWire(int(j.Index), r).Marshal()
+		r := runEpochJob(workerSess, job, nil)
+		reply := verdictToWire(job.Index, r).Marshal()
+		if delta {
+			reply = append([]byte{byte(wire.DistFrameVerdict)}, reply...)
+		}
 		net.Send(net.Now()+service, f.To, 0, reply, len(reply)+wire.TCPIPOverhead)
 	}
 
@@ -129,10 +244,18 @@ func (b *NetsimBackend) Run(sess Session, jobs []*EpochJob, skip func(int) bool,
 		job := jobs[p]
 		state[p].attempts++
 		state[p].sentTo = 1 + (job.Index+state[p].attempts-1)%workers
-		payload := jobToWire(job).Marshal()
-		state[p].bytes += len(payload)
-		state[p].deadline = net.Now() + timeout
-		net.Send(net.Now(), 0, state[p].sentTo, payload, len(payload)+wire.TCPIPOverhead)
+		if delta {
+			if df, derr := trackers[state[p].sentTo].deltaFrame(job); derr == nil {
+				payload := append([]byte{byte(wire.DistFrameDeltaJob)}, df...)
+				state[p].deltaBytes += len(payload)
+				state[p].deltaSent++
+				state[p].bytes += len(payload)
+				state[p].deadline = net.Now() + timeout
+				net.Send(net.Now(), 0, state[p].sentTo, payload, len(payload)+wire.TCPIPOverhead)
+				return
+			}
+		}
+		shipFullTo(p, state[p].sentTo)
 	}
 
 	// Initial dispatch in epoch order, then advance virtual time until

@@ -26,34 +26,33 @@ import (
 // reports that epoch's fault — the same check, entry, and landmark the
 // serial replay reports.
 
-// ParallelOptions configures the epoch-parallel full audit.
+// ParallelOptions configures the epoch-parallel full audit. All knobs live
+// in the embedded EngineOptions (Workers and Materialize are the ones this
+// engine reads).
 type ParallelOptions struct {
-	// Workers bounds the number of epochs replayed concurrently. <= 0
-	// selects runtime.NumCPU(); 1 forces the serial path.
-	Workers int
-	// Materialize returns the audited machine's full state at snapshot
-	// index snapIdx, e.g. snapshot.Store.Materialize on the machine's
-	// snapshot sequence. The state is not trusted: each epoch verifies it
-	// against the root committed in the log before replaying from it.
-	// When nil, the audit falls back to the serial single-replay path.
-	Materialize func(snapIdx uint32) (*snapshot.Restored, error)
+	EngineOptions
 }
 
 // epochResult carries one epoch's outcome back to the merge step.
 type epochResult struct {
 	stats ReplayStats
 	fault *FaultReport
+	// end is the verified end-of-epoch state, captured only when a remote
+	// worker asked for it (runEpochJobEx) to seed its connection cache.
+	end *snapshot.Restored
 }
 
-// AuditFullParallel checks an entire execution from boot like AuditFull —
+// auditParallel checks an entire execution from boot like auditSerial —
 // log verification, syntactic check, semantic replay — but partitions the
 // replay at snapshot boundaries and runs the epochs concurrently on a
 // bounded worker pool. The merged Result carries the serial audit's
 // verdict: the same pass/fail, and on failure the fault of the earliest
 // faulting epoch (identical check and entry seq to the serial replay's).
 // Replay stats are the deterministic sum over the epochs the serial audit
-// would have executed.
-func (a *Auditor) AuditFullParallel(node sig.NodeID, nodeIdx uint32, entries []tevlog.Entry, auths []tevlog.Authenticator, opts ParallelOptions) *Result {
+// would have executed. It backs Audit's EngineParallel and the deprecated
+// AuditFullParallel.
+func (a *Auditor) auditParallel(node sig.NodeID, nodeIdx uint32, entries []tevlog.Entry, auths []tevlog.Authenticator, opts ParallelOptions) *Result {
+	a = a.withEngineOptions(opts.EngineOptions)
 	res := &Result{Node: node}
 
 	if a.TamperEvident {

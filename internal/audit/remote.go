@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/snapshot"
 	"repro/internal/wire"
 )
 
@@ -238,12 +239,15 @@ func (w *EpochWorker) serveLegacyConn(conn net.Conn, body []byte) error {
 	if err := writeDistFrame(conn, wire.DistFrameSessionOK, nil); err != nil {
 		return err
 	}
+	// cache holds this connection's verified start states for delta-job
+	// reconstruction; it lives and dies with the connection.
+	cache := newStateCache()
 	for {
 		kind, body, err := readDistFrame(conn)
 		if err != nil {
 			return err
 		}
-		if kind != wire.DistFrameJob {
+		if kind != wire.DistFrameJob && kind != wire.DistFrameDeltaJob {
 			return fmt.Errorf("audit: worker expected job frame, got kind %d", kind)
 		}
 		if w.Draining() {
@@ -252,13 +256,47 @@ func (w *EpochWorker) serveLegacyConn(conn net.Conn, body []byte) error {
 			}
 			continue
 		}
-		wj, err := wire.ParseAuditJob(body)
-		if err != nil {
-			return err
+		var job *EpochJob
+		if kind == wire.DistFrameDeltaJob {
+			wj, err := wire.ParseAuditDeltaJob(body)
+			if err != nil {
+				return err
+			}
+			resolved, fault, rerr := resolveDeltaJob(sess, wj, cache)
+			if errors.Is(rerr, errNeedState) {
+				// The base was evicted (or never arrived); ask the
+				// coordinator to re-ship the full state.
+				if err := writeDistFrame(conn, wire.DistFrameNeedState, wire.MarshalNeedState(wj.Index)); err != nil {
+					return err
+				}
+				continue
+			}
+			if fault != nil {
+				// The delta chain failed fold verification: the coordinator
+				// (or whoever doctored the chain) is caught before any
+				// replay work, with the same fault a corrupt full state
+				// yields.
+				v := verdictToWire(int(wj.Index), epochResult{fault: fault}).Marshal()
+				if err := writeDistFrame(conn, wire.DistFrameVerdict, v); err != nil {
+					return err
+				}
+				continue
+			}
+			job = resolved
+		} else {
+			wj, err := wire.ParseAuditJob(body)
+			if err != nil {
+				return err
+			}
+			job = jobFromWire(wj)
+			// Remember the shipped start state so later jobs can arrive as
+			// delta chains against it. Unverified entry is safe: every use
+			// re-verifies against a committed root (resolveDeltaJob checks
+			// the fold result, runEpochJob seed-verifies before replay).
+			cache.put(job.Start)
 		}
-		job := jobFromWire(wj)
 		w.inflight.Add(1)
-		verdict, reply := w.runJobMaybeChaotic(sess, job, conn, nil)
+		verdict, reply := w.runJobMaybeChaotic(sess, job, conn, nil, cache)
 		w.inflight.Done()
 		if !reply {
 			continue
@@ -269,11 +307,14 @@ func (w *EpochWorker) serveLegacyConn(conn net.Conn, body []byte) error {
 	}
 }
 
-// muxWork is one pipelined job queued for a connection's executor.
+// muxWork is one pipelined job queued for a connection's executor. Exactly
+// one of job / deltaJob is set; delta jobs resolve on the executor
+// goroutine, which owns the connection's state cache.
 type muxWork struct {
-	sessID uint64
-	sess   Session
-	job    *EpochJob
+	sessID   uint64
+	sess     Session
+	job      *EpochJob
+	deltaJob *wire.AuditDeltaJob
 }
 
 // serveMuxConn runs the multiplexed service protocol: this goroutine is
@@ -295,6 +336,9 @@ func (w *EpochWorker) serveMuxConn(conn net.Conn, firstKind wire.DistFrameKind, 
 	execWG.Add(1)
 	go func() {
 		defer execWG.Done()
+		// cache holds this connection's verified start states for delta-job
+		// reconstruction; confined to this executor goroutine.
+		cache := newStateCache()
 		for wk := range jobs {
 			select {
 			case <-connDead:
@@ -304,7 +348,28 @@ func (w *EpochWorker) serveMuxConn(conn net.Conn, firstKind wire.DistFrameKind, 
 				continue
 			default:
 			}
-			verdict, reply := w.runJobMaybeChaotic(wk.sess, wk.job, conn, connDead)
+			job := wk.job
+			if wk.deltaJob != nil {
+				resolved, fault, rerr := resolveDeltaJob(wk.sess, wk.deltaJob, cache)
+				switch {
+				case errors.Is(rerr, errNeedState):
+					_ = write(wire.DistFrameMuxNeedState,
+						wire.AppendMuxID(wk.sessID, wire.MarshalNeedState(wk.deltaJob.Index)))
+					w.inflight.Done()
+					continue
+				case fault != nil:
+					v := verdictToWire(int(wk.deltaJob.Index), epochResult{fault: fault}).Marshal()
+					_ = write(wire.DistFrameMuxVerdict, wire.AppendMuxID(wk.sessID, v))
+					w.inflight.Done()
+					continue
+				}
+				job = resolved
+			} else if job.Start != nil {
+				// Full-state job: remember the start so later jobs on this
+				// connection can arrive as delta chains against it.
+				cache.put(job.Start)
+			}
+			verdict, reply := w.runJobMaybeChaotic(wk.sess, job, conn, connDead, cache)
 			if reply {
 				_ = write(wire.DistFrameMuxVerdict, wire.AppendMuxID(wk.sessID, verdict))
 			}
@@ -336,7 +401,7 @@ func (w *EpochWorker) serveMuxConn(conn net.Conn, firstKind wire.DistFrameKind, 
 			}
 			sessions[id] = sess
 			return write(wire.DistFrameMuxSessionOK, wire.AppendMuxID(id, nil))
-		case wire.DistFrameMuxJob:
+		case wire.DistFrameMuxJob, wire.DistFrameMuxDeltaJob:
 			id, rest, err := wire.SplitMuxID(body)
 			if err != nil {
 				return err
@@ -348,12 +413,22 @@ func (w *EpochWorker) serveMuxConn(conn net.Conn, firstKind wire.DistFrameKind, 
 			if w.Draining() {
 				return write(wire.DistFrameDrain, nil)
 			}
-			wj, err := wire.ParseAuditJob(rest)
-			if err != nil {
-				return err
+			wk := muxWork{sessID: id, sess: sess}
+			if kind == wire.DistFrameMuxDeltaJob {
+				dj, err := wire.ParseAuditDeltaJob(rest)
+				if err != nil {
+					return err
+				}
+				wk.deltaJob = dj
+			} else {
+				wj, err := wire.ParseAuditJob(rest)
+				if err != nil {
+					return err
+				}
+				wk.job = jobFromWire(wj)
 			}
 			w.inflight.Add(1)
-			jobs <- muxWork{sessID: id, sess: sess, job: jobFromWire(wj)}
+			jobs <- wk
 			return nil
 		case wire.DistFramePing:
 			return write(wire.DistFramePong, body)
@@ -392,7 +467,7 @@ func (w *EpochWorker) serveMuxConn(conn net.Conn, firstKind wire.DistFrameKind, 
 // is the mux executor's teardown signal; it is nil on legacy connections,
 // where this function runs on the read loop itself and a hang instead
 // swallows the connection's remaining traffic until the peer gives up.
-func (w *EpochWorker) runJobMaybeChaotic(sess Session, job *EpochJob, conn net.Conn, connDead <-chan struct{}) (verdict []byte, reply bool) {
+func (w *EpochWorker) runJobMaybeChaotic(sess Session, job *EpochJob, conn net.Conn, connDead <-chan struct{}, cache *stateCache) (verdict []byte, reply bool) {
 	action := ChaosNone
 	if w.Chaos != nil {
 		action = w.Chaos.jobAction(w.jobSeq.Add(1))
@@ -413,7 +488,13 @@ func (w *EpochWorker) runJobMaybeChaotic(sess Session, job *EpochJob, conn net.C
 		return nil, false
 	}
 	start := time.Now()
-	r := runEpochJob(sess, job, nil)
+	r := runEpochJobEx(sess, job, nil, cache != nil)
+	if cache != nil {
+		// Cache the verified end state (nil for faulted or tail epochs):
+		// the next contiguous job on this connection can then arrive as an
+		// empty delta chain, shipping no state at all.
+		cache.put(r.end)
+	}
 	if action == ChaosSlow {
 		// A 10x-slower worker: the replay took 1x, so sleep out the other
 		// 9x (capped) unless the connection dies first.
@@ -469,6 +550,19 @@ type TCPBackend struct {
 	RetryMaxBackoff time.Duration
 	// BackoffSeed drives the deterministic backoff jitter.
 	BackoffSeed uint64
+
+	// deltaSrc, when set (via the dist router's deltaCapable seam), lets
+	// each worker connection ship jobs as proof-carrying delta chains after
+	// its first full-state frame.
+	deltaSrc func(k uint32) (*snapshot.Delta, error)
+}
+
+// withDelta implements deltaCapable: the returned backend ships
+// delta-encoded jobs where a connection's tracked base allows it.
+func (b *TCPBackend) withDelta(src func(k uint32) (*snapshot.Delta, error)) EpochBackend {
+	nb := *b
+	nb.deltaSrc = src
+	return &nb
 }
 
 // backoffDelay computes the capped exponential backoff (with deterministic
@@ -500,10 +594,25 @@ func (b *TCPBackend) Remote() bool { return true }
 type tcpDispatch struct {
 	jobs []*EpochJob
 
-	pending   chan int // positions awaiting dispatch; never closed (exit via done)
+	// blocks partitions the initial positions into one contiguous range per
+	// worker connection, so each connection replays consecutive epochs and a
+	// delta-encoded job ships exactly one increment — not the chain of every
+	// epoch other connections replayed in between. Workers drain their own
+	// block front to back and steal the back half of the fullest remaining
+	// block when theirs runs dry (the stolen half stays contiguous, so the
+	// thief starts one new chain instead of paying a full state per stolen
+	// job). Retries and stragglers flow through pending as before.
+	blockMu sync.Mutex
+	blocks  [][]int
+
+	pending   chan int // positions awaiting re-dispatch; never closed (exit via done)
 	settled   []atomic.Bool
 	attempts  []atomic.Int32
 	shipped   []atomic.Int64 // job-frame bytes written per position, all attempts
+	shipFull  []atomic.Int64 // full-state job-frame bytes per position
+	shipDelta []atomic.Int64 // delta-encoded job-frame bytes per position
+	deltaSent []atomic.Int32 // delta-encoded dispatches per position
+	deltaFall []atomic.Int32 // full re-ships after a worker NeedState
 	remaining atomic.Int64
 	done      chan struct{}
 
@@ -532,6 +641,51 @@ func (d *tcpDispatch) fail(pos int, err error) {
 	d.failed[pos] = err
 	d.mu.Unlock()
 	d.settle(pos)
+}
+
+// nextBlocked pops the next initial-dispatch position for worker w: the
+// front of w's own block, or — when w's block is empty — the back half of
+// the fullest remaining block, adopted as w's new block. Returns false only
+// when every block is drained.
+func (d *tcpDispatch) nextBlocked(w int) (int, bool) {
+	d.blockMu.Lock()
+	defer d.blockMu.Unlock()
+	if w < 0 || w >= len(d.blocks) {
+		return 0, false
+	}
+	if len(d.blocks[w]) == 0 {
+		best, bestLen := -1, 0
+		for i := range d.blocks {
+			if n := len(d.blocks[i]); n > bestLen {
+				best, bestLen = i, n
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		cut := bestLen / 2
+		d.blocks[w] = append([]int(nil), d.blocks[best][cut:]...)
+		d.blocks[best] = d.blocks[best][:cut]
+	}
+	pos := d.blocks[w][0]
+	d.blocks[w] = d.blocks[w][1:]
+	return pos, true
+}
+
+// flushBlock returns a departing worker's unclaimed block to the shared
+// queue so still-live connections pick its positions up; without it a
+// worker parked on pending could wait forever for epochs only the dead
+// worker's block held.
+func (d *tcpDispatch) flushBlock(w int) {
+	d.blockMu.Lock()
+	var rest []int
+	if w >= 0 && w < len(d.blocks) {
+		rest, d.blocks[w] = d.blocks[w], nil
+	}
+	d.blockMu.Unlock()
+	for _, pos := range rest {
+		d.requeue(pos)
+	}
 }
 
 // requeue returns a position to the dispatch queue. The queue is sized for
@@ -620,18 +774,26 @@ func (b *TCPBackend) Run(sess Session, jobs []*EpochJob, skip func(int) bool, em
 		maxAttempts = len(b.Addrs) + 2
 	}
 	d := &tcpDispatch{
-		jobs:     jobs,
-		pending:  make(chan int, len(jobs)*(maxAttempts+2)+len(b.Addrs)),
-		settled:  make([]atomic.Bool, len(jobs)),
-		attempts: make([]atomic.Int32, len(jobs)),
-		shipped:  make([]atomic.Int64, len(jobs)),
-		done:     make(chan struct{}),
-		conns:    make(map[net.Conn]struct{}),
-		failed:   make(map[int]error),
+		jobs:      jobs,
+		pending:   make(chan int, len(jobs)*(maxAttempts+2)+len(b.Addrs)),
+		settled:   make([]atomic.Bool, len(jobs)),
+		attempts:  make([]atomic.Int32, len(jobs)),
+		shipped:   make([]atomic.Int64, len(jobs)),
+		shipFull:  make([]atomic.Int64, len(jobs)),
+		shipDelta: make([]atomic.Int64, len(jobs)),
+		deltaSent: make([]atomic.Int32, len(jobs)),
+		deltaFall: make([]atomic.Int32, len(jobs)),
+		done:      make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		failed:    make(map[int]error),
 	}
 	d.remaining.Store(int64(len(jobs)))
-	for pos := range jobs {
-		d.pending <- pos
+	d.blocks = make([][]int, len(b.Addrs))
+	for i := range d.blocks {
+		lo, hi := i*len(jobs)/len(b.Addrs), (i+1)*len(jobs)/len(b.Addrs)
+		for pos := lo; pos < hi; pos++ {
+			d.blocks[i] = append(d.blocks[i], pos)
+		}
 	}
 
 	// Jobs are encoded lazily and cached, so skipped epochs cost nothing
@@ -652,15 +814,15 @@ func (b *TCPBackend) Run(sess Session, jobs []*EpochJob, skip func(int) bool, em
 	var live atomic.Int64
 	allDead := make(chan struct{})
 	live.Store(int64(len(b.Addrs)))
-	for _, addr := range b.Addrs {
+	for i, addr := range b.Addrs {
 		wg.Add(1)
-		go func(addr string) {
+		go func(i int, addr string) {
 			defer wg.Done()
-			b.runWorker(addr, sessionFrame, d, frame, skip, emit)
+			b.runWorker(i, addr, sessionFrame, d, frame, skip, emit)
 			if live.Add(-1) == 0 {
 				close(allDead)
 			}
-		}(addr)
+		}(i, addr)
 	}
 
 	var runErr error
@@ -690,7 +852,7 @@ func (b *TCPBackend) Run(sess Session, jobs []*EpochJob, skip func(int) bool, em
 // worker is abandoned. Returning requeues nothing by itself — any position
 // this worker held was requeued on its error path — so the job flows to
 // the surviving workers.
-func (b *TCPBackend) runWorker(addr string, sessionFrame []byte, d *tcpDispatch, frame func(int) []byte, skip func(int) bool, emit func(EpochVerdict)) {
+func (b *TCPBackend) runWorker(widx int, addr string, sessionFrame []byte, d *tcpDispatch, frame func(int) []byte, skip func(int) bool, emit func(EpochVerdict)) {
 	dialTimeout := b.DialTimeout
 	if dialTimeout <= 0 {
 		dialTimeout = 5 * time.Second
@@ -709,6 +871,13 @@ func (b *TCPBackend) runWorker(addr string, sessionFrame []byte, d *tcpDispatch,
 		posByIndex[j.Index] = pos
 	}
 
+	// tracker models what snapshot state the worker on the current
+	// connection holds; a reconnect resets it (the worker's state cache is
+	// per-connection).
+	tracker := &deltaTracker{src: b.deltaSrc}
+
+	defer d.flushBlock(widx)
+
 	var conn net.Conn
 	closeConn := func() {
 		if conn != nil {
@@ -719,6 +888,7 @@ func (b *TCPBackend) runWorker(addr string, sessionFrame []byte, d *tcpDispatch,
 	}
 	defer closeConn()
 	connect := func() bool {
+		tracker.invalidate()
 		closeConn()
 		if d.finished() {
 			return false
@@ -770,12 +940,23 @@ func (b *TCPBackend) runWorker(addr string, sessionFrame []byte, d *tcpDispatch,
 		if !ok {
 			return -1
 		}
+		// A fault-free verdict proves this connection's worker replayed
+		// through the epoch's terminal snapshot and cached the verified end
+		// state; advance the tracked base so the next contiguous job ships
+		// stateless.
+		if !v.HasFault {
+			tracker.noteEnd(d.jobs[pos])
+		}
 		if d.settle(pos) {
 			r := verdictFromWire(v)
 			emit(EpochVerdict{
 				Index: int(v.Index), Stats: r.stats, Fault: r.fault,
 				Worker: addr, Attempts: int(d.attempts[pos].Load()),
-				WireBytes: int(d.shipped[pos].Load()) + len(body),
+				WireBytes:      int(d.shipped[pos].Load()) + len(body),
+				WireBytesFull:  int(d.shipFull[pos].Load()),
+				WireBytesDelta: int(d.shipDelta[pos].Load()),
+				DeltaShipped:   int(d.deltaSent[pos].Load()),
+				DeltaFallbacks: int(d.deltaFall[pos].Load()),
 			})
 		}
 		return pos
@@ -783,14 +964,19 @@ func (b *TCPBackend) runWorker(addr string, sessionFrame []byte, d *tcpDispatch,
 
 	consecutiveTimeouts := 0
 	for {
+		if d.finished() {
+			return
+		}
 		var pos int
 		var ok bool
-		select {
-		case <-d.done:
-			return
-		case pos, ok = <-d.pending:
-			if !ok {
+		if pos, ok = d.nextBlocked(widx); !ok {
+			select {
+			case <-d.done:
 				return
+			case pos, ok = <-d.pending:
+				if !ok {
+					return
+				}
 			}
 		}
 		if d.settled[pos].Load() {
@@ -805,20 +991,38 @@ func (b *TCPBackend) runWorker(addr string, sessionFrame []byte, d *tcpDispatch,
 				d.jobs[pos].Index, maxAttemptsOf(b, len(b.Addrs)), ErrRetriesExhausted))
 			continue
 		}
-		job := frame(pos)
+		// Prefer a delta-encoded frame when the worker's tracked state
+		// allows it; otherwise ship (and record) the cached full frame.
+		kind := wire.DistFrameJob
+		var body []byte
+		if b.deltaSrc != nil {
+			if df, derr := tracker.deltaFrame(d.jobs[pos]); derr == nil {
+				kind, body = wire.DistFrameDeltaJob, df
+			}
+		}
+		if body == nil {
+			body = frame(pos)
+		}
 		// A write deadline keeps a wedged worker from pinning this epoch
 		// forever: job frames carry whole materialized states, so a stalled
 		// receiver can block a large write that the read deadline below
 		// would never reach.
 		conn.SetWriteDeadline(time.Now().Add(jobTimeout))
-		if err := writeDistFrame(conn, wire.DistFrameJob, job); err != nil {
+		if err := writeDistFrame(conn, kind, body); err != nil {
 			d.requeueAfter(pos, b.backoffDelay(pos, int(d.attempts[pos].Load())))
 			if !connect() {
 				return
 			}
 			continue
 		}
-		d.shipped[pos].Add(int64(len(job)))
+		d.shipped[pos].Add(int64(len(body)))
+		if kind == wire.DistFrameDeltaJob {
+			d.shipDelta[pos].Add(int64(len(body)))
+			d.deltaSent[pos].Add(1)
+		} else {
+			d.shipFull[pos].Add(int64(len(body)))
+			tracker.noteFull(d.jobs[pos])
+		}
 		// Await this job's verdict, tolerating late verdicts for earlier
 		// jobs this connection timed out on.
 		for {
@@ -845,6 +1049,30 @@ func (b *TCPBackend) runWorker(addr string, sessionFrame []byte, d *tcpDispatch,
 					return
 				}
 				break
+			}
+			if kind == wire.DistFrameNeedState {
+				// The worker evicted the delta base: fall back to the full
+				// frame for this epoch on the same connection and keep
+				// awaiting the verdict.
+				if idx, perr := wire.ParseNeedState(body); perr == nil && int(idx) == d.jobs[pos].Index {
+					tracker.invalidate()
+					full := frame(pos)
+					conn.SetWriteDeadline(time.Now().Add(jobTimeout))
+					if werr := writeDistFrame(conn, wire.DistFrameJob, full); werr != nil {
+						d.requeueAfter(pos, b.backoffDelay(pos, int(d.attempts[pos].Load())))
+						if !connect() {
+							return
+						}
+						break
+					}
+					d.shipped[pos].Add(int64(len(full)))
+					d.shipFull[pos].Add(int64(len(full)))
+					d.deltaFall[pos].Add(1)
+					tracker.noteFull(d.jobs[pos])
+					continue
+				}
+				// A need-state for some other epoch is a protocol violation
+				// on this synchronous connection; fall through to requeue.
 			}
 			if kind != wire.DistFrameVerdict {
 				// Worker-side protocol error, drain refusal, or garbage:

@@ -69,6 +69,14 @@ type Replay struct {
 	// replica wrote after it must be folded before the next root compare.
 	verifyFloor uint64
 
+	// endSnap/endRoot/endSeq record the most recent snapshot entry whose
+	// root verified against the replica; EndState uses them to materialize
+	// the epoch's verified end state for a remote worker's connection cache.
+	endSnap      uint32
+	endRoot      [32]byte
+	endSeq       uint64
+	endRootValid bool
+
 	// MaxInstructions bounds replay effort past the last consumed entry; a
 	// divergent execution that never consumes the next logged entry is
 	// reported as a fault instead of spinning forever.
@@ -157,6 +165,30 @@ func (r *Replay) stateRoot() ([32]byte, error) {
 	}
 	r.verifyFloor = m.DirtyEpoch()
 	return root, nil
+}
+
+// EndState materializes the replica's state at the epoch's terminal
+// snapshot entry: memory, registers and device state exactly as verified
+// against the committed root. It returns nil unless the replay finished
+// fault-free and its final entry was a snapshot whose root verified — the
+// shape of every interior epoch job, whose slices end at the snapshot
+// committing their end state. Remote workers cache it so the next
+// contiguous epoch job on the connection needs no shipped state at all.
+func (r *Replay) EndState() *snapshot.Restored {
+	if !r.endRootValid || r.fault != nil || len(r.entries) == 0 {
+		return nil
+	}
+	if last := &r.entries[len(r.entries)-1]; last.Type != tevlog.TypeSnapshot || last.Seq != r.endSeq {
+		return nil
+	}
+	return &snapshot.Restored{
+		Index:      int(r.endSnap),
+		Mem:        append([]byte(nil), r.mach.Mem...),
+		Machine:    r.mach.CaptureStateRegisters(),
+		Device:     r.devs.Snapshot(),
+		AuthDevice: r.devs.AuthSnapshot(),
+		Root:       r.endRoot,
+	}
 }
 
 // Feed appends log entries to be replayed and refreshes the instruction
@@ -407,6 +439,7 @@ func (r *Replay) perform(ev *wire.EventContent, seq uint64) {
 			return
 		}
 		r.Stats.SnapshotsVerified++
+		r.endSnap, r.endRoot, r.endSeq, r.endRootValid = ev.SnapIdx, got, seq, true
 	default:
 		r.diverge(CheckSyntactic, seq, "unknown event kind %d", ev.Kind)
 	}

@@ -116,14 +116,14 @@ func TestAuditEquivalenceSelfModifyingCode(t *testing.T) {
 		t.Fatal("serial audit verified no snapshots")
 	}
 	for _, workers := range []int{1, 2, 8} {
-		par := a.AuditFullParallel("selfmod", 0, entries, auths, audit.ParallelOptions{
+		par := a.AuditFullParallel("selfmod", 0, entries, auths, audit.ParallelOptions{EngineOptions: audit.EngineOptions{
 			Workers: workers, Materialize: materialize,
-		})
+		}})
 		compareVerdicts(t, "selfmod parallel", serial, par)
 
-		stream, sstats := a.AuditStream("selfmod", 0, logcomp.CompressEntries(entries), auths, audit.StreamOptions{
+		stream, sstats := a.AuditStream("selfmod", 0, logcomp.CompressEntries(entries), auths, audit.StreamOptions{EngineOptions: audit.EngineOptions{
 			Workers: workers, Materialize: materialize,
-		})
+		}})
 		compareVerdicts(t, "selfmod stream", serial, stream)
 		if sstats.PeakResidentEntries > sstats.Window {
 			t.Errorf("stream audit held %d entries, window %d", sstats.PeakResidentEntries, sstats.Window)
@@ -139,8 +139,8 @@ func TestAuditEquivalenceSelfModifyingCode(t *testing.T) {
 	}
 	noPre := abl.AuditFull("selfmod", 0, entries, auths)
 	compareVerdicts(t, "selfmod nopredecode", serial, noPre)
-	noPreStream, _ := abl.AuditStream("selfmod", 0, logcomp.CompressEntries(entries), auths, audit.StreamOptions{
+	noPreStream, _ := abl.AuditStream("selfmod", 0, logcomp.CompressEntries(entries), auths, audit.StreamOptions{EngineOptions: audit.EngineOptions{
 		Workers: 2, Materialize: materialize,
-	})
+	}})
 	compareVerdicts(t, "selfmod nopredecode stream", serial, noPreStream)
 }

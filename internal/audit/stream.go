@@ -40,20 +40,11 @@ const DefaultStreamWindow = 4096
 // its epoch channel has a backlog.
 const streamBatch = 64
 
-// StreamOptions configures AuditStream.
+// StreamOptions configures the streaming full audit. All knobs live in the
+// embedded EngineOptions (Workers, Window and Materialize are the ones
+// this engine reads).
 type StreamOptions struct {
-	// Workers bounds the number of epochs replayed concurrently. <= 0
-	// selects runtime.NumCPU().
-	Workers int
-	// Window caps the number of decoded entries resident across the
-	// pipeline (decode buffers, epoch queues, and unconsumed replay feeds).
-	// <= 0 selects DefaultStreamWindow.
-	Window int
-	// Materialize returns the audited machine's full state at a snapshot
-	// index, exactly as in ParallelOptions. When nil, the log is replayed
-	// as a single boot epoch (still overlapped with decode and chain
-	// verification).
-	Materialize func(snapIdx uint32) (*snapshot.Restored, error)
+	EngineOptions
 }
 
 // StreamStats reports how the pipeline ran.
@@ -150,14 +141,15 @@ func (v *streamVerdict) record(index int, r epochResult) {
 	}
 }
 
-// AuditStream checks an entire execution from boot, like AuditFull, but
+// auditStream checks an entire execution from boot, like auditSerial, but
 // straight from the compressed log container: entries are decoded, chain-
 // verified and replayed concurrently in bounded memory. The verdict —
 // pass/fail, fault, and stats — is identical to AuditFull's (and therefore
 // AuditFullParallel's) over the decompressed slice; a container that fails
 // to decode reports a CheckLog fault carrying the decoder's error. The
 // returned StreamStats describe the pipeline run itself.
-func (a *Auditor) AuditStream(node sig.NodeID, nodeIdx uint32, compressed []byte, auths []tevlog.Authenticator, opts StreamOptions) (*Result, StreamStats) {
+func (a *Auditor) auditStream(node sig.NodeID, nodeIdx uint32, compressed []byte, auths []tevlog.Authenticator, opts StreamOptions) (*Result, StreamStats) {
+	a = a.withEngineOptions(opts.EngineOptions)
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()

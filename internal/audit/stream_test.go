@@ -81,7 +81,7 @@ func TestAuditStreamNoMaterializer(t *testing.T) {
 	}
 	compressed := logcomp.CompressEntries(target.Log.Entries())
 	res, stream := a.AuditStream("player2", uint32(target.Index()), compressed, auths,
-		audit.StreamOptions{Workers: 2, Window: 128})
+		audit.StreamOptions{EngineOptions: audit.EngineOptions{Workers: 2, Window: 128}})
 	compareVerdicts(t, "no-materializer stream", serial, res)
 	if stream.Epochs != 1 {
 		t.Errorf("epochs = %d, want 1 without a materializer", stream.Epochs)
@@ -123,10 +123,10 @@ func TestAuditStreamCorruptedEntry(t *testing.T) {
 		t.Fatalf("materializing fault check = %s, want log", mat.Fault.Check)
 	}
 
-	res, _ := a.AuditStream("player1", uint32(target.Index()), compressed, auths, audit.StreamOptions{
+	res, _ := a.AuditStream("player1", uint32(target.Index()), compressed, auths, audit.StreamOptions{EngineOptions: audit.EngineOptions{
 		Workers: 4, Window: 256,
 		Materialize: func(snapIdx uint32) (*snapshot.Restored, error) { return target.Snaps.Materialize(int(snapIdx)) },
-	})
+	}})
 	if res.Passed {
 		t.Fatal("streaming audit passed on a tampered log")
 	}
@@ -150,7 +150,7 @@ func TestAuditStreamCorruptedContainer(t *testing.T) {
 	compressed := logcomp.CompressEntries(target.Log.Entries())
 	for _, cut := range []int{len(compressed) / 3, len(compressed) - 1} {
 		res, _ := a.AuditStream("player1", uint32(target.Index()), compressed[:cut], auths,
-			audit.StreamOptions{Workers: 2, Window: 128})
+			audit.StreamOptions{EngineOptions: audit.EngineOptions{Workers: 2, Window: 128}})
 		if res.Passed {
 			t.Fatalf("cut %d: truncated container passed", cut)
 		}
@@ -170,7 +170,7 @@ func TestAuditStreamEmptyLog(t *testing.T) {
 	}
 	serial := a.AuditFull("player1", 1, nil, auths)
 	res, _ := a.AuditStream("player1", 1, logcomp.CompressEntries(nil), auths,
-		audit.StreamOptions{Workers: 2})
+		audit.StreamOptions{EngineOptions: audit.EngineOptions{Workers: 2}})
 	if res.Passed != serial.Passed {
 		t.Fatalf("empty log: stream passed=%v, serial passed=%v", res.Passed, serial.Passed)
 	}

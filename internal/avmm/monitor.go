@@ -66,6 +66,18 @@ type Config struct {
 	NsPerInstr uint64
 	// SnapshotEveryNs takes periodic snapshots when > 0.
 	SnapshotEveryNs uint64
+	// SnapshotMaxDirtyBytes, when > 0 (and SnapshotEveryNs > 0), takes a
+	// snapshot early once the guest has dirtied at least this many bytes of
+	// memory since the last one. A write-heavy phase then snapshots more
+	// often, bounding the size of any one snapshot's dirty-page increment —
+	// and with it the delta-shipped audit job built from it — by
+	// construction.
+	SnapshotMaxDirtyBytes uint64
+	// SnapshotMaxInstr, when > 0 (and SnapshotEveryNs > 0), takes a
+	// snapshot early once the guest has retired at least this many
+	// instructions since the last one, bounding the replay work of any one
+	// audit epoch.
+	SnapshotMaxInstr uint64
 	// ClockDelayOpt enables the §6.5 consecutive-clock-read delay
 	// optimization.
 	ClockDelayOpt bool
@@ -99,11 +111,12 @@ type Monitor struct {
 	PeerAuths map[sig.NodeID][]tevlog.Authenticator
 	snapAuths []tevlog.Authenticator
 
-	classBytes     [numClasses]int
-	lastClockNs    uint64
-	clockStreak    int
-	lastSnapshotNs uint64
-	perInstrNs     uint64
+	classBytes        [numClasses]int
+	lastClockNs       uint64
+	clockStreak       int
+	lastSnapshotNs    uint64
+	lastSnapshotInstr uint64
+	perInstrNs        uint64
 
 	// pendingInj holds packets whose daemon-side processing delay has not
 	// yet elapsed; they are injected into the AVM when it does.
@@ -119,6 +132,9 @@ type Monitor struct {
 	Retransmits   int
 	BadFrames     int
 	DroppedFrames int
+	// AdaptiveSnapshots counts snapshots triggered by the dirty-volume or
+	// instruction-budget thresholds rather than the periodic cadence.
+	AdaptiveSnapshots int
 	// GuestOverheadNs is monitor work on the guest's execution path
 	// (interposition, recording): it slows the AVM.
 	GuestOverheadNs uint64
@@ -623,9 +639,19 @@ func (mon *Monitor) Tick(nowNs uint64) {
 			}
 		}
 	}
-	if mon.cfg.SnapshotEveryNs > 0 && mon.cfg.Mode.Records() &&
-		mon.Machine.VTimeNs()-mon.lastSnapshotNs >= mon.cfg.SnapshotEveryNs {
-		mon.TakeSnapshot()
+	if mon.cfg.SnapshotEveryNs > 0 && mon.cfg.Mode.Records() {
+		switch {
+		case mon.Machine.VTimeNs()-mon.lastSnapshotNs >= mon.cfg.SnapshotEveryNs:
+			mon.TakeSnapshot()
+		case mon.cfg.SnapshotMaxDirtyBytes > 0 &&
+			uint64(len(mon.Machine.DirtyPages()))*vm.PageSize >= mon.cfg.SnapshotMaxDirtyBytes:
+			mon.AdaptiveSnapshots++
+			mon.TakeSnapshot()
+		case mon.cfg.SnapshotMaxInstr > 0 &&
+			mon.Machine.ICount-mon.lastSnapshotInstr >= mon.cfg.SnapshotMaxInstr:
+			mon.AdaptiveSnapshots++
+			mon.TakeSnapshot()
+		}
 	}
 }
 
@@ -655,6 +681,7 @@ func (mon *Monitor) TakeSnapshot() (*snapshot.Snapshot, error) {
 	mon.snapAuths = append(mon.snapAuths, auth)
 	mon.charge(mon.cfg.Cost.SnapshotBaseNs + uint64(len(s.MemPages))*mon.cfg.Cost.SnapshotPerPageNs)
 	mon.lastSnapshotNs = mon.Machine.VTimeNs()
+	mon.lastSnapshotInstr = mon.Machine.ICount
 	return s, nil
 }
 

@@ -121,10 +121,10 @@ func RunSec66(scale Scale) (*Sec66Result, error) {
 	if res.ParallelWorkers > res.Snapshots && res.Snapshots > 0 {
 		res.ParallelWorkers = res.Snapshots
 	}
-	popts := audit.ParallelOptions{
+	popts := audit.ParallelOptions{EngineOptions: audit.EngineOptions{
 		Workers:     res.ParallelWorkers,
 		Materialize: func(snapIdx uint32) (*snapshot.Restored, error) { return target.Snaps.Materialize(int(snapIdx)) },
-	}
+	}}
 	var pfault *audit.FaultReport
 	res.SemanticParallel = stopwatch(func() {
 		_, pfault = a.SemanticCheckParallel(target.Node(), decompressed, popts)

@@ -103,6 +103,23 @@ type AuditBenchResult struct {
 	CoordRetries          int64   `json:"coord_retries"`
 	CoordVerdictMatch     bool    `json:"coord_verdict_match"`
 
+	// Delta-shipped dispatch: a denser-snapshot recording of the same match
+	// audited twice over the same loopback fleet — full-state jobs vs
+	// proof-carrying dirty-page increments — so the byte reduction is
+	// measured on identical work. The fold-verify wall is what a stateless
+	// worker pays to reconstruct and check the entire snapshot chain from
+	// deltas alone, before any replay runs.
+	DeltaDistEpochs       int     `json:"delta_dist_epochs"`
+	DeltaJobBytesFull     int     `json:"dist_job_bytes_full_state"`
+	DeltaJobBytes         int     `json:"dist_job_bytes_delta"`
+	DeltaBytesReduction   float64 `json:"delta_bytes_reduction_vs_full"`
+	DeltaJobsShipped      int     `json:"delta_jobs_shipped"`
+	DeltaFallbacks        int     `json:"delta_fallbacks"`
+	DeltaDistWallNs       int64   `json:"delta_dist_wall_ns"`
+	DeltaFoldedSnapshots  int     `json:"delta_folded_snapshots"`
+	DeltaFoldVerifyWallNs int64   `json:"delta_fold_verify_wall_ns"`
+	DeltaVerdictMatch     bool    `json:"delta_verdict_match"`
+
 	// Spot-checking every segment of the minisql log, serial vs parallel.
 	SpotSegments       int   `json:"spot_segments"`
 	SpotSerialWallNs   int64 `json:"spot_serial_wall_ns"`
@@ -233,7 +250,7 @@ func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
 			return
 		}
 		matRes = auditor.AuditFullParallel(target.Node(), uint32(target2.Index()), decoded, auths,
-			audit.ParallelOptions{Workers: res.StreamWorkers, Materialize: materialize})
+			audit.ParallelOptions{EngineOptions: audit.EngineOptions{Workers: res.StreamWorkers, Materialize: materialize}})
 	})
 	if err != nil {
 		return nil, err
@@ -243,7 +260,7 @@ func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
 	var streamStats audit.StreamStats
 	streamWall := stopwatch(func() {
 		streamRes, streamStats = auditor.AuditStream(target.Node(), uint32(target2.Index()), compressed, auths,
-			audit.StreamOptions{Workers: res.StreamWorkers, Window: res.StreamWindow, Materialize: materialize})
+			audit.StreamOptions{EngineOptions: audit.EngineOptions{Workers: res.StreamWorkers, Window: res.StreamWindow, Materialize: materialize}})
 	})
 	res.StreamWallNs = streamWall.Nanoseconds()
 	if streamWall > 0 {
@@ -284,7 +301,7 @@ func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
 	var localRes *audit.Result
 	localWall := stopwatch(func() {
 		localRes = distAuditor.AuditFullParallel(target.Node(), uint32(target3.Index()), entries3, auths3,
-			audit.ParallelOptions{Workers: res.DistWorkers, Materialize: materialize})
+			audit.ParallelOptions{EngineOptions: audit.EngineOptions{Workers: res.DistWorkers, Materialize: materialize}})
 	})
 	res.DistLocalWallNs = localWall.Nanoseconds()
 	var distRes *audit.Result
@@ -292,9 +309,11 @@ func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
 	distWall := stopwatch(func() {
 		distRes, dstats, err = distAuditor.AuditFullDist(target.Node(), uint32(target3.Index()), entries3, auths3,
 			audit.DistOptions{
-				Backend:     &audit.TCPBackend{Addrs: addrs, JobTimeout: 2 * time.Minute},
-				Materialize: materialize,
-				Workers:     res.DistWorkers,
+				Backend: &audit.TCPBackend{Addrs: addrs, JobTimeout: 2 * time.Minute},
+				EngineOptions: audit.EngineOptions{
+					Materialize: materialize,
+					Workers:     res.DistWorkers,
+				},
 			})
 	})
 	if err != nil {
@@ -343,7 +362,7 @@ func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
 			go func(i int) {
 				defer wg.Done()
 				coordResults[i], _, coordErrs[i] = coord.Audit(distAuditor, target.Node(), uint32(target3.Index()),
-					entries3, auths3, audit.DistOptions{Materialize: materialize})
+					entries3, auths3, audit.DistOptions{EngineOptions: audit.EngineOptions{Materialize: materialize}})
 			}(i)
 		}
 		wg.Wait()
@@ -371,6 +390,103 @@ func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
 	if !res.CoordVerdictMatch {
 		return nil, fmt.Errorf("auditbench: coordinator verdicts diverged from serial")
 	}
+
+	// --- delta-shipped dispatch over the same loopback fleet ---
+	// A denser-snapshot recording of the same match (one epoch per
+	// GameNs/48 instead of /8) so each worker connection sees a chain of
+	// consecutive epochs; after the first full state per connection every
+	// job ships only dirty pages plus a Merkle fold proof. The identical
+	// audit with full-state jobs is the bytes baseline.
+	ds, err := game.NewScenario(game.ScenarioConfig{
+		Players: 2, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
+		Seed: 1234, SnapshotEveryNs: scale.GameNs / 48, FakeSignatures: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds.Run(scale.GameNs)
+	dNode := ds.Player(1).Node()
+	dSerial, err := ds.AuditNode(dNode)
+	if err != nil {
+		return nil, err
+	}
+	if !dSerial.Passed {
+		return nil, fmt.Errorf("auditbench: delta-scenario serial audit failed: %v", dSerial.Fault)
+	}
+	dTarget, dAuths, deltaAuditor, err := ds.AuditInputs(dNode)
+	if err != nil {
+		return nil, err
+	}
+	dEntries := dTarget.Log.Entries()
+	dOpts := audit.EngineOptions{
+		Workers:     res.DistWorkers,
+		Materialize: func(k uint32) (*snapshot.Restored, error) { return dTarget.Snaps.Materialize(int(k)) },
+		DeltaSource: func(k uint32) (*snapshot.Delta, error) { return dTarget.Snaps.Delta(int(k)) },
+	}
+	var fullRes *audit.Result
+	var fullStats audit.DistStats
+	if fullRes, fullStats, err = deltaAuditor.AuditFullDist(dNode, uint32(dTarget.Index()), dEntries, dAuths,
+		audit.DistOptions{
+			Backend:       &audit.TCPBackend{Addrs: addrs, JobTimeout: 2 * time.Minute},
+			EngineOptions: dOpts,
+		}); err != nil {
+		return nil, fmt.Errorf("auditbench: full-state dist audit: %w", err)
+	}
+	if !fullRes.Passed {
+		return nil, fmt.Errorf("auditbench: full-state dist audit failed: %v", fullRes.Fault)
+	}
+	dOpts.DeltaJobs = true
+	var deltaRes *audit.Result
+	var deltaStats audit.DistStats
+	deltaWall := stopwatch(func() {
+		deltaRes, deltaStats, err = deltaAuditor.AuditFullDist(dNode, uint32(dTarget.Index()), dEntries, dAuths,
+			audit.DistOptions{
+				Backend:       &audit.TCPBackend{Addrs: addrs, JobTimeout: 2 * time.Minute},
+				EngineOptions: dOpts,
+			})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("auditbench: delta dist audit: %w", err)
+	}
+	if !deltaRes.Passed {
+		return nil, fmt.Errorf("auditbench: delta dist audit failed: %v", deltaRes.Fault)
+	}
+	res.DeltaDistEpochs = deltaStats.Epochs
+	res.DeltaJobBytesFull = fullStats.WireBytesFull
+	res.DeltaJobBytes = deltaStats.WireBytesFull + deltaStats.WireBytesDelta
+	if res.DeltaJobBytes > 0 {
+		res.DeltaBytesReduction = float64(res.DeltaJobBytesFull) / float64(res.DeltaJobBytes)
+	}
+	res.DeltaJobsShipped = deltaStats.DeltaJobsShipped
+	res.DeltaFallbacks = deltaStats.DeltaFallbacks
+	res.DeltaDistWallNs = deltaWall.Nanoseconds()
+	res.DeltaVerdictMatch = deltaRes.Passed == dSerial.Passed && deltaRes.Replay == dSerial.Replay &&
+		deltaRes.Syntactic == dSerial.Syntactic
+
+	// Fold-verify wall: reconstruct and check the entire snapshot chain
+	// from deltas alone, the way a stateless worker bootstraps a start
+	// state it was never shipped.
+	foldState, err := dTarget.Snaps.Materialize(0)
+	if err != nil {
+		return nil, err
+	}
+	res.DeltaFoldedSnapshots = dTarget.Snaps.Count() - 1
+	foldWall := stopwatch(func() {
+		for k := 1; k < dTarget.Snaps.Count(); k++ {
+			d, derr := dTarget.Snaps.Delta(k)
+			if derr != nil {
+				err = derr
+				return
+			}
+			if foldState, err = snapshot.ApplyDelta(foldState, d); err != nil {
+				return
+			}
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("auditbench: delta fold chain: %w", err)
+	}
+	res.DeltaFoldVerifyWallNs = foldWall.Nanoseconds()
 
 	// --- spot-checking every segment, serial vs parallel ---
 	db, err := dbapp.NewScenario(dbapp.ScenarioConfig{
@@ -556,6 +672,12 @@ func (r *AuditBenchResult) Table() *metrics.Table {
 		fmt.Sprintf("%d workers, %d concurrent audits, %d epochs, %.1f epochs/s, utilization %.2f, %d retries, verdict match %v",
 			r.CoordWorkers, r.CoordRuns, r.CoordEpochsDone, r.CoordEpochsPerSec,
 			r.CoordFleetUtilization, r.CoordRetries, r.CoordVerdictMatch))
+	t.Row("delta-shipped dispatch", time.Duration(r.DeltaDistWallNs).String(),
+		fmt.Sprintf("%d epochs, %d KiB shipped vs %d KiB full-state (%.1fx smaller), %d delta jobs, %d fallbacks, verdict match %v",
+			r.DeltaDistEpochs, r.DeltaJobBytes>>10, r.DeltaJobBytesFull>>10, r.DeltaBytesReduction,
+			r.DeltaJobsShipped, r.DeltaFallbacks, r.DeltaVerdictMatch))
+	t.Row("delta fold-verify chain", time.Duration(r.DeltaFoldVerifyWallNs).String(),
+		fmt.Sprintf("reconstruct %d snapshots from proofs alone", r.DeltaFoldedSnapshots))
 	t.Row("spot check serial", time.Duration(r.SpotSerialWallNs).String(),
 		fmt.Sprintf("%d segments", r.SpotSegments))
 	t.Row("spot check parallel", time.Duration(r.SpotParallelWallNs).String(),

@@ -31,6 +31,12 @@ type ScenarioConfig struct {
 	ClockDelayOpt bool
 	// SnapshotEveryNs takes periodic snapshots when nonzero.
 	SnapshotEveryNs uint64
+	// SnapshotMaxDirtyBytes takes a snapshot early once a machine dirties
+	// this many bytes since its last one (0 = periodic cadence only).
+	SnapshotMaxDirtyBytes uint64
+	// SnapshotMaxInstr takes a snapshot early once a machine retires this
+	// many instructions since its last one (0 = periodic cadence only).
+	SnapshotMaxInstr uint64
 	// RenderWork overrides the per-frame render loop length (0 = default).
 	RenderWork int
 	// NetLatencyNs is the one-way link latency (default 96 µs, switch-like).
@@ -120,6 +126,7 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 		Signer: signer("server"), Keys: s.Keys, Image: serverImg, Net: s.Net,
 		RNGSeed: cfg.Seed + 100, NsPerInstr: GameNsPerInstr,
 		SnapshotEveryNs: cfg.SnapshotEveryNs, ClockDelayOpt: cfg.ClockDelayOpt,
+		SnapshotMaxDirtyBytes: cfg.SnapshotMaxDirtyBytes, SnapshotMaxInstr: cfg.SnapshotMaxInstr,
 	})
 	if err != nil {
 		return nil, err
@@ -149,6 +156,7 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 			Signer: signer(node), Keys: s.Keys, Image: runImg, Net: s.Net,
 			RNGSeed: cfg.Seed + 100 + uint64(i), NsPerInstr: GameNsPerInstr,
 			SnapshotEveryNs: cfg.SnapshotEveryNs, ClockDelayOpt: cfg.ClockDelayOpt,
+			SnapshotMaxDirtyBytes: cfg.SnapshotMaxDirtyBytes, SnapshotMaxInstr: cfg.SnapshotMaxInstr,
 			SlowdownPerInstrNs: cfg.SlowdownPerInstrNs,
 		})
 		if err != nil {
@@ -255,10 +263,15 @@ func (s *Scenario) AuditNodeParallel(node sig.NodeID, workers int) (*audit.Resul
 	if err != nil {
 		return nil, err
 	}
-	return a.AuditFullParallel(node, uint32(target.Index()), target.Log.Entries(), auths, audit.ParallelOptions{
-		Workers:     workers,
-		Materialize: func(snapIdx uint32) (*snapshot.Restored, error) { return target.Snaps.Materialize(int(snapIdx)) },
-	}), nil
+	res, _, err := a.Audit(audit.AuditRequest{
+		Node: node, NodeIdx: uint32(target.Index()), Engine: audit.EngineParallel,
+		Entries: target.Log.Entries(), Auths: auths,
+		Options: audit.EngineOptions{
+			Workers:     workers,
+			Materialize: func(snapIdx uint32) (*snapshot.Restored, error) { return target.Snaps.Materialize(int(snapIdx)) },
+		},
+	})
+	return res, err
 }
 
 // AuditNodeStream is AuditNode on the streaming pipeline: the node's log is
@@ -271,11 +284,15 @@ func (s *Scenario) AuditNodeStream(node sig.NodeID, workers, window int) (*audit
 		return nil, audit.StreamStats{}, err
 	}
 	compressed := logcomp.CompressEntries(target.Log.Entries())
-	res, stream := a.AuditStream(node, uint32(target.Index()), compressed, auths, audit.StreamOptions{
-		Workers: workers, Window: window,
-		Materialize: func(snapIdx uint32) (*snapshot.Restored, error) { return target.Snaps.Materialize(int(snapIdx)) },
+	res, stats, err := a.Audit(audit.AuditRequest{
+		Node: node, NodeIdx: uint32(target.Index()), Engine: audit.EngineStream,
+		Compressed: compressed, Auths: auths,
+		Options: audit.EngineOptions{
+			Workers: workers, Window: window,
+			Materialize: func(snapIdx uint32) (*snapshot.Restored, error) { return target.Snaps.Materialize(int(snapIdx)) },
+		},
 	})
-	return res, stream, nil
+	return res, stats.Stream, err
 }
 
 // AuditInputs exposes the raw materials of an audit of node — the target
@@ -301,7 +318,17 @@ func (s *Scenario) AuditNodeDist(node sig.NodeID, opts audit.DistOptions) (*audi
 			return target.Snaps.Materialize(int(snapIdx))
 		}
 	}
-	return a.AuditFullDist(node, uint32(target.Index()), target.Log.Entries(), auths, opts)
+	if opts.DeltaSource == nil {
+		opts.DeltaSource = func(k uint32) (*snapshot.Delta, error) {
+			return target.Snaps.Delta(int(k))
+		}
+	}
+	res, stats, err := a.Audit(audit.AuditRequest{
+		Node: node, NodeIdx: uint32(target.Index()), Engine: audit.EngineDist,
+		Entries: target.Log.Entries(), Auths: auths,
+		Options: opts.EngineOptions, Backend: opts.Backend,
+	})
+	return res, stats.Dist, err
 }
 
 // botDriver synthesizes player input: a seeded random walk with aim

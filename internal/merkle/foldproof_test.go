@@ -1,0 +1,171 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomDirtySet draws a sorted, deduped set of up to maxDirty indices.
+func randomDirtySet(rng *rand.Rand, leaves, maxDirty int) []int {
+	n := 1 + rng.Intn(maxDirty)
+	set := map[int]bool{}
+	for len(set) < n {
+		set[rng.Intn(leaves)] = true
+	}
+	out := make([]int, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	return out
+}
+
+func TestFoldVerifyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, leaves := range []int{1, 2, 3, 7, 8, 64, 100} {
+		for trial := 0; trial < 20; trial++ {
+			data := make([][]byte, leaves)
+			for i := range data {
+				data[i] = []byte{byte(i), byte(trial)}
+			}
+			tr := Seeded(leaves, func(i int) []byte { return data[i] }, 1)
+			prev := tr.Root()
+
+			dirty := randomDirtySet(rng, leaves, leaves)
+			proof, err := tr.ProveBatch(dirty)
+			if err != nil {
+				t.Fatalf("ProveBatch: %v", err)
+			}
+			newData := make([][]byte, len(proof.Indices))
+			for i, idx := range proof.Indices {
+				data[idx] = []byte{byte(idx), byte(trial), 0xFF}
+				newData[i] = data[idx]
+			}
+			if err := tr.UpdateBatch(dirty, func(i int) []byte { return data[i] }, 1); err != nil {
+				t.Fatalf("UpdateBatch: %v", err)
+			}
+			next := tr.Root()
+			if err := FoldVerify(prev, next, proof, newData); err != nil {
+				t.Fatalf("leaves=%d trial=%d dirty=%v: FoldVerify: %v", leaves, trial, dirty, err)
+			}
+		}
+	}
+}
+
+func TestFoldVerifyDetectsTampering(t *testing.T) {
+	leaves := 32
+	data := make([][]byte, leaves)
+	for i := range data {
+		data[i] = []byte{byte(i)}
+	}
+	tr := Seeded(leaves, func(i int) []byte { return data[i] }, 1)
+	prev := tr.Root()
+	dirty := []int{3, 4, 17}
+	proof, err := tr.ProveBatch(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newData := [][]byte{{0xA1}, {0xA2}, {0xA3}}
+	for i, idx := range dirty {
+		data[idx] = newData[i]
+	}
+	if err := tr.UpdateBatch(dirty, func(i int) []byte { return data[i] }, 1); err != nil {
+		t.Fatal(err)
+	}
+	next := tr.Root()
+	if err := FoldVerify(prev, next, proof, newData); err != nil {
+		t.Fatalf("untampered: %v", err)
+	}
+
+	t.Run("page data", func(t *testing.T) {
+		bad := [][]byte{{0xA1}, {0xEE}, {0xA3}}
+		if err := FoldVerify(prev, next, proof, bad); err == nil {
+			t.Fatal("tampered page accepted")
+		}
+	})
+	t.Run("old leaf hash", func(t *testing.T) {
+		p := proof
+		p.Old = append([]Hash(nil), proof.Old...)
+		p.Old[1][0] ^= 1
+		if err := FoldVerify(prev, next, p, newData); err == nil {
+			t.Fatal("tampered old hash accepted")
+		}
+	})
+	t.Run("sibling", func(t *testing.T) {
+		p := proof
+		p.Siblings = append([]Hash(nil), proof.Siblings...)
+		p.Siblings[0][5] ^= 1
+		if err := FoldVerify(prev, next, p, newData); err == nil {
+			t.Fatal("tampered sibling accepted")
+		}
+	})
+	t.Run("roots", func(t *testing.T) {
+		badPrev := prev
+		badPrev[0] ^= 1
+		if err := FoldVerify(badPrev, next, proof, newData); err == nil {
+			t.Fatal("wrong prev root accepted")
+		}
+		badNext := next
+		badNext[0] ^= 1
+		if err := FoldVerify(prev, badNext, proof, newData); err == nil {
+			t.Fatal("wrong next root accepted")
+		}
+	})
+	t.Run("truncated siblings", func(t *testing.T) {
+		p := proof
+		p.Siblings = proof.Siblings[:len(proof.Siblings)-1]
+		if err := FoldVerify(prev, next, p, newData); err == nil {
+			t.Fatal("truncated proof accepted")
+		}
+	})
+	t.Run("extra sibling", func(t *testing.T) {
+		p := proof
+		p.Siblings = append(append([]Hash(nil), proof.Siblings...), Hash{})
+		if err := FoldVerify(prev, next, p, newData); err == nil {
+			t.Fatal("padded proof accepted")
+		}
+	})
+	t.Run("unsorted indices", func(t *testing.T) {
+		p := proof
+		p.Indices = []int{4, 3, 17}
+		if err := FoldVerify(prev, next, p, newData); err == nil {
+			t.Fatal("unsorted indices accepted")
+		}
+	})
+	t.Run("length mismatch", func(t *testing.T) {
+		if err := FoldVerify(prev, next, proof, newData[:2]); err == nil {
+			t.Fatal("short newData accepted")
+		}
+	})
+}
+
+func TestFoldVerifyEmptyDelta(t *testing.T) {
+	tr := Seeded(8, func(i int) []byte { return []byte{byte(i)} }, 1)
+	proof, err := tr.ProveBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FoldVerify(tr.Root(), tr.Root(), proof, nil); err != nil {
+		t.Fatalf("empty delta over identical roots: %v", err)
+	}
+	other := tr.Root()
+	other[0] ^= 1
+	if err := FoldVerify(tr.Root(), other, proof, nil); err == nil {
+		t.Fatal("empty delta across different roots accepted")
+	}
+}
+
+func TestProveBatchAllLeavesNeedsNoSiblings(t *testing.T) {
+	leaves := 16
+	tr := Seeded(leaves, func(i int) []byte { return []byte{byte(i)} }, 1)
+	all := make([]int, leaves)
+	for i := range all {
+		all[i] = i
+	}
+	proof, err := tr.ProveBatch(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof.Siblings) != 0 {
+		t.Fatalf("full-leaf proof carries %d siblings, want 0", len(proof.Siblings))
+	}
+}

@@ -360,6 +360,187 @@ func VerifyProof(root Hash, proof Proof, data []byte) error {
 	return nil
 }
 
+// BatchProof proves a batch leaf update against two roots: it carries the
+// old hashes of the updated leaves plus the sibling hashes on the union of
+// their root paths that are not derivable from the updated leaves
+// themselves. FoldVerify folds the old leaf hashes through the siblings to
+// recover the pre-update root, and the new leaf contents through the same
+// siblings to recover the post-update root — the §4.4 incremental
+// commitment made checkable by a third party holding no tree at all.
+type BatchProof struct {
+	// Leaves is the number of addressable leaves in the proven tree; the
+	// fold needs it to reproduce the tree's padded shape.
+	Leaves int
+	// Indices are the updated leaf indices, sorted and deduplicated.
+	Indices []int
+	// Old are the pre-update hashes of the updated leaves, parallel to
+	// Indices.
+	Old []Hash
+	// Siblings are the interior/leaf hashes adjacent to the union of root
+	// paths, in fold order (level by level from the leaves up), excluding
+	// every node derivable from the updated leaves.
+	Siblings []Hash
+}
+
+// ProveBatch extracts a BatchProof for the given leaf indices from the
+// tree's current state. Call it before applying the corresponding
+// UpdateBatch: the proof's Old hashes and Siblings are read from the
+// pre-update tree, and the siblings are untouched by the update itself, so
+// the same proof folds both the old and the new leaf set. Indices may be
+// unsorted and may repeat.
+func (t *Tree) ProveBatch(indices []int) (BatchProof, error) {
+	if len(indices) == 0 {
+		return BatchProof{Leaves: t.leaves}, nil
+	}
+	for _, idx := range indices {
+		if idx < 0 || idx >= t.leaves {
+			return BatchProof{}, fmt.Errorf("merkle: leaf index %d out of range [0,%d)", idx, t.leaves)
+		}
+	}
+	sorted := append([]int(nil), indices...)
+	sort.Ints(sorted)
+	w := 0
+	for _, idx := range sorted {
+		if w > 0 && sorted[w-1] == idx {
+			continue
+		}
+		sorted[w] = idx
+		w++
+	}
+	sorted = sorted[:w]
+
+	p := BatchProof{Leaves: t.leaves, Indices: sorted}
+	p.Old = make([]Hash, len(sorted))
+	cur := make([]int, len(sorted))
+	for i, idx := range sorted {
+		p.Old[i] = t.nodes[t.base+idx]
+		cur[i] = t.base + idx
+	}
+	// Walk the union of root paths level by level, exactly as UpdateBatch
+	// folds it. A position's sibling is emitted only when it is not itself
+	// in the current level's set — siblings inside the set are recomputed by
+	// the verifier from the leaves, not supplied.
+	for cur[0] > 1 {
+		w := 0
+		for i := 0; i < len(cur); i++ {
+			pos := cur[i]
+			if pos%2 == 0 && i+1 < len(cur) && cur[i+1] == pos^1 {
+				i++ // sibling pair both in the set: no external sibling
+			} else {
+				p.Siblings = append(p.Siblings, t.nodes[pos^1])
+			}
+			par := pos / 2
+			if w > 0 && cur[w-1] == par {
+				continue
+			}
+			cur[w] = par
+			w++
+		}
+		cur = cur[:w]
+	}
+	return p, nil
+}
+
+// foldBatch folds a set of leaf hashes (parallel to proof.Indices) through
+// proof.Siblings up to a root. It returns ErrProofMismatch when the proof's
+// sibling stream is too short or too long for the tree shape.
+func foldBatch(proof *BatchProof, leafHash []Hash) (Hash, error) {
+	base := 1
+	nLeaves := proof.Leaves
+	if nLeaves < 1 {
+		nLeaves = 1
+	}
+	for base < nLeaves {
+		base *= 2
+	}
+	pos := make([]int, len(proof.Indices))
+	hs := make([]Hash, len(proof.Indices))
+	for i, idx := range proof.Indices {
+		pos[i] = base + idx
+		hs[i] = leafHash[i]
+	}
+	sib := proof.Siblings
+	for pos[0] > 1 {
+		w := 0
+		for i := 0; i < len(pos); i++ {
+			p := pos[i]
+			var left, right Hash
+			if p%2 == 0 && i+1 < len(pos) && pos[i+1] == p^1 {
+				left, right = hs[i], hs[i+1]
+				i++
+			} else {
+				if len(sib) == 0 {
+					return Hash{}, ErrProofMismatch
+				}
+				if p%2 == 0 {
+					left, right = hs[i], sib[0]
+				} else {
+					left, right = sib[0], hs[i]
+				}
+				sib = sib[1:]
+			}
+			par := p / 2
+			if w > 0 && pos[w-1] == par {
+				continue
+			}
+			pos[w] = par
+			hs[w] = hashInner(left, right)
+			w++
+		}
+		pos, hs = pos[:w], hs[:w]
+	}
+	if len(sib) != 0 {
+		return Hash{}, ErrProofMismatch
+	}
+	return hs[0], nil
+}
+
+// FoldVerify checks a proof-carrying batch update: that proof's old leaf
+// hashes fold to prevRoot, and that newData — the updated contents of
+// proof.Indices, in the same order — folds through the same siblings to
+// nextRoot. A verifier holding neither tree nor state authenticates the
+// whole transition in O(dirty · log n); any tampering with the shipped
+// pages, the proof, or either root yields ErrProofMismatch.
+func FoldVerify(prevRoot, nextRoot Hash, proof BatchProof, newData [][]byte) error {
+	if len(proof.Indices) != len(proof.Old) || len(proof.Indices) != len(newData) {
+		return ErrProofMismatch
+	}
+	if len(proof.Indices) == 0 {
+		if prevRoot != nextRoot || len(proof.Siblings) != 0 {
+			return ErrProofMismatch
+		}
+		return nil
+	}
+	for i := 1; i < len(proof.Indices); i++ {
+		if proof.Indices[i] <= proof.Indices[i-1] {
+			return ErrProofMismatch
+		}
+	}
+	if proof.Indices[0] < 0 || proof.Indices[len(proof.Indices)-1] >= proof.Leaves {
+		return ErrProofMismatch
+	}
+	got, err := foldBatch(&proof, proof.Old)
+	if err != nil {
+		return err
+	}
+	if got != prevRoot {
+		return ErrProofMismatch
+	}
+	newHashes := make([]Hash, len(newData))
+	var s hasher
+	for i, idx := range proof.Indices {
+		s.leaf(idx, newData[i], &newHashes[i])
+	}
+	got, err = foldBatch(&proof, newHashes)
+	if err != nil {
+		return err
+	}
+	if got != nextRoot {
+		return ErrProofMismatch
+	}
+	return nil
+}
+
 // RootOf computes the root over a full set of leaves without building a
 // persistent tree. Used by auditors to check a downloaded snapshot against
 // the root recorded in the log (§4.5, "Verifying the snapshot").

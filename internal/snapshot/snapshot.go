@@ -42,6 +42,16 @@ type Snapshot struct {
 	// IncrementBytes is the serialized size of this incremental snapshot,
 	// the quantity §6.12 reports per snapshot.
 	IncrementBytes int
+	// ICount is the machine's retired-instruction count at capture time;
+	// consecutive snapshots' differences give the per-epoch instruction
+	// cost the job scheduler prices epochs with.
+	ICount uint64
+	// Proof is the fold proof for this increment, captured from the hash
+	// tree as it stood at the previous snapshot: the dirty leaves' old
+	// hashes plus the sibling path material that connects the previous
+	// MemRoot to this snapshot's MemRoot. A zero Proof (Leaves == 0) means
+	// the snapshot predates proof capture; Delta rebuilds it on demand.
+	Proof merkle.BatchProof
 }
 
 // Restored is a materialized full state at some snapshot.
@@ -130,6 +140,7 @@ func (st *Store) Take(m *vm.Machine, devBlob, authDevBlob []byte) (*Snapshot, er
 		Machine:    m.CaptureStateRegisters(),
 		Device:     append([]byte(nil), devBlob...),
 		AuthDevice: append([]byte(nil), authDevBlob...),
+		ICount:     m.ICount,
 	}
 	if len(st.snaps) == 0 {
 		// Full capture: every page is dirty, so bulk-hash the leaves
@@ -142,6 +153,14 @@ func (st *Store) Take(m *vm.Machine, devBlob, authDevBlob []byte) (*Snapshot, er
 		for _, p := range pages {
 			s.MemPages[p] = append([]byte(nil), m.Page(p)...)
 		}
+		// Capture the fold proof against the tree as it still stands at the
+		// previous snapshot — the proof's old leaf hashes and siblings must
+		// predate the batch update they prove.
+		proof, err := st.tree.ProveBatch(pages)
+		if err != nil {
+			return nil, err
+		}
+		s.Proof = proof
 		// Batch path: rehash the dirty leaves, then fold the union of their
 		// root paths once — shared interior nodes are not rehashed per page.
 		if err := st.tree.UpdateBatch(pages, func(p int) []byte { return s.MemPages[p] }, 0); err != nil {
@@ -296,6 +315,11 @@ type LiveStateHasher struct {
 
 // Seeded reports whether the live tree has been initialized.
 func (lh *LiveStateHasher) Seeded() bool { return lh.seeded }
+
+// MemRoot returns the live tree's current memory root. Only valid after a
+// Seed; delta-job workers use it to anchor a fold-proof chain at a state
+// they verified themselves.
+func (lh *LiveStateHasher) MemRoot() merkle.Hash { return lh.tree.Root() }
 
 // Seed (re)initializes the live tree from a full memory image with one
 // parallel fill and returns the authenticated digest of the state.

@@ -1,0 +1,192 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/snapshot"
+	"repro/internal/tevlog"
+	"repro/internal/vm"
+)
+
+func testDeltaJob() *AuditDeltaJob {
+	step := DeltaStep{
+		FromIndex:   2,
+		ProofLeaves: 64,
+		PageIndices: []uint32{1, 5, 9},
+		PageData:    [][]byte{{0xA}, {0xB, 0xB}, {0xC, 0xC, 0xC}},
+		OldHashes:   make([][32]byte, 3),
+		Siblings:    make([][32]byte, 4),
+		Machine:     []byte("machine"),
+		Device:      []byte("dev"),
+		AuthDevice:  []byte("authdev"),
+
+		Instructions: 123456,
+	}
+	for i := range step.OldHashes {
+		step.OldHashes[i][0] = byte(i + 1)
+	}
+	for i := range step.Siblings {
+		step.Siblings[i][1] = byte(i + 1)
+	}
+	step.FromRoot[2] = 1
+	step.ToRoot[2] = 2
+	step.FromMemRoot[2] = 3
+	step.ToMemRoot[2] = 4
+	j := &AuditDeltaJob{
+		Index: 7, StartSnap: 3, StartSeq: 991,
+		BaseSnap: 2,
+		Steps:    []DeltaStep{step},
+		Entries: []tevlog.Entry{
+			{Seq: 1, Type: tevlog.TypeSend, Content: []byte("hello")},
+			{Seq: 2, Type: tevlog.TypeSnapshot, Content: []byte{0xFF}},
+		},
+	}
+	for i := range j.StartRoot {
+		j.StartRoot[i] = byte(i)
+	}
+	j.BaseRoot[5] = 0x55
+	return j
+}
+
+func TestAuditDeltaJobRoundTrip(t *testing.T) {
+	j := testDeltaJob()
+	got, err := ParseAuditDeltaJob(j.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(j, got) {
+		t.Fatalf("delta job round trip:\n got %+v\nwant %+v", got, j)
+	}
+}
+
+func TestDeltaStepConversionRoundTrip(t *testing.T) {
+	want := testDeltaJob().Steps[0]
+	d, err := want.Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cost.DirtyBytes != 1+2+3 {
+		t.Fatalf("reassembled dirty bytes = %d, want 6", d.Cost.DirtyBytes)
+	}
+	if d.Cost.Instructions != want.Instructions {
+		t.Fatalf("reassembled instructions = %d, want %d", d.Cost.Instructions, want.Instructions)
+	}
+	back := DeltaStepFromDelta(d)
+	if !reflect.DeepEqual(want, back) {
+		t.Fatalf("delta step conversion round trip:\n got %+v\nwant %+v", back, want)
+	}
+}
+
+func TestDeltaStepMismatchedLengths(t *testing.T) {
+	s := testDeltaJob().Steps[0]
+	s.OldHashes = s.OldHashes[:2]
+	if _, err := s.Delta(); err == nil {
+		t.Fatal("mismatched old-hash count accepted")
+	}
+	s = testDeltaJob().Steps[0]
+	s.PageData = s.PageData[:1]
+	if _, err := s.Delta(); err == nil {
+		t.Fatal("mismatched page-data count accepted")
+	}
+}
+
+// snapshotStoreForTest records two snapshots of a small machine and
+// returns the store plus the materialized base state.
+func snapshotStoreForTest(t *testing.T) (*snapshot.Store, *snapshot.Restored) {
+	t.Helper()
+	m := vm.NewMachine(8*vm.PageSize, nil)
+	st := snapshot.NewStore(len(m.Mem))
+	if _, err := st.Take(m, []byte("dev0"), []byte("auth0")); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 4} {
+		if err := m.Store32(uint32(p*vm.PageSize+8), 0xCAFE); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Take(m, []byte("dev1"), []byte("auth1")); err != nil {
+		t.Fatal(err)
+	}
+	base, err := st.Materialize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, base
+}
+
+func TestDeltaStepFromDeltaMatchesStore(t *testing.T) {
+	// A delta straight from a snapshot store must survive the wire and
+	// still verify against its base.
+	st, base := snapshotStoreForTest(t)
+	d, err := st.Delta(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &AuditDeltaJob{Steps: []DeltaStep{DeltaStepFromDelta(d)}}
+	got, err := ParseAuditDeltaJob(j.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := got.Steps[0].Delta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapshot.ApplyDelta(base, d2); err != nil {
+		t.Fatalf("wire-round-tripped delta rejected: %v", err)
+	}
+}
+
+func TestNeedStateRoundTrip(t *testing.T) {
+	for _, idx := range []uint64{0, 1, 127, 128, 1 << 40} {
+		got, err := ParseNeedState(MarshalNeedState(idx))
+		if err != nil {
+			t.Fatalf("index %d: %v", idx, err)
+		}
+		if got != idx {
+			t.Fatalf("need-state round trip: got %d, want %d", got, idx)
+		}
+	}
+	if _, err := ParseNeedState(nil); err == nil {
+		t.Fatal("empty need-state body accepted")
+	}
+	if _, err := ParseNeedState([]byte{0x80}); err == nil {
+		t.Fatal("truncated need-state body accepted")
+	}
+	if _, err := ParseNeedState(append(MarshalNeedState(3), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestDeltaJobTruncation(t *testing.T) {
+	buf := testDeltaJob().Marshal()
+	if _, err := ParseAuditDeltaJob(buf); err != nil {
+		t.Fatalf("valid encoding rejected: %v", err)
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := ParseAuditDeltaJob(buf[:cut]); err == nil {
+			t.Errorf("truncation at %d/%d accepted", cut, len(buf))
+		}
+	}
+	if _, err := ParseAuditDeltaJob(append(append([]byte(nil), buf...), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func FuzzParseAuditDeltaJob(f *testing.F) {
+	f.Add(testDeltaJob().Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		j, err := ParseAuditDeltaJob(b)
+		if err != nil {
+			return
+		}
+		// A successful parse must re-marshal to the exact input bytes: the
+		// codec is canonical, so fuzz inputs cannot smuggle alternate
+		// encodings of the same job.
+		if got := j.Marshal(); !reflect.DeepEqual(got, b) {
+			t.Fatalf("re-marshal differs:\n got %x\nwant %x", got, b)
+		}
+	})
+}

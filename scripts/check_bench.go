@@ -48,6 +48,12 @@ type bench struct {
 	CoordFleetUtilization float64 `json:"coord_fleet_utilization"`
 	CoordRetries          int64   `json:"coord_retries"`
 	CoordVerdictMatch     bool    `json:"coord_verdict_match"`
+	DeltaJobBytesFull     int     `json:"dist_job_bytes_full_state"`
+	DeltaJobBytes         int     `json:"dist_job_bytes_delta"`
+	DeltaJobsShipped      int     `json:"delta_jobs_shipped"`
+	DeltaDistWallNs       int64   `json:"delta_dist_wall_ns"`
+	DeltaFoldVerifyWallNs int64   `json:"delta_fold_verify_wall_ns"`
+	DeltaVerdictMatch     bool    `json:"delta_verdict_match"`
 	MerkleSerialGBps      float64 `json:"merkle_serial_gb_per_sec"`
 	MerkleParallelGBps    float64 `json:"merkle_parallel_gb_per_sec"`
 	MerkleFullVerifies    float64 `json:"merkle_full_verifies_per_sec"`
@@ -182,6 +188,19 @@ func main() {
 		invariant("coord utilization >= 0.6", current.CoordFleetUtilization <= 0 ||
 			current.CoordFleetUtilization >= 0.6)
 		invariant("coord retries <= epochs", current.CoordRetries <= current.CoordEpochsDone)
+	}
+	// Delta-shipped dispatch: the verdict must not depend on whether jobs
+	// carried full states or proof-carrying increments, the increments must
+	// actually pay for themselves (at least 4x fewer bytes on the wire than
+	// full-state shipping — losing this means deltas stopped engaging or
+	// started shipping whole states), and reconstructing start states from
+	// fold proofs must stay a fraction of the dispatch itself.
+	if current.DeltaJobBytes > 0 {
+		invariant("delta verdict match", current.DeltaVerdictMatch)
+		invariant("delta jobs shipped > 0", current.DeltaJobsShipped > 0)
+		invariant("delta bytes 4x under full", current.DeltaJobBytesFull >= 4*current.DeltaJobBytes)
+		invariant("delta fold-verify under dist wall", current.DeltaFoldVerifyWallNs > 0 &&
+			current.DeltaFoldVerifyWallNs <= current.DeltaDistWallNs)
 	}
 	for _, w := range current.Workers {
 		invariant(fmt.Sprintf("parallel verdict (%d workers)", w.Workers), w.VerdictMatch)

@@ -201,8 +201,8 @@ func main() {
 		}
 	}
 	tcpOpts := audit.DistOptions{
-		Backend:             &audit.TCPBackend{Addrs: addrs, JobTimeout: 60 * time.Second},
-		SpotRecheckFraction: 0.25,
+		Backend:       &audit.TCPBackend{Addrs: addrs, JobTimeout: 60 * time.Second},
+		EngineOptions: audit.EngineOptions{SpotRecheckFraction: 0.25},
 	}
 	start := time.Now()
 	auditMatch("clean", nil, tcpOpts)
@@ -235,7 +235,7 @@ func main() {
 	for _, w := range fleet {
 		coord.AddWorker(w.addr)
 	}
-	coordOpts := audit.DistOptions{Backend: coord.Backend(), SpotRecheckFraction: 0.25}
+	coordOpts := audit.DistOptions{Backend: coord.Backend(), EngineOptions: audit.EngineOptions{SpotRecheckFraction: 0.25}}
 	killAt, joinAt := len(catalog)/3, 2*len(catalog)/3
 	start = time.Now()
 	auditMatch("chaos/clean", nil, coordOpts)
