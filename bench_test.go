@@ -264,15 +264,17 @@ var machineRunMixes = []struct {
 	}},
 }
 
-// BenchmarkMachineRun meters the interpreter per instruction mix, with the
-// predecoded sprint loop against the careful Step path — the ablation
-// behind the predecode_speedup row of BENCH_audit.json.
+// BenchmarkMachineRun meters the interpreter per instruction mix: the
+// fused sprint loop, the sprint with fusion ablated, and the careful Step
+// path — the ablations behind the predecode_speedup and fusion_speedup
+// rows of BENCH_audit.json.
 func BenchmarkMachineRun(b *testing.B) {
 	for _, mix := range machineRunMixes {
 		for _, mode := range []struct {
 			name        string
 			nopredecode bool
-		}{{"predecode", false}, {"step", true}} {
+			nofusion    bool
+		}{{"fused", false, false}, {"predecode", false, true}, {"step", true, false}} {
 			b.Run(mix.name+"/"+mode.name, func(b *testing.B) {
 				var code []byte
 				for _, ins := range mix.prog {
@@ -284,6 +286,7 @@ func BenchmarkMachineRun(b *testing.B) {
 					b.Fatal(err)
 				}
 				m.DisablePredecode = mode.nopredecode
+				m.DisableFusion = mode.nofusion
 				m.Regs[3] = 1
 				m.Regs[8] = 32 * 1024
 				b.ResetTimer()

@@ -179,6 +179,7 @@ func run() int {
 	hedgeAfter := flag.Duration("hedge-after", 0, "coordinate mode: straggler hedge delay (0 = job-timeout/4, negative disables hedging)")
 	localFallback := flag.Bool("local-fallback", true, "coordinate mode: replay locally when no workers are live instead of failing")
 	delta := flag.Bool("delta", false, "dispatch/coordinate mode: ship epoch jobs as proof-carrying dirty-page deltas after the first full state per worker connection")
+	nofusion := flag.Bool("nofusion", false, "disable superinstruction fusion in the replay interpreter (ablation; verdicts are unaffected)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "worker mode: max time to finish in-flight epochs after SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -214,7 +215,7 @@ func run() int {
 			}
 		}
 		return runCoordinated(*dir, &meta, keys, nodes, addrs,
-			*pipeline, *spot, *jobTimeout, *hedgeAfter, *localFallback, *delta)
+			*pipeline, *spot, *jobTimeout, *hedgeAfter, *localFallback, *delta, *nofusion)
 	}
 
 	var backend *audit.TCPBackend
@@ -249,6 +250,7 @@ func run() int {
 		a := &audit.Auditor{
 			Keys: keys, RefImage: ref, RNGSeed: meta.RNGSeeds[node],
 			TamperEvident: true, VerifySignatures: true,
+			DisableFusion: *nofusion,
 		}
 		// Every mode routes through the unified Audit entry point: the
 		// flags select an Engine and fill one AuditRequest.
@@ -396,13 +398,14 @@ func loadNodeRecording(dir string, meta *Meta, keys *sig.KeyStore, node string) 
 // straggler hedging. Workers may join, leave or crash mid-audit; with
 // -local-fallback (the default) an empty fleet degrades to local replay.
 func runCoordinated(dir string, meta *Meta, keys *sig.KeyStore, nodes, addrs []string,
-	pipeline int, spot float64, jobTimeout, hedgeAfter time.Duration, localFallback, delta bool) int {
+	pipeline int, spot float64, jobTimeout, hedgeAfter time.Duration, localFallback, delta, nofusion bool) int {
 	recs := make([]*nodeRecording, 0, len(nodes))
 	for _, node := range nodes {
 		rec, err := loadNodeRecording(dir, meta, keys, node)
 		if err != nil {
 			return fail("%v", err)
 		}
+		rec.auditor.DisableFusion = nofusion
 		recs = append(recs, rec)
 	}
 

@@ -38,6 +38,7 @@ func main() {
 	runFlag := flag.String("run", "all", "experiment to run: all, table1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sec65, sec66, sec67, ablations, audit")
 	full := flag.Bool("full", false, "use the longer full-scale runs")
 	jsonPath := flag.String("json", "", "write the audit experiment's metrics as JSON to this path (e.g. BENCH_audit.json)")
+	nofusion := flag.Bool("nofusion", false, "audit experiment: disable superinstruction fusion in every replay (ablation A/B; verdicts are unaffected)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
@@ -155,7 +156,7 @@ func main() {
 			return tabler{r.Table().String()}, nil
 		}},
 		{"audit", "audit-engine throughput: serial vs parallel replay, merkle, verify", func(sc experiments.Scale) (fmt.Stringer, error) {
-			r, err := experiments.RunAuditBench(sc)
+			r, err := experiments.RunAuditBenchWith(sc, experiments.AuditBenchOptions{DisableFusion: *nofusion})
 			if err != nil {
 				return nil, err
 			}

@@ -36,6 +36,11 @@ type Auditor struct {
 	// identical either way; the audit benchmark flips it to measure the
 	// predecode ablation.
 	DisablePredecode bool
+	// DisableFusion keeps the predecoded sprint loop but skips the
+	// superinstruction fusion pass, so every cached instruction retires with
+	// its own dispatch. Verdicts are identical either way; the audit
+	// benchmark flips it to measure the fusion ablation.
+	DisableFusion bool
 }
 
 // auditSerial checks an entire execution from boot: log verification
@@ -122,6 +127,7 @@ func (a *Auditor) auditChunk(req ChunkRequest) *Result {
 	}
 	rp.AdoptStateHasher(lh)
 	rp.Machine().DisablePredecode = a.DisablePredecode
+	rp.Machine().DisableFusion = a.DisableFusion
 	rp.Feed(req.Entries)
 	rp.Close()
 	rp.Run()
@@ -143,6 +149,10 @@ type SnapshotPoint struct {
 	SnapIdx    uint32
 	Root       [32]byte
 	EntryHash  tevlog.Hash
+	// ICount is the landmark instruction count committed with the snapshot
+	// — the replay effort from boot to this point. Consecutive differences
+	// size epoch jobs for cost-weighted dispatch.
+	ICount uint64
 }
 
 // FindSnapshots locates all snapshot entries in a segment. The entries must
@@ -160,6 +170,7 @@ func FindSnapshots(entries []tevlog.Entry) ([]SnapshotPoint, error) {
 		}
 		out = append(out, SnapshotPoint{
 			EntryIndex: i, Seq: e.Seq, SnapIdx: ev.SnapIdx, Root: ev.Root, EntryHash: e.Hash,
+			ICount: ev.Landmark.ICount,
 		})
 	}
 	return out, nil

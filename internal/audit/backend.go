@@ -42,6 +42,12 @@ type EpochJob struct {
 	// include that snapshot entry, so the boundary root is verified by the
 	// epoch that derives it.
 	Entries []tevlog.Entry
+	// Cost estimates the epoch's replay effort in instructions, derived
+	// from the landmark instruction counts consecutive snapshots commit.
+	// Remote backends weight their chain-affinity block splits by it so one
+	// hot epoch does not serialize a fleet; 0 means unknown (weighted
+	// splits fall back to equal epoch counts).
+	Cost uint64
 }
 
 // Session is the per-audit reference configuration an epoch replay needs:
@@ -53,12 +59,13 @@ type Session struct {
 	RefImage         *vm.Image
 	RNGSeed          uint64
 	DisablePredecode bool
+	DisableFusion    bool
 }
 
 // session assembles the auditor's replay session for a node.
 func (a *Auditor) session(node sig.NodeID) Session {
 	return Session{Node: node, RefImage: a.RefImage, RNGSeed: a.RNGSeed,
-		DisablePredecode: a.DisablePredecode}
+		DisablePredecode: a.DisablePredecode, DisableFusion: a.DisableFusion}
 }
 
 // EpochVerdict is one epoch's outcome as reported by a backend.
@@ -162,6 +169,7 @@ func runEpochJobEx(sess Session, job *EpochJob, materialize func(snapIdx uint32)
 		rp.AdoptStateHasher(lh)
 	}
 	rp.Machine().DisablePredecode = sess.DisablePredecode
+	rp.Machine().DisableFusion = sess.DisableFusion
 	rp.Feed(job.Entries)
 	rp.Close()
 	rp.Run()
@@ -240,7 +248,7 @@ func jobFromWire(w *wire.AuditJob) *EpochJob {
 
 // sessionToWire converts a replay session to its wire form.
 func sessionToWire(sess Session) *wire.AuditSession {
-	return wire.SessionFromImage(string(sess.Node), sess.RefImage, sess.RNGSeed, sess.DisablePredecode)
+	return wire.SessionFromImage(string(sess.Node), sess.RefImage, sess.RNGSeed, sess.DisablePredecode, sess.DisableFusion)
 }
 
 // sessionFromWire reassembles a worker-side session.
@@ -250,7 +258,7 @@ func sessionFromWire(w *wire.AuditSession) (Session, error) {
 		return Session{}, err
 	}
 	return Session{Node: sig.NodeID(w.Node), RefImage: img, RNGSeed: w.RNGSeed,
-		DisablePredecode: w.DisablePredecode}, nil
+		DisablePredecode: w.DisablePredecode, DisableFusion: w.DisableFusion}, nil
 }
 
 // verdictToWire converts an epoch outcome to its wire form.

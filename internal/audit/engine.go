@@ -58,6 +58,9 @@ type EngineOptions struct {
 	// careful Step path instead of the predecoded sprint loop — the
 	// predecode ablation. ORed with Auditor.DisablePredecode.
 	DisablePredecode bool
+	// DisableFusion keeps the sprint loop but skips the superinstruction
+	// fusion pass — the fusion ablation. ORed with Auditor.DisableFusion.
+	DisableFusion bool
 	// DeltaJobs ships dispatched epoch jobs as proof-carrying dirty-page
 	// deltas where possible: after the first full state per connection,
 	// each job carries only the epoch increments plus Merkle fold proofs,
@@ -112,12 +115,13 @@ type AuditStats struct {
 }
 
 // withEngineOptions returns the auditor honoring opts' auditor-level
-// overrides — currently the predecode ablation, which ORs with the
-// auditor's own flag. The receiver is never mutated.
+// overrides — currently the predecode and fusion ablations, which OR with
+// the auditor's own flags. The receiver is never mutated.
 func (a *Auditor) withEngineOptions(opts EngineOptions) *Auditor {
-	if opts.DisablePredecode && !a.DisablePredecode {
+	if (opts.DisablePredecode && !a.DisablePredecode) || (opts.DisableFusion && !a.DisableFusion) {
 		ab := *a
-		ab.DisablePredecode = true
+		ab.DisablePredecode = ab.DisablePredecode || opts.DisablePredecode
+		ab.DisableFusion = ab.DisableFusion || opts.DisableFusion
 		return &ab
 	}
 	return a

@@ -114,20 +114,24 @@ func (a *Auditor) partition(entries []tevlog.Entry, opts ParallelOptions) []*Epo
 		return whole
 	}
 	jobs := make([]*EpochJob, 0, len(points)+1)
-	jobs = append(jobs, &EpochJob{Boot: true, Entries: entries[:points[0].EntryIndex+1]})
+	jobs = append(jobs, &EpochJob{Boot: true, Entries: entries[:points[0].EntryIndex+1], Cost: points[0].ICount})
 	for i := 1; i < len(points); i++ {
 		jobs = append(jobs, &EpochJob{
 			StartSnap: points[i-1].SnapIdx,
 			StartRoot: points[i-1].Root,
 			StartSeq:  points[i-1].Seq,
 			Entries:   entries[points[i-1].EntryIndex+1 : points[i].EntryIndex+1],
+			Cost:      points[i].ICount - points[i-1].ICount,
 		})
 	}
 	last := points[len(points)-1]
 	if tail := entries[last.EntryIndex+1:]; len(tail) > 0 {
+		// No snapshot closes the tail, so its landmark span is unknown;
+		// estimate from the log's instructions-per-entry rate so far.
+		cost := last.ICount / uint64(last.EntryIndex+1) * uint64(len(tail))
 		jobs = append(jobs, &EpochJob{
 			StartSnap: last.SnapIdx, StartRoot: last.Root, StartSeq: last.Seq,
-			Entries: tail,
+			Entries: tail, Cost: cost,
 		})
 	}
 	for i, j := range jobs {

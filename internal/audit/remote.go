@@ -764,6 +764,43 @@ func (d *tcpDispatch) finished() bool {
 	}
 }
 
+// costBlocks slices positions 0..len(jobs)-1 into one contiguous block per
+// worker, weighted by each job's estimated replay cost: a worker's block
+// covers roughly total/workers instructions, not len(jobs)/workers epochs,
+// so a recording whose snapshot cadence produced one hot epoch does not
+// serialize the fleet behind it. Blocks stay contiguous to preserve delta
+// chain affinity. Jobs with no cost estimate (Cost 0 everywhere) fall back
+// to the equal epoch-count split.
+func costBlocks(jobs []*EpochJob, workers int) [][]int {
+	blocks := make([][]int, workers)
+	var total uint64
+	for _, j := range jobs {
+		total += j.Cost
+	}
+	if total == 0 {
+		for i := range blocks {
+			lo, hi := i*len(jobs)/workers, (i+1)*len(jobs)/workers
+			for pos := lo; pos < hi; pos++ {
+				blocks[i] = append(blocks[i], pos)
+			}
+		}
+		return blocks
+	}
+	w := 0
+	var cum uint64
+	for pos, j := range jobs {
+		// Assign by the job's cost midpoint: a job spanning a boundary goes
+		// to whichever side holds more of it.
+		mid := cum + j.Cost/2
+		for w+1 < workers && mid >= uint64(w+1)*total/uint64(workers) {
+			w++
+		}
+		blocks[w] = append(blocks[w], pos)
+		cum += j.Cost
+	}
+	return blocks
+}
+
 // Run implements EpochBackend over the worker fleet.
 func (b *TCPBackend) Run(sess Session, jobs []*EpochJob, skip func(int) bool, emit func(EpochVerdict)) error {
 	if len(b.Addrs) == 0 {
@@ -788,13 +825,7 @@ func (b *TCPBackend) Run(sess Session, jobs []*EpochJob, skip func(int) bool, em
 		failed:    make(map[int]error),
 	}
 	d.remaining.Store(int64(len(jobs)))
-	d.blocks = make([][]int, len(b.Addrs))
-	for i := range d.blocks {
-		lo, hi := i*len(jobs)/len(b.Addrs), (i+1)*len(jobs)/len(b.Addrs)
-		for pos := lo; pos < hi; pos++ {
-			d.blocks[i] = append(d.blocks[i], pos)
-		}
-	}
+	d.blocks = costBlocks(jobs, len(b.Addrs))
 
 	// Jobs are encoded lazily and cached, so skipped epochs cost nothing
 	// and a re-dispatch reuses the first attempt's bytes.

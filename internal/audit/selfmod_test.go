@@ -143,4 +143,18 @@ func TestAuditEquivalenceSelfModifyingCode(t *testing.T) {
 		Workers: 2, Materialize: materialize,
 	}})
 	compareVerdicts(t, "selfmod nopredecode stream", serial, noPreStream)
+
+	// And the fusion ablation: self-modifying stores are exactly the case
+	// where a fused span (pair or quad) must bail out mid-dispatch and
+	// re-decode, so the fusion-off sprint has to reach the same verdict.
+	fusAbl := &audit.Auditor{
+		Keys: keys, RefImage: img, RNGSeed: 5,
+		TamperEvident: true, VerifySignatures: false, DisableFusion: true,
+	}
+	noFus := fusAbl.AuditFull("selfmod", 0, entries, auths)
+	compareVerdicts(t, "selfmod nofusion", serial, noFus)
+	noFusStream, _ := fusAbl.AuditStream("selfmod", 0, logcomp.CompressEntries(entries), auths, audit.StreamOptions{EngineOptions: audit.EngineOptions{
+		Workers: 2, Materialize: materialize,
+	}})
+	compareVerdicts(t, "selfmod nofusion stream", serial, noFusStream)
 }

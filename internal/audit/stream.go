@@ -376,6 +376,7 @@ func (a *Auditor) runStreamEpoch(node sig.NodeID, ep *streamEpoch, opts StreamOp
 		rp.AdoptStateHasher(lh)
 	}
 	rp.Machine().DisablePredecode = a.DisablePredecode
+	rp.Machine().DisableFusion = a.DisableFusion
 
 	batch := make([]tevlog.Entry, 0, streamBatch)
 	fed, released := 0, 0

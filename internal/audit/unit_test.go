@@ -1,11 +1,13 @@
 package audit
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"repro/internal/lang"
 	"repro/internal/sig"
+	"repro/internal/snapshot"
 	"repro/internal/tevlog"
 	"repro/internal/vm"
 	"repro/internal/wire"
@@ -411,5 +413,132 @@ func TestFindSnapshots(t *testing.T) {
 	}
 	if points[0].EntryIndex != 1 || points[1].EntryIndex != 3 {
 		t.Fatalf("entry indices = %d, %d", points[0].EntryIndex, points[1].EntryIndex)
+	}
+}
+
+// stubMaterialize satisfies partition's "a state source exists" check; the
+// partition itself never materializes anything.
+func stubMaterialize(uint32) (*snapshot.Restored, error) {
+	return nil, errNoState
+}
+
+var errNoState = errors.New("no state")
+
+func TestPartitionEpochCosts(t *testing.T) {
+	a := &Auditor{}
+	log := synthLog(
+		nondetEntry(vm.PortClockLo, 1),
+		eventEntry(&wire.EventContent{Kind: wire.EventSnapshot, SnapIdx: 0, Landmark: vm.Landmark{ICount: 40}}),
+		nondetEntry(vm.PortClockLo, 2),
+		eventEntry(&wire.EventContent{Kind: wire.EventSnapshot, SnapIdx: 1, Landmark: vm.Landmark{ICount: 100}}),
+		nondetEntry(vm.PortClockLo, 3),
+		nondetEntry(vm.PortClockLo, 4),
+	)
+	jobs := a.partition(log, ParallelOptions{EngineOptions: EngineOptions{Materialize: stubMaterialize}})
+	if len(jobs) != 3 {
+		t.Fatalf("jobs = %d, want 3", len(jobs))
+	}
+	if jobs[0].Cost != 40 || jobs[1].Cost != 60 {
+		t.Fatalf("epoch costs = %d, %d, want 40, 60", jobs[0].Cost, jobs[1].Cost)
+	}
+	// The tail has no closing snapshot; its cost is estimated from the
+	// log-wide rate so far: 100 instructions / 4 entries * 2 tail entries.
+	if jobs[2].Cost != 50 {
+		t.Fatalf("tail cost = %d, want 50", jobs[2].Cost)
+	}
+}
+
+// costJobs builds epoch jobs carrying only the costs, the one field
+// costBlocks reads besides position.
+func costJobs(costs ...uint64) []*EpochJob {
+	jobs := make([]*EpochJob, len(costs))
+	for i, c := range costs {
+		jobs[i] = &EpochJob{Index: i, Cost: c}
+	}
+	return jobs
+}
+
+// checkContiguousCover fails unless the blocks are in-order contiguous
+// runs that together cover every job exactly once — the invariant the
+// delta-chain connection cache depends on.
+func checkContiguousCover(t *testing.T, blocks [][]int, n int) {
+	t.Helper()
+	next := 0
+	for w, b := range blocks {
+		for _, pos := range b {
+			if pos != next {
+				t.Fatalf("worker %d holds job %d, want %d (blocks %v)", w, pos, next, blocks)
+			}
+			next++
+		}
+	}
+	if next != n {
+		t.Fatalf("blocks cover %d of %d jobs: %v", next, n, blocks)
+	}
+}
+
+// TestCoordinatorCostWeightedBlocks is the skewed-epoch dispatch check:
+// one epoch ten times hotter than its neighbours must not drag half the
+// log onto one worker the way an equal-count split does.
+func TestCoordinatorCostWeightedBlocks(t *testing.T) {
+	jobs := costJobs(100, 100, 100, 600, 100, 100)
+	blocks := costBlocks(jobs, 3)
+	checkContiguousCover(t, blocks, len(jobs))
+
+	blockCost := func(b []int) uint64 {
+		var sum uint64
+		for _, pos := range b {
+			sum += jobs[pos].Cost
+		}
+		return sum
+	}
+	// The equal-count split [0 1][2 3][4 5] puts 700 of 1100 instructions
+	// on the middle worker. The weighted split must do strictly better,
+	// which for this skew means the hot epoch rides alone.
+	var max uint64
+	for _, b := range blocks {
+		if c := blockCost(b); c > max {
+			max = c
+		}
+	}
+	if max >= 700 {
+		t.Fatalf("hottest block carries %d of 1100 instructions, no better than the equal-count split (blocks %v)", max, blocks)
+	}
+	for _, b := range blocks {
+		if len(b) == 1 && b[0] == 3 {
+			return
+		}
+	}
+	t.Fatalf("hot epoch 3 shares a block: %v", blocks)
+}
+
+func TestCoordinatorCostBlocksZeroFallback(t *testing.T) {
+	// Logs recorded before landmark counts were shipped have unknown
+	// (zero) costs; the split must degrade to the old equal-count layout.
+	jobs := costJobs(0, 0, 0, 0, 0, 0, 0)
+	blocks := costBlocks(jobs, 3)
+	checkContiguousCover(t, blocks, len(jobs))
+	want := [][]int{{0, 1}, {2, 3}, {4, 5, 6}}
+	for w := range want {
+		if len(blocks[w]) != len(want[w]) {
+			t.Fatalf("blocks = %v, want %v", blocks, want)
+		}
+	}
+}
+
+func TestCoordinatorCostBlocksMoreWorkersThanJobs(t *testing.T) {
+	// total < workers exercises the boundary arithmetic at tiny scales;
+	// every job must still land somewhere, each on its own worker.
+	jobs := costJobs(1, 1)
+	blocks := costBlocks(jobs, 5)
+	checkContiguousCover(t, blocks, len(jobs))
+	nonEmpty := 0
+	for _, b := range blocks {
+		if len(b) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 2 {
+		t.Fatalf("2 jobs spread over %d workers: %v", nonEmpty, blocks)
 	}
 }

@@ -59,6 +59,28 @@ type AuditBenchResult struct {
 	PredecodeSpeedup      float64 `json:"predecode_speedup_vs_step"`
 	PredecodeVerdictMatch bool    `json:"predecode_verdict_match"`
 
+	// Fusion ablation: the same serial audit with the superinstruction
+	// fusion pass disabled — the sprint loop still runs over predecoded
+	// pages, but every cached instruction retires with its own dispatch.
+	// The verdict must not depend on whether pairs were fused.
+	//
+	// The CI-gated speedup is measured on the stage fusion actually
+	// touches — the semantic replay — as the ratio of min-of-five replay
+	// walls with fusion off vs on: the end-to-end audit wall also spends
+	// time in chain verification and signature checks, which both dilute
+	// the ratio and dominate its run-to-run noise on a quick-scale log.
+	// FusedPairs counts fused pairs retired by the fusion-on replay (a
+	// quad counts as two) and FusedQuads the quad superinstructions; each
+	// fused pair saves one dispatch and each quad one more, so dispatches
+	// per retired instruction is (ICount - FusedPairs - FusedQuads) /
+	// ICount.
+	NoFusionWallNs     int64   `json:"serial_nofusion_wall_ns"`
+	FusionSpeedup      float64 `json:"fusion_speedup_vs_predecode"`
+	FusionVerdictMatch bool    `json:"fusion_verdict_match"`
+	FusedPairs         uint64  `json:"fused_pairs_retired"`
+	FusedQuads         uint64  `json:"fused_quads_retired"`
+	DispatchesPerInstr float64 `json:"dispatches_per_instruction"`
+
 	// Streaming pipeline (decode ∥ chain-verify ∥ replay) against the
 	// materializing pipeline (decompress, rechain, then parallel audit)
 	// over the same compressed container, at StreamWorkers workers.
@@ -152,15 +174,30 @@ type AuditBenchResult struct {
 // auditWorkerCounts is the ablation grid.
 var auditWorkerCounts = []int{1, 2, 4, 8}
 
+// AuditBenchOptions selects audit-experiment ablations.
+type AuditBenchOptions struct {
+	// DisableFusion runs every audit in the experiment with
+	// superinstruction fusion off (avm-bench's -nofusion flag), for A/B
+	// comparison of whole bench runs. The fusion ablation row then
+	// compares two fusion-off replays and reports ~1.0x.
+	DisableFusion bool
+}
+
 // RunAuditBench measures the audit engine end to end at every worker count
 // and the primitive rates underneath it.
 func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
+	return RunAuditBenchWith(scale, AuditBenchOptions{})
+}
+
+// RunAuditBenchWith is RunAuditBench with explicit ablation options.
+func RunAuditBenchWith(scale Scale, opts AuditBenchOptions) (*AuditBenchResult, error) {
 	res := &AuditBenchResult{CPUs: runtime.NumCPU()}
 
 	// --- full-audit replay ablation on a recorded match ---
 	s, err := game.NewScenario(game.ScenarioConfig{
 		Players: 2, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
 		Seed: 1234, SnapshotEveryNs: scale.GameNs / 8, FakeSignatures: true,
+		AuditDisableFusion: opts.DisableFusion,
 	})
 	if err != nil {
 		return nil, err
@@ -224,6 +261,64 @@ func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
 	res.PredecodeVerdictMatch = noPre.Passed == serial.Passed && noPre.Replay == serial.Replay
 	if serialWall > 0 {
 		res.PredecodeSpeedup = float64(noPreWall) / float64(serialWall)
+	}
+
+	// --- fusion ablation: predecoded sprint without superinstructions ---
+	targetF, authsF, fusAuditor, err := s.AuditInputs(target.Node())
+	if err != nil {
+		return nil, err
+	}
+	fusAuditor.DisableFusion = true
+	var noFus *audit.Result
+	noFusWall := stopwatch(func() {
+		noFus = fusAuditor.AuditFull(target.Node(), uint32(targetF.Index()), targetF.Log.Entries(), authsF)
+	})
+	res.NoFusionWallNs = noFusWall.Nanoseconds()
+	res.FusionVerdictMatch = noFus.Passed == serial.Passed && noFus.Replay == serial.Replay
+	// The gated speedup compares bare semantic replays of the same log —
+	// the only stage fusion touches — taking the min of five walls on
+	// each side to damp scheduler noise. The last fusion-on replay also
+	// supplies the dispatch counters (the verdict paths above never expose
+	// the machine).
+	replayWall := func(disable bool) (time.Duration, *vm.Machine, error) {
+		best := time.Duration(1<<63 - 1)
+		var mach *vm.Machine
+		for i := 0; i < 5; i++ {
+			rp, err := audit.NewReplayFromImage(target.Node(), fusAuditor.RefImage, fusAuditor.RNGSeed)
+			if err != nil {
+				return 0, nil, err
+			}
+			rp.Machine().DisableFusion = disable
+			wall := stopwatch(func() {
+				rp.Feed(targetF.Log.Entries())
+				rp.Close()
+				rp.Run()
+			})
+			if f := rp.Fault(); f != nil {
+				return 0, nil, fmt.Errorf("auditbench: fusion replay faulted: %v", f)
+			}
+			if wall < best {
+				best = wall
+			}
+			mach = rp.Machine()
+		}
+		return best, mach, nil
+	}
+	fusReplayWall, fusMach, err := replayWall(opts.DisableFusion)
+	if err != nil {
+		return nil, err
+	}
+	noFusReplayWall, _, err := replayWall(true)
+	if err != nil {
+		return nil, err
+	}
+	if fusReplayWall > 0 {
+		res.FusionSpeedup = float64(noFusReplayWall) / float64(fusReplayWall)
+	}
+	res.FusedPairs = fusMach.FusedPairs
+	res.FusedQuads = fusMach.FusedQuads
+	if ic := fusMach.ICount; ic > 0 {
+		res.DispatchesPerInstr = float64(ic-res.FusedPairs-res.FusedQuads) / float64(ic)
 	}
 
 	// --- streaming vs materializing pipeline over the compressed log ---
@@ -400,6 +495,7 @@ func RunAuditBench(scale Scale) (*AuditBenchResult, error) {
 	ds, err := game.NewScenario(game.ScenarioConfig{
 		Players: 2, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
 		Seed: 1234, SnapshotEveryNs: scale.GameNs / 48, FakeSignatures: true,
+		AuditDisableFusion: opts.DisableFusion,
 	})
 	if err != nil {
 		return nil, err
@@ -659,6 +755,9 @@ func (r *AuditBenchResult) Table() *metrics.Table {
 	}
 	t.Row("serial replay, no predecode", time.Duration(r.NoPredecodeWallNs).String(),
 		fmt.Sprintf("predecode speedup %.2fx, verdict match %v", r.PredecodeSpeedup, r.PredecodeVerdictMatch))
+	t.Row("serial replay, no fusion", time.Duration(r.NoFusionWallNs).String(),
+		fmt.Sprintf("replay fusion speedup %.2fx, %d fused pairs, %d quads, %.3f dispatches/instr, verdict match %v",
+			r.FusionSpeedup, r.FusedPairs, r.FusedQuads, r.DispatchesPerInstr, r.FusionVerdictMatch))
 	t.Row("materialized pipeline", time.Duration(r.MaterializedWallNs).String(),
 		fmt.Sprintf("decompress+rechain+audit, %d workers", r.StreamWorkers))
 	t.Row("streaming pipeline", time.Duration(r.StreamWallNs).String(),

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 )
 
@@ -28,5 +29,81 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("Decode(Encode(%+v)) = %+v", ins, again)
 		}
 		_ = ins.String() // disassembly of arbitrary bytes must not panic
+	})
+}
+
+// FuzzFusion throws arbitrary code bytes at the fusion pass: predecoding a
+// page of hostile bytes (including bytes that happen to decode to fusable
+// opcodes with wild operands) must never panic, and the fused sprint must
+// retire bit-identical state to the careful Step path however the bytes
+// decode — fusion is a pure dispatch optimization, invisible to semantics.
+func FuzzFusion(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(asm(
+		Instr{Op: OpMovi, Ra: 1, Imm: 7},
+		Instr{Op: OpMov, Ra: 2, Rb: 1},
+		Instr{Op: OpPush, Ra: 2},
+		Instr{Op: OpPop, Ra: 3},
+		Instr{Op: OpLts, Ra: 4, Rb: 3, Rc: 1},
+		Instr{Op: OpJz, Ra: 4, Imm: CodeBase},
+	))
+	f.Add(asm( // store into the executing page, then keep going
+		Instr{Op: OpMovi, Ra: 1, Imm: CodeBase + 3*InstrSize},
+		Instr{Op: OpStore, Ra: 1, Rb: 2},
+		Instr{Op: OpAddi, Ra: 2, Rb: 2, Imm: 1},
+		Instr{Op: OpHlt},
+	))
+	f.Add(asm( // quad superinstruction: load.push + movi.mov back to back
+		Instr{Op: OpMovi, Ra: RegSP, Imm: 48 * 1024},
+		Instr{Op: OpNop},
+		Instr{Op: OpLoad, Ra: 1, Rb: 0, Imm: 40 * 1024},
+		Instr{Op: OpPush, Ra: 2},
+		Instr{Op: OpMovi, Ra: 3, Imm: 7},
+		Instr{Op: OpMov, Ra: 4, Rb: 3},
+		Instr{Op: OpHlt},
+	))
+	f.Add(asm( // quad ending in a jump: pop.add + store.jmp
+		Instr{Op: OpMovi, Ra: RegSP, Imm: 48 * 1024},
+		Instr{Op: OpPush, Ra: 6},
+		Instr{Op: OpPop, Ra: 1},
+		Instr{Op: OpAdd, Ra: 2, Rb: 1, Rc: 1},
+		Instr{Op: OpStore, Ra: 0, Rb: 2, Imm: 40 * 1024},
+		Instr{Op: OpJmp, Imm: CodeBase + 6*InstrSize},
+		Instr{Op: OpHlt},
+	))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) == 0 {
+			t.Skip("empty images do not boot")
+		}
+		if len(b) > PageSize {
+			b = b[:PageSize]
+		}
+		img := &Image{Name: "fuzz", Code: b, Entry: CodeBase, MemSize: 64 * 1024}
+		bootOne := func(disablePredecode bool) *Machine {
+			m, err := img.Boot(NewDeviceSet(7))
+			if err != nil {
+				t.Skipf("boot: %v", err)
+			}
+			m.DisablePredecode = disablePredecode
+			// Aim a few base registers at the code page so decoded stores
+			// can self-modify, and others at data.
+			m.Regs[0], m.Regs[5], m.Regs[9] = 0, 0, 0
+			m.Regs[1], m.Regs[2] = CodeBase, 32*1024
+			return m
+		}
+		fast, slow := bootOne(false), bootOne(true)
+		for c := 0; c < 6; c++ {
+			// Odd chunk lengths >= 2 exercise both the fused handlers and
+			// the mid-pair budget stop.
+			nf, ns := fast.Run(37), slow.Run(37)
+			if nf != ns {
+				t.Fatalf("chunk %d: fused sprint retired %d, step retired %d", c, nf, ns)
+			}
+			diffState(t, fmt.Sprintf("chunk %d", c), fast, slow)
+			if fast.Halted || fast.Waiting {
+				break
+			}
+		}
 	})
 }

@@ -143,3 +143,239 @@ const (
 	// RegSP is the stack pointer used by push/pop/call/ret.
 	RegSP = 15
 )
+
+// --- superinstruction fused-op table ------------------------------------
+//
+// The predecoder fuses recognized adjacent instruction pairs — the idioms
+// the internal/lang code generator emits for every expression and
+// assignment — into single cached superinstructions with their own sprint
+// handlers (predecode.go), halving dispatch overhead on the fused pairs.
+// Fused ids live at fusedBase and above, outside the uint8 opcode space,
+// so no guest byte sequence can ever decode to one: Decode yields plain
+// opcodes only, and Step never sees a fused id. The guest-visible ISA is
+// unchanged — fusion is purely a property of the predecode cache.
+
+// fusedBase is the first fused-op id; everything below it in a cached
+// slot's Op field is a plain Opcode.
+const fusedBase = 256
+
+// The fused-op ids. The specialized forms are the dynamically hottest
+// exact pairs in lang-compiled guests (measured on the recorded game
+// workload — push/expr/pop idioms, movi+ALU, compare-and-branch,
+// load-op-store) and get straight-line handlers with no sub-dispatch.
+// fusedGeneric covers every other legal pair: its handler executes the
+// two constituents through a pair of inline sub-switches on the cached
+// Sub1/Sub2 opcodes, which still saves the per-instruction loop overhead
+// (bound check, interrupt gate, page check, fetch, retire bookkeeping).
+const (
+	fusedGeneric   = fusedBase + iota // any fusable ; any fusable
+	fusedMoviMov                      // movi ; mov
+	fusedMovPop                       // mov ; pop
+	fusedPushMovi                     // push ; movi
+	fusedLoadPush                     // load ; push
+	fusedPushLoad                     // push ; load
+	fusedPopAdd                       // pop ; add
+	fusedPopMul                       // pop ; mul
+	fusedPopLts                       // pop ; lts
+	fusedPopStore                     // pop ; store
+	fusedAddStore                     // add ; store
+	fusedLoadStore                    // load ; store
+	fusedMulPush                      // mul ; push
+	fusedLtsJz                        // lts ; jz
+	fusedStoreJmp                     // store ; jmp
+	fusedStoreLoad                    // store ; load
+	fusedEnd
+)
+
+var fusedNames = [fusedEnd - fusedBase]string{
+	fusedGeneric - fusedBase:   "generic",
+	fusedMoviMov - fusedBase:   "movi.mov",
+	fusedMovPop - fusedBase:    "mov.pop",
+	fusedPushMovi - fusedBase:  "push.movi",
+	fusedLoadPush - fusedBase:  "load.push",
+	fusedPushLoad - fusedBase:  "push.load",
+	fusedPopAdd - fusedBase:    "pop.add",
+	fusedPopMul - fusedBase:    "pop.mul",
+	fusedPopLts - fusedBase:    "pop.lts",
+	fusedPopStore - fusedBase:  "pop.store",
+	fusedAddStore - fusedBase:  "add.store",
+	fusedLoadStore - fusedBase: "load.store",
+	fusedMulPush - fusedBase:   "mul.push",
+	fusedLtsJz - fusedBase:     "lts.jz",
+	fusedStoreJmp - fusedBase:  "store.jmp",
+	fusedStoreLoad - fusedBase: "store.load",
+}
+
+// fusedName names a fused (pair or quad) id for diagnostics.
+func fusedName(op uint16) string {
+	if op >= fusedBase && op < fusedEnd {
+		return fusedNames[op-fusedBase]
+	}
+	if op >= quadBase && op < quadEnd {
+		return quadNames[op-quadBase]
+	}
+	return fmt.Sprintf("fused%d", op)
+}
+
+// aluClass marks the fault-free register-only opcodes: no memory access,
+// no control transfer, no bus, no interrupt flags — an aluClass
+// constituent can execute inside a fused pair with no side exit. Divu and
+// Modu are excluded (they fault), as is everything that touches memory or
+// control flow.
+var aluClass = [opCount]bool{
+	OpMovi: true, OpMov: true, OpAdd: true, OpSub: true, OpMul: true,
+	OpAnd: true, OpOr: true, OpXor: true, OpShl: true, OpShr: true,
+	OpAddi: true, OpEq: true, OpLtu: true, OpLts: true, OpNot: true,
+}
+
+// fuseFirst marks opcodes legal as a pair's first constituent: the ALU
+// class plus the memory ops whose fused handlers carry exact Step fault
+// semantics and — for the stores and pushes, which can overwrite the
+// executing page — the retire-first-half bail-out. Bus ops, interrupt-flag
+// ops, wfi, hlt, call/ret, the faulting dividers, and all branches are
+// excluded: a taken branch makes the second slot dead, and the rest either
+// leave the sprint or change interrupt state mid-pair.
+var fuseFirst = [opCount]bool{
+	OpMovi: true, OpMov: true, OpAdd: true, OpSub: true, OpMul: true,
+	OpAnd: true, OpOr: true, OpXor: true, OpShl: true, OpShr: true,
+	OpAddi: true, OpEq: true, OpLtu: true, OpLts: true, OpNot: true,
+	OpLoad: true, OpLoadb: true, OpStore: true, OpStoreb: true,
+	OpPush: true, OpPop: true,
+}
+
+// fuseSecond marks opcodes legal as a pair's second constituent: the
+// first-position set plus the direct branches (their targets are encoded
+// in the instruction, so the fused handler can retire the pair and jump).
+var fuseSecond = [opCount]bool{
+	OpMovi: true, OpMov: true, OpAdd: true, OpSub: true, OpMul: true,
+	OpAnd: true, OpOr: true, OpXor: true, OpShl: true, OpShr: true,
+	OpAddi: true, OpEq: true, OpLtu: true, OpLts: true, OpNot: true,
+	OpLoad: true, OpLoadb: true, OpStore: true, OpStoreb: true,
+	OpPush: true, OpPop: true,
+	OpJmp: true, OpJz: true, OpJnz: true,
+}
+
+// fusePair classifies an adjacent opcode pair, returning the fused id to
+// rewrite the first slot with, or 0 when the pair must not fuse. The
+// whitelist is deliberately conservative: bus ops (in/out), interrupt-flag
+// ops (cli/sti/iret), wfi, hlt, call/ret, and the faulting dividers never
+// fuse in either position, and branches fuse only as the second
+// constituent. Stores and pushes may fuse as the first constituent: their
+// handlers bail out (retiring the first half alone) when the write lands
+// on the executing page, so a pair can never execute a stale second slot.
+func fusePair(a, b Opcode) uint16 {
+	if a >= opCount || b >= opCount {
+		return 0
+	}
+	// Specialized hot pairs first: the fuse-time choice is what lets their
+	// handlers skip the Sub1/Sub2 sub-dispatch entirely.
+	switch {
+	case a == OpMovi && b == OpMov:
+		return fusedMoviMov
+	case a == OpMov && b == OpPop:
+		return fusedMovPop
+	case a == OpPush && b == OpMovi:
+		return fusedPushMovi
+	case a == OpLoad && b == OpPush:
+		return fusedLoadPush
+	case a == OpPush && b == OpLoad:
+		return fusedPushLoad
+	case a == OpPop && b == OpStore:
+		return fusedPopStore
+	case a == OpLoad && b == OpStore:
+		return fusedLoadStore
+	case a == OpPop && b == OpAdd:
+		return fusedPopAdd
+	case a == OpPop && b == OpMul:
+		return fusedPopMul
+	case a == OpPop && b == OpLts:
+		return fusedPopLts
+	case a == OpAdd && b == OpStore:
+		return fusedAddStore
+	case a == OpMul && b == OpPush:
+		return fusedMulPush
+	case a == OpLts && b == OpJz:
+		return fusedLtsJz
+	case a == OpStore && b == OpJmp:
+		return fusedStoreJmp
+	case a == OpStore && b == OpLoad:
+		return fusedStoreLoad
+	}
+	if fuseFirst[a] && fuseSecond[b] {
+		return fusedGeneric
+	}
+	return 0
+}
+
+// --- quad superinstructions ---------------------------------------------
+//
+// Pair fusion leaves the hottest lang idioms dominated by back-to-back
+// specialized pairs: the push/expr/pop calling convention means a load.push
+// is almost always followed by a movi.mov, a movi.mov by a pop.ALU, and so
+// on. A second fuse pass recognizes those pair-of-pair sequences (measured
+// on the recorded game workload; the table below covers ~3/4 of all
+// dynamically retired pairs) and rewrites the FIRST pair's slot to a quad
+// id: four constituents, one dispatch. The second pair's slot keeps its
+// pair id and operands, so a control transfer landing on it executes the
+// pair normally, and the quad handler reads the second pair's operands
+// straight from that slot — no cache growth, no extra barriers. Only
+// non-branching pairs are legal as a quad's first half (a taken branch
+// would make the second pair dead); the second half may end in a direct
+// jump, which the handler takes after retiring all four constituents.
+
+// quadBase is the first quad id; ids in [fusedBase, quadBase) are pairs.
+const quadBase = 512
+
+const (
+	fusedQLoadPushMoviMov  = quadBase + iota // load ; push ; movi ; mov
+	fusedQPushMoviMovPop                     // push ; movi ; mov ; pop
+	fusedQMoviMovPopLts                      // movi ; mov ; pop ; lts
+	fusedQMoviMovPopAdd                      // movi ; mov ; pop ; add
+	fusedQMoviMovPopMul                      // movi ; mov ; pop ; mul
+	fusedQMovPopAddStore                     // mov ; pop ; add ; store
+	fusedQPopAddStoreJmp                     // pop ; add ; store ; jmp
+	fusedQPopMulPushMovi                     // pop ; mul ; push ; movi
+	fusedQAddStoreLoadPush                   // add ; store ; load ; push
+	quadEnd
+)
+
+var quadNames = [quadEnd - quadBase]string{
+	fusedQLoadPushMoviMov - quadBase:  "load.push.movi.mov",
+	fusedQPushMoviMovPop - quadBase:   "push.movi.mov.pop",
+	fusedQMoviMovPopLts - quadBase:    "movi.mov.pop.lts",
+	fusedQMoviMovPopAdd - quadBase:    "movi.mov.pop.add",
+	fusedQMoviMovPopMul - quadBase:    "movi.mov.pop.mul",
+	fusedQMovPopAddStore - quadBase:   "mov.pop.add.store",
+	fusedQPopAddStoreJmp - quadBase:   "pop.add.store.jmp",
+	fusedQPopMulPushMovi - quadBase:   "pop.mul.push.movi",
+	fusedQAddStoreLoadPush - quadBase: "add.store.load.push",
+}
+
+// fuseQuad classifies two adjacent fused pairs (the pair at slot i and the
+// pair at slot i+2), returning the quad id to rewrite slot i with, or 0
+// when the sequence has no quad form. The first pair must not be able to
+// branch — every first-half pair below ends in a plain register or memory
+// op — so the second pair always executes when the first does.
+func fuseQuad(a, b uint16) uint16 {
+	switch {
+	case a == fusedLoadPush && b == fusedMoviMov:
+		return fusedQLoadPushMoviMov
+	case a == fusedPushMovi && b == fusedMovPop:
+		return fusedQPushMoviMovPop
+	case a == fusedMoviMov && b == fusedPopLts:
+		return fusedQMoviMovPopLts
+	case a == fusedMoviMov && b == fusedPopAdd:
+		return fusedQMoviMovPopAdd
+	case a == fusedMoviMov && b == fusedPopMul:
+		return fusedQMoviMovPopMul
+	case a == fusedMovPop && b == fusedAddStore:
+		return fusedQMovPopAddStore
+	case a == fusedPopAdd && b == fusedStoreJmp:
+		return fusedQPopAddStoreJmp
+	case a == fusedPopMul && b == fusedPushMovi:
+		return fusedQPopMulPushMovi
+	case a == fusedAddStore && b == fusedLoadPush:
+		return fusedQAddStoreLoadPush
+	}
+	return 0
+}

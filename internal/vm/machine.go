@@ -168,6 +168,24 @@ type Machine struct {
 	// the audit predecode ablation flip it; retired machine state is
 	// bit-identical either way.
 	DisablePredecode bool
+	// DisableFusion keeps the predecoded sprint loop but skips the
+	// superinstruction fusion pass, so every cached slot retires exactly
+	// one instruction per dispatch. The fusion ablation benchmarks and the
+	// fused-vs-unfused differential tests flip it; retired machine state
+	// is bit-identical either way. The sprint revalidates a cached page
+	// whose fusion state disagrees with the flag, so toggling it mid-run
+	// is safe.
+	DisableFusion bool
+	// FusedPairs counts retired superinstruction pairs (a quad counts as
+	// two). It is a host-side dispatch counter, not machine state:
+	// snapshots ignore it, and it is excluded from replay-stat verdict
+	// comparisons (chunk boundaries land mid-pair differently across
+	// engines). dispatches/instruction =
+	// (ICount - FusedPairs - FusedQuads) / ICount.
+	FusedPairs uint64
+	// FusedQuads counts retired quad superinstructions — two back-to-back
+	// fused pairs dispatched as one. Host-side, like FusedPairs.
+	FusedQuads uint64
 	// code is the per-page predecode cache behind the sprint loop,
 	// allocated lazily on the first sprint and invalidated through the page
 	// write generations (see predecode.go).

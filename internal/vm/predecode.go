@@ -25,6 +25,23 @@ const (
 	instrsPerPage = PageSize / InstrSize
 )
 
+// cachedInstr is one predecoded slot. For a plain instruction, Op holds
+// the instruction's Opcode and Ra/Rb/Rc/Imm its operands, exactly as
+// Decode produced them. For a fused superinstruction, Op holds a fused id
+// (>= fusedBase, above anything a guest byte can decode to), Sub1/Sub2 the
+// two constituent opcodes, and Ra2/Rb2/Rc2/Imm2 the second constituent's
+// operands. The slot after a fused slot always keeps its original decode,
+// so a control transfer (or IRQ return) landing in the middle of a pair
+// executes the original instruction — fusion rewrites only first slots.
+type cachedInstr struct {
+	Op            uint16
+	Ra, Rb, Rc    uint8
+	Sub1, Sub2    uint8
+	Ra2, Rb2, Rc2 uint8
+	Imm           uint32
+	Imm2          uint32
+}
+
 // pageCode caches one page's instruction stream, decoded at the
 // InstrSize-aligned slots (a misaligned PC falls back to Step, which
 // decodes straight from memory).
@@ -34,20 +51,32 @@ type pageCode struct {
 	// every store landing on the page after the decode moves pageGen[p] off
 	// the stamp, so self-modifying code — guest stores, host pokes, cheat
 	// patches — re-decodes before the next instruction executes from it.
-	stamp  uint64
-	instrs *[instrsPerPage]Instr
+	stamp uint64
+	// fused records whether the fusion pass ran on this decode, so a
+	// machine whose DisableFusion flag changed re-predecodes on the next
+	// page entry instead of executing a stale fusion state.
+	fused  bool
+	instrs *[instrsPerPage]cachedInstr
 }
 
-// predecodePage (re)decodes page p into the cache and stamps the entry
-// against the page's current write generation.
-func (m *Machine) predecodePage(p uint32) {
+// predecodePage (re)decodes page p into the cache, runs the fusion pass
+// (unless disabled), and stamps the entry against the page's current write
+// generation. seedSlot is the slot the sprint is about to execute from; the
+// fusion pass treats it as a known entry point (a fusion barrier), along
+// with every in-page branch target.
+func (m *Machine) predecodePage(p uint32, seedSlot int) {
 	cp := &m.code[p]
 	if cp.instrs == nil {
-		cp.instrs = new([instrsPerPage]Instr)
+		cp.instrs = new([instrsPerPage]cachedInstr)
 	}
 	mem := m.Mem[int(p)<<pageShift : (int(p)+1)<<pageShift]
 	for i := range cp.instrs {
-		cp.instrs[i] = Decode(mem[i*InstrSize:])
+		in := Decode(mem[i*InstrSize:])
+		cp.instrs[i] = cachedInstr{Op: uint16(in.Op), Ra: in.Ra, Rb: in.Rb, Rc: in.Rc, Imm: in.Imm}
+	}
+	cp.fused = !m.DisableFusion
+	if cp.fused {
+		fusePage(p, cp.instrs, seedSlot)
 	}
 	// A store stamps its page with the current generation, so if this page
 	// already carries the current generation, a write after this decode
@@ -59,6 +88,68 @@ func (m *Machine) predecodePage(p uint32) {
 		m.gen++
 	}
 	cp.stamp = m.pageGen[p]
+}
+
+// fusePage rewrites recognized adjacent instruction pairs in a freshly
+// decoded page into fused superinstructions. Fusion barriers keep every
+// pair entirely inside a sprint's straight-line view of the code:
+//
+//   - page edges: a pair never spans pages (slot 511 cannot start one);
+//   - branch targets: the targets of the page's own jmp/jz/jnz/call
+//     instructions, plus the seed slot the sprint enters at, never become
+//     the second half of a pair, so statically visible control transfers
+//     always land on a slot that starts an instruction;
+//   - and, at run time, landmark/budget stops and self-modifying stores
+//     are handled by the sprint itself (Step tail fallback, first-half
+//     bail-out) — see the fused handlers.
+//
+// Targets that are not computable from this page (call returns, iret,
+// cross-page jumps into it) are covered by slot preservation: the second
+// slot of every pair keeps its original decode, so landing there executes
+// the original instruction.
+func fusePage(p uint32, instrs *[instrsPerPage]cachedInstr, seedSlot int) {
+	var barrier [instrsPerPage]bool
+	if seedSlot >= 0 && seedSlot < instrsPerPage {
+		barrier[seedSlot] = true
+	}
+	for i := range instrs {
+		switch Opcode(instrs[i].Op) {
+		case OpJmp, OpJz, OpJnz, OpCall:
+			if t := instrs[i].Imm; t&(InstrSize-1) == 0 && t>>pageShift == p {
+				barrier[(t&(PageSize-1))>>instrShift] = true
+			}
+		}
+	}
+	for i := 0; i+1 < instrsPerPage; {
+		if barrier[i+1] {
+			i++
+			continue
+		}
+		a, b := &instrs[i], &instrs[i+1]
+		f := fusePair(Opcode(a.Op), Opcode(b.Op))
+		if f == 0 {
+			i++
+			continue
+		}
+		a.Sub1, a.Sub2 = uint8(a.Op), uint8(b.Op)
+		a.Op = f
+		a.Ra2, a.Rb2, a.Rc2, a.Imm2 = b.Ra, b.Rb, b.Rc, b.Imm
+		i += 2
+	}
+	// Second pass: fuse recognized pair-of-pair sequences into quads. Only
+	// the first pair's Op is rewritten — its operand fields already hold
+	// both of its constituents, and the second pair's slot keeps its pair id
+	// and operands for the quad handler to read (and for any control
+	// transfer that lands on it). No barrier checks are needed beyond what
+	// the pair pass enforced: a branch target at i+2 still finds a valid
+	// pair there, and quads may overlap (the pair at i+2 can itself head a
+	// quad) because quad rewriting never touches operand fields.
+	for i := 0; i+3 < instrsPerPage; i++ {
+		if q := fuseQuad(instrs[i].Op, instrs[i+2].Op); q != 0 {
+			instrs[i].Op = q
+			i++ // instrs[i+1] holds a plain second-constituent decode
+		}
+	}
 }
 
 // sprint executes instructions from the predecode cache until the retired
@@ -83,7 +174,7 @@ func (m *Machine) sprint(bound uint64) {
 		m.code = make([]pageCode, m.numPages)
 	}
 	var (
-		instrs  *[instrsPerPage]Instr
+		instrs  *[instrsPerPage]cachedInstr
 		curPage = uint32(1) << 31 // sentinel above any reachable page index
 	)
 	memLen := uint32(len(m.Mem))
@@ -134,16 +225,931 @@ func (m *Machine) sprint(bound uint64) {
 		// could touch) the executing page, forcing this revalidation.
 		if page := pc >> pageShift; page != curPage {
 			cp := &m.code[page]
-			if cp.instrs == nil || cp.stamp != pageGen[page] {
-				m.predecodePage(page)
+			// fused == DisableFusion means the cached fusion state
+			// disagrees with the flag (fused while disabled, or plain
+			// while enabled): re-predecode under the current setting.
+			if cp.instrs == nil || cp.stamp != pageGen[page] || cp.fused == m.DisableFusion {
+				m.predecodePage(page, int((pc&(PageSize-1))>>instrShift))
 			}
 			curPage, instrs = page, cp.instrs
 		}
-		ins := instrs[(pc&(PageSize-1))>>instrShift]
+		ins := &instrs[(pc&(PageSize-1))>>instrShift]
+
+		// Quad superinstructions: two back-to-back fused pairs, one
+		// dispatch. Each handler is the concatenation of its two pair
+		// handlers; the second pair's operands are read from its own slot
+		// (ins2), which still holds the pair decode. The loop-top interrupt
+		// check runs once per quad, which matches Step exactly for the same
+		// reason it does for pairs: no fusable constituent can change the
+		// pending mask or the interrupt flag. Faults and self-modifying
+		// stores in constituent k retire the k preceding instructions first
+		// (position advances by k), exactly as Step would have; a partial
+		// retire that completed the first pair counts it in FusedPairs.
+		if ins.Op >= quadBase {
+			if bound-icount < 4 {
+				// Landmark or budget stop inside the quad's span: fall back
+				// to Step, which decodes the original bytes one instruction
+				// at a time until the bound.
+				m.PC, m.ICount, m.Branches = pc, icount, branches
+				if !m.Step() {
+					return
+				}
+				if m.StopReq {
+					m.StopReq = false
+					return
+				}
+				pc, icount, branches = m.PC, m.ICount, m.Branches
+				intGate = m.IntEnabled && m.pending != 0
+				curPage = uint32(1) << 31 // the careful instruction can do anything
+				continue
+			}
+			ins2 := &instrs[((pc&(PageSize-1))>>instrShift)+2]
+			switch ins.Op {
+			case fusedQLoadPushMoviMov: // load ; push ; movi ; mov
+				if addr := m.Regs[ins.Rb&15] + ins.Imm; addr <= memLen-4 {
+					m.Regs[ins.Ra&15] = binary.LittleEndian.Uint32(m.Mem[addr:])
+				} else {
+					m.Regs[ins.Ra&15] = 0 // the helper's zero return is assigned even on fault
+					m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", addr))
+					m.PC, m.ICount, m.Branches = pc, icount, branches
+					return
+				}
+				val := m.Regs[ins.Ra2&15]
+				sp := m.Regs[RegSP] - 4
+				m.Regs[RegSP] = sp
+				if sp <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[sp:], val)
+					pageGen[sp>>pageShift] = m.gen
+					if sp&(PageSize-1) > PageSize-4 {
+						pageGen[sp>>pageShift+1] = m.gen
+					}
+					if sp>>pageShift == curPage || (sp+3)>>pageShift == curPage {
+						// Self-modifying push: the first pair retired; the
+						// second pair re-executes from a fresh decode.
+						curPage = uint32(1) << 31
+						m.FusedPairs++
+						pc += 2 * InstrSize
+						icount += 2
+						continue
+					}
+				} else {
+					m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+					return
+				}
+				m.Regs[ins2.Ra&15] = ins2.Imm
+				m.Regs[ins2.Ra2&15] = m.Regs[ins2.Rb2&15]
+
+			case fusedQPushMoviMovPop: // push ; movi ; mov ; pop
+				val := m.Regs[ins.Ra&15]
+				sp := m.Regs[RegSP] - 4
+				m.Regs[RegSP] = sp
+				if sp <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[sp:], val)
+					pageGen[sp>>pageShift] = m.gen
+					if sp&(PageSize-1) > PageSize-4 {
+						pageGen[sp>>pageShift+1] = m.gen
+					}
+					if sp>>pageShift == curPage || (sp+3)>>pageShift == curPage {
+						curPage = uint32(1) << 31 // self-modifying push: retire it alone
+						pc += InstrSize
+						icount++
+						continue
+					}
+				} else {
+					m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc, icount, branches
+					return
+				}
+				m.Regs[ins.Ra2&15] = ins.Imm2
+				m.Regs[ins2.Ra&15] = m.Regs[ins2.Rb&15]
+				if sp2 := m.Regs[RegSP]; sp2 <= memLen-4 {
+					m.Regs[RegSP] = sp2 + 4
+					m.Regs[ins2.Ra2&15] = binary.LittleEndian.Uint32(m.Mem[sp2:])
+				} else {
+					m.Regs[RegSP] = sp2 + 4 // SP advances even on a faulting load
+					m.Regs[ins2.Ra2&15] = 0
+					m.sprintFault(pc+3*InstrSize, icount+3, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp2))
+					m.PC, m.ICount, m.Branches = pc+3*InstrSize, icount+3, branches
+					return
+				}
+
+			case fusedQMoviMovPopLts: // movi ; mov ; pop ; lts
+				m.Regs[ins.Ra&15] = ins.Imm
+				m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15]
+				if sp := m.Regs[RegSP]; sp <= memLen-4 {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins2.Ra&15] = binary.LittleEndian.Uint32(m.Mem[sp:])
+				} else {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins2.Ra&15] = 0
+					m.sprintFault(pc+2*InstrSize, icount+2, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc+2*InstrSize, icount+2, branches
+					return
+				}
+				m.Regs[ins2.Ra2&15] = boolToWord(int32(m.Regs[ins2.Rb2&15]) < int32(m.Regs[ins2.Rc2&15]))
+
+			case fusedQMoviMovPopAdd: // movi ; mov ; pop ; add
+				m.Regs[ins.Ra&15] = ins.Imm
+				m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15]
+				if sp := m.Regs[RegSP]; sp <= memLen-4 {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins2.Ra&15] = binary.LittleEndian.Uint32(m.Mem[sp:])
+				} else {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins2.Ra&15] = 0
+					m.sprintFault(pc+2*InstrSize, icount+2, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc+2*InstrSize, icount+2, branches
+					return
+				}
+				m.Regs[ins2.Ra2&15] = m.Regs[ins2.Rb2&15] + m.Regs[ins2.Rc2&15]
+
+			case fusedQMoviMovPopMul: // movi ; mov ; pop ; mul
+				m.Regs[ins.Ra&15] = ins.Imm
+				m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15]
+				if sp := m.Regs[RegSP]; sp <= memLen-4 {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins2.Ra&15] = binary.LittleEndian.Uint32(m.Mem[sp:])
+				} else {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins2.Ra&15] = 0
+					m.sprintFault(pc+2*InstrSize, icount+2, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc+2*InstrSize, icount+2, branches
+					return
+				}
+				m.Regs[ins2.Ra2&15] = m.Regs[ins2.Rb2&15] * m.Regs[ins2.Rc2&15]
+
+			case fusedQMovPopAddStore: // mov ; pop ; add ; store
+				m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15]
+				if sp := m.Regs[RegSP]; sp <= memLen-4 {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins.Ra2&15] = binary.LittleEndian.Uint32(m.Mem[sp:])
+				} else {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins.Ra2&15] = 0
+					m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+					return
+				}
+				m.Regs[ins2.Ra&15] = m.Regs[ins2.Rb&15] + m.Regs[ins2.Rc&15]
+				if addr := m.Regs[ins2.Ra2&15] + ins2.Imm2; addr <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[addr:], m.Regs[ins2.Rb2&15])
+					pageGen[addr>>pageShift] = m.gen
+					if addr&(PageSize-1) > PageSize-4 {
+						pageGen[addr>>pageShift+1] = m.gen
+					}
+					if addr>>pageShift == curPage || (addr+3)>>pageShift == curPage {
+						curPage = uint32(1) << 31 // all four retired; re-decode next
+					}
+				} else {
+					m.sprintFault(pc+3*InstrSize, icount+3, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", addr))
+					m.PC, m.ICount, m.Branches = pc+3*InstrSize, icount+3, branches
+					return
+				}
+
+			case fusedQPopAddStoreJmp: // pop ; add ; store ; jmp
+				if sp := m.Regs[RegSP]; sp <= memLen-4 {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins.Ra&15] = binary.LittleEndian.Uint32(m.Mem[sp:])
+				} else {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins.Ra&15] = 0
+					m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc, icount, branches
+					return
+				}
+				m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15] + m.Regs[ins.Rc2&15]
+				if addr := m.Regs[ins2.Ra&15] + ins2.Imm; addr <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[addr:], m.Regs[ins2.Rb&15])
+					pageGen[addr>>pageShift] = m.gen
+					if addr&(PageSize-1) > PageSize-4 {
+						pageGen[addr>>pageShift+1] = m.gen
+					}
+					if addr>>pageShift == curPage || (addr+3)>>pageShift == curPage {
+						// Self-modifying store: the first pair and the store
+						// retired; the jump re-executes from a fresh decode.
+						curPage = uint32(1) << 31
+						m.FusedPairs++
+						pc += 3 * InstrSize
+						icount += 3
+						continue
+					}
+				} else {
+					m.sprintFault(pc+2*InstrSize, icount+2, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", addr))
+					m.PC, m.ICount, m.Branches = pc+2*InstrSize, icount+2, branches
+					return
+				}
+				m.FusedPairs += 2
+				m.FusedQuads++
+				pc = ins2.Imm2
+				icount += 4
+				branches++
+				continue
+
+			case fusedQPopMulPushMovi: // pop ; mul ; push ; movi
+				if sp := m.Regs[RegSP]; sp <= memLen-4 {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins.Ra&15] = binary.LittleEndian.Uint32(m.Mem[sp:])
+				} else {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins.Ra&15] = 0
+					m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc, icount, branches
+					return
+				}
+				m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15] * m.Regs[ins.Rc2&15]
+				val := m.Regs[ins2.Ra&15]
+				sp := m.Regs[RegSP] - 4
+				m.Regs[RegSP] = sp
+				if sp <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[sp:], val)
+					pageGen[sp>>pageShift] = m.gen
+					if sp&(PageSize-1) > PageSize-4 {
+						pageGen[sp>>pageShift+1] = m.gen
+					}
+					if sp>>pageShift == curPage || (sp+3)>>pageShift == curPage {
+						// Self-modifying push: the first pair and the push
+						// retired; the movi re-executes from a fresh decode.
+						curPage = uint32(1) << 31
+						m.FusedPairs++
+						pc += 3 * InstrSize
+						icount += 3
+						continue
+					}
+				} else {
+					m.sprintFault(pc+2*InstrSize, icount+2, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc+2*InstrSize, icount+2, branches
+					return
+				}
+				m.Regs[ins2.Ra2&15] = ins2.Imm2
+
+			case fusedQAddStoreLoadPush: // add ; store ; load ; push
+				m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] + m.Regs[ins.Rc&15]
+				if addr := m.Regs[ins.Ra2&15] + ins.Imm2; addr <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[addr:], m.Regs[ins.Rb2&15])
+					pageGen[addr>>pageShift] = m.gen
+					if addr&(PageSize-1) > PageSize-4 {
+						pageGen[addr>>pageShift+1] = m.gen
+					}
+					if addr>>pageShift == curPage || (addr+3)>>pageShift == curPage {
+						// Self-modifying store: the first pair retired; the
+						// second pair re-executes from a fresh decode.
+						curPage = uint32(1) << 31
+						m.FusedPairs++
+						pc += 2 * InstrSize
+						icount += 2
+						continue
+					}
+				} else {
+					m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", addr))
+					m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+					return
+				}
+				if addr := m.Regs[ins2.Rb&15] + ins2.Imm; addr <= memLen-4 {
+					m.Regs[ins2.Ra&15] = binary.LittleEndian.Uint32(m.Mem[addr:])
+				} else {
+					m.Regs[ins2.Ra&15] = 0
+					m.sprintFault(pc+2*InstrSize, icount+2, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", addr))
+					m.PC, m.ICount, m.Branches = pc+2*InstrSize, icount+2, branches
+					return
+				}
+				val := m.Regs[ins2.Ra2&15]
+				sp := m.Regs[RegSP] - 4
+				m.Regs[RegSP] = sp
+				if sp <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[sp:], val)
+					pageGen[sp>>pageShift] = m.gen
+					if sp&(PageSize-1) > PageSize-4 {
+						pageGen[sp>>pageShift+1] = m.gen
+					}
+					if sp>>pageShift == curPage || (sp+3)>>pageShift == curPage {
+						curPage = uint32(1) << 31 // all four retired; re-decode next
+					}
+				} else {
+					m.sprintFault(pc+3*InstrSize, icount+3, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc+3*InstrSize, icount+3, branches
+					return
+				}
+
+			default:
+				// A quad id without a handler cannot be emitted by fuseQuad;
+				// treat it like a mid-pair landing and let Step execute the
+				// original first constituent from memory.
+				m.PC, m.ICount, m.Branches = pc, icount, branches
+				if !m.Step() {
+					return
+				}
+				if m.StopReq {
+					m.StopReq = false
+					return
+				}
+				pc, icount, branches = m.PC, m.ICount, m.Branches
+				intGate = m.IntEnabled && m.pending != 0
+				curPage = uint32(1) << 31
+				continue
+			}
+			m.FusedPairs += 2
+			m.FusedQuads++
+			pc += 4 * InstrSize
+			icount += 4
+			continue
+		}
+
+		// Fused superinstructions: two constituents, one dispatch. Every
+		// handler is a transcript of its two Step cases executed back to
+		// back; the loop-top interrupt check still runs once per pair, which
+		// matches the unfused sprint exactly because nothing a fused
+		// constituent can do (no bus ops, no cli/sti/iret) changes the
+		// pending mask or the interrupt flag mid-pair. Faults in the second
+		// constituent retire the first (pc and icount advance by one
+		// instruction) before the fault is recorded, exactly as Step would
+		// have left the machine.
+		if ins.Op >= fusedBase {
+			if bound-icount < 2 {
+				// The sprint must land mid-pair (landmark or budget stop):
+				// fall back to Step for the tail. Guest memory always holds
+				// the original bytes — fusion rewrites only the decode
+				// cache — so Step executes the first constituent alone.
+				m.PC, m.ICount, m.Branches = pc, icount, branches
+				if !m.Step() {
+					return
+				}
+				if m.StopReq {
+					m.StopReq = false
+					return
+				}
+				pc, icount, branches = m.PC, m.ICount, m.Branches
+				intGate = m.IntEnabled && m.pending != 0
+				curPage = uint32(1) << 31 // the careful instruction can do anything
+				continue
+			}
+			switch ins.Op {
+			case fusedGeneric:
+				// Any legal pair without a specialized handler: two inline
+				// sub-switches over the constituent opcodes. Still one loop
+				// iteration — one bound check, one interrupt gate, one page
+				// check — for two retired instructions.
+				switch Opcode(ins.Sub1) {
+				case OpMovi:
+					m.Regs[ins.Ra&15] = ins.Imm
+				case OpMov:
+					m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15]
+				case OpAdd:
+					m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] + m.Regs[ins.Rc&15]
+				case OpSub:
+					m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] - m.Regs[ins.Rc&15]
+				case OpMul:
+					m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] * m.Regs[ins.Rc&15]
+				case OpAnd:
+					m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] & m.Regs[ins.Rc&15]
+				case OpOr:
+					m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] | m.Regs[ins.Rc&15]
+				case OpXor:
+					m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] ^ m.Regs[ins.Rc&15]
+				case OpShl:
+					m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] << (m.Regs[ins.Rc&15] & 31)
+				case OpShr:
+					m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] >> (m.Regs[ins.Rc&15] & 31)
+				case OpAddi:
+					m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] + ins.Imm
+				case OpEq:
+					m.Regs[ins.Ra&15] = boolToWord(m.Regs[ins.Rb&15] == m.Regs[ins.Rc&15])
+				case OpLtu:
+					m.Regs[ins.Ra&15] = boolToWord(m.Regs[ins.Rb&15] < m.Regs[ins.Rc&15])
+				case OpLts:
+					m.Regs[ins.Ra&15] = boolToWord(int32(m.Regs[ins.Rb&15]) < int32(m.Regs[ins.Rc&15]))
+				case OpNot:
+					m.Regs[ins.Ra&15] = boolToWord(m.Regs[ins.Rb&15] == 0)
+				case OpLoad:
+					if addr := m.Regs[ins.Rb&15] + ins.Imm; addr <= memLen-4 {
+						m.Regs[ins.Ra&15] = binary.LittleEndian.Uint32(m.Mem[addr:])
+					} else {
+						m.Regs[ins.Ra&15] = 0 // the helper's zero return is assigned even on fault
+						m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", addr))
+						m.PC, m.ICount, m.Branches = pc, icount, branches
+						return
+					}
+				case OpLoadb:
+					if addr := m.Regs[ins.Rb&15] + ins.Imm; addr < memLen {
+						m.Regs[ins.Ra&15] = uint32(m.Mem[addr])
+					} else {
+						m.Regs[ins.Ra&15] = 0
+						m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("loadb at 0x%x", addr))
+						m.PC, m.ICount, m.Branches = pc, icount, branches
+						return
+					}
+				case OpPop:
+					if sp := m.Regs[RegSP]; sp <= memLen-4 {
+						m.Regs[RegSP] = sp + 4
+						m.Regs[ins.Ra&15] = binary.LittleEndian.Uint32(m.Mem[sp:])
+					} else {
+						m.Regs[RegSP] = sp + 4 // SP advances even on a faulting load
+						m.Regs[ins.Ra&15] = 0
+						m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+						m.PC, m.ICount, m.Branches = pc, icount, branches
+						return
+					}
+				case OpPush:
+					val := m.Regs[ins.Ra&15]
+					sp := m.Regs[RegSP] - 4
+					m.Regs[RegSP] = sp
+					if sp <= memLen-4 {
+						binary.LittleEndian.PutUint32(m.Mem[sp:], val)
+						pageGen[sp>>pageShift] = m.gen
+						if sp&(PageSize-1) > PageSize-4 {
+							pageGen[sp>>pageShift+1] = m.gen
+						}
+						if sp>>pageShift == curPage || (sp+3)>>pageShift == curPage {
+							curPage = uint32(1) << 31 // self-modifying push: bail out
+							pc += InstrSize
+							icount++
+							continue
+						}
+					} else {
+						m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", sp))
+						m.PC, m.ICount, m.Branches = pc, icount, branches
+						return
+					}
+				case OpStore:
+					if addr := m.Regs[ins.Ra&15] + ins.Imm; addr <= memLen-4 {
+						binary.LittleEndian.PutUint32(m.Mem[addr:], m.Regs[ins.Rb&15])
+						pageGen[addr>>pageShift] = m.gen
+						if addr&(PageSize-1) > PageSize-4 {
+							pageGen[addr>>pageShift+1] = m.gen
+						}
+						if addr>>pageShift == curPage || (addr+3)>>pageShift == curPage {
+							curPage = uint32(1) << 31 // self-modifying store: bail out
+							pc += InstrSize
+							icount++
+							continue
+						}
+					} else {
+						m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", addr))
+						m.PC, m.ICount, m.Branches = pc, icount, branches
+						return
+					}
+				case OpStoreb:
+					if addr := m.Regs[ins.Ra&15] + ins.Imm; addr < memLen {
+						m.Mem[addr] = byte(m.Regs[ins.Rb&15])
+						pageGen[addr>>pageShift] = m.gen
+						if addr>>pageShift == curPage {
+							curPage = uint32(1) << 31 // self-modifying store: bail out
+							pc += InstrSize
+							icount++
+							continue
+						}
+					} else {
+						m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("storeb at 0x%x", addr))
+						m.PC, m.ICount, m.Branches = pc, icount, branches
+						return
+					}
+				}
+				switch Opcode(ins.Sub2) {
+				case OpMovi:
+					m.Regs[ins.Ra2&15] = ins.Imm2
+				case OpMov:
+					m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15]
+				case OpAdd:
+					m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15] + m.Regs[ins.Rc2&15]
+				case OpSub:
+					m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15] - m.Regs[ins.Rc2&15]
+				case OpMul:
+					m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15] * m.Regs[ins.Rc2&15]
+				case OpAnd:
+					m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15] & m.Regs[ins.Rc2&15]
+				case OpOr:
+					m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15] | m.Regs[ins.Rc2&15]
+				case OpXor:
+					m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15] ^ m.Regs[ins.Rc2&15]
+				case OpShl:
+					m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15] << (m.Regs[ins.Rc2&15] & 31)
+				case OpShr:
+					m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15] >> (m.Regs[ins.Rc2&15] & 31)
+				case OpAddi:
+					m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15] + ins.Imm2
+				case OpEq:
+					m.Regs[ins.Ra2&15] = boolToWord(m.Regs[ins.Rb2&15] == m.Regs[ins.Rc2&15])
+				case OpLtu:
+					m.Regs[ins.Ra2&15] = boolToWord(m.Regs[ins.Rb2&15] < m.Regs[ins.Rc2&15])
+				case OpLts:
+					m.Regs[ins.Ra2&15] = boolToWord(int32(m.Regs[ins.Rb2&15]) < int32(m.Regs[ins.Rc2&15]))
+				case OpNot:
+					m.Regs[ins.Ra2&15] = boolToWord(m.Regs[ins.Rb2&15] == 0)
+				case OpLoad:
+					if addr := m.Regs[ins.Rb2&15] + ins.Imm2; addr <= memLen-4 {
+						m.Regs[ins.Ra2&15] = binary.LittleEndian.Uint32(m.Mem[addr:])
+					} else {
+						m.Regs[ins.Ra2&15] = 0
+						m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", addr))
+						m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+						return
+					}
+				case OpLoadb:
+					if addr := m.Regs[ins.Rb2&15] + ins.Imm2; addr < memLen {
+						m.Regs[ins.Ra2&15] = uint32(m.Mem[addr])
+					} else {
+						m.Regs[ins.Ra2&15] = 0
+						m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("loadb at 0x%x", addr))
+						m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+						return
+					}
+				case OpPop:
+					if sp := m.Regs[RegSP]; sp <= memLen-4 {
+						m.Regs[RegSP] = sp + 4
+						m.Regs[ins.Ra2&15] = binary.LittleEndian.Uint32(m.Mem[sp:])
+					} else {
+						m.Regs[RegSP] = sp + 4
+						m.Regs[ins.Ra2&15] = 0
+						m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+						m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+						return
+					}
+				case OpPush:
+					val := m.Regs[ins.Ra2&15]
+					sp := m.Regs[RegSP] - 4
+					m.Regs[RegSP] = sp
+					if sp <= memLen-4 {
+						binary.LittleEndian.PutUint32(m.Mem[sp:], val)
+						pageGen[sp>>pageShift] = m.gen
+						if sp&(PageSize-1) > PageSize-4 {
+							pageGen[sp>>pageShift+1] = m.gen
+						}
+						if sp>>pageShift == curPage || (sp+3)>>pageShift == curPage {
+							curPage = uint32(1) << 31 // both halves retired; re-decode next
+						}
+					} else {
+						m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", sp))
+						m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+						return
+					}
+				case OpStore:
+					if addr := m.Regs[ins.Ra2&15] + ins.Imm2; addr <= memLen-4 {
+						binary.LittleEndian.PutUint32(m.Mem[addr:], m.Regs[ins.Rb2&15])
+						pageGen[addr>>pageShift] = m.gen
+						if addr&(PageSize-1) > PageSize-4 {
+							pageGen[addr>>pageShift+1] = m.gen
+						}
+						if addr>>pageShift == curPage || (addr+3)>>pageShift == curPage {
+							curPage = uint32(1) << 31 // both halves retired; re-decode next
+						}
+					} else {
+						m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", addr))
+						m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+						return
+					}
+				case OpStoreb:
+					if addr := m.Regs[ins.Ra2&15] + ins.Imm2; addr < memLen {
+						m.Mem[addr] = byte(m.Regs[ins.Rb2&15])
+						pageGen[addr>>pageShift] = m.gen
+						if addr>>pageShift == curPage {
+							curPage = uint32(1) << 31 // both halves retired; re-decode next
+						}
+					} else {
+						m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("storeb at 0x%x", addr))
+						m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+						return
+					}
+				case OpJmp:
+					m.FusedPairs++
+					pc = ins.Imm2
+					icount += 2
+					branches++
+					continue
+				case OpJz:
+					if m.Regs[ins.Ra2&15] == 0 {
+						m.FusedPairs++
+						pc = ins.Imm2
+						icount += 2
+						branches++
+						continue
+					}
+				case OpJnz:
+					if m.Regs[ins.Ra2&15] != 0 {
+						m.FusedPairs++
+						pc = ins.Imm2
+						icount += 2
+						branches++
+						continue
+					}
+				}
+
+			case fusedMoviMov: // movi ra, imm ; mov ra2, rb2
+				m.Regs[ins.Ra&15] = ins.Imm
+				m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15]
+
+			case fusedMovPop: // mov ra, rb ; pop ra2
+				m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15]
+				if sp := m.Regs[RegSP]; sp <= memLen-4 {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins.Ra2&15] = binary.LittleEndian.Uint32(m.Mem[sp:])
+				} else {
+					m.Regs[RegSP] = sp + 4 // SP advances even on a faulting load
+					m.Regs[ins.Ra2&15] = 0 // and the helper's zero return is still assigned
+					m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+					return
+				}
+
+			case fusedPushMovi: // push ra ; movi ra2, imm2
+				val := m.Regs[ins.Ra&15]
+				sp := m.Regs[RegSP] - 4
+				m.Regs[RegSP] = sp
+				if sp <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[sp:], val)
+					pageGen[sp>>pageShift] = m.gen
+					if sp&(PageSize-1) > PageSize-4 {
+						pageGen[sp>>pageShift+1] = m.gen
+					}
+					if sp>>pageShift == curPage || (sp+3)>>pageShift == curPage {
+						// The push overwrote the executing page — possibly
+						// the pair's own second slot. Retire the push alone;
+						// the second constituent re-executes from a fresh
+						// decode (its slot keeps the original instruction).
+						curPage = uint32(1) << 31
+						pc += InstrSize
+						icount++
+						continue
+					}
+				} else {
+					m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc, icount, branches
+					return
+				}
+				m.Regs[ins.Ra2&15] = ins.Imm2
+
+			case fusedPushLoad: // push ra ; load ra2, [rb2+imm2]
+				val := m.Regs[ins.Ra&15]
+				sp := m.Regs[RegSP] - 4
+				m.Regs[RegSP] = sp
+				if sp <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[sp:], val)
+					pageGen[sp>>pageShift] = m.gen
+					if sp&(PageSize-1) > PageSize-4 {
+						pageGen[sp>>pageShift+1] = m.gen
+					}
+					if sp>>pageShift == curPage || (sp+3)>>pageShift == curPage {
+						curPage = uint32(1) << 31 // self-modifying push: bail out
+						pc += InstrSize
+						icount++
+						continue
+					}
+				} else {
+					m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc, icount, branches
+					return
+				}
+				if addr := m.Regs[ins.Rb2&15] + ins.Imm2; addr <= memLen-4 {
+					m.Regs[ins.Ra2&15] = binary.LittleEndian.Uint32(m.Mem[addr:])
+				} else {
+					m.Regs[ins.Ra2&15] = 0
+					m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", addr))
+					m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+					return
+				}
+
+			case fusedLoadPush: // load ra, [rb+imm] ; push ra2
+				if addr := m.Regs[ins.Rb&15] + ins.Imm; addr <= memLen-4 {
+					m.Regs[ins.Ra&15] = binary.LittleEndian.Uint32(m.Mem[addr:])
+				} else {
+					m.Regs[ins.Ra&15] = 0 // the helper's zero return is assigned even on fault
+					m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", addr))
+					m.PC, m.ICount, m.Branches = pc, icount, branches
+					return
+				}
+				val := m.Regs[ins.Ra2&15]
+				sp := m.Regs[RegSP] - 4
+				m.Regs[RegSP] = sp
+				if sp <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[sp:], val)
+					pageGen[sp>>pageShift] = m.gen
+					if sp&(PageSize-1) > PageSize-4 {
+						pageGen[sp>>pageShift+1] = m.gen
+					}
+					if sp>>pageShift == curPage || (sp+3)>>pageShift == curPage {
+						curPage = uint32(1) << 31 // both halves retired; re-decode next
+					}
+				} else {
+					m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+					return
+				}
+
+			case fusedMulPush: // mul ra, rb, rc ; push ra2
+				m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] * m.Regs[ins.Rc&15]
+				val := m.Regs[ins.Ra2&15]
+				sp := m.Regs[RegSP] - 4
+				m.Regs[RegSP] = sp
+				if sp <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[sp:], val)
+					pageGen[sp>>pageShift] = m.gen
+					if sp&(PageSize-1) > PageSize-4 {
+						pageGen[sp>>pageShift+1] = m.gen
+					}
+					if sp>>pageShift == curPage || (sp+3)>>pageShift == curPage {
+						curPage = uint32(1) << 31 // both halves retired; re-decode next
+					}
+				} else {
+					m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+					return
+				}
+
+			case fusedPopAdd: // pop ra ; add ra2, rb2, rc2
+				if sp := m.Regs[RegSP]; sp <= memLen-4 {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins.Ra&15] = binary.LittleEndian.Uint32(m.Mem[sp:])
+				} else {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins.Ra&15] = 0
+					m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc, icount, branches
+					return
+				}
+				m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15] + m.Regs[ins.Rc2&15]
+
+			case fusedPopMul: // pop ra ; mul ra2, rb2, rc2
+				if sp := m.Regs[RegSP]; sp <= memLen-4 {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins.Ra&15] = binary.LittleEndian.Uint32(m.Mem[sp:])
+				} else {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins.Ra&15] = 0
+					m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc, icount, branches
+					return
+				}
+				m.Regs[ins.Ra2&15] = m.Regs[ins.Rb2&15] * m.Regs[ins.Rc2&15]
+
+			case fusedPopLts: // pop ra ; lts ra2, rb2, rc2
+				if sp := m.Regs[RegSP]; sp <= memLen-4 {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins.Ra&15] = binary.LittleEndian.Uint32(m.Mem[sp:])
+				} else {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins.Ra&15] = 0
+					m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc, icount, branches
+					return
+				}
+				m.Regs[ins.Ra2&15] = boolToWord(int32(m.Regs[ins.Rb2&15]) < int32(m.Regs[ins.Rc2&15]))
+
+			case fusedPopStore: // pop ra ; store [ra2+imm2], rb2
+				if sp := m.Regs[RegSP]; sp <= memLen-4 {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins.Ra&15] = binary.LittleEndian.Uint32(m.Mem[sp:])
+				} else {
+					m.Regs[RegSP] = sp + 4
+					m.Regs[ins.Ra&15] = 0
+					m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", sp))
+					m.PC, m.ICount, m.Branches = pc, icount, branches
+					return
+				}
+				if addr := m.Regs[ins.Ra2&15] + ins.Imm2; addr <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[addr:], m.Regs[ins.Rb2&15])
+					pageGen[addr>>pageShift] = m.gen
+					if addr&(PageSize-1) > PageSize-4 {
+						pageGen[addr>>pageShift+1] = m.gen
+					}
+					if addr>>pageShift == curPage || (addr+3)>>pageShift == curPage {
+						curPage = uint32(1) << 31 // both halves retired; re-decode next
+					}
+				} else {
+					m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", addr))
+					m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+					return
+				}
+
+			case fusedAddStore: // add ra, rb, rc ; store [ra2+imm2], rb2
+				m.Regs[ins.Ra&15] = m.Regs[ins.Rb&15] + m.Regs[ins.Rc&15]
+				if addr := m.Regs[ins.Ra2&15] + ins.Imm2; addr <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[addr:], m.Regs[ins.Rb2&15])
+					pageGen[addr>>pageShift] = m.gen
+					if addr&(PageSize-1) > PageSize-4 {
+						pageGen[addr>>pageShift+1] = m.gen
+					}
+					if addr>>pageShift == curPage || (addr+3)>>pageShift == curPage {
+						curPage = uint32(1) << 31 // both halves retired; re-decode next
+					}
+				} else {
+					m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", addr))
+					m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+					return
+				}
+
+			case fusedLoadStore: // load ra, [rb+imm] ; store [ra2+imm2], rb2
+				if addr := m.Regs[ins.Rb&15] + ins.Imm; addr <= memLen-4 {
+					m.Regs[ins.Ra&15] = binary.LittleEndian.Uint32(m.Mem[addr:])
+				} else {
+					m.Regs[ins.Ra&15] = 0
+					m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", addr))
+					m.PC, m.ICount, m.Branches = pc, icount, branches
+					return
+				}
+				if addr := m.Regs[ins.Ra2&15] + ins.Imm2; addr <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[addr:], m.Regs[ins.Rb2&15])
+					pageGen[addr>>pageShift] = m.gen
+					if addr&(PageSize-1) > PageSize-4 {
+						pageGen[addr>>pageShift+1] = m.gen
+					}
+					if addr>>pageShift == curPage || (addr+3)>>pageShift == curPage {
+						curPage = uint32(1) << 31 // both halves retired; re-decode next
+					}
+				} else {
+					m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", addr))
+					m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+					return
+				}
+
+			case fusedStoreLoad: // store [ra+imm], rb ; load ra2, [rb2+imm2]
+				if addr := m.Regs[ins.Ra&15] + ins.Imm; addr <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[addr:], m.Regs[ins.Rb&15])
+					pageGen[addr>>pageShift] = m.gen
+					if addr&(PageSize-1) > PageSize-4 {
+						pageGen[addr>>pageShift+1] = m.gen
+					}
+					if addr>>pageShift == curPage || (addr+3)>>pageShift == curPage {
+						// Self-modifying store: retire it alone and re-decode
+						// before the second constituent runs.
+						curPage = uint32(1) << 31
+						pc += InstrSize
+						icount++
+						continue
+					}
+				} else {
+					m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", addr))
+					m.PC, m.ICount, m.Branches = pc, icount, branches
+					return
+				}
+				if addr := m.Regs[ins.Rb2&15] + ins.Imm2; addr <= memLen-4 {
+					m.Regs[ins.Ra2&15] = binary.LittleEndian.Uint32(m.Mem[addr:])
+				} else {
+					m.Regs[ins.Ra2&15] = 0
+					m.sprintFault(pc+InstrSize, icount+1, FaultMemOutOfRange, fmt.Sprintf("load32 at 0x%x", addr))
+					m.PC, m.ICount, m.Branches = pc+InstrSize, icount+1, branches
+					return
+				}
+
+			case fusedStoreJmp: // store [ra+imm], rb ; jmp imm2
+				if addr := m.Regs[ins.Ra&15] + ins.Imm; addr <= memLen-4 {
+					binary.LittleEndian.PutUint32(m.Mem[addr:], m.Regs[ins.Rb&15])
+					pageGen[addr>>pageShift] = m.gen
+					if addr&(PageSize-1) > PageSize-4 {
+						pageGen[addr>>pageShift+1] = m.gen
+					}
+					if addr>>pageShift == curPage || (addr+3)>>pageShift == curPage {
+						curPage = uint32(1) << 31 // self-modifying store: bail out
+						pc += InstrSize
+						icount++
+						continue
+					}
+				} else {
+					m.sprintFault(pc, icount, FaultMemOutOfRange, fmt.Sprintf("store32 at 0x%x", addr))
+					m.PC, m.ICount, m.Branches = pc, icount, branches
+					return
+				}
+				m.FusedPairs++
+				pc = ins.Imm2
+				icount += 2
+				branches++
+				continue
+
+			case fusedLtsJz: // lts ra, rb, rc ; jz ra2, imm2
+				m.Regs[ins.Ra&15] = boolToWord(int32(m.Regs[ins.Rb&15]) < int32(m.Regs[ins.Rc&15]))
+				if m.Regs[ins.Ra2&15] == 0 {
+					m.FusedPairs++
+					pc = ins.Imm2
+					icount += 2
+					branches++
+					continue
+				}
+
+			default:
+				// A fused id without a handler cannot be emitted by
+				// fusePair; treat it like a mid-pair landing and let Step
+				// execute the original first constituent from memory.
+				m.PC, m.ICount, m.Branches = pc, icount, branches
+				if !m.Step() {
+					return
+				}
+				if m.StopReq {
+					m.StopReq = false
+					return
+				}
+				pc, icount, branches = m.PC, m.ICount, m.Branches
+				intGate = m.IntEnabled && m.pending != 0
+				curPage = uint32(1) << 31
+				continue
+			}
+			m.FusedPairs++
+			pc += 2 * InstrSize
+			icount += 2
+			continue
+		}
+
 		nextPC := pc + InstrSize
 		branched := false
 
-		switch ins.Op {
+		switch Opcode(ins.Op) {
 		case OpNop:
 		case OpHlt:
 			m.Halted = true

@@ -256,3 +256,403 @@ func TestRunUntilLandsOnBound(t *testing.T) {
 		t.Fatalf("RunUntil(past bound) retired %d instructions", ran)
 	}
 }
+
+// cloneForDiff3 boots three machines from the same image: one on the fused
+// sprint path, one on the predecode-only sprint (fusion disabled), one on
+// the careful Step path — the three interpreter configurations that must
+// retire bit-identical state.
+func cloneForDiff3(t *testing.T, code []byte, vectors [NumIRQs]uint32) (fused, unfused, step *Machine) {
+	t.Helper()
+	img := &Image{Name: "diff3", Code: code, Entry: CodeBase, MemSize: 64 * 1024, Vectors: vectors}
+	boot := func() *Machine {
+		m, err := img.Boot(NewDeviceSet(42))
+		if err != nil {
+			t.Fatalf("boot: %v", err)
+		}
+		return m
+	}
+	fused, unfused, step = boot(), boot(), boot()
+	unfused.DisableFusion = true
+	step.DisablePredecode = true
+	return fused, unfused, step
+}
+
+// TestFusionMatchesUnfusedRandomPrograms throws the same randomized
+// instruction soup as TestSprintMatchesStepRandomPrograms — wild jumps,
+// faulting accesses, interrupt churn, stores into the executing code page —
+// at the fused sprint, the predecode-only sprint, and Step, and requires
+// bit-identical state after every chunk. Chunk lengths stay >= 2 so the
+// fused handlers actually run (a 1-instruction budget always falls back to
+// the Step tail).
+func TestFusionMatchesUnfusedRandomPrograms(t *testing.T) {
+	const (
+		progInstrs = 480
+		chunks     = 160
+		chunkLen   = 61
+	)
+	rng := uint64(0xA076_1D64_78BD_642F)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for trial := 0; trial < 16; trial++ {
+		prog := make([]Instr, progInstrs)
+		for i := range prog {
+			r := next()
+			op := Opcode(r % uint64(opCount))
+			if op == OpHlt && r&0xF0 != 0 {
+				op = OpAddi
+			}
+			ins := Instr{Op: op, Ra: uint8(next() % 16), Rb: uint8(next() % 16), Rc: uint8(next() % 16)}
+			switch next() % 4 {
+			case 0:
+				ins.Imm = CodeBase + uint32(next()%progInstrs)*InstrSize
+			case 1:
+				ins.Imm = 32*1024 + uint32(next()%8192)
+			case 2:
+				ins.Imm = uint32(next() % 97)
+			default:
+				ins.Imm = uint32(next())
+			}
+			prog[i] = ins
+		}
+		var vectors [NumIRQs]uint32
+		vectors[IRQTimer] = CodeBase
+		vectors[IRQInput] = CodeBase + 16*InstrSize
+		fused, unfused, step := cloneForDiff3(t, asm(prog...), vectors)
+		for r := 0; r < NumRegs-1; r++ {
+			v := uint32(next())
+			fused.Regs[r], unfused.Regs[r], step.Regs[r] = v, v, v
+		}
+		for _, r := range []int{0, 5, 9} {
+			fused.Regs[r], unfused.Regs[r], step.Regs[r] = 0, 0, 0
+		}
+		for c := 0; c < chunks; c++ {
+			if c%7 == 3 {
+				fused.RaiseIRQ(IRQTimer)
+				unfused.RaiseIRQ(IRQTimer)
+				step.RaiseIRQ(IRQTimer)
+			}
+			if c%11 == 5 {
+				fused.RaiseIRQ(IRQInput)
+				unfused.RaiseIRQ(IRQInput)
+				step.RaiseIRQ(IRQInput)
+			}
+			nf, nu, ns := fused.Run(chunkLen), unfused.Run(chunkLen), step.Run(chunkLen)
+			if nf != ns || nu != ns {
+				t.Fatalf("trial %d chunk %d: fused retired %d, unfused %d, step %d", trial, c, nf, nu, ns)
+			}
+			diffState(t, fmt.Sprintf("trial %d chunk %d fused-vs-step", trial, c), fused, step)
+			diffState(t, fmt.Sprintf("trial %d chunk %d unfused-vs-step", trial, c), unfused, step)
+			if fused.Halted || (fused.Waiting && fused.PendingIRQs() == 0 && c%7 != 2) {
+				break
+			}
+		}
+		if unfused.FusedPairs != 0 {
+			t.Fatalf("trial %d: DisableFusion machine retired %d fused pairs", trial, unfused.FusedPairs)
+		}
+	}
+}
+
+// TestFusionPageBoundaryNoFuse pins the page-edge barrier: a fusable pair
+// whose first half sits in a page's last slot must not fuse (the second
+// half lives in another page and can be invalidated independently), while
+// the identical pair wholly inside one page does.
+func TestFusionPageBoundaryNoFuse(t *testing.T) {
+	prog := make([]Instr, instrsPerPage+2)
+	for i := range prog {
+		prog[i] = Instr{Op: OpNop} // not fusable in either position
+	}
+	prog[instrsPerPage-1] = Instr{Op: OpMovi, Ra: 1, Imm: 5} // last slot of page 0
+	prog[instrsPerPage] = Instr{Op: OpMovi, Ra: 2, Imm: 7}   // first slot of page 1
+	prog[instrsPerPage+1] = Instr{Op: OpHlt}
+	img := &Image{Name: "edge", Code: asm(prog...), Entry: CodeBase, MemSize: 64 * 1024}
+	m, err := img.Boot(nil)
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	m.Run(uint64(len(prog)) + 10)
+	if !m.Halted || m.FaultInfo != nil {
+		t.Fatalf("guest did not halt cleanly: halted=%v fault=%v", m.Halted, m.FaultInfo)
+	}
+	if m.Regs[1] != 5 || m.Regs[2] != 7 {
+		t.Fatalf("r1=%d r2=%d, want 5 and 7", m.Regs[1], m.Regs[2])
+	}
+	if m.FusedPairs != 0 {
+		t.Fatalf("pair straddling the page edge fused (%d pairs retired)", m.FusedPairs)
+	}
+	// Control: the same movi/movi pair wholly inside one page does fuse.
+	ctl := bootCode(t, asm(
+		Instr{Op: OpNop},
+		Instr{Op: OpMovi, Ra: 1, Imm: 5},
+		Instr{Op: OpMovi, Ra: 2, Imm: 7},
+		Instr{Op: OpHlt},
+	), nil)
+	ctl.Run(10)
+	if ctl.FusedPairs == 0 {
+		t.Fatal("in-page movi/movi pair did not fuse; the ablation above proves nothing")
+	}
+	if ctl.Regs[1] != 5 || ctl.Regs[2] != 7 {
+		t.Fatalf("control: r1=%d r2=%d, want 5 and 7", ctl.Regs[1], ctl.Regs[2])
+	}
+}
+
+// TestFusionBranchTargetBarrier pins the branch-target barrier: when an
+// in-page jmp targets the would-be second half of a pair, the pair must not
+// fuse, and the jump must land on the original instruction.
+func TestFusionBranchTargetBarrier(t *testing.T) {
+	// slot 0 jumps over the pair; slot 4 jumps back into its second half.
+	code := asm(
+		Instr{Op: OpJmp, Imm: CodeBase + 4*InstrSize}, // 0: -> slot 4
+		Instr{Op: OpMovi, Ra: 1, Imm: 11},             // 1: never executes
+		Instr{Op: OpMovi, Ra: 2, Imm: 22},             // 2: jump target (second half of would-be pair 1+2)
+		Instr{Op: OpHlt},                              // 3
+		Instr{Op: OpJmp, Imm: CodeBase + 2*InstrSize}, // 4: -> slot 2
+	)
+	fast, slow := cloneForDiff(t, code, [NumIRQs]uint32{})
+	fast.Run(100)
+	slow.Run(100)
+	diffState(t, "branch-target barrier", fast, slow)
+	if !fast.Halted || fast.Regs[1] != 0 || fast.Regs[2] != 22 {
+		t.Fatalf("halted=%v r1=%d r2=%d, want true 0 22", fast.Halted, fast.Regs[1], fast.Regs[2])
+	}
+	if fast.FusedPairs != 0 {
+		t.Fatalf("pair with a branch-targeted second half fused (%d pairs retired)", fast.FusedPairs)
+	}
+}
+
+// TestFusionCrossPageJumpIntoPairSecondSlot covers the barrier fusePage
+// cannot see: a jump from another page landing on the second half of a
+// fused pair. Slot preservation (only first halves are rewritten) must make
+// the landing execute the original instruction.
+func TestFusionCrossPageJumpIntoPairSecondSlot(t *testing.T) {
+	prog := make([]Instr, instrsPerPage+1)
+	for i := range prog {
+		prog[i] = Instr{Op: OpNop}
+	}
+	prog[0] = Instr{Op: OpJmp, Imm: CodeBase + uint32(instrsPerPage)*InstrSize} // -> page 1 slot 0
+	prog[1] = Instr{Op: OpMovi, Ra: 1, Imm: 11}                                 // first half of fused pair
+	prog[2] = Instr{Op: OpMovi, Ra: 2, Imm: 22}                                 // second half; cross-page jump target
+	prog[3] = Instr{Op: OpHlt}
+	prog[instrsPerPage] = Instr{Op: OpJmp, Imm: CodeBase + 2*InstrSize} // page 1: -> page 0 slot 2
+	fast, slow := cloneForDiff(t, asm(prog...), [NumIRQs]uint32{})
+	fast.Run(100)
+	slow.Run(100)
+	diffState(t, "cross-page jump into pair", fast, slow)
+	if !fast.Halted || fast.Regs[1] != 0 || fast.Regs[2] != 22 {
+		t.Fatalf("halted=%v r1=%d r2=%d, want true 0 22", fast.Halted, fast.Regs[1], fast.Regs[2])
+	}
+}
+
+// TestFusionIRQReturnsIntoPairSecondSlot pins the other mid-pair entry: a
+// budget stop lands the PC on the second half of a fused pair (the Step
+// tail retires the first half alone), an IRQ is delivered there, and the
+// handler's iret returns into the middle of the pair. All three
+// configurations must retire identical state throughout.
+func TestFusionIRQReturnsIntoPairSecondSlot(t *testing.T) {
+	handler := uint32(CodeBase + 16*InstrSize)
+	prog := make([]Instr, 20)
+	for i := range prog {
+		prog[i] = Instr{Op: OpNop}
+	}
+	prog[0] = Instr{Op: OpMovi, Ra: 1, Imm: 1} // fused pair: slots 0+1
+	prog[1] = Instr{Op: OpMovi, Ra: 2, Imm: 2}
+	prog[2] = Instr{Op: OpMovi, Ra: 3, Imm: 3} // fused pair: slots 2+3
+	prog[3] = Instr{Op: OpMovi, Ra: 4, Imm: 4}
+	prog[4] = Instr{Op: OpHlt}
+	prog[16] = Instr{Op: OpAddi, Ra: 6, Rb: 6, Imm: 1} // handler
+	prog[17] = Instr{Op: OpIret}
+	var vectors [NumIRQs]uint32
+	vectors[IRQTimer] = handler
+	fused, unfused, step := cloneForDiff3(t, asm(prog...), vectors)
+	machines := []*Machine{fused, unfused, step}
+	// Retire exactly one instruction: the fused machine must stop with its
+	// PC on the second half of the slots 0+1 pair. Interrupts are disabled
+	// at boot; enable delivery without spending an instruction on sti.
+	for _, m := range machines {
+		m.IntEnabled = true
+		m.Run(1)
+	}
+	diffState(t, "mid-pair stop fused-vs-step", fused, step)
+	diffState(t, "mid-pair stop unfused-vs-step", unfused, step)
+	if fused.PC != CodeBase+InstrSize {
+		t.Fatalf("after Run(1): pc=0x%x, want 0x%x (second half of the pair)", fused.PC, CodeBase+InstrSize)
+	}
+	// Deliver an IRQ there: the return address is mid-pair, so iret lands
+	// on the preserved second half.
+	for _, m := range machines {
+		m.RaiseIRQ(IRQTimer)
+		m.Run(100)
+	}
+	diffState(t, "iret into pair fused-vs-step", fused, step)
+	diffState(t, "iret into pair unfused-vs-step", unfused, step)
+	if !fused.Halted || fused.FaultInfo != nil {
+		t.Fatalf("guest did not halt cleanly: halted=%v fault=%v", fused.Halted, fused.FaultInfo)
+	}
+	for r, want := range map[int]uint32{1: 1, 2: 2, 3: 3, 4: 4, 6: 1} {
+		if fused.Regs[r] != want {
+			t.Fatalf("r%d=%d, want %d", r, fused.Regs[r], want)
+		}
+	}
+}
+
+// quadSeq builds the four-instruction body of one quad superinstruction,
+// plus the setup that makes it executable (stack pointer, seed data).
+type quadSeq struct {
+	name  string
+	setup []Instr // runs before the sequence; must not branch
+	body  [4]Instr
+}
+
+func quadSeqs() []quadSeq {
+	sp := Instr{Op: OpMovi, Ra: RegSP, Imm: 48 * 1024}
+	seed := Instr{Op: OpPush, Ra: 6} // stack data for the pop-leading quads
+	return []quadSeq{
+		{"load.push.movi.mov", []Instr{sp}, [4]Instr{
+			{Op: OpLoad, Ra: 1, Rb: 0, Imm: 40 * 1024},
+			{Op: OpPush, Ra: 2},
+			{Op: OpMovi, Ra: 3, Imm: 7},
+			{Op: OpMov, Ra: 4, Rb: 3},
+		}},
+		{"push.movi.mov.pop", []Instr{sp}, [4]Instr{
+			{Op: OpPush, Ra: 1},
+			{Op: OpMovi, Ra: 2, Imm: 9},
+			{Op: OpMov, Ra: 3, Rb: 2},
+			{Op: OpPop, Ra: 4},
+		}},
+		{"movi.mov.pop.lts", []Instr{sp, seed}, [4]Instr{
+			{Op: OpMovi, Ra: 1, Imm: 3},
+			{Op: OpMov, Ra: 2, Rb: 1},
+			{Op: OpPop, Ra: 3},
+			{Op: OpLts, Ra: 4, Rb: 2, Rc: 3},
+		}},
+		{"movi.mov.pop.add", []Instr{sp, seed}, [4]Instr{
+			{Op: OpMovi, Ra: 1, Imm: 3},
+			{Op: OpMov, Ra: 2, Rb: 1},
+			{Op: OpPop, Ra: 3},
+			{Op: OpAdd, Ra: 4, Rb: 2, Rc: 3},
+		}},
+		{"movi.mov.pop.mul", []Instr{sp, seed}, [4]Instr{
+			{Op: OpMovi, Ra: 1, Imm: 3},
+			{Op: OpMov, Ra: 2, Rb: 1},
+			{Op: OpPop, Ra: 3},
+			{Op: OpMul, Ra: 4, Rb: 2, Rc: 3},
+		}},
+		{"mov.pop.add.store", []Instr{sp, seed}, [4]Instr{
+			{Op: OpMov, Ra: 1, Rb: 6},
+			{Op: OpPop, Ra: 2},
+			{Op: OpAdd, Ra: 3, Rb: 1, Rc: 2},
+			{Op: OpStore, Ra: 0, Rb: 3, Imm: 40 * 1024},
+		}},
+		{"pop.add.store.jmp", []Instr{sp, seed}, [4]Instr{
+			{Op: OpPop, Ra: 1},
+			{Op: OpAdd, Ra: 2, Rb: 1, Rc: 1},
+			{Op: OpStore, Ra: 0, Rb: 2, Imm: 40 * 1024},
+			{Op: OpJmp}, // Imm patched to the halt slot by the test
+		}},
+		{"pop.mul.push.movi", []Instr{sp, seed}, [4]Instr{
+			{Op: OpPop, Ra: 1},
+			{Op: OpMul, Ra: 2, Rb: 1, Rc: 1},
+			{Op: OpPush, Ra: 2},
+			{Op: OpMovi, Ra: 3, Imm: 5},
+		}},
+		{"add.store.load.push", []Instr{sp}, [4]Instr{
+			{Op: OpAdd, Ra: 1, Rb: 2, Rc: 3},
+			{Op: OpStore, Ra: 0, Rb: 1, Imm: 40 * 1024},
+			{Op: OpLoad, Ra: 4, Rb: 0, Imm: 40 * 1024},
+			{Op: OpPush, Ra: 4},
+		}},
+	}
+}
+
+// TestQuadFusionDifferential pins every quad handler against Step and the
+// fusion-off sprint: each quad sequence runs under chunk budgets from 1 up
+// (so landmark/budget stops land on every constituent boundary, exercising
+// the Step tail fallback) and the three paths must retire bit-identical
+// state. A full-budget run must actually dispatch the quad.
+func TestQuadFusionDifferential(t *testing.T) {
+	for _, q := range quadSeqs() {
+		// setup... nop [quad body] hlt — the nop is not fusable in either
+		// position, so the greedy pair scan always reaches the body
+		// phase-aligned regardless of how the setup paired up.
+		prog := append([]Instr{}, q.setup...)
+		prog = append(prog, Instr{Op: OpNop})
+		bodyAt := len(prog)
+		prog = append(prog, q.body[:]...)
+		haltAt := len(prog)
+		prog = append(prog, Instr{Op: OpHlt})
+		if prog[bodyAt+3].Op == OpJmp {
+			prog[bodyAt+3].Imm = CodeBase + uint32(haltAt)*InstrSize
+		}
+		for _, chunk := range []uint64{1, 2, 3, 4, 5, 64} {
+			fused, unfused, step := cloneForDiff3(t, asm(prog...), [NumIRQs]uint32{})
+			for r := 1; r < NumRegs-1; r++ {
+				v := uint32(r * 1000003)
+				fused.Regs[r], unfused.Regs[r], step.Regs[r] = v, v, v
+			}
+			for !step.Halted {
+				nf, nu, ns := fused.Run(chunk), unfused.Run(chunk), step.Run(chunk)
+				if nf != ns || nu != ns {
+					t.Fatalf("%s chunk %d: fused retired %d, unfused %d, step %d", q.name, chunk, nf, nu, ns)
+				}
+				diffState(t, fmt.Sprintf("%s chunk %d fused-vs-step", q.name, chunk), fused, step)
+				diffState(t, fmt.Sprintf("%s chunk %d unfused-vs-step", q.name, chunk), unfused, step)
+				if step.Halted {
+					break
+				}
+				if ns == 0 {
+					t.Fatalf("%s chunk %d: no progress", q.name, chunk)
+				}
+			}
+			if chunk == 64 {
+				if fused.FusedQuads == 0 {
+					t.Errorf("%s: full-budget run dispatched no quad", q.name)
+				}
+				if unfused.FusedQuads != 0 || unfused.FusedPairs != 0 {
+					t.Errorf("%s: DisableFusion machine retired fused ops", q.name)
+				}
+			}
+		}
+	}
+}
+
+// TestQuadFusionBranchIntoSecondPair pins slot preservation under quads: a
+// branch landing on the quad's second pair (slot i+2, which keeps its pair
+// id and operands) must execute that pair alone, bit-identically to Step.
+func TestQuadFusionBranchIntoSecondPair(t *testing.T) {
+	prog := []Instr{
+		{Op: OpMovi, Ra: RegSP, Imm: 48 * 1024},         // slot 0
+		{Op: OpMovi, Ra: 0, Imm: 0},                     // slot 1
+		{Op: OpMovi, Ra: 7, Imm: 2},                     // slot 2: loop counter
+		{Op: OpNop},                                     // slot 3: phase barrier
+		{Op: OpLoad, Ra: 1, Rb: 0, Imm: 40 * 1024},      // slot 4: quad head
+		{Op: OpPush, Ra: 2},                             // slot 5
+		{Op: OpMovi, Ra: 3, Imm: 7},                     // slot 6: second pair
+		{Op: OpMov, Ra: 4, Rb: 3},                       // slot 7
+		{Op: OpAddi, Ra: 7, Rb: 7, Imm: 0xFFFFFFFF},     // slot 8: r7--
+		{Op: OpJnz, Ra: 7, Imm: CodeBase + 6*InstrSize}, // slot 9: land on slot 6
+		{Op: OpHlt}, // slot 10
+	}
+	for _, chunk := range []uint64{1, 2, 3, 4, 5, 64} {
+		fused, unfused, step := cloneForDiff3(t, asm(prog...), [NumIRQs]uint32{})
+		for !step.Halted {
+			nf, nu, ns := fused.Run(chunk), unfused.Run(chunk), step.Run(chunk)
+			if nf != ns || nu != ns {
+				t.Fatalf("chunk %d: fused retired %d, unfused %d, step %d", chunk, nf, nu, ns)
+			}
+			diffState(t, fmt.Sprintf("chunk %d fused-vs-step", chunk), fused, step)
+			diffState(t, fmt.Sprintf("chunk %d unfused-vs-step", chunk), unfused, step)
+			if step.Halted {
+				break
+			}
+			if ns == 0 {
+				t.Fatalf("chunk %d: no progress", chunk)
+			}
+		}
+		if chunk == 64 && fused.FusedQuads == 0 {
+			t.Error("full-budget run dispatched no quad")
+		}
+	}
+}

@@ -92,6 +92,7 @@ type AuditSession struct {
 	Node             string
 	RNGSeed          uint64
 	DisablePredecode bool
+	DisableFusion    bool
 
 	// Reference image, field for field (vm.Image).
 	ImageName string
@@ -105,9 +106,9 @@ type AuditSession struct {
 
 // SessionFromImage builds the session frame contents from a reference
 // image and audit parameters.
-func SessionFromImage(node string, img *vm.Image, rngSeed uint64, disablePredecode bool) *AuditSession {
+func SessionFromImage(node string, img *vm.Image, rngSeed uint64, disablePredecode, disableFusion bool) *AuditSession {
 	s := &AuditSession{
-		Node: node, RNGSeed: rngSeed, DisablePredecode: disablePredecode,
+		Node: node, RNGSeed: rngSeed, DisablePredecode: disablePredecode, DisableFusion: disableFusion,
 		ImageName: img.Name, Code: img.Code, TextSize: uint32(img.TextSize),
 		Entry: img.Entry, MemSize: uint64(img.MemSize), Disk: img.Disk,
 	}
@@ -143,6 +144,7 @@ func (s *AuditSession) Marshal() []byte {
 	w.str(s.Node)
 	w.uvarint(s.RNGSeed)
 	w.uvarint(boolByte(s.DisablePredecode))
+	w.uvarint(boolByte(s.DisableFusion))
 	w.str(s.ImageName)
 	w.bytes(s.Code)
 	w.uvarint(uint64(s.TextSize))
@@ -159,7 +161,7 @@ func (s *AuditSession) Marshal() []byte {
 // ParseAuditSession decodes a session frame body.
 func ParseAuditSession(b []byte) (*AuditSession, error) {
 	r := &reader{b: b}
-	s := &AuditSession{Node: r.str(), RNGSeed: r.uvarint(), DisablePredecode: r.uvarint() != 0}
+	s := &AuditSession{Node: r.str(), RNGSeed: r.uvarint(), DisablePredecode: r.uvarint() != 0, DisableFusion: r.uvarint() != 0}
 	s.ImageName = r.str()
 	s.Code = r.bytes()
 	s.TextSize = uint32(r.uvarint())

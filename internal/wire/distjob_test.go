@@ -15,7 +15,7 @@ func testSession() *AuditSession {
 	}
 	img.Vectors[0] = 0x2000
 	img.Vectors[3] = 0x2400
-	return SessionFromImage("player1", img, 0xDEADBEEF, true)
+	return SessionFromImage("player1", img, 0xDEADBEEF, true, true)
 }
 
 func TestAuditSessionRoundTrip(t *testing.T) {

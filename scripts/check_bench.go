@@ -33,6 +33,9 @@ type bench struct {
 	ParallelMInstrPerSec  float64 `json:"parallel_minstr_per_sec"`
 	PredecodeSpeedup      float64 `json:"predecode_speedup_vs_step"`
 	PredecodeVerdictMatch bool    `json:"predecode_verdict_match"`
+	FusionSpeedup         float64 `json:"fusion_speedup_vs_predecode"`
+	FusionVerdictMatch    bool    `json:"fusion_verdict_match"`
+	DispatchesPerInstr    float64 `json:"dispatches_per_instruction"`
 	StreamEntriesPerSec   float64 `json:"stream_entries_per_sec"`
 	StreamVerdictMatch    bool    `json:"stream_verdict_match"`
 	StreamPeakResident    int     `json:"stream_peak_resident_entries"`
@@ -161,6 +164,16 @@ func main() {
 	// hitting).
 	invariant("predecode speedup >= 2", current.PredecodeSpeedup <= 0 ||
 		current.PredecodeSpeedup >= 2)
+	// Superinstruction fusion must keep paying for its decode-time pass:
+	// the fused sprint has to beat the unfused predecoded loop by a clear
+	// margin, with verdicts byte-identical, and most retired instructions
+	// should still be reaching pipelined dispatches (a ratio drifting back
+	// toward 1.0 means the fuser stopped matching the compiler's idioms).
+	invariant("fusion verdict match", current.FusionVerdictMatch)
+	invariant("fusion speedup >= 1.5", current.FusionSpeedup <= 0 ||
+		current.FusionSpeedup >= 1.5)
+	invariant("dispatches/instr < 0.9", current.DispatchesPerInstr <= 0 ||
+		current.DispatchesPerInstr < 0.9)
 	// The incremental fold must stay decisively cheaper than a full rehash;
 	// losing this means per-snapshot verification went back to O(state).
 	invariant("inc verify beats full rehash", current.MerkleIncVerifies <= 0 ||
