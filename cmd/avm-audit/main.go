@@ -42,7 +42,18 @@
 //
 // Workers may come and go mid-audit; a worker that received SIGINT or
 // SIGTERM drains gracefully — it finishes in-flight epochs, refuses new
-// jobs so the coordinator re-dispatches them elsewhere, and exits 0.
+// jobs so the coordinator re-dispatches them elsewhere, and exits 0. A
+// second signal during the drain exits immediately (still 0).
+//
+// With -journal <dir> the coordinator keeps a write-ahead journal of its
+// epoch queue; a coordinator killed mid-audit and restarted with the same
+// -journal resumes, re-dispatching only the epochs without durable
+// verdicts and producing byte-identical results. With -register-listen
+// the coordinator also accepts worker self-registrations, and workers run
+//
+//	avm-audit -serve -register <coordinator-registration-addr>
+//
+// to join the fleet on their own (and rejoin a restarted coordinator).
 //
 // # Exit codes
 //
@@ -181,10 +192,14 @@ func run() int {
 	delta := flag.Bool("delta", false, "dispatch/coordinate mode: ship epoch jobs as proof-carrying dirty-page deltas after the first full state per worker connection")
 	nofusion := flag.Bool("nofusion", false, "disable superinstruction fusion in the replay interpreter (ablation; verdicts are unaffected)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "worker mode: max time to finish in-flight epochs after SIGINT/SIGTERM")
+	journalDir := flag.String("journal", "", "coordinate mode: directory for the write-ahead epoch journal; a restarted coordinator resumes from it instead of re-auditing durable epochs")
+	registerListen := flag.String("register-listen", "", "coordinate mode: address to accept worker self-registrations on (workers run -serve -register <this addr>)")
+	register := flag.String("register", "", "worker mode: coordinator registration address to announce this worker to (redials with backoff if the coordinator restarts)")
+	chaosHang := flag.Bool("chaos-hang", false, "worker mode: accept every job and never reply (fault-injection for drain and timeout testing)")
 	flag.Parse()
 
 	if *serve {
-		return serveWorker(*listen, *drainTimeout)
+		return serveWorker(*listen, *drainTimeout, *register, *chaosHang)
 	}
 
 	metaBytes, err := os.ReadFile(filepath.Join(*dir, "meta.json"))
@@ -207,14 +222,14 @@ func run() int {
 		sort.Strings(nodes)
 	}
 
-	if *coordinate != "" {
+	if *coordinate != "" || *registerListen != "" {
 		var addrs []string
 		for _, a := range strings.Split(*coordinate, ",") {
 			if a = strings.TrimSpace(a); a != "" {
 				addrs = append(addrs, a)
 			}
 		}
-		return runCoordinated(*dir, &meta, keys, nodes, addrs,
+		return runCoordinated(*dir, &meta, keys, nodes, addrs, *journalDir, *registerListen,
 			*pipeline, *spot, *jobTimeout, *hedgeAfter, *localFallback, *delta, *nofusion)
 	}
 
@@ -397,7 +412,7 @@ func loadNodeRecording(dir string, meta *Meta, keys *sig.KeyStore, node string) 
 // worker, heartbeat liveness, pipelined dispatch, retry with backoff and
 // straggler hedging. Workers may join, leave or crash mid-audit; with
 // -local-fallback (the default) an empty fleet degrades to local replay.
-func runCoordinated(dir string, meta *Meta, keys *sig.KeyStore, nodes, addrs []string,
+func runCoordinated(dir string, meta *Meta, keys *sig.KeyStore, nodes, addrs []string, journalDir, registerListen string,
 	pipeline int, spot float64, jobTimeout, hedgeAfter time.Duration, localFallback, delta, nofusion bool) int {
 	recs := make([]*nodeRecording, 0, len(nodes))
 	for _, node := range nodes {
@@ -409,15 +424,35 @@ func runCoordinated(dir string, meta *Meta, keys *sig.KeyStore, nodes, addrs []s
 		recs = append(recs, rec)
 	}
 
+	var journal *audit.Journal
+	if journalDir != "" {
+		var err error
+		journal, err = audit.OpenJournal(journalDir)
+		if err != nil {
+			return fail("opening journal: %v", err)
+		}
+		defer journal.Close()
+	}
+
 	coord := audit.NewCoordinator(audit.CoordinatorConfig{
 		Pipeline:             pipeline,
 		JobTimeout:           jobTimeout,
 		HedgeAfter:           hedgeAfter,
 		DisableLocalFallback: !localFallback,
+		Journal:              journal,
 	})
 	defer coord.Close()
 	for _, a := range addrs {
 		coord.AddWorker(a)
+	}
+	if registerListen != "" {
+		rl, err := net.Listen("tcp", registerListen)
+		if err != nil {
+			return fail("registration listen %s: %v", registerListen, err)
+		}
+		// The smoke harness parses this banner to learn the bound port.
+		fmt.Printf("avm-audit: registration listener on %s\n", rl.Addr())
+		go func() { _ = coord.ServeRegistrations(rl) }()
 	}
 
 	type outcome struct {
@@ -473,9 +508,13 @@ func runCoordinated(dir string, meta *Meta, keys *sig.KeyStore, nodes, addrs []s
 	if fs.WorkersRegistered > 0 && wall > 0 {
 		util = float64(fs.BusyNs) / (float64(wall.Nanoseconds()) * float64(fs.WorkersRegistered))
 	}
-	fmt.Printf("fleet: %d/%d workers live, %d epochs done (%d local-fallback), %d retries, %d hedges, %d heartbeat timeouts, utilization %.2f\n",
+	fmt.Printf("fleet: %d/%d workers live, %d epochs done (%d local-fallback), %d retries, %d hedges, %d heartbeat timeouts, %d registrations (%d rejected), utilization %.2f\n",
 		fs.WorkersLive, fs.WorkersRegistered, fs.EpochsDone, fs.LocalFallbackEpochs,
-		fs.Retries, fs.Hedges, fs.HeartbeatTimeouts, util)
+		fs.Retries, fs.Hedges, fs.HeartbeatTimeouts, fs.RegistrationsAccepted, fs.RegistrationsRejected, util)
+	if journal != nil {
+		fmt.Printf("journal: %d runs resumed, %d epochs skipped as durable, %d bytes\n",
+			fs.RunsResumed, fs.EpochsSkippedDurable, fs.JournalBytes)
+	}
 	if code != exitClean {
 		return code
 	}
@@ -489,23 +528,45 @@ func runCoordinated(dir string, meta *Meta, keys *sig.KeyStore, nodes, addrs []s
 // SIGINT and SIGTERM drain gracefully: the worker stops accepting work,
 // refuses queued jobs so the coordinator re-dispatches them elsewhere,
 // finishes what is already in flight (bounded by drainTimeout), and exits
-// 0.
-func serveWorker(addr string, drainTimeout time.Duration) int {
+// 0. A second signal during the drain is the operator insisting: the
+// worker exits immediately, still 0 — the coordinator treats the cut
+// connection like any worker crash and re-dispatches.
+//
+// With -register the worker announces itself to the coordinator's
+// registration listener and re-announces (with capped backoff) whenever
+// that connection drops, so it rejoins a restarted coordinator on its own.
+func serveWorker(addr string, drainTimeout time.Duration, registerAddr string, chaosHang bool) int {
 	w := &audit.EpochWorker{}
+	if chaosHang {
+		w.Chaos = &audit.ChaosPlan{Name: "hang-forever", HangRate: 1.0}
+	}
 	// Register the drain handler before announcing the address: a
 	// supervisor may signal the instant it sees the banner.
-	sigCh := make(chan os.Signal, 1)
+	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sigCh
 		fmt.Printf("avm-audit: %v received, draining (finishing in-flight epochs)\n", s)
-		w.Drain(drainTimeout)
+		go w.Drain(drainTimeout)
+		s = <-sigCh
+		fmt.Printf("avm-audit: %v received again, exiting now\n", s)
+		os.Exit(exitClean)
 	}()
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fail("listen %s: %v", addr, err)
 	}
 	fmt.Printf("avm-audit: worker listening on %s\n", l.Addr())
+	if registerAddr != "" {
+		stop := make(chan struct{}) // lives until the process exits
+		go audit.RegisterWorker(registerAddr, l.Addr().String(), stop, func(accepted bool, reason string) {
+			if accepted {
+				fmt.Printf("avm-audit: registered with coordinator %s\n", registerAddr)
+			} else {
+				fmt.Printf("avm-audit: registration rejected by %s: %s\n", registerAddr, reason)
+			}
+		})
+	}
 	if err := w.Serve(l); err != nil {
 		return fail("serving: %v", err)
 	}

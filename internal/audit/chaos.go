@@ -2,8 +2,11 @@ package audit
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // This file is the deterministic chaos-injection harness: a ChaosPlan is a
@@ -64,6 +67,13 @@ type ChaosPlan struct {
 	// RefuseFirstConns rejects the first N connection attempts outright — a
 	// partition that heals once the coordinator has knocked N times.
 	RefuseFirstConns int
+	// CoordCrashEpochs asks the harness to kill the *coordinator* once N
+	// epoch verdicts are durable in its journal, then restart it over the
+	// same journal. Workers under such a plan stay honest: the fault being
+	// injected is the coordinator's own death, and the journal replay is
+	// what's under test. Interpreted by the test harness, not by
+	// EpochWorker. 0 disables.
+	CoordCrashEpochs int
 }
 
 // admitConn reports whether connection attempt connSeq (1-based) gets
@@ -128,6 +138,19 @@ func ChaosPlans() []*ChaosPlan {
 	}
 }
 
+// CoordinatorKillPlans returns the coordinator-crash plan set: honest
+// fleets whose harness SIGKILLs (in-process: Kill()s) the coordinator
+// after N durable verdicts and restarts it over the same journal. The
+// resume suite asserts the stitched-together audit is byte-identical to
+// an uninterrupted one, durable epochs are never re-dispatched, and
+// redispatch of in-flight epochs stays bounded.
+func CoordinatorKillPlans() []*ChaosPlan {
+	return []*ChaosPlan{
+		{Name: "coord-kill-first-verdict", Seed: 0xDEAD0001, CoordCrashEpochs: 1},
+		{Name: "coord-kill-mid-run", Seed: 0xDEAD0002, CoordCrashEpochs: 2},
+	}
+}
+
 // ChaosFleet is a set of in-process loopback replay workers, each running
 // its own fault plan (nil = honest). Tests point a Coordinator or a
 // TCPBackend at Addrs.
@@ -155,6 +178,18 @@ func StartChaosFleet(plans []*ChaosPlan) (*ChaosFleet, error) {
 	return f, nil
 }
 
+// JobsServed sums the jobs the fleet's workers have accepted (including
+// ones chaos then crashed or hung). The coordinator-kill suite uses the
+// delta across a crash/restart to bound redispatch: epochs with durable
+// verdicts must not be served again.
+func (f *ChaosFleet) JobsServed() int64 {
+	var n int64
+	for _, w := range f.workers {
+		n += w.jobSeq.Load()
+	}
+	return n
+}
+
 // Close tears the fleet down: listeners close, live connections are cut,
 // hung executors unblock.
 func (f *ChaosFleet) Close() {
@@ -164,4 +199,59 @@ func (f *ChaosFleet) Close() {
 	for _, w := range f.workers {
 		w.Drain(10 * time.Millisecond)
 	}
+}
+
+// StartVerdictFilterProxy fronts a worker with a TCP proxy that drops
+// every verdict frame the keep filter rejects and forwards everything
+// else untouched — chaos injection at the wire, not the worker. Its
+// canonical use is stranding a run deterministically: keep every verdict
+// except epoch index 0's (which precedes any possible fault, so every
+// run needs it) and the run can never finish, however fast the replay,
+// while later epochs' verdicts flow — the setup for killing a
+// coordinator that provably has unfinished journaled work. Returns the
+// proxy's listener (close it to stop serving) and dial address.
+func StartVerdictFilterProxy(workerAddr string, keep func(*wire.AuditVerdict) bool) (net.Listener, string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	go func() {
+		for {
+			up, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer up.Close()
+				down, err := net.Dial("tcp", workerAddr)
+				if err != nil {
+					return
+				}
+				defer down.Close()
+				// Coordinator→worker: verbatim; ends (closing down, which
+				// unblocks the filtering direction) when the dialer hangs up.
+				go func() {
+					_, _ = io.Copy(down, up)
+					down.Close()
+				}()
+				for {
+					kind, body, err := readDistFrame(down)
+					if err != nil {
+						return
+					}
+					if kind == wire.DistFrameMuxVerdict {
+						if _, rest, err := wire.SplitMuxID(body); err == nil {
+							if v, err := wire.ParseAuditVerdict(rest); err == nil && !keep(v) {
+								continue
+							}
+						}
+					}
+					if err := writeDistFrame(up, kind, body); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return l, l.Addr().String(), nil
 }

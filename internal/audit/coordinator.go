@@ -94,6 +94,12 @@ type CoordinatorConfig struct {
 	// Metrics receives the coordinator's operational counters and gauges.
 	// Nil allocates a private registry, readable via Metrics().
 	Metrics *metrics.Registry
+	// Journal, when non-nil, makes the epoch queue crash-safe: runs and
+	// verdicts are journaled as they happen, and an enqueued run whose key
+	// matches a pending journaled run resumes — durable verdicts re-emit
+	// from the journal and only the remaining epochs dispatch. The caller
+	// owns the journal's lifetime (Close it after the coordinator).
+	Journal *Journal
 }
 
 // taskKey identifies one dispatched epoch: (audit run, epoch index).
@@ -148,6 +154,10 @@ type coordRun struct {
 	deltaSrc func(k uint32) (*snapshot.Delta, error)
 	tasks    map[int]*coordTask
 	total    int
+	// key is the run's stable journal identity; journaled reports whether
+	// this run's events are being written ahead.
+	key       [32]byte
+	journaled bool
 
 	settled atomic.Int64
 	done    chan struct{}
@@ -258,6 +268,9 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if reg == nil {
 		reg = &metrics.Registry{}
 	}
+	if cfg.Journal != nil {
+		cfg.Journal.attach(reg)
+	}
 	c := &Coordinator{
 		cfg:      cfg,
 		reg:      reg,
@@ -313,9 +326,23 @@ func (c *Coordinator) RemoveWorker(addr string) {
 	c.mu.Unlock()
 }
 
+// ErrCoordinatorKilled is the error pending runs fail with when Kill
+// simulates a coordinator crash.
+var ErrCoordinatorKilled = errors.New("audit: coordinator killed")
+
 // Close shuts the coordinator down: worker loops stop, and every epoch
 // still pending fails its run with a coordinator-closed error.
-func (c *Coordinator) Close() {
+func (c *Coordinator) Close() { c.shutdown(errors.New("audit: coordinator closed")) }
+
+// Kill is Close for the chaos harness: it simulates the coordinator
+// process dying mid-audit. Connections drop and pending runs fail with
+// ErrCoordinatorKilled, and — critically — no run-completed records are
+// journaled, which is exactly the state a restarted coordinator must
+// recover from. (A real SIGKILL additionally loses the journal's unsynced
+// batch; the dist-smoke harness covers that at the process level.)
+func (c *Coordinator) Kill() { c.shutdown(ErrCoordinatorKilled) }
+
+func (c *Coordinator) shutdown(cause error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -336,7 +363,7 @@ func (c *Coordinator) Close() {
 	}
 	var pends []pendingRun
 	for _, run := range c.runs {
-		run.err = errors.New("audit: coordinator closed")
+		run.err = cause
 		var n int64
 		for _, t := range run.tasks {
 			if !t.done {
@@ -388,6 +415,15 @@ type FleetStats struct {
 	// job in flight, summed across the fleet (fleet utilization is
 	// BusyNs / (wall × workers)).
 	BusyNs int64
+	// Journal counters (zero when no journal is configured): runs that
+	// resumed from durable state, epochs whose verdicts were skipped as
+	// already durable, and the journal file size.
+	RunsResumed          int64
+	EpochsSkippedDurable int64
+	JournalBytes         int64
+	// Registration counters (zero when no registration listener runs).
+	RegistrationsAccepted int64
+	RegistrationsRejected int64
 }
 
 // Stats snapshots the coordinator's fleet state.
@@ -421,6 +457,12 @@ func (c *Coordinator) Stats() FleetStats {
 		LocalFallbackEpochs: c.reg.Counter("local_fallback_epochs").Value(),
 		RetriesExhausted:    c.reg.Counter("retries_exhausted").Value(),
 		BusyNs:              int64(busy),
+
+		RunsResumed:           c.reg.Value("journal_runs_resumed"),
+		EpochsSkippedDurable:  c.reg.Value("journal_epochs_skipped"),
+		JournalBytes:          c.reg.Value("journal_bytes"),
+		RegistrationsAccepted: c.reg.Value("registrations_accepted"),
+		RegistrationsRejected: c.reg.Value("registrations_rejected"),
 	}
 }
 
@@ -452,6 +494,18 @@ func (c *Coordinator) enqueueRun(sess Session, jobs []*EpochJob, skip func(int) 
 		return nil
 	}
 	sessFrame := sessionToWire(sess).Marshal()
+
+	// With a journal, derive the run's stable key and pull any durable
+	// verdicts a crashed predecessor left behind. Resumed epochs never
+	// touch the queue; their stored verdicts re-emit below.
+	j := c.cfg.Journal
+	var key [32]byte
+	var resumed map[int][]byte
+	if j != nil {
+		key = runKeyFor(sess, jobs)
+		resumed = j.resume(key, len(jobs))
+	}
+
 	now := time.Now()
 	c.mu.Lock()
 	if c.closed {
@@ -463,14 +517,26 @@ func (c *Coordinator) enqueueRun(sess Session, jobs []*EpochJob, skip func(int) 
 		id: c.nextRun, sess: sess, frame: sessFrame, skip: skip, emit: emit,
 		deltaSrc: deltaSrc,
 		tasks:    make(map[int]*coordTask, len(jobs)), total: len(jobs),
-		done: make(chan struct{}),
+		done:      make(chan struct{}),
+		key:       key,
+		journaled: j != nil,
 	}
+	var stored []*wire.AuditVerdict
 	for _, job := range jobs {
 		t := &coordTask{
-			run: run, job: job, index: job.Index, queued: true,
+			run: run, job: job, index: job.Index,
 			eligibleAt: now, enqueuedAt: now, triedOn: make(map[string]bool),
 		}
 		run.tasks[job.Index] = t
+		if enc, ok := resumed[job.Index]; ok {
+			if v, perr := wire.ParseAuditVerdict(enc); perr == nil && int(v.Index) == job.Index {
+				// Durable in the journal: settle without ever dispatching.
+				t.done = true
+				stored = append(stored, v)
+				continue
+			}
+		}
+		t.queued = true
 		c.queue = append(c.queue, t)
 	}
 	c.runs[run.id] = run
@@ -478,12 +544,33 @@ func (c *Coordinator) enqueueRun(sess Session, jobs []*EpochJob, skip func(int) 
 	c.broadcastLocked()
 	c.mu.Unlock()
 
+	if j != nil {
+		if resumed == nil {
+			j.runEnqueued(key, string(sess.Node), len(jobs))
+		} else {
+			c.reg.Counter("journal_runs_resumed").Inc()
+		}
+	}
+	// Re-emit stored verdicts outside the lock: they flow through the
+	// router exactly as a worker's verdict would — spot rechecks included,
+	// so a tampered journal is caught like a lying worker — and the
+	// resumed audit's Result stays byte-identical to an uninterrupted run.
+	for _, v := range stored {
+		r := verdictFromWire(v)
+		c.reg.Counter("journal_epochs_skipped").Inc()
+		run.emit(EpochVerdict{Index: int(v.Index), Stats: r.stats, Fault: r.fault, Worker: "journal"})
+		run.finishSettle(1)
+	}
+
 	<-run.done
 
 	c.mu.Lock()
 	delete(c.runs, run.id)
 	err := run.err
 	c.mu.Unlock()
+	if err == nil && j != nil {
+		j.runCompleted(key)
+	}
 	return err
 }
 
@@ -675,6 +762,11 @@ func (c *Coordinator) deliverRemote(w *coordWorker, runID uint64, v *wire.AuditV
 	}
 	c.reg.Counter("epochs_done").Inc()
 	c.mu.Unlock()
+	if run.journaled {
+		// Write ahead of the emit: once the router sees this verdict it may
+		// settle the audit, and a crash after that must find it durable.
+		c.cfg.Journal.verdictEmitted(run.key, index, v.Marshal())
+	}
 	r := verdictFromWire(v)
 	ev.Stats = r.stats
 	ev.Fault = r.fault
@@ -1130,6 +1222,9 @@ func (c *Coordinator) localLoop() {
 		}
 		c.reg.Counter("epochs_done").Inc()
 		c.mu.Unlock()
+		if t.run.journaled {
+			c.cfg.Journal.verdictEmitted(t.run.key, t.index, verdictToWire(t.index, r).Marshal())
+		}
 		t.run.emit(ev)
 		t.run.finishSettle(1)
 	}

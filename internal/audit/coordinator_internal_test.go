@@ -1,0 +1,190 @@
+package audit
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// White-box coverage for the coordinator's dispatch primitives: the
+// capped, deterministically jittered retry backoff, and takeLocked's
+// prefer-untried-live-worker placement — the property that guarantees an
+// epoch eventually reaches an honest worker in any fleet that has one.
+
+func backoffTestCoordinator() *Coordinator {
+	return &Coordinator{
+		cfg: CoordinatorConfig{
+			RetryBackoff:    10 * time.Millisecond,
+			RetryMaxBackoff: 80 * time.Millisecond,
+			MaxAttempts:     8,
+			BackoffSeed:     42,
+		},
+		reg:     &metrics.Registry{},
+		runs:    make(map[uint64]*coordRun),
+		workers: make(map[string]*coordWorker),
+	}
+}
+
+func TestBackoffDelayEnvelope(t *testing.T) {
+	c := backoffTestCoordinator()
+	// The exponential step for attempt a is base·2^(a-1), capped; the
+	// jittered delay must land in [step/2, step).
+	for attempt := 1; attempt <= 10; attempt++ {
+		step := 10 * time.Millisecond << (attempt - 1)
+		if step > c.cfg.RetryMaxBackoff {
+			step = c.cfg.RetryMaxBackoff
+		}
+		for index := 0; index < 16; index++ {
+			d := c.backoffDelay(index, attempt)
+			if d < step/2 || d >= step {
+				t.Fatalf("backoffDelay(%d, %d) = %v, want in [%v, %v)", index, attempt, d, step/2, step)
+			}
+		}
+	}
+}
+
+func TestBackoffDelayCap(t *testing.T) {
+	c := backoffTestCoordinator()
+	for attempt := 4; attempt <= 40; attempt++ {
+		if d := c.backoffDelay(3, attempt); d >= c.cfg.RetryMaxBackoff {
+			t.Fatalf("backoffDelay(3, %d) = %v breaches the %v cap", attempt, d, c.cfg.RetryMaxBackoff)
+		}
+	}
+}
+
+func TestBackoffDelayDeterministicJitter(t *testing.T) {
+	c := backoffTestCoordinator()
+	// Same seed, index and attempt → same delay, always.
+	for index := 0; index < 8; index++ {
+		for attempt := 1; attempt <= 4; attempt++ {
+			if a, b := c.backoffDelay(index, attempt), c.backoffDelay(index, attempt); a != b {
+				t.Fatalf("backoffDelay(%d, %d) not deterministic: %v vs %v", index, attempt, a, b)
+			}
+		}
+	}
+	// And the jitter does spread across indices: all-equal delays would
+	// mean synchronized retry stampedes.
+	seen := make(map[time.Duration]bool)
+	for index := 0; index < 32; index++ {
+		seen[c.backoffDelay(index, 3)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("jitter collapsed: 32 indices produced %d distinct delays", len(seen))
+	}
+}
+
+// takeTestWorker registers a live (or dead) worker on the test
+// coordinator; a net.Pipe stands in for a real connection.
+func takeTestWorker(t *testing.T, c *Coordinator, addr string, live bool) *coordWorker {
+	t.Helper()
+	w := &coordWorker{c: c, addr: addr, stop: make(chan struct{}),
+		inflight: make(map[taskKey]*coordDispatch), sentRuns: make(map[uint64]struct{})}
+	if live {
+		a, b := net.Pipe()
+		t.Cleanup(func() { a.Close(); b.Close() })
+		w.conn = a
+	}
+	c.workers[addr] = w
+	return w
+}
+
+func takeTestTask(run *coordRun, index int, tried ...string) *coordTask {
+	t := &coordTask{run: run, index: index, queued: true, triedOn: make(map[string]bool)}
+	for _, addr := range tried {
+		t.triedOn[addr] = true
+	}
+	return t
+}
+
+func TestTakeLockedPrefersUntriedLiveWorker(t *testing.T) {
+	c := backoffTestCoordinator()
+	w1 := takeTestWorker(t, c, "w1", true)
+	w2 := takeTestWorker(t, c, "w2", true)
+	run := &coordRun{skip: func(int) bool { return false }, total: 100, done: make(chan struct{})}
+
+	task := takeTestTask(run, 0, "w1")
+	c.queue = []*coordTask{task}
+	now := time.Now()
+
+	c.mu.Lock()
+	picked, _, failed := c.takeLocked(w1, now)
+	c.mu.Unlock()
+	if picked != nil || len(failed) != 0 {
+		t.Fatalf("w1 (already tried) got the task while untried live w2 exists: picked=%v", picked)
+	}
+	if !task.queued {
+		t.Fatal("deferred task must stay queued for the untried worker")
+	}
+
+	c.mu.Lock()
+	picked, _, _ = c.takeLocked(w2, now)
+	c.mu.Unlock()
+	if picked != task {
+		t.Fatalf("untried live w2 did not get the task: picked=%v", picked)
+	}
+	if !task.triedOn["w2"] || task.attempts != 1 {
+		t.Fatalf("placement bookkeeping off: triedOn=%v attempts=%d", task.triedOn, task.attempts)
+	}
+	_ = w2
+}
+
+func TestTakeLockedRetriesOnTriedWorkerWhenAlone(t *testing.T) {
+	c := backoffTestCoordinator()
+	w1 := takeTestWorker(t, c, "w1", true)
+	takeTestWorker(t, c, "w2", false) // registered but dead: not "live untried"
+	run := &coordRun{skip: func(int) bool { return false }, total: 100, done: make(chan struct{})}
+
+	task := takeTestTask(run, 0, "w1")
+	c.queue = []*coordTask{task}
+
+	c.mu.Lock()
+	picked, _, _ := c.takeLocked(w1, time.Now())
+	c.mu.Unlock()
+	if picked != task {
+		t.Fatal("with no live untried alternative, the tried worker must retry the task")
+	}
+}
+
+func TestTakeLockedLocalPoolIgnoresPlacement(t *testing.T) {
+	c := backoffTestCoordinator()
+	takeTestWorker(t, c, "w1", true)
+	run := &coordRun{skip: func(int) bool { return false }, total: 100, done: make(chan struct{})}
+
+	task := takeTestTask(run, 0, "w1")
+	c.queue = []*coordTask{task}
+
+	// The local-fallback pool (w == nil) has no placement history to
+	// respect: it may pick up any eligible task.
+	c.mu.Lock()
+	picked, _, _ := c.takeLocked(nil, time.Now())
+	c.mu.Unlock()
+	if picked != task {
+		t.Fatal("local pool must take the task regardless of triedOn")
+	}
+	if task.triedOn["local"] || len(task.triedOn) != 1 {
+		t.Fatalf("local pickup must not record remote placement: triedOn=%v", task.triedOn)
+	}
+}
+
+func TestTakeLockedHonorsEligibleAt(t *testing.T) {
+	c := backoffTestCoordinator()
+	w1 := takeTestWorker(t, c, "w1", true)
+	run := &coordRun{skip: func(int) bool { return false }, total: 100, done: make(chan struct{})}
+
+	now := time.Now()
+	task := takeTestTask(run, 0)
+	task.eligibleAt = now.Add(time.Minute)
+	c.queue = []*coordTask{task}
+
+	c.mu.Lock()
+	picked, nextAt, _ := c.takeLocked(w1, now)
+	c.mu.Unlock()
+	if picked != nil {
+		t.Fatal("backoff-delayed task dispatched before its eligibility")
+	}
+	if !nextAt.Equal(task.eligibleAt) {
+		t.Fatalf("nextAt = %v, want the deferred task's eligibleAt %v", nextAt, task.eligibleAt)
+	}
+}

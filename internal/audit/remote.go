@@ -468,9 +468,10 @@ func (w *EpochWorker) serveMuxConn(conn net.Conn, firstKind wire.DistFrameKind, 
 // where this function runs on the read loop itself and a hang instead
 // swallows the connection's remaining traffic until the peer gives up.
 func (w *EpochWorker) runJobMaybeChaotic(sess Session, job *EpochJob, conn net.Conn, connDead <-chan struct{}, cache *stateCache) (verdict []byte, reply bool) {
+	seq := w.jobSeq.Add(1)
 	action := ChaosNone
 	if w.Chaos != nil {
-		action = w.Chaos.jobAction(w.jobSeq.Add(1))
+		action = w.Chaos.jobAction(seq)
 	}
 	switch action {
 	case ChaosCrash:

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/snapshot"
 	"repro/internal/tevlog"
 	"repro/internal/vm"
+	"repro/internal/wire"
 )
 
 // This file is the audit-throughput experiment behind BENCH_audit.json: a
@@ -124,6 +127,24 @@ type AuditBenchResult struct {
 	CoordFleetUtilization float64 `json:"coord_fleet_utilization"`
 	CoordRetries          int64   `json:"coord_retries"`
 	CoordVerdictMatch     bool    `json:"coord_verdict_match"`
+
+	// Journaled crash-resume: a journaled coordinator whose only worker
+	// (behind a verdict-filter proxy) never answers for epoch 0 is killed
+	// once CoordResumeKillAfter later verdicts are durable; a fresh
+	// coordinator over the same journal and an honest fleet then finishes
+	// the audit. The gated rows are the epochs the successor emitted from
+	// the journal without re-dispatching, the verdict match against the
+	// serial engine, and the wall-clock ratio an uninterrupted journaled
+	// run pays over an identical un-journaled one (the fsync-batched WAL
+	// overhead).
+	CoordResumeKillAfter      int     `json:"coord_resume_kill_after_verdicts"`
+	CoordResumeRunsResumed    int64   `json:"coord_resume_runs_resumed"`
+	CoordResumeEpochsSkipped  int64   `json:"coord_resume_epochs_skipped"`
+	CoordResumeVerdictMatch   bool    `json:"coord_resume_verdict_match"`
+	CoordJournalBytes         int64   `json:"coord_journal_bytes"`
+	CoordJournaledWallNs      int64   `json:"coord_journaled_wall_ns"`
+	CoordUnjournaledWallNs    int64   `json:"coord_unjournaled_wall_ns"`
+	CoordJournalOverheadRatio float64 `json:"coord_journal_overhead_ratio"`
 
 	// Delta-shipped dispatch: a denser-snapshot recording of the same match
 	// audited twice over the same loopback fleet — full-state jobs vs
@@ -486,6 +507,114 @@ func RunAuditBenchWith(scale Scale, opts AuditBenchOptions) (*AuditBenchResult, 
 		return nil, fmt.Errorf("auditbench: coordinator verdicts diverged from serial")
 	}
 
+	// --- journaled coordinator: crash-resume and WAL overhead ---
+	jroot, err := os.MkdirTemp("", "auditbench-journal-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(jroot)
+	coordRun := func(j *audit.Journal, workerAddrs []string) (time.Duration, *audit.Result, audit.FleetStats, error) {
+		c := audit.NewCoordinator(audit.CoordinatorConfig{
+			Pipeline: 2, JobTimeout: 2 * time.Minute, DisableLocalFallback: true,
+			HedgeAfter: -1, Journal: j,
+		})
+		defer c.Close()
+		for _, a := range workerAddrs {
+			c.AddWorker(a)
+		}
+		var r *audit.Result
+		var rerr error
+		wall := stopwatch(func() {
+			r, _, rerr = c.Audit(distAuditor, target.Node(), uint32(target3.Index()), entries3, auths3,
+				audit.DistOptions{EngineOptions: audit.EngineOptions{Materialize: materialize}})
+		})
+		return wall, r, c.Stats(), rerr
+	}
+
+	// Overhead: one uninterrupted run each way over the same fleet; the
+	// journaled run's WAL lands on a fresh directory and tombstones on
+	// completion, so both runs do identical replay work.
+	plainWall, plainRes, _, err := coordRun(nil, addrs)
+	if err != nil {
+		return nil, fmt.Errorf("auditbench: un-journaled coordinator run: %w", err)
+	}
+	overheadJournal, err := audit.OpenJournal(filepath.Join(jroot, "overhead"))
+	if err != nil {
+		return nil, err
+	}
+	journaledWall, journaledRes, _, err := coordRun(overheadJournal, addrs)
+	overheadJournal.Close()
+	if err != nil {
+		return nil, fmt.Errorf("auditbench: journaled coordinator run: %w", err)
+	}
+	res.CoordUnjournaledWallNs = plainWall.Nanoseconds()
+	res.CoordJournaledWallNs = journaledWall.Nanoseconds()
+	if plainWall > 0 {
+		res.CoordJournalOverheadRatio = float64(journaledWall) / float64(plainWall)
+	}
+	if plainRes.Replay != serial.Replay || journaledRes.Replay != serial.Replay {
+		return nil, fmt.Errorf("auditbench: journal-overhead runs diverged from serial")
+	}
+
+	// Crash-resume: phase 1 strands the run behind an epoch-0-silent
+	// verdict filter, killed once the journal holds KillAfter durable
+	// verdicts; phase 2 resumes it over the honest fleet.
+	res.CoordResumeKillAfter = 2
+	crashDir := filepath.Join(jroot, "crash")
+	crashJournal, err := audit.OpenJournal(crashDir)
+	if err != nil {
+		return nil, err
+	}
+	proxyL, proxyAddr, err := audit.StartVerdictFilterProxy(addrs[0], func(v *wire.AuditVerdict) bool {
+		return v.Index != 0
+	})
+	if err != nil {
+		return nil, err
+	}
+	victim := audit.NewCoordinator(audit.CoordinatorConfig{
+		Pipeline: 2, JobTimeout: 2 * time.Minute, DisableLocalFallback: true,
+		HedgeAfter: -1, Journal: crashJournal,
+	})
+	victim.AddWorker(proxyAddr)
+	victimDone := make(chan error, 1)
+	go func() {
+		_, _, verr := victim.Audit(distAuditor, target.Node(), uint32(target3.Index()), entries3, auths3,
+			audit.DistOptions{EngineOptions: audit.EngineOptions{Materialize: materialize}})
+		victimDone <- verr
+	}()
+	killDeadline := time.Now().Add(60 * time.Second)
+	for {
+		_, verdicts, ierr := audit.InspectJournal(crashDir)
+		if ierr == nil && verdicts >= res.CoordResumeKillAfter {
+			break
+		}
+		if time.Now().After(killDeadline) {
+			return nil, fmt.Errorf("auditbench: journal never reached %d durable verdicts", res.CoordResumeKillAfter)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	victim.Kill()
+	<-victimDone // stranded audit fails with ErrCoordinatorKilled, by design
+	crashJournal.Close()
+	proxyL.Close()
+
+	resumeJournal, err := audit.OpenJournal(crashDir)
+	if err != nil {
+		return nil, err
+	}
+	_, resumeRes, resumeStats, err := coordRun(resumeJournal, addrs)
+	resumeJournal.Close()
+	if err != nil {
+		return nil, fmt.Errorf("auditbench: resumed coordinator run: %w", err)
+	}
+	res.CoordResumeRunsResumed = resumeStats.RunsResumed
+	res.CoordResumeEpochsSkipped = resumeStats.EpochsSkippedDurable
+	res.CoordJournalBytes = resumeStats.JournalBytes
+	res.CoordResumeVerdictMatch = resumeRes.Passed == serial.Passed && resumeRes.Replay == serial.Replay
+	if !res.CoordResumeVerdictMatch {
+		return nil, fmt.Errorf("auditbench: resumed verdict diverged from serial")
+	}
+
 	// --- delta-shipped dispatch over the same loopback fleet ---
 	// A denser-snapshot recording of the same match (one epoch per
 	// GameNs/48 instead of /8) so each worker connection sees a chain of
@@ -771,6 +900,11 @@ func (r *AuditBenchResult) Table() *metrics.Table {
 		fmt.Sprintf("%d workers, %d concurrent audits, %d epochs, %.1f epochs/s, utilization %.2f, %d retries, verdict match %v",
 			r.CoordWorkers, r.CoordRuns, r.CoordEpochsDone, r.CoordEpochsPerSec,
 			r.CoordFleetUtilization, r.CoordRetries, r.CoordVerdictMatch))
+	t.Row("journaled coordinator", time.Duration(r.CoordJournaledWallNs).String(),
+		fmt.Sprintf("%.2fx un-journaled wall, %d WAL bytes", r.CoordJournalOverheadRatio, r.CoordJournalBytes))
+	t.Row("coordinator crash-resume", fmt.Sprintf("killed after %d verdicts", r.CoordResumeKillAfter),
+		fmt.Sprintf("%d runs resumed, %d epochs emitted from journal, verdict match %v",
+			r.CoordResumeRunsResumed, r.CoordResumeEpochsSkipped, r.CoordResumeVerdictMatch))
 	t.Row("delta-shipped dispatch", time.Duration(r.DeltaDistWallNs).String(),
 		fmt.Sprintf("%d epochs, %d KiB shipped vs %d KiB full-state (%.1fx smaller), %d delta jobs, %d fallbacks, verdict match %v",
 			r.DeltaDistEpochs, r.DeltaJobBytes>>10, r.DeltaJobBytesFull>>10, r.DeltaBytesReduction,

@@ -81,6 +81,23 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// Value returns the named metric's current value without allocating it:
+// 0 for a metric nothing has touched yet. Status lines and tests read
+// sparse metric sets (journal counters on a run that never journaled,
+// registration counters on a push-configured fleet) and should not
+// populate the registry as a side effect of looking.
+func (r *Registry) Value(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[name]; c != nil {
+		return c.Value()
+	}
+	if g := r.gauges[name]; g != nil {
+		return g.Value()
+	}
+	return 0
+}
+
 // Snapshot returns every metric's current value by name.
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.Lock()

@@ -51,6 +51,12 @@ type bench struct {
 	CoordFleetUtilization float64 `json:"coord_fleet_utilization"`
 	CoordRetries          int64   `json:"coord_retries"`
 	CoordVerdictMatch     bool    `json:"coord_verdict_match"`
+	ResumeKillAfter       int     `json:"coord_resume_kill_after_verdicts"`
+	ResumeRunsResumed     int64   `json:"coord_resume_runs_resumed"`
+	ResumeEpochsSkipped   int64   `json:"coord_resume_epochs_skipped"`
+	ResumeVerdictMatch    bool    `json:"coord_resume_verdict_match"`
+	JournalBytes          int64   `json:"coord_journal_bytes"`
+	JournalOverheadRatio  float64 `json:"coord_journal_overhead_ratio"`
 	DeltaJobBytesFull     int     `json:"dist_job_bytes_full_state"`
 	DeltaJobBytes         int     `json:"dist_job_bytes_delta"`
 	DeltaJobsShipped      int     `json:"delta_jobs_shipped"`
@@ -201,6 +207,22 @@ func main() {
 		invariant("coord utilization >= 0.6", current.CoordFleetUtilization <= 0 ||
 			current.CoordFleetUtilization >= 0.6)
 		invariant("coord retries <= epochs", current.CoordRetries <= current.CoordEpochsDone)
+	}
+	// Journaled crash-resume: a coordinator killed mid-audit and restarted
+	// over its journal must keep the verdict byte-identical, emit at least
+	// the durable-at-kill epochs straight from the journal (zero skips
+	// means resume stopped engaging and everything re-replayed), and the
+	// fsync-batched WAL must stay cheap on an uninterrupted run — an
+	// overhead ratio past 2 means journaling started syncing per epoch or
+	// blocking dispatch. Conditional on the journal fields being present so
+	// older artifacts don't fail the gate.
+	if current.ResumeKillAfter > 0 {
+		invariant("resume verdict match", current.ResumeVerdictMatch)
+		invariant("resume runs resumed >= 1", current.ResumeRunsResumed >= 1)
+		invariant("resume epochs from journal", current.ResumeEpochsSkipped >= int64(current.ResumeKillAfter))
+		invariant("journal bytes recorded", current.JournalBytes > 0)
+		invariant("journal overhead <= 2x", current.JournalOverheadRatio <= 0 ||
+			current.JournalOverheadRatio <= 2.0)
 	}
 	// Delta-shipped dispatch: the verdict must not depend on whether jobs
 	// carried full states or proof-carrying increments, the increments must

@@ -10,8 +10,11 @@
 // coordinator service while the fleet churns: one worker process is
 // SIGKILLed a third of the way through and a replacement hot-joins two
 // thirds through, and every verdict must still match the serial engine's.
-// Finally it asserts the -coordinate exit-code contract and that a
-// SIGTERMed worker drains gracefully (exit 0).
+// Finally it asserts the -coordinate exit-code contract, that a
+// SIGKILLed journaled coordinator restarted over the same -journal (with
+// a -register self-joined worker) resumes to byte-identical verdicts,
+// that a second signal cuts a stalled worker drain short (still exit 0),
+// and that a SIGTERMed worker drains gracefully (exit 0).
 //
 //	go build -o bin/ ./cmd/avm-audit ./cmd/avm-run
 //	go run ./scripts/dist_smoke -audit-bin bin/avm-audit -run-bin bin/avm-run
@@ -22,13 +25,18 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"reflect"
+	"regexp"
+	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -36,6 +44,7 @@ import (
 	"repro/internal/avmm"
 	"repro/internal/game"
 	"repro/internal/sig"
+	"repro/internal/wire"
 )
 
 const matchNs = 6_000_000_000
@@ -144,6 +153,126 @@ func auditMatch(name string, cheat *game.Cheat, opts audit.DistOptions) {
 			failf("%s/%s: serial passed=%v but cheater=%v", name, node, serial.Passed, cheater)
 		}
 	}
+}
+
+// watchedProc is a process whose stdout lines the harness needs both live
+// (banners announcing bound ports) and in full (verdict comparison after
+// exit). Stderr passes through.
+type watchedProc struct {
+	cmd   *exec.Cmd
+	mu    sync.Mutex
+	cond  *sync.Cond
+	lines []string
+	eof   bool
+}
+
+func startWatched(bin string, args ...string) (*watchedProc, error) {
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &watchedProc{cmd: cmd}
+	p.cond = sync.NewCond(&p.mu)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			p.mu.Lock()
+			p.lines = append(p.lines, sc.Text())
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+		p.mu.Lock()
+		p.eof = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}()
+	return p, nil
+}
+
+// waitLine blocks until the process prints a line containing substr (or
+// its stdout closes / the timeout passes) and returns it.
+func (p *watchedProc) waitLine(substr string, timeout time.Duration) (string, bool) {
+	deadline := time.Now().Add(timeout)
+	wake := time.AfterFunc(timeout, func() { p.cond.Broadcast() })
+	defer wake.Stop()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; ; {
+		for ; i < len(p.lines); i++ {
+			if strings.Contains(p.lines[i], substr) {
+				return p.lines[i], true
+			}
+		}
+		if p.eof || time.Now().After(deadline) {
+			return "", false
+		}
+		p.cond.Wait()
+	}
+}
+
+func (p *watchedProc) allLines() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.lines...)
+}
+
+func (p *watchedProc) kill() {
+	_ = p.cmd.Process.Kill()
+	_, _ = p.cmd.Process.Wait()
+}
+
+// startEpochZeroSilentProxy fronts a real worker process with the chaos
+// harness's verdict-filter proxy, swallowing every verdict for epoch
+// index 0. Epoch 0 precedes any possible fault, so its verdict is always
+// needed: any run dispatched through the proxy strands mid-flight with
+// the later epochs' verdicts durable — the deterministic setup for
+// SIGKILLing a coordinator that provably has unfinished journaled work.
+func startEpochZeroSilentProxy(workerAddr string) (string, error) {
+	_, addr, err := audit.StartVerdictFilterProxy(workerAddr, func(v *wire.AuditVerdict) bool {
+		return v.Index != 0
+	})
+	return addr, err
+}
+
+// Timing-independent cores of the avm-audit verdict lines, so serial and
+// resumed-coordinator output can be compared byte for byte.
+var (
+	passedRe = regexp.MustCompile(`^(\S+)\s+PASSED\s+in\s+\S+\s+\((\d+ entries, \d+ instructions replayed, \d+ sends matched)`)
+	faultRe  = regexp.MustCompile(`^(\S+)\s+FAULT\s+in\s+\S+\s+— (.+? \([^,]+ check, entry \d+)`)
+)
+
+func verdictSummaries(lines []string) []string {
+	var out []string
+	for _, ln := range lines {
+		if m := passedRe.FindStringSubmatch(ln); m != nil {
+			out = append(out, m[1]+" PASSED "+m[2])
+		} else if m := faultRe.FindStringSubmatch(ln); m != nil {
+			out = append(out, m[1]+" FAULT "+m[2])
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runCapture runs a command, returning its stdout lines and exit code.
+func runCapture(bin string, args ...string) ([]string, int) {
+	cmd := exec.Command(bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		code = -1
+	}
+	return strings.Split(strings.TrimRight(buf.String(), "\n"), "\n"), code
 }
 
 // expectExit runs a command and checks its exit code.
@@ -295,6 +424,149 @@ func main() {
 		"-job-timeout", "2s") // dead fleet, local fallback ⇒ 0
 	expectExit(2, *auditBin, "-dir", cleanDir, "-coordinate", "127.0.0.1:1",
 		"-local-fallback=false", "-job-timeout", "2s") // dead fleet, no fallback ⇒ 2
+
+	// Crash-resume phase: SIGKILL a real `-coordinate -journal` process
+	// once its journal holds durable verdicts, restart it over the same
+	// journal with a worker that joins via -register, and require the
+	// resumed verdicts identical to the serial engine's (timing aside),
+	// the journal counters reported, exit code 1 (the recording cheats),
+	// and an empty journal once the resumed audit settles.
+	fmt.Println("dist_smoke: crash-resume phase")
+	serialLines, serialCode := runCapture(*auditBin, "-dir", cheatDir)
+	if serialCode != 1 {
+		failf("serial audit of the cheat recording: exit %d, want 1", serialCode)
+	}
+	crashWorker := mustWorker()
+	defer crashWorker.kill()
+	proxyAddr, err := startEpochZeroSilentProxy(crashWorker.addr)
+	if err != nil {
+		failf("starting epoch-0-silent proxy: %v", err)
+	}
+	journalDir := filepath.Join(tmp, "journal")
+	victim, err := startWatched(*auditBin, "-dir", cheatDir, "-coordinate", proxyAddr,
+		"-journal", journalDir, "-local-fallback=false", "-job-timeout", "120s")
+	if err != nil {
+		failf("starting journaled coordinator: %v", err)
+	} else {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			_, verdicts, err := audit.InspectJournal(journalDir)
+			if err == nil && verdicts >= 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				failf("coordinator journal never gained a durable verdict")
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		fmt.Println("dist_smoke: SIGKILL coordinator mid-audit (journal has durable verdicts)")
+		victim.kill()
+
+		restart, err := startWatched(*auditBin, "-dir", cheatDir, "-journal", journalDir,
+			"-register-listen", "127.0.0.1:0", "-local-fallback=false", "-job-timeout", "120s")
+		if err != nil {
+			failf("restarting journaled coordinator: %v", err)
+		} else {
+			banner, ok := restart.waitLine("registration listener on ", 20*time.Second)
+			if !ok {
+				failf("restarted coordinator printed no registration banner")
+				restart.kill()
+			} else {
+				regAddr := strings.TrimSpace(banner[strings.LastIndex(banner, " on ")+len(" on "):])
+				joiner, err := startWatched(*auditBin, "-serve", "-listen", "127.0.0.1:0", "-register", regAddr)
+				if err != nil {
+					failf("starting register-joined worker: %v", err)
+				} else {
+					defer joiner.kill()
+					if _, ok := joiner.waitLine("registered with coordinator", 20*time.Second); !ok {
+						failf("worker never confirmed registration with %s", regAddr)
+					}
+				}
+				werr := restart.cmd.Wait()
+				code := 0
+				if ee, ok := werr.(*exec.ExitError); ok {
+					code = ee.ExitCode()
+				} else if werr != nil {
+					failf("waiting for restarted coordinator: %v", werr)
+				}
+				if code != 1 {
+					failf("restarted coordinator over cheat recording: exit %d, want 1", code)
+				}
+				lines := restart.allLines()
+				if got, want := verdictSummaries(lines), verdictSummaries(serialLines); !reflect.DeepEqual(got, want) {
+					failf("crash-resume verdict divergence:\n  resumed: %v\n  serial:  %v", got, want)
+				}
+				var resumed, skipped, jbytes int
+				journalLine := false
+				for _, ln := range lines {
+					if n, _ := fmt.Sscanf(ln, "journal: %d runs resumed, %d epochs skipped as durable, %d bytes",
+						&resumed, &skipped, &jbytes); n == 3 {
+						journalLine = true
+					}
+				}
+				switch {
+				case !journalLine:
+					failf("restarted coordinator printed no journal status line")
+				case resumed == 0 || skipped == 0 || jbytes == 0:
+					failf("journal line reports no resume work: %d resumed, %d skipped, %d bytes", resumed, skipped, jbytes)
+				default:
+					fmt.Printf("dist_smoke: crash-resume ok (%d runs resumed, %d epochs skipped as durable)\n", resumed, skipped)
+				}
+				if runs, verdicts, err := audit.InspectJournal(journalDir); err != nil || runs != 0 || verdicts != 0 {
+					failf("journal after clean resume = (%d runs, %d verdicts, %v), want empty", runs, verdicts, err)
+				}
+			}
+		}
+	}
+
+	// A second signal during a stalled drain must exit immediately, still
+	// 0. A -chaos-hang worker never finishes its in-flight epoch, so only
+	// the second-signal path can end the process.
+	hangW, err := startWatched(*auditBin, "-serve", "-listen", "127.0.0.1:0", "-chaos-hang", "-drain-timeout", "300s")
+	if err != nil {
+		failf("starting hang worker: %v", err)
+	} else {
+		banner, ok := hangW.waitLine("listening on ", 10*time.Second)
+		if !ok {
+			failf("hang worker printed no listen address")
+			hangW.kill()
+		} else {
+			hangAddr := strings.TrimSpace(banner[strings.LastIndex(banner, " on ")+len(" on "):])
+			// Feed it a job it will hang on, then give the dispatch time to land.
+			feeder := exec.Command(*auditBin, "-dir", cleanDir, "-dispatch", hangAddr, "-job-timeout", "300s")
+			feeder.Stdout, feeder.Stderr = io.Discard, io.Discard
+			if err := feeder.Start(); err != nil {
+				failf("starting feeder dispatch: %v", err)
+			}
+			defer func() { _ = feeder.Process.Kill(); _, _ = feeder.Process.Wait() }()
+			time.Sleep(5 * time.Second)
+			if err := hangW.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+				failf("first SIGTERM to hang worker: %v", err)
+			}
+			if _, ok := hangW.waitLine("draining", 10*time.Second); !ok {
+				failf("hang worker printed no draining banner after SIGTERM")
+			}
+			// The drain must stall on the hung epoch: the process has to
+			// still be alive well after the banner.
+			time.Sleep(3 * time.Second)
+			if err := hangW.cmd.Process.Signal(syscall.Signal(0)); err != nil {
+				failf("hang worker exited during drain despite a hung in-flight epoch: %v", err)
+			} else {
+				start := time.Now()
+				if err := hangW.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+					failf("second SIGTERM to hang worker: %v", err)
+				}
+				if werr := hangW.cmd.Wait(); werr != nil {
+					failf("double-signaled worker should exit 0 immediately, got: %v", werr)
+				} else if wait := time.Since(start); wait > 10*time.Second {
+					failf("double-signaled worker took %v to exit, want immediate", wait)
+				} else {
+					fmt.Printf("dist_smoke: second signal cut the drain short in %v (exit 0)\n", wait.Round(time.Millisecond))
+				}
+			}
+		}
+	}
 
 	// A SIGTERMed worker must drain gracefully: finish in-flight epochs,
 	// refuse new jobs, exit 0.
