@@ -81,6 +81,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/audit"
 	"repro/internal/dbapp"
 	"repro/internal/game"
@@ -143,6 +144,43 @@ func rebuildKeys(meta *Meta) *sig.KeyStore {
 	return keys
 }
 
+// openArchive resolves the -archive flag: "auto" opens <dir>/archive when
+// avm-run wrote one (nil otherwise), "off" disables the archive path, and
+// anything else is an explicit archive directory.
+func openArchive(dir, flagVal string) (*archive.Archive, error) {
+	switch flagVal {
+	case "off":
+		return nil, nil
+	case "auto":
+		p := filepath.Join(dir, "archive")
+		if _, err := os.Stat(filepath.Join(p, archive.ManifestName)); err != nil {
+			return nil, nil
+		}
+		return archive.Open(p)
+	default:
+		return archive.Open(flagVal)
+	}
+}
+
+// archiveSnapshots returns Materialize and DeltaSource closures folding
+// states out of the archive's verified snapshot segments, or nils when
+// the node was archived without snapshots.
+func archiveSnapshots(arc *archive.Archive, node string) (func(snapIdx uint32) (*snapshot.Restored, error), func(k uint32) (*snapshot.Delta, error), error) {
+	n, err := arc.Snapshots(node)
+	if err != nil || n == 0 {
+		return nil, nil, err
+	}
+	src, err := arc.IncrementSource(node)
+	if err != nil {
+		return nil, nil, err
+	}
+	return func(snapIdx uint32) (*snapshot.Restored, error) {
+			return snapshot.MaterializeFrom(src, int(snapIdx))
+		}, func(k uint32) (*snapshot.Delta, error) {
+			return snapshot.DeltaFrom(src, int(k))
+		}, nil
+}
+
 // loadSnapshots returns Materialize and DeltaSource closures over the
 // node's persisted snapshot store (avm-run writes one per node when
 // snapshots were taken), or nils when the recording carries none.
@@ -165,6 +203,31 @@ func loadSnapshots(dir, node string) (func(snapIdx uint32) (*snapshot.Restored, 
 		}, func(k uint32) (*snapshot.Delta, error) {
 			return st.Delta(int(k))
 		}, nil
+}
+
+// loadEntriesAndSnapshots loads a node's chain-verified entry slice and
+// snapshot closures for the materializing engines: from the archive's
+// verified segments when one is open (compressed is then ignored),
+// otherwise by decompressing the flat container and opening the gob
+// snapshot store.
+func loadEntriesAndSnapshots(arc *archive.Archive, dir, node string, compressed []byte) ([]tevlog.Entry, func(snapIdx uint32) (*snapshot.Restored, error), func(k uint32) (*snapshot.Delta, error), error) {
+	if arc != nil {
+		entries, err := arc.ReadLog(node)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		materialize, deltaSrc, err := archiveSnapshots(arc, node)
+		return entries, materialize, deltaSrc, err
+	}
+	entries, err := logcomp.DecompressEntries(compressed)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("decompressing %s log: %w", node, err)
+	}
+	if err := tevlog.Rechain(tevlog.Hash{}, entries); err != nil {
+		return nil, nil, nil, fmt.Errorf("rechaining %s log: %w", node, err)
+	}
+	materialize, deltaSrc, err := loadSnapshots(dir, node)
+	return entries, materialize, deltaSrc, err
 }
 
 // fail reports an audit-infrastructure failure (exit code 2).
@@ -196,6 +259,7 @@ func run() int {
 	registerListen := flag.String("register-listen", "", "coordinate mode: address to accept worker self-registrations on (workers run -serve -register <this addr>)")
 	register := flag.String("register", "", "worker mode: coordinator registration address to announce this worker to (redials with backoff if the coordinator restarts)")
 	chaosHang := flag.Bool("chaos-hang", false, "worker mode: accept every job and never reply (fault-injection for drain and timeout testing)")
+	archiveFlag := flag.String("archive", "auto", `disk archive to audit from: "auto" uses <dir>/archive when avm-run wrote one, "off" forces the flat files, anything else is an archive directory`)
 	flag.Parse()
 
 	if *serve {
@@ -211,6 +275,18 @@ func run() int {
 		return fail("%v", err)
 	}
 	keys := rebuildKeys(&meta)
+
+	// Segments, snapshots and epoch jobs are read from the disk archive
+	// when one is available: entry runs and increments come back verified
+	// against the archived hashes, and the stream engine never
+	// materializes the log at all.
+	arc, err := openArchive(*dir, *archiveFlag)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if arc != nil {
+		defer arc.Close()
+	}
 
 	var nodes []string
 	if *nodeFlag != "" {
@@ -229,7 +305,7 @@ func run() int {
 				addrs = append(addrs, a)
 			}
 		}
-		return runCoordinated(*dir, &meta, keys, nodes, addrs, *journalDir, *registerListen,
+		return runCoordinated(arc, *dir, &meta, keys, nodes, addrs, *journalDir, *registerListen,
 			*pipeline, *spot, *jobTimeout, *hedgeAfter, *localFallback, *delta, *nofusion)
 	}
 
@@ -243,9 +319,13 @@ func run() int {
 
 	faults := 0
 	for _, node := range nodes {
-		compressed, err := os.ReadFile(filepath.Join(*dir, node+".log"))
-		if err != nil {
-			return fail("%v", err)
+		var compressed []byte
+		if arc == nil {
+			var err error
+			compressed, err = os.ReadFile(filepath.Join(*dir, node+".log"))
+			if err != nil {
+				return fail("%v", err)
+			}
 		}
 		var auths []tevlog.Authenticator
 		authFile, err := os.Open(filepath.Join(*dir, node+".auths"))
@@ -274,18 +354,14 @@ func run() int {
 		entryCount := 0
 		switch {
 		case backend != nil:
-			entries, err := logcomp.DecompressEntries(compressed)
-			if err != nil {
-				return fail("decompressing %s log: %v", node, err)
-			}
-			if err := tevlog.Rechain(tevlog.Hash{}, entries); err != nil {
-				return fail("rechaining %s log: %v", node, err)
-			}
-			entryCount = len(entries)
-			materialize, deltaSrc, err := loadSnapshots(*dir, node)
+			// Epoch jobs are derived from the archive's entry runs and
+			// snapshot segments when one is present — the offline-dispatch
+			// read path that never touches the flat files.
+			entries, materialize, deltaSrc, err := loadEntriesAndSnapshots(arc, *dir, node, compressed)
 			if err != nil {
 				return fail("%v", err)
 			}
+			entryCount = len(entries)
 			req.Engine = audit.EngineDist
 			req.Backend = backend
 			req.Entries, req.Auths = entries, auths
@@ -297,25 +373,34 @@ func run() int {
 				SpotRecheckSeed:     meta.Seed,
 			}
 		case *stream:
-			// Streaming straight from the container; with persisted
-			// snapshots the stream router splits epochs, otherwise it
-			// replays a single boot epoch — decode, chain verification and
-			// replay still overlap, with at most -window entries resident.
-			materialize, _, err := loadSnapshots(*dir, node)
+			// Streaming straight from the container — or, with an
+			// archive, epoch segments verified and decoded from disk one
+			// at a time; with persisted snapshots the stream router splits
+			// epochs, otherwise it replays a single boot epoch — decode,
+			// chain verification and replay still overlap, with at most
+			// -window entries resident.
+			var materialize func(snapIdx uint32) (*snapshot.Restored, error)
+			var err error
+			if arc != nil {
+				req.Source, err = arc.EntrySource(node)
+				if err != nil {
+					return fail("%v", err)
+				}
+				materialize, _, err = archiveSnapshots(arc, node)
+			} else {
+				req.Compressed = compressed
+				materialize, _, err = loadSnapshots(*dir, node)
+			}
 			if err != nil {
 				return fail("%v", err)
 			}
 			req.Engine = audit.EngineStream
-			req.Compressed = compressed
 			req.Auths = auths
 			req.Options = audit.EngineOptions{Window: *window, Materialize: materialize}
 		default:
-			entries, err := logcomp.DecompressEntries(compressed)
+			entries, _, _, err := loadEntriesAndSnapshots(arc, *dir, node, compressed)
 			if err != nil {
-				return fail("decompressing %s log: %v", node, err)
-			}
-			if err := tevlog.Rechain(tevlog.Hash{}, entries); err != nil {
-				return fail("rechaining %s log: %v", node, err)
+				return fail("%v", err)
 			}
 			entryCount = len(entries)
 			req.Engine = audit.EngineSerial
@@ -364,18 +449,20 @@ type nodeRecording struct {
 }
 
 // loadNodeRecording reads and verifies one node's log, authenticators and
-// snapshot store from the recording directory.
-func loadNodeRecording(dir string, meta *Meta, keys *sig.KeyStore, node string) (*nodeRecording, error) {
-	compressed, err := os.ReadFile(filepath.Join(dir, node+".log"))
+// snapshot store — epoch segments and increments from the archive when
+// one is open, flat files otherwise.
+func loadNodeRecording(arc *archive.Archive, dir string, meta *Meta, keys *sig.KeyStore, node string) (*nodeRecording, error) {
+	var compressed []byte
+	if arc == nil {
+		var err error
+		compressed, err = os.ReadFile(filepath.Join(dir, node+".log"))
+		if err != nil {
+			return nil, err
+		}
+	}
+	entries, materialize, deltaSrc, err := loadEntriesAndSnapshots(arc, dir, node, compressed)
 	if err != nil {
 		return nil, err
-	}
-	entries, err := logcomp.DecompressEntries(compressed)
-	if err != nil {
-		return nil, fmt.Errorf("decompressing %s log: %w", node, err)
-	}
-	if err := tevlog.Rechain(tevlog.Hash{}, entries); err != nil {
-		return nil, fmt.Errorf("rechaining %s log: %w", node, err)
 	}
 	var auths []tevlog.Authenticator
 	authFile, err := os.Open(filepath.Join(dir, node+".auths"))
@@ -390,10 +477,6 @@ func loadNodeRecording(dir string, meta *Meta, keys *sig.KeyStore, node string) 
 		return nil, err
 	}
 	ref, err := referenceImage(meta, node)
-	if err != nil {
-		return nil, err
-	}
-	materialize, deltaSrc, err := loadSnapshots(dir, node)
 	if err != nil {
 		return nil, err
 	}
@@ -412,11 +495,11 @@ func loadNodeRecording(dir string, meta *Meta, keys *sig.KeyStore, node string) 
 // worker, heartbeat liveness, pipelined dispatch, retry with backoff and
 // straggler hedging. Workers may join, leave or crash mid-audit; with
 // -local-fallback (the default) an empty fleet degrades to local replay.
-func runCoordinated(dir string, meta *Meta, keys *sig.KeyStore, nodes, addrs []string, journalDir, registerListen string,
+func runCoordinated(arc *archive.Archive, dir string, meta *Meta, keys *sig.KeyStore, nodes, addrs []string, journalDir, registerListen string,
 	pipeline int, spot float64, jobTimeout, hedgeAfter time.Duration, localFallback, delta, nofusion bool) int {
 	recs := make([]*nodeRecording, 0, len(nodes))
 	for _, node := range nodes {
-		rec, err := loadNodeRecording(dir, meta, keys, node)
+		rec, err := loadNodeRecording(arc, dir, meta, keys, node)
 		if err != nil {
 			return fail("%v", err)
 		}

@@ -18,11 +18,13 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/archive"
 	"repro/internal/avmm"
 	"repro/internal/dbapp"
 	"repro/internal/game"
 	"repro/internal/logcomp"
 	"repro/internal/sig"
+	"repro/internal/snapshot"
 	"repro/internal/tevlog"
 )
 
@@ -45,6 +47,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic scenario seed")
 	cheat := flag.String("cheat", "", "cheat for player 2 (game scenario only)")
 	out := flag.String("out", "avm-run-out", "output directory")
+	noArchive := flag.Bool("noarchive", false, "skip writing the disk archive (out/archive); auditors then read the flat files")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -126,6 +129,18 @@ func main() {
 		log.Fatalf("unknown scenario %q (want game or db)", *scenario)
 	}
 
+	// The disk archive is written alongside the flat files as the run's
+	// segments become available: every snapshot increment and every epoch's
+	// entry run lands as an authenticated, crc-indexed, fsync-batched
+	// segment that avm-audit streams back without materializing the log.
+	var arc *archive.Archive
+	if !*noArchive {
+		var err error
+		if arc, err = archive.Open(filepath.Join(*out, "archive")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	for _, mon := range monitors {
 		node := string(mon.Node())
 		meta.Nodes[node] = mon.Index()
@@ -162,8 +177,26 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+		if arc != nil {
+			var sf *snapshot.StoreFile
+			if mon.Snaps != nil && mon.Snaps.Count() > 0 {
+				f := mon.Snaps.File()
+				sf = &f
+			}
+			if err := arc.WriteRecording(node, mon.Log.All(), sf); err != nil {
+				log.Fatal(err)
+			}
+		}
 		fmt.Printf("  %-10s %6d entries → %8d bytes compressed (%s)\n",
 			node, mon.Log.Len(), len(compressed), logPath)
+	}
+	if arc != nil {
+		bytes := arc.Bytes()
+		if err := arc.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  archive    %8d bytes authenticated segments (%s)\n",
+			bytes, filepath.Join(*out, "archive"))
 	}
 	metaBytes, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {

@@ -1,0 +1,536 @@
+package archive
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/sig"
+	"repro/internal/snapshot"
+	"repro/internal/tevlog"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// testRecording is one synthetic node recording: a chained log with two
+// snapshot entries (so it archives as two closed epochs plus an unclosed
+// tail) and the matching two-increment snapshot store.
+type testRecording struct {
+	node    string
+	entries []tevlog.Entry
+	store   *snapshot.Store
+}
+
+func makeRecording(t *testing.T) *testRecording {
+	t.Helper()
+	m := vm.NewMachine(8*vm.PageSize, nil)
+	st := snapshot.NewStore(len(m.Mem))
+	l := tevlog.New(sig.NullSigner{Node: "n1"})
+
+	snapEntry := func(icount uint64) {
+		t.Helper()
+		if err := m.Store32(uint32(icount%8)*uint32(vm.PageSize), uint32(icount)); err != nil {
+			t.Fatal(err)
+		}
+		s, err := st.Take(m, []byte("dev"), []byte("authdev"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := wire.EventContent{
+			Kind: wire.EventSnapshot, SnapIdx: uint32(s.Index), Root: s.Root,
+			Landmark: vm.Landmark{ICount: icount},
+		}
+		l.Append(tevlog.TypeSnapshot, ev.Marshal())
+	}
+
+	for i := 0; i < 5; i++ {
+		l.Append(tevlog.TypeNondet, []byte{byte(i)})
+	}
+	snapEntry(100)
+	for i := 0; i < 4; i++ {
+		l.Append(tevlog.TypeSend, []byte("payload"))
+	}
+	snapEntry(200)
+	l.Append(tevlog.TypeAck, []byte("tail-1"))
+	l.Append(tevlog.TypeAck, []byte("tail-2"))
+
+	return &testRecording{node: "n1", entries: l.All(), store: st}
+}
+
+func writeArchive(t *testing.T, rec *testRecording) (string, *Archive) {
+	t.Helper()
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := rec.store.File()
+	if err := a.WriteRecording(rec.node, rec.entries, &sf); err != nil {
+		t.Fatal(err)
+	}
+	return dir, a
+}
+
+func sameEntries(a, b []tevlog.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Seq != b[i].Seq || a[i].Type != b[i].Type ||
+			a[i].Hash != b[i].Hash || string(a[i].Content) != string(b[i].Content) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	rec := makeRecording(t)
+	dir, a := writeArchive(t, rec)
+
+	if n, _ := a.Epochs(rec.node); n != 3 {
+		t.Fatalf("epochs = %d, want 3 (2 closed + unclosed tail)", n)
+	}
+	if n, _ := a.Snapshots(rec.node); n != 2 {
+		t.Fatalf("snapshots = %d, want 2", n)
+	}
+	got, err := a.ReadLog(rec.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEntries(got, rec.entries) {
+		t.Fatal("ReadLog differs from the recorded entries")
+	}
+	bounds, err := a.Boundaries(rec.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bounds) != 2 {
+		t.Fatalf("boundaries = %d, want 2", len(bounds))
+	}
+	if bounds[0].Seq != 6 || bounds[0].SnapIdx != 0 || bounds[1].Seq != 11 || bounds[1].SnapIdx != 1 {
+		t.Fatalf("boundary seqs/snaps = %+v", bounds)
+	}
+	if bounds[1].EntryHash != rec.entries[10].Hash {
+		t.Fatal("boundary entry hash does not match the live chain")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the manifest round-trips and reads stay identical.
+	a2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	got2, err := a2.ReadLog(rec.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEntries(got2, rec.entries) {
+		t.Fatal("ReadLog after reopen differs from the recorded entries")
+	}
+	info, err := a2.EpochInfo(rec.node, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Closed || info.Boot || info.FirstSeq != 7 || info.Entries != 5 || info.EndSnap != 1 {
+		t.Fatalf("epoch 1 info = %+v", info)
+	}
+}
+
+func TestArchiveEntrySourceStreams(t *testing.T) {
+	rec := makeRecording(t)
+	_, a := writeArchive(t, rec)
+	defer a.Close()
+	src, err := a.EntrySource(rec.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	for i := range rec.entries {
+		e, err := src.Next()
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if e.Seq != rec.entries[i].Seq || e.Type != rec.entries[i].Type {
+			t.Fatalf("entry %d = seq %d type %v, want seq %d type %v",
+				i, e.Seq, e.Type, rec.entries[i].Seq, rec.entries[i].Type)
+		}
+	}
+	if _, err := src.Next(); err == nil {
+		t.Fatal("source yields entries past the end")
+	}
+}
+
+func TestArchiveWindowMatchesLogSlice(t *testing.T) {
+	rec := makeRecording(t)
+	_, a := writeArchive(t, rec)
+	defer a.Close()
+	// Window after boundary 0 of length 1 = epoch 1 = entries 7..11.
+	win, err := a.ReadWindow(rec.node, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEntries(win, rec.entries[6:11]) {
+		t.Fatal("window differs from the corresponding log slice")
+	}
+}
+
+func TestArchiveSnapshotPayloadRoundTrip(t *testing.T) {
+	rec := makeRecording(t)
+	sf := rec.store.File()
+	for _, s := range sf.Snaps {
+		payload := marshalSnapshotPayload(s)
+		back, err := parseSnapshotPayload(payload)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", s.Index, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("snapshot %d does not round-trip", s.Index)
+		}
+	}
+}
+
+func TestArchiveMaterializeMatchesStore(t *testing.T) {
+	rec := makeRecording(t)
+	_, a := writeArchive(t, rec)
+	defer a.Close()
+	src, err := a.IncrementSource(rec.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < rec.store.Count(); k++ {
+		want, err := rec.store.Materialize(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := snapshot.MaterializeFrom(src, k)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", k, err)
+		}
+		if got.Root != want.Root || string(got.Mem) != string(want.Mem) {
+			t.Fatalf("materialized state %d differs from the in-memory store", k)
+		}
+	}
+	// Deltas build identically too.
+	for k := 1; k < rec.store.Count(); k++ {
+		want, err := rec.store.Delta(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := snapshot.DeltaFrom(src, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ToRoot != want.ToRoot || got.FromRoot != want.FromRoot || len(got.Pages) != len(want.Pages) {
+			t.Fatalf("delta %d differs from the in-memory store", k)
+		}
+	}
+}
+
+// TestArchiveTornManifestTail pins the crash contract on the manifest: a
+// torn final record is dropped, everything before it survives, and appends
+// resume cleanly after the compacting reopen.
+func TestArchiveTornManifestTail(t *testing.T) {
+	rec := makeRecording(t)
+	dir, a := writeArchive(t, rec)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chop mid-frame: the final record (the unclosed tail epoch) tears.
+	path := filepath.Join(dir, ManifestName)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	a2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := a2.Epochs(rec.node); n != 2 {
+		t.Fatalf("epochs after torn tail = %d, want 2", n)
+	}
+	got, err := a2.ReadLog(rec.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEntries(got, rec.entries[:11]) {
+		t.Fatal("surviving prefix differs from the first two epochs")
+	}
+	// The writer can re-archive the lost tail and the full log reads back.
+	if err := a2.AppendEpoch(rec.node, EpochMeta{StartSnap: 1, StartSeq: 11}, rec.entries[11:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a3.Close()
+	got, err = a3.ReadLog(rec.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEntries(got, rec.entries) {
+		t.Fatal("log after recovered append differs from the original")
+	}
+}
+
+// TestArchiveTornTilePayload pins the other crash shape: the manifest
+// record made it to disk but its payload did not. The record (and
+// everything after it) is dropped and the tile truncated back to the last
+// indexed byte.
+func TestArchiveTornTilePayload(t *testing.T) {
+	rec := makeRecording(t)
+	dir, a := writeArchive(t, rec)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tile := filepath.Join(dir, rec.node+TileSuffix)
+	fi, err := os.Stat(tile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(tile, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	a2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if n, _ := a2.Epochs(rec.node); n != 2 {
+		t.Fatalf("epochs after torn payload = %d, want 2", n)
+	}
+	got, err := a2.ReadLog(rec.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEntries(got, rec.entries[:11]) {
+		t.Fatal("surviving prefix differs from the first two epochs")
+	}
+	fi, err = os.Stat(tile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != fileTail(t, a2, rec.node) {
+		t.Fatalf("tile is %d bytes, want truncation to the last indexed byte %d",
+			fi.Size(), fileTail(t, a2, rec.node))
+	}
+	src, err := a2.IncrementSource(rec.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < src.Count(); k++ {
+		if _, err := src.Increment(k); err != nil {
+			t.Fatalf("snapshot %d unreadable after truncation recovery: %v", k, err)
+		}
+	}
+}
+
+// TestArchiveCorruptSegmentDetected flips single payload bytes: every read
+// path must surface a precise error, never decoded garbage.
+func TestArchiveCorruptSegmentDetected(t *testing.T) {
+	rec := makeRecording(t)
+	dir, a := writeArchive(t, rec)
+	epoch1, err := a.EpochInfo(rec.node, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tile := filepath.Join(dir, rec.node+TileSuffix)
+	raw, err := os.ReadFile(tile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xFF // inside snapshot 0's payload (snapshots precede epochs)
+	if err := os.WriteFile(tile, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := a2.IncrementSource(rec.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Increment(0); err == nil {
+		t.Fatal("corrupt snapshot increment read back without error")
+	}
+	if _, err := snapshot.MaterializeFrom(src, 2); err == nil {
+		t.Fatal("materialization over a corrupt increment succeeded")
+	}
+	a2.Close()
+
+	raw[0] ^= 0xFF // restore
+	// Epoch 2's payload ends the tile; epoch 1's sits just before it.
+	epoch2, err := a2.EpochInfo(rec.node, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[int64(len(raw))-epoch2.Bytes-epoch1.Bytes] ^= 0xFF
+	if err := os.WriteFile(tile, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a3.Close()
+	if _, err := a3.ReadLog(rec.node); err == nil {
+		t.Fatal("corrupt epoch segment read back without error")
+	}
+	src2, err := a3.EntrySource(rec.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src2.Close()
+	streamErr := error(nil)
+	for {
+		if _, err := src2.Next(); err != nil {
+			streamErr = err
+			break
+		}
+	}
+	if streamErr == nil {
+		t.Fatal("streaming a corrupt archive reached EOF without error")
+	}
+}
+
+func fileTail(t *testing.T, a *Archive, node string) int64 {
+	t.Helper()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.nodes[node].tail
+}
+
+// TestArchiveManifestCorruptionEndsPrefix flips a byte inside an early
+// manifest record: the crc catches it and the prefix ends there even
+// though later frames are intact.
+func TestArchiveManifestCorruptionEndsPrefix(t *testing.T) {
+	rec := makeRecording(t)
+	dir, a := writeArchive(t, rec)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, ManifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First frame is the node record; corrupt the second frame's body.
+	first, _, ok := nextFrame(raw)
+	if !ok {
+		t.Fatal("manifest does not start with a valid frame")
+	}
+	raw[FrameHeaderSize+len(first)+FrameHeaderSize] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	if n, _ := a2.Epochs(rec.node); n != 0 {
+		t.Fatalf("epochs past corruption = %d, want 0", n)
+	}
+	if n, _ := a2.Snapshots(rec.node); n != 0 {
+		t.Fatalf("snapshots past corruption = %d, want 0", n)
+	}
+}
+
+func TestArchiveInclusionProofs(t *testing.T) {
+	rec := makeRecording(t)
+	_, a := writeArchive(t, rec)
+	defer a.Close()
+	root, err := a.LogRoot(rec.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := a.Epochs(rec.node)
+	for k := 0; k < n; k++ {
+		proof, proot, err := a.ProveEpoch(rec.node, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if proot != root {
+			t.Fatalf("epoch %d proof root differs from LogRoot", k)
+		}
+		info, err := a.EpochInfo(rec.node, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyInclusion(root, proof, info.Hash); err != nil {
+			t.Fatalf("epoch %d inclusion proof rejected: %v", k, err)
+		}
+		var wrong [32]byte
+		copy(wrong[:], info.Hash[:])
+		wrong[0] ^= 1
+		if err := VerifyInclusion(root, proof, wrong); err == nil {
+			t.Fatalf("epoch %d inclusion proof accepts a tampered segment hash", k)
+		}
+	}
+	if _, _, err := a.ProveEpoch(rec.node, n); err == nil {
+		t.Fatal("proof for out-of-range epoch succeeded")
+	}
+}
+
+func TestArchiveAppendDiscipline(t *testing.T) {
+	rec := makeRecording(t)
+	_, a := writeArchive(t, rec)
+	defer a.Close()
+	// Epoch 2 is unclosed: nothing may append after it.
+	if err := a.AppendEpoch(rec.node, EpochMeta{}, rec.entries[:1]); err == nil {
+		t.Fatal("append after an unclosed epoch succeeded")
+	}
+	if err := a.AppendEpoch(rec.node, EpochMeta{}, nil); err == nil {
+		t.Fatal("empty epoch accepted")
+	}
+	sf := rec.store.File()
+	if err := a.AppendSnapshot(rec.node, sf.Snaps[0]); err == nil {
+		t.Fatal("out-of-order snapshot accepted")
+	}
+	if err := a.BeginNode(rec.node, rec.store.MemSize()); err != nil {
+		t.Fatalf("idempotent BeginNode rejected: %v", err)
+	}
+	if err := a.BeginNode(rec.node, rec.store.MemSize()+1); err == nil {
+		t.Fatal("BeginNode with a different memSize accepted")
+	}
+	if _, err := a.ReadLog("ghost"); err == nil {
+		t.Fatal("unknown node read succeeded")
+	}
+}
+
+// TestArchiveFormatConstants pins the values documented in
+// docs/ARCHIVE_FORMAT.md; changing either side must change both.
+func TestArchiveFormatConstants(t *testing.T) {
+	if ManifestName != "MANIFEST" || TileSuffix != ".tile" {
+		t.Fatal("archive file naming drifted from docs/ARCHIVE_FORMAT.md")
+	}
+	if FrameHeaderSize != 8 || MaxRecordSize != 1<<20 {
+		t.Fatal("manifest framing drifted from docs/ARCHIVE_FORMAT.md")
+	}
+	if SnapshotPayloadVersion != 1 {
+		t.Fatal("snapshot payload version drifted from docs/ARCHIVE_FORMAT.md")
+	}
+	if RecordNode != 1 || RecordEpoch != 2 || RecordSnapshot != 3 {
+		t.Fatal("manifest record kinds drifted from docs/ARCHIVE_FORMAT.md")
+	}
+}

@@ -1,0 +1,406 @@
+// On-disk encoding of the archive: the crc-framed manifest records and
+// the snapshot-increment payload codec. Everything here is documented in
+// docs/ARCHIVE_FORMAT.md — the constants below are referenced by name
+// there and pinned by round-trip tests, so a change to either side must
+// change both.
+package archive
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"repro/internal/merkle"
+	"repro/internal/snapshot"
+	"repro/internal/tevlog"
+	"repro/internal/vm"
+)
+
+const (
+	// ManifestName is the append-only manifest file inside an archive
+	// directory.
+	ManifestName = "MANIFEST"
+	// TileSuffix is the per-node payload file extension: segment payloads
+	// for node N are appended back-to-back to "N" + TileSuffix.
+	TileSuffix = ".tile"
+
+	// FrameHeaderSize is the fixed prefix of every manifest record:
+	// uint32 BE body length followed by uint32 BE CRC-32 (IEEE) of the
+	// body — the same framing as the coordinator's epoch journal.
+	FrameHeaderSize = 8
+	// MaxRecordSize bounds a manifest record body; a larger length field
+	// is treated as a torn tail, never allocated.
+	MaxRecordSize = 1 << 20
+
+	// SnapshotPayloadVersion is the leading version byte of every
+	// snapshot-increment payload.
+	SnapshotPayloadVersion = 1
+)
+
+// Manifest record kinds. A record's body starts with one of these bytes.
+const (
+	// RecordNode declares a node before any of its segments: name and
+	// memory size (for the snapshot materializer).
+	RecordNode = byte(1)
+	// RecordEpoch indexes one epoch's log-entry segment in the node's
+	// tile file.
+	RecordEpoch = byte(2)
+	// RecordSnapshot indexes one snapshot-increment segment in the node's
+	// tile file.
+	RecordSnapshot = byte(3)
+)
+
+// errTorn marks a structurally invalid manifest record; replay treats it
+// as the end of the valid prefix (the torn tail of a crash) rather than an
+// archive error.
+var errTorn = errors.New("archive: torn record")
+
+// epochRec is the decoded manifest state of one epoch segment.
+type epochRec struct {
+	Boot      bool
+	Closed    bool // epoch ends at a snapshot entry
+	StartSnap uint32
+	StartSeq  uint64
+	StartRoot [32]byte
+	// End* describe the closing snapshot entry (valid when Closed).
+	EndSnap   uint32
+	EndRoot   [32]byte
+	EndICount uint64
+	// EndHash is the chain hash of the epoch's last entry.
+	EndHash  tevlog.Hash
+	Entries  int
+	FirstSeq uint64
+	Off      int64
+	Len      int64
+	Hash     [32]byte // SHA-256 of the segment payload
+}
+
+// snapRec is the decoded manifest state of one snapshot segment.
+type snapRec struct {
+	Root    [32]byte
+	MemRoot merkle.Hash
+	ICount  uint64
+	Off     int64
+	Len     int64
+	Hash    [32]byte
+}
+
+// recReader cursors over a record body with sticky bounds checking, the
+// same defensive shape as the wire package's reader: a truncated or
+// hostile body flips err and every subsequent read returns zero values.
+type recReader struct {
+	b   []byte
+	err bool
+}
+
+func (r *recReader) fail() { r.err = true }
+
+func (r *recReader) byte() byte {
+	if r.err || len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *recReader) uvarint() uint64 {
+	if r.err {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *recReader) bytes(n int) []byte {
+	if r.err || n < 0 || n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *recReader) hash32() (out [32]byte) {
+	copy(out[:], r.bytes(32))
+	return out
+}
+
+func (r *recReader) str() string {
+	n := r.uvarint()
+	if n > 255 {
+		r.fail()
+		return ""
+	}
+	return string(r.bytes(int(n)))
+}
+
+func (r *recReader) done() bool { return !r.err && len(r.b) == 0 }
+
+// appendStr appends a uvarint-length-prefixed string.
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendFrame wraps body in the manifest frame: length, CRC-32, body.
+func appendFrame(dst, body []byte) []byte {
+	var hdr [FrameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...)
+}
+
+// nextFrame decodes one frame from the front of b, returning the body and
+// the remainder. ok is false on a torn or corrupt frame — a short header,
+// an oversized length, a short body, or a checksum mismatch — all of which
+// end the manifest's valid prefix.
+func nextFrame(b []byte) (body, rest []byte, ok bool) {
+	if len(b) < FrameHeaderSize {
+		return nil, nil, false
+	}
+	n := binary.BigEndian.Uint32(b[0:4])
+	sum := binary.BigEndian.Uint32(b[4:8])
+	if n > MaxRecordSize || int(n) > len(b)-FrameHeaderSize {
+		return nil, nil, false
+	}
+	body = b[FrameHeaderSize : FrameHeaderSize+int(n)]
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, nil, false
+	}
+	return body, b[FrameHeaderSize+int(n):], true
+}
+
+func marshalNodeRecord(node string, memSize int) []byte {
+	b := []byte{RecordNode}
+	b = appendStr(b, node)
+	b = binary.AppendUvarint(b, uint64(memSize))
+	return b
+}
+
+func marshalEpochRecord(node string, idx int, e *epochRec) []byte {
+	b := []byte{RecordEpoch}
+	b = appendStr(b, node)
+	b = binary.AppendUvarint(b, uint64(idx))
+	var flags byte
+	if e.Boot {
+		flags |= 1
+	}
+	if e.Closed {
+		flags |= 2
+	}
+	b = append(b, flags)
+	b = binary.AppendUvarint(b, uint64(e.StartSnap))
+	b = binary.AppendUvarint(b, e.StartSeq)
+	b = append(b, e.StartRoot[:]...)
+	b = binary.AppendUvarint(b, uint64(e.EndSnap))
+	b = append(b, e.EndRoot[:]...)
+	b = binary.AppendUvarint(b, e.EndICount)
+	b = append(b, e.EndHash[:]...)
+	b = binary.AppendUvarint(b, uint64(e.Entries))
+	b = binary.AppendUvarint(b, e.FirstSeq)
+	b = binary.AppendUvarint(b, uint64(e.Off))
+	b = binary.AppendUvarint(b, uint64(e.Len))
+	b = append(b, e.Hash[:]...)
+	return b
+}
+
+func marshalSnapRecord(node string, idx int, s *snapRec) []byte {
+	b := []byte{RecordSnapshot}
+	b = appendStr(b, node)
+	b = binary.AppendUvarint(b, uint64(idx))
+	b = append(b, s.Root[:]...)
+	b = append(b, s.MemRoot[:]...)
+	b = binary.AppendUvarint(b, s.ICount)
+	b = binary.AppendUvarint(b, uint64(s.Off))
+	b = binary.AppendUvarint(b, uint64(s.Len))
+	b = append(b, s.Hash[:]...)
+	return b
+}
+
+// parseEpochRecord decodes an epoch record body (after the kind byte).
+func parseEpochRecord(r *recReader) (node string, idx int, e epochRec, err error) {
+	node = r.str()
+	idx = int(r.uvarint())
+	flags := r.byte()
+	e.Boot = flags&1 != 0
+	e.Closed = flags&2 != 0
+	e.StartSnap = uint32(r.uvarint())
+	e.StartSeq = r.uvarint()
+	e.StartRoot = r.hash32()
+	e.EndSnap = uint32(r.uvarint())
+	e.EndRoot = r.hash32()
+	e.EndICount = r.uvarint()
+	e.EndHash = tevlog.Hash(r.hash32())
+	e.Entries = int(r.uvarint())
+	e.FirstSeq = r.uvarint()
+	e.Off = int64(r.uvarint())
+	e.Len = int64(r.uvarint())
+	e.Hash = r.hash32()
+	if !r.done() || idx < 0 || e.Entries <= 0 || e.Off < 0 || e.Len <= 0 || flags&^byte(3) != 0 {
+		return "", 0, epochRec{}, errTorn
+	}
+	return node, idx, e, nil
+}
+
+// parseSnapRecord decodes a snapshot record body (after the kind byte).
+func parseSnapRecord(r *recReader) (node string, idx int, s snapRec, err error) {
+	node = r.str()
+	idx = int(r.uvarint())
+	s.Root = r.hash32()
+	s.MemRoot = merkle.Hash(r.hash32())
+	s.ICount = r.uvarint()
+	s.Off = int64(r.uvarint())
+	s.Len = int64(r.uvarint())
+	s.Hash = r.hash32()
+	if !r.done() || idx < 0 || s.Off < 0 || s.Len <= 0 {
+		return "", 0, snapRec{}, errTorn
+	}
+	return node, idx, s, nil
+}
+
+// maxSnapshotPages bounds the page count a snapshot payload may declare;
+// a hostile count larger than this errors before any allocation.
+const maxSnapshotPages = 1 << 22
+
+// marshalSnapshotPayload encodes a snapshot increment as a self-contained
+// segment payload (layout in docs/ARCHIVE_FORMAT.md). Pages are written in
+// ascending index order so the encoding is deterministic.
+func marshalSnapshotPayload(s *snapshot.Snapshot) []byte {
+	b := []byte{SnapshotPayloadVersion}
+	b = binary.AppendUvarint(b, uint64(s.Index))
+	b = binary.AppendUvarint(b, s.Landmark.ICount)
+	b = binary.AppendUvarint(b, s.Landmark.Branches)
+	b = binary.AppendUvarint(b, uint64(s.Landmark.PC))
+	b = binary.AppendUvarint(b, s.ICount)
+	b = binary.AppendUvarint(b, uint64(s.IncrementBytes))
+	for _, blob := range [][]byte{s.Machine, s.Device, s.AuthDevice} {
+		b = binary.AppendUvarint(b, uint64(len(blob)))
+		b = append(b, blob...)
+	}
+	pages := make([]int, 0, len(s.MemPages))
+	for p := range s.MemPages {
+		pages = append(pages, p)
+	}
+	sort.Ints(pages)
+	b = binary.AppendUvarint(b, uint64(len(pages)))
+	for _, p := range pages {
+		b = binary.AppendUvarint(b, uint64(p))
+		b = binary.AppendUvarint(b, uint64(len(s.MemPages[p])))
+		b = append(b, s.MemPages[p]...)
+	}
+	b = binary.AppendUvarint(b, uint64(s.Proof.Leaves))
+	b = binary.AppendUvarint(b, uint64(len(s.Proof.Indices)))
+	for _, i := range s.Proof.Indices {
+		b = binary.AppendUvarint(b, uint64(i))
+	}
+	for _, h := range s.Proof.Old {
+		b = append(b, h[:]...)
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.Proof.Siblings)))
+	for _, h := range s.Proof.Siblings {
+		b = append(b, h[:]...)
+	}
+	b = append(b, s.Root[:]...)
+	b = append(b, s.MemRoot[:]...)
+	return b
+}
+
+// parseSnapshotPayload decodes a snapshot-increment payload. Arbitrary
+// bytes must error, never panic: every count is bounds-checked against the
+// remaining payload before allocation, and trailing bytes are rejected.
+func parseSnapshotPayload(b []byte) (*snapshot.Snapshot, error) {
+	r := &recReader{b: b}
+	if v := r.byte(); v != SnapshotPayloadVersion {
+		return nil, fmt.Errorf("archive: snapshot payload version %d (want %d)", v, SnapshotPayloadVersion)
+	}
+	s := &snapshot.Snapshot{}
+	s.Index = int(r.uvarint())
+	s.Landmark = vm.Landmark{
+		ICount:   r.uvarint(),
+		Branches: r.uvarint(),
+		PC:       uint32(r.uvarint()),
+	}
+	s.ICount = r.uvarint()
+	s.IncrementBytes = int(r.uvarint())
+	for _, dst := range []*[]byte{&s.Machine, &s.Device, &s.AuthDevice} {
+		n := r.uvarint()
+		if n > uint64(len(r.b)) {
+			return nil, fmt.Errorf("archive: snapshot payload truncated")
+		}
+		*dst = append([]byte(nil), r.bytes(int(n))...)
+	}
+	nPages := r.uvarint()
+	if nPages > maxSnapshotPages {
+		return nil, fmt.Errorf("archive: snapshot payload declares %d pages", nPages)
+	}
+	s.MemPages = make(map[int][]byte, nPages)
+	lastPage := -1
+	for i := uint64(0); i < nPages && !r.err; i++ {
+		p := int(r.uvarint())
+		n := r.uvarint()
+		if p <= lastPage || n > uint64(len(r.b)) {
+			return nil, fmt.Errorf("archive: snapshot payload pages malformed")
+		}
+		lastPage = p
+		s.MemPages[p] = append([]byte(nil), r.bytes(int(n))...)
+	}
+	s.Proof.Leaves = int(r.uvarint())
+	nIdx := r.uvarint()
+	if nIdx > uint64(len(r.b)) {
+		return nil, fmt.Errorf("archive: snapshot payload truncated")
+	}
+	s.Proof.Indices = make([]int, 0, nIdx)
+	for i := uint64(0); i < nIdx && !r.err; i++ {
+		s.Proof.Indices = append(s.Proof.Indices, int(r.uvarint()))
+	}
+	if nIdx*32 > uint64(len(r.b)) {
+		return nil, fmt.Errorf("archive: snapshot payload truncated")
+	}
+	s.Proof.Old = make([]merkle.Hash, 0, nIdx)
+	for i := uint64(0); i < nIdx && !r.err; i++ {
+		s.Proof.Old = append(s.Proof.Old, merkle.Hash(r.hash32()))
+	}
+	nSib := r.uvarint()
+	if nSib*32 > uint64(len(r.b)) {
+		return nil, fmt.Errorf("archive: snapshot payload truncated")
+	}
+	s.Proof.Siblings = make([]merkle.Hash, 0, nSib)
+	for i := uint64(0); i < nSib && !r.err; i++ {
+		s.Proof.Siblings = append(s.Proof.Siblings, merkle.Hash(r.hash32()))
+	}
+	s.Root = r.hash32()
+	s.MemRoot = merkle.Hash(r.hash32())
+	if !r.done() {
+		return nil, fmt.Errorf("archive: snapshot payload malformed")
+	}
+	if s.Proof.Leaves == 0 {
+		// Canonicalize the zero proof so decode(encode(x)) == x for
+		// proof-free snapshots regardless of empty-vs-nil slices.
+		s.Proof = merkle.BatchProof{}
+	}
+	if len(s.MemPages) == 0 {
+		s.MemPages = nil
+	}
+	if nIdx == 0 {
+		s.Proof.Indices, s.Proof.Old = nil, nil
+	}
+	if nSib == 0 {
+		s.Proof.Siblings = nil
+	}
+	return s, nil
+}
+
+// payloadHash is the digest the manifest binds every segment to.
+func payloadHash(b []byte) [32]byte { return sha256.Sum256(b) }

@@ -29,6 +29,7 @@ type CodeModification struct {
 	FirstDiff uint32
 }
 
+// String renders the modification for fault details and logs.
 func (c CodeModification) String() string {
 	if c.Changed {
 		return fmt.Sprintf("code page %d modified (first difference at 0x%x)", c.Page, c.FirstDiff)

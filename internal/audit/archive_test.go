@@ -1,0 +1,379 @@
+package audit_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/audit"
+	"repro/internal/avmm"
+	"repro/internal/game"
+	"repro/internal/sig"
+	"repro/internal/snapshot"
+)
+
+// Equivalence harness for the archive-backed audit paths: whatever the
+// in-memory serial auditor concludes, auditing the same recording through
+// a disk archive — serial over ReadLog, streaming over an EntrySource,
+// distributed over archive-materialized states — must conclude
+// byte-identically. A corrupted archive must surface as a fault, never as
+// a different verdict.
+
+// writeNodeArchive archives node's recording into a fresh directory and
+// reopens it cold, so every subsequent read comes off disk through the
+// manifest the reopen replayed.
+func writeNodeArchive(t *testing.T, s *game.Scenario, node string) (string, *archive.Archive) {
+	t.Helper()
+	target, _, _, err := s.AuditInputs(sig.NodeID(node))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	arc, err := archive.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sf *snapshot.StoreFile
+	if target.Snaps != nil && target.Snaps.Count() > 0 {
+		f := target.Snaps.File()
+		sf = &f
+	}
+	if err := arc.WriteRecording(node, target.Log.All(), sf); err != nil {
+		t.Fatal(err)
+	}
+	if err := arc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	arc2, err := archive.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { arc2.Close() })
+	return dir, arc2
+}
+
+// archiveClosures builds the Materialize/DeltaSource engine options over
+// the archive's increment source, as cmd/avm-audit wires them.
+func archiveClosures(t *testing.T, arc *archive.Archive, node string) (func(uint32) (*snapshot.Restored, error), func(uint32) (*snapshot.Delta, error)) {
+	t.Helper()
+	n, err := arc.Snapshots(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	src, err := arc.IncrementSource(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	materialize := func(snapIdx uint32) (*snapshot.Restored, error) {
+		return snapshot.MaterializeFrom(src, int(snapIdx))
+	}
+	deltaSrc := func(k uint32) (*snapshot.Delta, error) {
+		return snapshot.DeltaFrom(src, int(k))
+	}
+	return materialize, deltaSrc
+}
+
+// auditViaArchive audits node through the archive on the serial, stream
+// and dist engines and fails the test on any divergence from serial.
+func auditViaArchive(t *testing.T, s *game.Scenario, node, label string, serial *audit.Result) {
+	t.Helper()
+	_, arc := writeNodeArchive(t, s, node)
+	target, auths, a, err := s.AuditInputs(sig.NodeID(node))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeIdx := uint32(target.Index())
+	materialize, deltaSrc := archiveClosures(t, arc, node)
+
+	entries, err := arc.ReadLog(node)
+	if err != nil {
+		t.Fatalf("%s: ReadLog: %v", label, err)
+	}
+	res, _, err := a.Audit(audit.AuditRequest{
+		Node: sig.NodeID(node), NodeIdx: nodeIdx,
+		Engine: audit.EngineSerial, Entries: entries, Auths: auths,
+	})
+	if err != nil {
+		t.Fatalf("%s: archive serial: %v", label, err)
+	}
+	compareVerdicts(t, label+": archive serial", serial, res)
+
+	src, err := arc.EntrySource(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err = a.Audit(audit.AuditRequest{
+		Node: sig.NodeID(node), NodeIdx: nodeIdx,
+		Engine: audit.EngineStream, Source: src, Auths: auths,
+		Options: audit.EngineOptions{Workers: 2, Materialize: materialize},
+	})
+	if err != nil {
+		t.Fatalf("%s: archive stream: %v", label, err)
+	}
+	compareVerdicts(t, label+": archive stream", serial, res)
+
+	res, _, err = a.Audit(audit.AuditRequest{
+		Node: sig.NodeID(node), NodeIdx: nodeIdx,
+		Engine: audit.EngineDist, Entries: entries, Auths: auths,
+		Options: audit.EngineOptions{Workers: 2, Materialize: materialize, DeltaSource: deltaSrc},
+	})
+	if err != nil {
+		t.Fatalf("%s: archive dist: %v", label, err)
+	}
+	compareVerdicts(t, label+": archive dist", serial, res)
+}
+
+func TestArchiveAuditEquivalenceClean(t *testing.T) {
+	s, err := game.NewScenario(game.ScenarioConfig{
+		Players: 2, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
+		Seed: 7, SnapshotEveryNs: eqSnapNs, FakeSignatures: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2 * eqMatchNs)
+	for _, node := range []string{"player1", "player2"} {
+		serial, err := s.AuditNode(sig.NodeID(node))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !serial.Passed {
+			t.Fatalf("clean run: serial audit of %s failed: %v", node, serial.Fault)
+		}
+		auditViaArchive(t, s, node, "clean/"+node, serial)
+	}
+}
+
+func TestArchiveAuditEquivalenceCheats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("26 matches; skipped in -short")
+	}
+	for _, cheat := range game.Catalog() {
+		cheat := cheat
+		t.Run(cheat.Name, func(t *testing.T) {
+			s, err := game.NewScenario(game.ScenarioConfig{
+				Players: 2, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
+				Seed: 2024, CheatPlayer: 1, Cheat: cheat,
+				SnapshotEveryNs: eqMatchNs / 3, FakeSignatures: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Run(eqMatchNs)
+			serial, err := s.AuditNode("player1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			auditViaArchive(t, s, "player1", "cheater/"+cheat.Name, serial)
+			honest, err := s.AuditNode("player2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !honest.Passed {
+				t.Errorf("honest player failed audit during %q match: %v", cheat.Name, honest.Fault)
+			}
+			auditViaArchive(t, s, "player2", "honest/"+cheat.Name, honest)
+		})
+	}
+}
+
+// TestArchiveCorruptionSurfacesAsFault: flipping archived bytes must
+// surface as the tampered-input fault class — CheckLog for an entry
+// segment, CheckSnapshot for a snapshot increment — never as a pass or a
+// silent divergence.
+func TestArchiveCorruptionSurfacesAsFault(t *testing.T) {
+	s, err := game.NewScenario(game.ScenarioConfig{
+		Players: 2, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
+		Seed: 7, SnapshotEveryNs: eqSnapNs, FakeSignatures: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2 * eqMatchNs)
+	node := "player1"
+	dir, arc := writeNodeArchive(t, s, node)
+	arc.Close()
+	target, auths, a, err := s.AuditInputs(sig.NodeID(node))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeIdx := uint32(target.Index())
+
+	tile := filepath.Join(dir, node+archive.TileSuffix)
+	raw, err := os.ReadFile(tile)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot increments precede epoch segments in the tile: byte 0 sits
+	// inside snapshot 0. Materialization must fail, and a stream audit
+	// forced through it must report a snapshot fault.
+	corrupt := append([]byte(nil), raw...)
+	corrupt[0] ^= 0xFF
+	if err := os.WriteFile(tile, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	arc2, err := archive.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	materialize, _ := archiveClosures(t, arc2, node)
+	if _, err := materialize(0); err == nil {
+		t.Fatal("materializing over a corrupt increment succeeded")
+	}
+	src, err := arc2.EntrySource(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := a.Audit(audit.AuditRequest{
+		Node: sig.NodeID(node), NodeIdx: nodeIdx,
+		Engine: audit.EngineStream, Source: src, Auths: auths,
+		Options: audit.EngineOptions{Workers: 2, Materialize: materialize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatal("audit over a corrupt snapshot increment passed")
+	}
+	if res.Fault.Check != audit.CheckSnapshot {
+		t.Fatalf("fault check = %v, want %v (detail: %s)", res.Fault.Check, audit.CheckSnapshot, res.Fault.Detail)
+	}
+	arc2.Close()
+
+	// The last tile byte sits inside the final epoch's entry segment: the
+	// stream source errors there and the verdict is a log fault.
+	corrupt = append([]byte(nil), raw...)
+	corrupt[len(corrupt)-1] ^= 0xFF
+	if err := os.WriteFile(tile, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	arc3, err := archive.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arc3.Close()
+	if _, err := arc3.ReadLog(node); err == nil {
+		t.Fatal("ReadLog over a corrupt epoch segment succeeded")
+	}
+	materialize, _ = archiveClosures(t, arc3, node)
+	src, err = arc3.EntrySource(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err = a.Audit(audit.AuditRequest{
+		Node: sig.NodeID(node), NodeIdx: nodeIdx,
+		Engine: audit.EngineStream, Source: src, Auths: auths,
+		Options: audit.EngineOptions{Workers: 2, Materialize: materialize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed {
+		t.Fatal("audit over a corrupt entry segment passed")
+	}
+	if res.Fault.Check != audit.CheckLog {
+		t.Fatalf("fault check = %v, want %v (detail: %s)", res.Fault.Check, audit.CheckLog, res.Fault.Detail)
+	}
+}
+
+// TestArchiveSpotCheckSource: the disk-backed SegmentSource must agree
+// with the in-memory MonitorSource on segment geometry and outcomes, and
+// must refuse to serve chunks from a corrupted window.
+func TestArchiveSpotCheckSource(t *testing.T) {
+	s, err := game.NewScenario(game.ScenarioConfig{
+		Players: 2, Mode: avmm.ModeAVMMRSA, Cost: avmm.DefaultCostModel(),
+		Seed: 7, SnapshotEveryNs: eqSnapNs, FakeSignatures: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2 * eqMatchNs)
+	node := "player1"
+	target, auths, a, err := s.AuditInputs(sig.NodeID(node))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, arc := writeNodeArchive(t, s, node)
+
+	mem := &audit.MonitorSource{
+		Node: sig.NodeID(node), NodeIdx: uint32(target.Index()),
+		Entries: target.Log.All(), Auths: auths,
+		Materialize: func(k int) (*snapshot.Restored, error) { return target.Snaps.Materialize(k) },
+	}
+	disk := &audit.ArchiveSource{
+		Arc: arc, Node: sig.NodeID(node), NodeIdx: uint32(target.Index()), Auths: auths,
+	}
+	memPts, err := mem.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskPts, err := disk.Segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(memPts) != len(diskPts) {
+		t.Fatalf("segment points: disk %d, memory %d", len(diskPts), len(memPts))
+	}
+	for i := range memPts {
+		if memPts[i] != diskPts[i] {
+			t.Fatalf("segment point %d: disk %+v, memory %+v", i, diskPts[i], memPts[i])
+		}
+	}
+	policy := audit.RecentFirst{K: 1 << 30}
+	want, err := a.SpotCheckParallel(mem, policy, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.SpotCheckParallel(disk, policy, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SegmentsTotal != want.SegmentsTotal || got.SegmentsChecked != want.SegmentsChecked || got.FaultFound != want.FaultFound {
+		t.Fatalf("spot check outcome: disk %+v, memory %+v", got, want)
+	}
+	if got.SegmentsChecked == 0 {
+		t.Fatal("no segments spot-checked; the recording has no snapshots")
+	}
+
+	// Corrupt epoch 1 — the segment chunk 0 reads — so a spot check over
+	// it must error out, not audit garbage. Epoch segments end the tile:
+	// epoch 1 starts at fileSize - sum(bytes of epochs 1..n-1).
+	nEpochs, err := arc.Epochs(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromEnd int64
+	for k := 1; k < nEpochs; k++ {
+		info, err := arc.EpochInfo(node, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromEnd += info.Bytes
+	}
+	arc.Close()
+	tile := filepath.Join(dir, node+archive.TileSuffix)
+	raw, err := os.ReadFile(tile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[int64(len(raw))-fromEnd] ^= 0xFF
+	if err := os.WriteFile(tile, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	arcC, err := archive.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arcC.Close()
+	diskC := &audit.ArchiveSource{
+		Arc: arcC, Node: sig.NodeID(node), NodeIdx: uint32(target.Index()), Auths: auths,
+	}
+	if _, err := a.SpotCheckParallel(diskC, policy, 2); err == nil {
+		t.Fatal("spot check over a corrupt archive succeeded")
+	}
+}

@@ -10,6 +10,7 @@ package audit
 import (
 	"fmt"
 
+	"repro/internal/logcomp"
 	"repro/internal/sig"
 	"repro/internal/snapshot"
 	"repro/internal/tevlog"
@@ -101,6 +102,12 @@ type AuditRequest struct {
 	Auths   []tevlog.Authenticator
 	// Compressed is the compressed log container (stream engine).
 	Compressed []byte
+	// Source streams the log's entries for the stream engine in place of
+	// Compressed — e.g. an archive.EntrySource reading epoch segments
+	// straight from disk. When both are set, Source wins. A source error
+	// mid-stream is reported as a CheckLog fault, exactly like a corrupt
+	// container.
+	Source logcomp.EntrySource
 	// Chunk is the spot-check request (chunk engine).
 	Chunk *ChunkRequest
 }
@@ -148,7 +155,7 @@ func (a *Auditor) Audit(req AuditRequest) (*Result, AuditStats, error) {
 	case EngineParallel:
 		return a.auditParallel(req.Node, req.NodeIdx, req.Entries, req.Auths, ParallelOptions{EngineOptions: req.Options}), stats, nil
 	case EngineStream:
-		res, sstats := a.auditStream(req.Node, req.NodeIdx, req.Compressed, req.Auths, StreamOptions{EngineOptions: req.Options})
+		res, sstats := a.auditStreamFrom(req.Node, req.NodeIdx, req.Compressed, req.Source, req.Auths, StreamOptions{EngineOptions: req.Options})
 		stats.Stream = sstats
 		return res, stats, nil
 	case EngineDist:

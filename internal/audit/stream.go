@@ -149,6 +149,16 @@ func (v *streamVerdict) record(index int, r epochResult) {
 // to decode reports a CheckLog fault carrying the decoder's error. The
 // returned StreamStats describe the pipeline run itself.
 func (a *Auditor) auditStream(node sig.NodeID, nodeIdx uint32, compressed []byte, auths []tevlog.Authenticator, opts StreamOptions) (*Result, StreamStats) {
+	return a.auditStreamFrom(node, nodeIdx, compressed, nil, auths, opts)
+}
+
+// auditStreamFrom is auditStream with an optional EntrySource feeding the
+// decode stage instead of an in-memory container — the archive-backed
+// path, where epoch segments are read, hash-verified and decoded from
+// disk one at a time. Source errors land in the same decode-fault slot a
+// corrupt container's do, so the merged verdict treats a tampered archive
+// exactly like a tampered log.
+func (a *Auditor) auditStreamFrom(node sig.NodeID, nodeIdx uint32, compressed []byte, source logcomp.EntrySource, auths []tevlog.Authenticator, opts StreamOptions) (*Result, StreamStats) {
 	a = a.withEngineOptions(opts.EngineOptions)
 	workers := opts.Workers
 	if workers <= 0 {
@@ -175,10 +185,14 @@ func (a *Auditor) auditStream(node sig.NodeID, nodeIdx uint32, compressed []byte
 	var entryCount atomic.Int64
 	go func() {
 		defer close(decoded)
-		r, err := logcomp.NewEntryReader(compressed)
-		if err != nil {
-			verdict.decodeErr = err
-			return
+		r := source
+		if r == nil {
+			er, err := logcomp.NewEntryReader(compressed)
+			if err != nil {
+				verdict.decodeErr = err
+				return
+			}
+			r = er
 		}
 		defer r.Close()
 		for {

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/audit"
 	"repro/internal/avmm"
 	"repro/internal/dbapp"
@@ -97,6 +98,20 @@ type AuditBenchResult struct {
 	StreamEpochs        int     `json:"stream_epochs"`
 	StreamVerdictMatch  bool    `json:"stream_verdict_match"`
 	StreamEntriesPerSec float64 `json:"stream_entries_per_sec"`
+
+	// Archive-backed audit: the same streaming audit reading epoch
+	// segments and snapshot increments from a disk archive
+	// (internal/archive) instead of an in-memory container. Cold is the
+	// first pass after open — every segment read, hashed and decoded off
+	// disk; warm is a second pass over the same open archive, with
+	// increments memoized. The verdict must be byte-identical to the
+	// in-memory stream audit.
+	ArchiveBytes             int64   `json:"archive_bytes"`
+	ArchiveColdWallNs        int64   `json:"archive_cold_wall_ns"`
+	ArchiveWarmWallNs        int64   `json:"archive_warm_wall_ns"`
+	ArchiveColdEntriesPerSec float64 `json:"archive_cold_entries_per_sec"`
+	ArchiveWarmEntriesPerSec float64 `json:"archive_warm_entries_per_sec"`
+	ArchiveVerdictMatch      bool    `json:"archive_verdict_match"`
 
 	// Distributed dispatch: the same full audit with epochs shipped to
 	// loopback TCP workers, against the in-process pool at the same
@@ -389,6 +404,82 @@ func RunAuditBenchWith(scale Scale, opts AuditBenchOptions) (*AuditBenchResult, 
 		streamRes.Syntactic == matRes.Syntactic
 	if !streamRes.Passed {
 		return nil, fmt.Errorf("auditbench: streaming audit failed: %v", streamRes.Fault)
+	}
+
+	// --- archive-backed audit: the stream pipeline reading off disk ---
+	archDir, err := os.MkdirTemp("", "avm-bench-archive-")
+	if err != nil {
+		return nil, fmt.Errorf("auditbench: archive dir: %w", err)
+	}
+	defer os.RemoveAll(archDir)
+	arcW, err := archive.Open(archDir)
+	if err != nil {
+		return nil, err
+	}
+	archNode := string(target.Node())
+	sfArch := target2.Snaps.File()
+	if err := arcW.WriteRecording(archNode, target2.Log.All(), &sfArch); err != nil {
+		return nil, err
+	}
+	if err := arcW.Close(); err != nil {
+		return nil, err
+	}
+	arc, err := archive.Open(archDir)
+	if err != nil {
+		return nil, err
+	}
+	defer arc.Close()
+	res.ArchiveBytes = arc.Bytes()
+	incSrc, err := arc.IncrementSource(archNode)
+	if err != nil {
+		return nil, err
+	}
+	archMaterialize := func(snapIdx uint32) (*snapshot.Restored, error) {
+		return snapshot.MaterializeFrom(incSrc, int(snapIdx))
+	}
+	archAudit := func() (*audit.Result, audit.StreamStats, error) {
+		src, serr := arc.EntrySource(archNode)
+		if serr != nil {
+			return nil, audit.StreamStats{}, serr
+		}
+		r, stats, aerr := auditor.Audit(audit.AuditRequest{
+			Node: target.Node(), NodeIdx: uint32(target2.Index()),
+			Engine: audit.EngineStream, Source: src, Auths: auths,
+			Options: audit.EngineOptions{
+				Workers: res.StreamWorkers, Window: res.StreamWindow,
+				Materialize: archMaterialize,
+			},
+		})
+		return r, stats.Stream, aerr
+	}
+	var archRes *audit.Result
+	coldWall := stopwatch(func() {
+		archRes, _, err = archAudit()
+	})
+	if err != nil {
+		return nil, fmt.Errorf("auditbench: archive cold audit: %w", err)
+	}
+	coldMatch := archRes.Passed == streamRes.Passed && archRes.Replay == streamRes.Replay &&
+		archRes.Syntactic == streamRes.Syntactic
+	warmWall := stopwatch(func() {
+		archRes, _, err = archAudit()
+	})
+	if err != nil {
+		return nil, fmt.Errorf("auditbench: archive warm audit: %w", err)
+	}
+	res.ArchiveColdWallNs = coldWall.Nanoseconds()
+	res.ArchiveWarmWallNs = warmWall.Nanoseconds()
+	if coldWall > 0 {
+		res.ArchiveColdEntriesPerSec = float64(res.LogEntries) / coldWall.Seconds()
+	}
+	if warmWall > 0 {
+		res.ArchiveWarmEntriesPerSec = float64(res.LogEntries) / warmWall.Seconds()
+	}
+	res.ArchiveVerdictMatch = coldMatch &&
+		archRes.Passed == streamRes.Passed && archRes.Replay == streamRes.Replay &&
+		archRes.Syntactic == streamRes.Syntactic
+	if !archRes.Passed {
+		return nil, fmt.Errorf("auditbench: archive-backed audit failed: %v", archRes.Fault)
 	}
 
 	// --- distributed dispatch over loopback TCP workers ---

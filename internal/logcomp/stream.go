@@ -27,6 +27,23 @@ import (
 // columnNames label the four column streams in decode errors.
 var columnNames = [4]string{"seq", "type", "len", "content"}
 
+// EntrySource is a sequential supplier of log entries: Next returns the
+// next entry or io.EOF at a clean end of log; any other error means the
+// underlying encoding is corrupt or truncated, and the consumer treats it
+// exactly as a failed container decode. EntryReader implements it over an
+// in-memory container; the disk archive implements it over epoch
+// segments, which is how the stream engine audits a log that never fits
+// in memory.
+type EntrySource interface {
+	// Next returns the next entry, io.EOF at the end, or a decode error.
+	Next() (tevlog.Entry, error)
+	// Close releases the source's resources; Next must not be called
+	// afterwards.
+	Close() error
+}
+
+var _ EntrySource = (*EntryReader)(nil)
+
 // EntryWriter incrementally encodes an entry sequence into the columnar
 // container. Entries stream through per-column flate compressors as they
 // are added, so only the compressed columns are ever resident. Bytes

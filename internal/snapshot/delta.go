@@ -73,14 +73,28 @@ func (d *Delta) DeltaBytes() int {
 }
 
 // Delta returns the proof-carrying transition from snapshot k-1 to
-// snapshot k (k >= 1). Snapshots recorded before proof capture rebuild the
-// proof by materializing the base state — O(state) once, instead of the
-// O(dirty · log n) the captured path pays.
+// snapshot k (k >= 1) — DeltaFrom over this store.
 func (st *Store) Delta(k int) (*Delta, error) {
-	if k < 1 || k >= len(st.snaps) {
-		return nil, fmt.Errorf("snapshot: delta index %d out of range [1,%d)", k, len(st.snaps))
+	return DeltaFrom(st, k)
+}
+
+// DeltaFrom builds the proof-carrying transition from snapshot k-1 to
+// snapshot k (k >= 1) out of any increment source — the archive-backed
+// delta path behind delta-shipped dispatch. Snapshots recorded before
+// proof capture rebuild the proof by materializing the base state —
+// O(state) once, instead of the O(dirty · log n) the captured path pays.
+func DeltaFrom(src IncrementSource, k int) (*Delta, error) {
+	if k < 1 || k >= src.Count() {
+		return nil, fmt.Errorf("snapshot: delta index %d out of range [1,%d)", k, src.Count())
 	}
-	from, to := st.snaps[k-1], st.snaps[k]
+	from, err := src.Increment(k - 1)
+	if err != nil {
+		return nil, err
+	}
+	to, err := src.Increment(k)
+	if err != nil {
+		return nil, err
+	}
 	d := &Delta{
 		FromIndex:   k - 1,
 		FromRoot:    from.Root,
@@ -109,11 +123,12 @@ func (st *Store) Delta(k int) (*Delta, error) {
 	} else {
 		// Legacy snapshot without a captured proof: rebuild the base tree
 		// and extract the proof from it.
-		base, err := st.Materialize(k - 1)
+		base, err := MaterializeFrom(src, k-1)
 		if err != nil {
 			return nil, err
 		}
-		tree := merkle.Seeded(st.pageCount, func(p int) []byte { return statePage(base.Mem, p) }, 0)
+		pageCount := src.MemSize() / vm.PageSize
+		tree := merkle.Seeded(pageCount, func(p int) []byte { return statePage(base.Mem, p) }, 0)
 		proof, err := tree.ProveBatch(indices)
 		if err != nil {
 			return nil, err

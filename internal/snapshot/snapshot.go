@@ -189,21 +189,54 @@ func CombineRoot(memRoot merkle.Hash, machineBlob, devBlob []byte) [32]byte {
 	return out
 }
 
-// Materialize reconstructs the complete state at snapshot k. Increments
-// are folded newest-first, each page taken from the most recent capture
-// that holds it, and the walk stops as soon as every page is resolved —
-// so materializing late snapshots (which parallel audits do once per
-// epoch) costs the distinct pages, not the sum of all increment sizes.
-func (st *Store) Materialize(k int) (*Restored, error) {
-	if k < 0 || k >= len(st.snaps) {
-		return nil, fmt.Errorf("snapshot: index %d out of range [0,%d)", k, len(st.snaps))
+// IncrementSource supplies snapshot increments for audit-side
+// materialization. *Store implements it over its in-memory sequence; the
+// disk archive implements it over verified snapshot segments, which is
+// how every engine's Materialize closure can fold states straight from an
+// archive. Implementations may read from disk and must return an error —
+// never a corrupted increment — when the underlying bytes fail
+// verification.
+type IncrementSource interface {
+	// MemSize is the guest memory size in bytes the folds rebuild into.
+	MemSize() int
+	// Count is the number of increments available.
+	Count() int
+	// Increment returns increment k (0 <= k < Count).
+	Increment(k int) (*Snapshot, error)
+}
+
+// MemSize implements IncrementSource.
+func (st *Store) MemSize() int { return st.memSize }
+
+// Increment implements IncrementSource; it is Snapshot by another name.
+func (st *Store) Increment(k int) (*Snapshot, error) { return st.Snapshot(k) }
+
+// MaterializeFrom reconstructs the complete state at snapshot k from any
+// increment source. Increments are folded newest-first, each page taken
+// from the most recent capture that holds it, and the walk stops as soon
+// as every page is resolved — so materializing late snapshots (which
+// parallel audits do once per epoch) costs the distinct pages, not the
+// sum of all increment sizes.
+func MaterializeFrom(src IncrementSource, k int) (*Restored, error) {
+	if k < 0 || k >= src.Count() {
+		return nil, fmt.Errorf("snapshot: index %d out of range [0,%d)", k, src.Count())
 	}
-	mem := make([]byte, st.memSize)
-	written := make([]bool, st.pageCount)
-	remaining := st.pageCount
-	for i := k; i >= 0 && remaining > 0; i-- {
-		for p, page := range st.snaps[i].MemPages {
-			if written[p] {
+	memSize := src.MemSize()
+	pageCount := memSize / vm.PageSize
+	mem := make([]byte, memSize)
+	written := make([]bool, pageCount)
+	remaining := pageCount
+	var s *Snapshot
+	for i := k; i >= 0 && (remaining > 0 || s == nil); i-- {
+		inc, err := src.Increment(i)
+		if err != nil {
+			return nil, err
+		}
+		if s == nil {
+			s = inc
+		}
+		for p, page := range inc.MemPages {
+			if p < 0 || p >= pageCount || written[p] {
 				continue
 			}
 			copy(mem[p*vm.PageSize:], page)
@@ -211,7 +244,6 @@ func (st *Store) Materialize(k int) (*Restored, error) {
 			remaining--
 		}
 	}
-	s := st.snaps[k]
 	return &Restored{
 		Index: k, Mem: mem,
 		Machine:    append([]byte(nil), s.Machine...),
@@ -219,6 +251,12 @@ func (st *Store) Materialize(k int) (*Restored, error) {
 		AuthDevice: append([]byte(nil), s.AuthDevice...),
 		Root:       s.Root,
 	}, nil
+}
+
+// Materialize reconstructs the complete state at snapshot k — the
+// newest-first early-exit fold of MaterializeFrom over this store.
+func (st *Store) Materialize(k int) (*Restored, error) {
+	return MaterializeFrom(st, k)
 }
 
 // TransferBytes returns the number of bytes an auditor must download to

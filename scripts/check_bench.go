@@ -40,6 +40,10 @@ type bench struct {
 	StreamVerdictMatch    bool    `json:"stream_verdict_match"`
 	StreamPeakResident    int     `json:"stream_peak_resident_entries"`
 	StreamWindow          int     `json:"stream_window"`
+	ArchiveBytes          int64   `json:"archive_bytes"`
+	ArchiveColdEPS        float64 `json:"archive_cold_entries_per_sec"`
+	ArchiveWarmEPS        float64 `json:"archive_warm_entries_per_sec"`
+	ArchiveVerdictMatch   bool    `json:"archive_verdict_match"`
 	DistWorkers           int     `json:"dist_workers"`
 	DistWallNs            int64   `json:"dist_wall_ns"`
 	DistOverheadRatio     float64 `json:"dist_overhead_ratio"`
@@ -136,6 +140,8 @@ func main() {
 		rate("serial Minstr/s", base.SerialMInstrPerSec, current.SerialMInstrPerSec)
 		rate("parallel Minstr/s", base.ParallelMInstrPerSec, current.ParallelMInstrPerSec)
 		rate("stream entries/s", base.StreamEntriesPerSec, current.StreamEntriesPerSec)
+		rate("archive cold entries/s", base.ArchiveColdEPS, current.ArchiveColdEPS)
+		rate("archive warm entries/s", base.ArchiveWarmEPS, current.ArchiveWarmEPS)
 		rate("coord epochs/s", base.CoordEpochsPerSec, current.CoordEpochsPerSec)
 		rate("merkle serial GB/s", base.MerkleSerialGBps, current.MerkleSerialGBps)
 		rate("merkle parallel GB/s", base.MerkleParallelGBps, current.MerkleParallelGBps)
@@ -186,6 +192,21 @@ func main() {
 		current.MerkleIncSpeedup > 2)
 	invariant("stream window respected", current.StreamWindow <= 0 ||
 		current.StreamPeakResident <= current.StreamWindow)
+	// Archive-backed audit: the verdict must not depend on whether the log
+	// streamed from a disk archive or an in-memory container, the archive
+	// must actually hold the segments (zero bytes means the recording was
+	// never written), and disk-backed throughput must stay within a small
+	// factor of the in-memory stream — an order-of-magnitude collapse means
+	// segment reads stopped batching or every epoch re-hashed the world.
+	// Conditional on the archive fields being present so older artifacts
+	// don't fail the gate.
+	if current.ArchiveColdEPS > 0 {
+		invariant("archive verdict match", current.ArchiveVerdictMatch)
+		invariant("archive bytes recorded", current.ArchiveBytes > 0)
+		invariant("archive cold within 5x of stream", current.StreamEntriesPerSec <= 0 ||
+			current.ArchiveColdEPS*5 >= current.StreamEntriesPerSec)
+		invariant("archive warm not slower than 2x cold", current.ArchiveWarmEPS*2 >= current.ArchiveColdEPS)
+	}
 	// Distributed dispatch: the verdict must not depend on where epochs
 	// replayed, shipping epochs over loopback must stay within a small
 	// multiple of the in-process pool at the same fan-out (a blowup means

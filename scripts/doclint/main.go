@@ -1,0 +1,184 @@
+// Command doclint enforces godoc discipline on the packages whose exported
+// surface is documentation-bearing API: every exported top-level symbol —
+// functions, methods on exported receivers, types, and exported names in
+// const/var groups — must carry a doc comment, and a symbol's comment must
+// mention the symbol by name in its first sentence (the godoc convention;
+// "Deprecated:" markers are accepted as-is). It is a stdlib-only stand-in
+// for the doc-comment checks of external linters, which this repo cannot
+// vendor.
+//
+//	go run ./scripts/doclint ./internal/audit ./internal/snapshot ...
+//
+// Exit status 1 lists every violation; 0 means the surface is documented.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// violation is one undocumented or mis-documented exported symbol.
+type violation struct {
+	pos  token.Position
+	what string
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <package-dir> ...")
+		os.Exit(2)
+	}
+	var violations []violation
+	for _, dir := range os.Args[1:] {
+		v, err := lintDir(strings.TrimPrefix(dir, "./"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		violations = append(violations, v...)
+	}
+	sort.Slice(violations, func(i, j int) bool {
+		a, b := violations[i].pos, violations[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, v := range violations {
+		fmt.Printf("%s:%d: %s\n", v.pos.Filename, v.pos.Line, v.what)
+	}
+	if len(violations) > 0 {
+		fmt.Printf("doclint: %d undocumented exported symbol(s)\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// lintDir parses every non-test Go file in dir and collects violations.
+func lintDir(dir string) ([]violation, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []violation
+	for _, pkg := range pkgs {
+		for path, file := range pkg.Files {
+			out = append(out, lintFile(fset, filepath.ToSlash(path), file)...)
+		}
+	}
+	return out, nil
+}
+
+// lintFile checks one file's exported top-level declarations.
+func lintFile(fset *token.FileSet, path string, file *ast.File) []violation {
+	var out []violation
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		out = append(out, violation{pos: fset.Position(pos), what: fmt.Sprintf(format, args...)})
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			name := d.Name.Name
+			if !ast.IsExported(name) || !exportedRecv(d) {
+				continue
+			}
+			label := name
+			if d.Recv != nil {
+				label = recvTypeName(d.Recv) + "." + name
+			}
+			checkDoc(report, d.Pos(), d.Doc, name, "func "+label)
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.TYPE:
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if !ast.IsExported(ts.Name.Name) {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil {
+						doc = d.Doc
+					}
+					checkDoc(report, ts.Pos(), doc, ts.Name.Name, "type "+ts.Name.Name)
+				}
+			case token.CONST, token.VAR:
+				kind := "const"
+				if d.Tok == token.VAR {
+					kind = "var"
+				}
+				for _, spec := range d.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for _, n := range vs.Names {
+						if !ast.IsExported(n.Name) {
+							continue
+						}
+						// A group comment, a per-spec doc, or a trailing
+						// line comment each documents the name.
+						if d.Doc == nil && vs.Doc == nil && vs.Comment == nil {
+							report(n.Pos(), "%s %s has no doc comment", kind, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedRecv reports whether a method's receiver type is exported (or the
+// decl is a plain function). Methods on unexported types are internal
+// surface and exempt.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	return ast.IsExported(recvTypeName(d.Recv))
+}
+
+// recvTypeName extracts the receiver's base type name.
+func recvTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr:
+			t = u.X
+		case *ast.Ident:
+			return u.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// checkDoc verifies a symbol's doc comment exists and names the symbol in
+// its first sentence.
+func checkDoc(report func(token.Pos, string, ...interface{}), pos token.Pos, doc *ast.CommentGroup, name, label string) {
+	if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+		report(pos, "%s has no doc comment", label)
+		return
+	}
+	text := strings.TrimSpace(doc.Text())
+	if strings.HasPrefix(text, "Deprecated:") {
+		return
+	}
+	first := text
+	if i := strings.IndexAny(first, ".\n"); i >= 0 {
+		first = first[:i+1]
+	}
+	if !strings.Contains(first, name) {
+		report(pos, "%s doc comment does not mention %q in its first sentence", label, name)
+	}
+}
