@@ -62,6 +62,12 @@ type Archive struct {
 	unsynced      int
 	lastSync      time.Time
 	manifestBytes int64
+	// broken is the first tile/manifest write or sync failure. A failed
+	// write can leave the O_APPEND offset ahead of the indexed tail, so
+	// further appends would commit records whose extents no longer match
+	// the physical payload; every subsequent append returns this sticky
+	// error instead. Reads stay available — archived extents are intact.
+	broken error
 }
 
 // Open opens (creating if needed) the archive in dir, replays the
@@ -90,11 +96,7 @@ func Open(dir string) (*Archive, error) {
 	// payloads), so appends never land after garbage.
 	compacted := a.marshalManifest()
 	if !bytes.Equal(compacted, raw) {
-		tmp := a.manifestPath() + ".tmp"
-		if err := os.WriteFile(tmp, compacted, 0o644); err != nil {
-			return nil, fmt.Errorf("archive: compacting manifest: %w", err)
-		}
-		if err := os.Rename(tmp, a.manifestPath()); err != nil {
+		if err := writeFileDurable(a.manifestPath(), a.dir, compacted); err != nil {
 			return nil, fmt.Errorf("archive: compacting manifest: %w", err)
 		}
 	}
@@ -164,7 +166,10 @@ func (a *Archive) applyRecord(body []byte, tileSize map[string]int64) bool {
 			return false
 		}
 		ns := a.nodes[node]
-		if ns == nil || idx != len(ns.epochs) || e.Off != ns.tail || e.Off+e.Len > tileSize[node] {
+		// Subtraction form: e.Len is attacker-controlled and e.Off+e.Len
+		// can wrap negative, passing a sum-based bound.
+		if ns == nil || idx != len(ns.epochs) || e.Off != ns.tail ||
+			e.Len > tileSize[node] || e.Off > tileSize[node]-e.Len {
 			return false
 		}
 		if len(ns.epochs) > 0 && !ns.epochs[len(ns.epochs)-1].Closed {
@@ -181,7 +186,8 @@ func (a *Archive) applyRecord(body []byte, tileSize map[string]int64) bool {
 			return false
 		}
 		ns := a.nodes[node]
-		if ns == nil || idx != len(ns.snaps) || s.Off != ns.tail || s.Off+s.Len > tileSize[node] {
+		if ns == nil || idx != len(ns.snaps) || s.Off != ns.tail ||
+			s.Len > tileSize[node] || s.Off > tileSize[node]-s.Len {
 			return false
 		}
 		ns.snaps = append(ns.snaps, s)
@@ -230,6 +236,41 @@ func fileSize(path string) (int64, error) {
 	return fi.Size(), nil
 }
 
+// writeFileDurable atomically replaces path with data: write to a temp
+// file, fsync it, rename over path, fsync the directory. A plain
+// WriteFile+Rename can leave an empty or truncated file after a crash,
+// which for the manifest would silently drop every archived record.
+func writeFileDurable(path, dir string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // Nodes returns the archived node names in first-appended order.
 func (a *Archive) Nodes() []string {
 	a.mu.Lock()
@@ -263,6 +304,9 @@ func (a *Archive) node(name string) (*nodeState, error) {
 func (a *Archive) BeginNode(node string, memSize int) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if err := a.usableLocked(); err != nil {
+		return err
+	}
 	if node == "" || len(node) > 255 {
 		return fmt.Errorf("archive: invalid node name %q", node)
 	}
@@ -307,6 +351,9 @@ func (a *Archive) AppendEpoch(node string, meta EpochMeta, entries []tevlog.Entr
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if err := a.usableLocked(); err != nil {
+		return err
+	}
 	ns, err := a.node(node)
 	if err != nil {
 		return err
@@ -342,6 +389,9 @@ func (a *Archive) AppendEpoch(node string, meta EpochMeta, entries []tevlog.Entr
 func (a *Archive) AppendSnapshot(node string, s *snapshot.Snapshot) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if err := a.usableLocked(); err != nil {
+		return err
+	}
 	ns, err := a.node(node)
 	if err != nil {
 		return err
@@ -377,9 +427,26 @@ func (a *Archive) appendSegment(ns *nodeState, payload []byte) error {
 		w = f
 	}
 	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("archive: writing %s tile: %w", ns.name, err)
+		return a.poisonLocked(fmt.Errorf("archive: writing %s tile: %w", ns.name, err))
 	}
 	a.dirty[ns.name] = true
+	return nil
+}
+
+// poisonLocked records the archive's first write failure and marks it
+// unusable for appends (see the broken field). Callers hold mu.
+func (a *Archive) poisonLocked(err error) error {
+	if a.broken == nil {
+		a.broken = err
+	}
+	return err
+}
+
+// usableLocked rejects appends after a write failure. Callers hold mu.
+func (a *Archive) usableLocked() error {
+	if a.broken != nil {
+		return fmt.Errorf("archive: unusable after earlier write failure: %w", a.broken)
+	}
 	return nil
 }
 
@@ -397,7 +464,7 @@ func (a *Archive) appendRecord(body []byte, ns *nodeState) error {
 	}
 	frame := appendFrame(nil, body)
 	if _, err := a.manifest.Write(frame); err != nil {
-		return fmt.Errorf("archive: writing manifest: %w", err)
+		return a.poisonLocked(fmt.Errorf("archive: writing manifest: %w", err))
 	}
 	a.manifestBytes += int64(len(frame))
 	a.unsynced++
@@ -426,13 +493,13 @@ func (a *Archive) syncLocked() error {
 	sort.Strings(names)
 	for _, name := range names {
 		if err := a.writers[name].Sync(); err != nil {
-			return fmt.Errorf("archive: syncing %s tile: %w", name, err)
+			return a.poisonLocked(fmt.Errorf("archive: syncing %s tile: %w", name, err))
 		}
 		delete(a.dirty, name)
 	}
 	if a.manifest != nil {
 		if err := a.manifest.Sync(); err != nil {
-			return fmt.Errorf("archive: syncing manifest: %w", err)
+			return a.poisonLocked(fmt.Errorf("archive: syncing manifest: %w", err))
 		}
 	}
 	a.unsynced = 0

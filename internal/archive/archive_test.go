@@ -1,9 +1,11 @@
 package archive
 
 import (
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/sig"
@@ -515,6 +517,152 @@ func TestArchiveAppendDiscipline(t *testing.T) {
 	}
 	if _, err := a.ReadLog("ghost"); err == nil {
 		t.Fatal("unknown node read succeeded")
+	}
+}
+
+// minimalSnapshotPayload builds a hand-rolled snapshot payload up to (and
+// excluding) the proof index count, for hostile-count tests.
+func minimalSnapshotPayload() []byte {
+	b := []byte{SnapshotPayloadVersion}
+	for i := 0; i < 6; i++ {
+		b = binary.AppendUvarint(b, 0) // index, landmark×3, icount, incrementBytes
+	}
+	for i := 0; i < 3; i++ {
+		b = binary.AppendUvarint(b, 0) // empty machine/device/authDevice blobs
+	}
+	b = binary.AppendUvarint(b, 0) // nPages
+	b = binary.AppendUvarint(b, 0) // proof.leaves
+	return b
+}
+
+// TestArchiveSnapshotPayloadHostileCounts pins the overflow guards: a
+// declared count whose ×32 wraps the uint64 bound must error at decode,
+// never panic allocating (regression: nSib=1<<59 made nSib*32 wrap to 0).
+func TestArchiveSnapshotPayloadHostileCounts(t *testing.T) {
+	hostile := minimalSnapshotPayload()
+	hostile = binary.AppendUvarint(hostile, 0)     // nIdx
+	hostile = binary.AppendUvarint(hostile, 1<<59) // nSib: ×32 wraps to 0
+	if _, err := parseSnapshotPayload(hostile); err == nil {
+		t.Fatal("huge sibling count decoded without error")
+	}
+
+	hostile = minimalSnapshotPayload()
+	hostile = binary.AppendUvarint(hostile, 1<<59) // nIdx
+	if _, err := parseSnapshotPayload(hostile); err == nil {
+		t.Fatal("huge index count decoded without error")
+	}
+}
+
+// TestArchiveSnapshotPayloadOversizedPage pins the per-page length bound:
+// a page longer than vm.PageSize must be rejected at decode, not bleed
+// into its neighbor at materialization.
+func TestArchiveSnapshotPayloadOversizedPage(t *testing.T) {
+	b := []byte{SnapshotPayloadVersion}
+	for i := 0; i < 6; i++ {
+		b = binary.AppendUvarint(b, 0)
+	}
+	for i := 0; i < 3; i++ {
+		b = binary.AppendUvarint(b, 0)
+	}
+	b = binary.AppendUvarint(b, 1) // nPages
+	b = binary.AppendUvarint(b, 0) // page index
+	b = binary.AppendUvarint(b, uint64(vm.PageSize+1))
+	b = append(b, make([]byte, vm.PageSize+1)...)
+	b = binary.AppendUvarint(b, 0) // proof.leaves
+	b = binary.AppendUvarint(b, 0) // nIdx
+	b = binary.AppendUvarint(b, 0) // nSib
+	b = append(b, make([]byte, 64)...) // root + memRoot
+	if _, err := parseSnapshotPayload(b); err == nil {
+		t.Fatal("oversized page decoded without error")
+	}
+}
+
+// TestArchiveManifestHugeExtentRejected pins the overflow-safe extent
+// check in replay: a record whose off+len wraps int64 must end the valid
+// prefix, not corrupt the replayed tail (regression: the sum-based bound
+// accepted it and poisoned every later open).
+func TestArchiveManifestHugeExtentRejected(t *testing.T) {
+	rec := makeRecording(t)
+	dir, a := writeArchive(t, rec)
+	tail := fileTail(t, a, rec.node)
+	nSnaps, _ := a.Snapshots(rec.node)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// off = the replayed tail (so the contiguity check passes) and
+	// off+len ≥ 2^63, wrapping negative under a sum-based bound.
+	hostile := snapRec{Off: tail, Len: int64(uint64(1)<<63 - uint64(tail))}
+	frame := appendFrame(nil, marshalSnapRecord(rec.node, nSnaps, &hostile))
+	path := filepath.Join(dir, ManifestName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("archive with a hostile extent record does not open: %v", err)
+	}
+	defer a2.Close()
+	if n, _ := a2.Snapshots(rec.node); n != nSnaps {
+		t.Fatalf("snapshots = %d, want the hostile record dropped (%d)", n, nSnaps)
+	}
+	if got, err := a2.ReadLog(rec.node); err != nil || !sameEntries(got, rec.entries) {
+		t.Fatalf("log unreadable after dropping the hostile record: %v", err)
+	}
+}
+
+// TestArchiveWriteFailurePoisonsAppends pins the sticky-failure contract:
+// after a failed tile write the archive refuses further appends (the
+// O_APPEND offset may no longer match the indexed tail) while reads of
+// already-indexed segments keep working.
+func TestArchiveWriteFailurePoisonsAppends(t *testing.T) {
+	rec := makeRecording(t)
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.BeginNode(rec.node, rec.store.MemSize()); err != nil {
+		t.Fatal(err)
+	}
+	sf := rec.store.File()
+	if err := a.AppendSnapshot(rec.node, sf.Snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sabotage the tile writer so the next append's write fails.
+	a.mu.Lock()
+	a.writers[rec.node].Close()
+	a.mu.Unlock()
+	if err := a.AppendSnapshot(rec.node, sf.Snaps[1]); err == nil {
+		t.Fatal("append over a closed tile handle succeeded")
+	}
+	err = a.AppendSnapshot(rec.node, sf.Snaps[1])
+	if err == nil || !strings.Contains(err.Error(), "unusable") {
+		t.Fatalf("append after a write failure = %v, want sticky unusable error", err)
+	}
+	if err := a.BeginNode("other", 0); err == nil || !strings.Contains(err.Error(), "unusable") {
+		t.Fatalf("BeginNode after a write failure = %v, want sticky unusable error", err)
+	}
+	// Already-indexed segments stay readable.
+	src, err := a.IncrementSource(rec.node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Increment(0); err != nil {
+		t.Fatalf("indexed snapshot unreadable after poisoning: %v", err)
 	}
 }
 

@@ -350,7 +350,7 @@ func parseSnapshotPayload(b []byte) (*snapshot.Snapshot, error) {
 	for i := uint64(0); i < nPages && !r.err; i++ {
 		p := int(r.uvarint())
 		n := r.uvarint()
-		if p <= lastPage || n > uint64(len(r.b)) {
+		if p <= lastPage || n > uint64(vm.PageSize) || n > uint64(len(r.b)) {
 			return nil, fmt.Errorf("archive: snapshot payload pages malformed")
 		}
 		lastPage = p
@@ -365,7 +365,7 @@ func parseSnapshotPayload(b []byte) (*snapshot.Snapshot, error) {
 	for i := uint64(0); i < nIdx && !r.err; i++ {
 		s.Proof.Indices = append(s.Proof.Indices, int(r.uvarint()))
 	}
-	if nIdx*32 > uint64(len(r.b)) {
+	if nIdx > uint64(len(r.b))/32 {
 		return nil, fmt.Errorf("archive: snapshot payload truncated")
 	}
 	s.Proof.Old = make([]merkle.Hash, 0, nIdx)
@@ -373,7 +373,9 @@ func parseSnapshotPayload(b []byte) (*snapshot.Snapshot, error) {
 		s.Proof.Old = append(s.Proof.Old, merkle.Hash(r.hash32()))
 	}
 	nSib := r.uvarint()
-	if nSib*32 > uint64(len(r.b)) {
+	// Divide rather than multiply: nSib is attacker-controlled and
+	// nSib*32 can wrap past the bound, panicking at make below.
+	if nSib > uint64(len(r.b))/32 {
 		return nil, fmt.Errorf("archive: snapshot payload truncated")
 	}
 	s.Proof.Siblings = make([]merkle.Hash, 0, nSib)
